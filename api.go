@@ -1,0 +1,125 @@
+// Package gcsafety is a from-scratch reproduction of "Simple
+// Garbage-Collector-Safety" (Hans-J. Boehm, PLDI 1996): a C front end, the
+// KEEP_LIVE GC-safety/pointer-checking annotator that is the paper's
+// central contribution, a conservative collector, an optimizing compiler
+// for a simulated RISC machine that exhibits the paper's pointer-disguising
+// hazard, a peephole postprocessor, and the measurement harness that
+// regenerates the paper's tables.
+//
+// The root package offers the whole pipeline behind a small API:
+//
+//	out, _ := gcsafety.Annotate("x.c", src, gcsafety.Safe())   // C-to-C preprocessor
+//	res, _ := gcsafety.Run("x.c", src, gcsafety.Pipeline{...}) // compile + execute
+//
+// The layers are available individually under internal/ for the examples,
+// benchmarks and tests; see DESIGN.md for the package inventory.
+package gcsafety
+
+import (
+	"fmt"
+
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/peephole"
+)
+
+// Mode selects the annotation mode of the preprocessor.
+type Mode = gcsafe.Mode
+
+// Annotation modes.
+const (
+	ModeSafe    = gcsafe.ModeSafe
+	ModeChecked = gcsafe.ModeChecked
+)
+
+// AnnotateOptions re-exports the annotator configuration.
+type AnnotateOptions = gcsafe.Options
+
+// Safe returns the default production GC-safety options (the paper's
+// optimizations (1) and (2) enabled).
+func Safe() AnnotateOptions { return AnnotateOptions{Mode: ModeSafe} }
+
+// Checked returns the debugging-mode options: every pointer-arithmetic
+// result is validated at run time through GC_same_obj.
+func Checked() AnnotateOptions { return AnnotateOptions{Mode: ModeChecked} }
+
+// Annotate runs the C-to-C preprocessor and returns the rewritten source
+// plus diagnostics.
+func Annotate(name, src string, opts AnnotateOptions) (*gcsafe.Result, error) {
+	return gcsafe.AnnotateSource(name, src, opts)
+}
+
+// Pipeline configures a full compile-and-execute run.
+type Pipeline struct {
+	// Annotate enables the GC-safety preprocessor pass.
+	Annotate bool
+	// AnnotateOptions configures the pass when enabled.
+	AnnotateOptions AnnotateOptions
+	// Optimize selects the -O compiler pipeline ( -g otherwise).
+	Optimize bool
+	// Postprocess runs the paper's peephole postprocessor over the
+	// compiled code.
+	Postprocess bool
+	// Machine is the target configuration (default SPARCstation 10).
+	Machine *machine.Config
+	// Exec configures the interpreter (entry point, GC policy, input...).
+	Exec interp.Options
+}
+
+// Result of a full pipeline run.
+type Result struct {
+	Exec     *interp.Result
+	Program  *machine.Program
+	Annotate *gcsafe.Result // nil when annotation was disabled
+}
+
+// Build parses, optionally annotates, compiles and optionally postprocesses
+// a translation unit.
+func Build(name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse: %w", err)
+	}
+	var ares *gcsafe.Result
+	if p.Annotate {
+		ares, err = gcsafe.Annotate(file, p.AnnotateOptions)
+		if err != nil {
+			return nil, nil, fmt.Errorf("annotate: %w", err)
+		}
+	}
+	cfg := machine.SPARCstation10()
+	if p.Machine != nil {
+		cfg = *p.Machine
+	}
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: p.Optimize, Machine: cfg})
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile: %w", err)
+	}
+	if p.Postprocess {
+		peephole.Optimize(prog, cfg)
+	}
+	return prog, ares, nil
+}
+
+// Run executes the full pipeline on one C translation unit.
+func Run(name, src string, p Pipeline) (*Result, error) {
+	prog, ares, err := Build(name, src, p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.SPARCstation10()
+	if p.Machine != nil {
+		cfg = *p.Machine
+	}
+	ex := p.Exec
+	ex.Config = cfg
+	res, err := interp.Run(prog, ex)
+	return &Result{Exec: res, Program: prog, Annotate: ares}, err
+}
+
+// Parse exposes the front end for tools that want the AST.
+func Parse(name, src string) (*ast.File, error) { return parser.Parse(name, src) }

@@ -1,0 +1,116 @@
+// Command ccrun compiles a C translation unit for the simulated machine
+// and executes it against the conservative collector: the whole pipeline of
+// the reproduction in one tool.
+//
+// Usage:
+//
+//	ccrun [flags] input.c
+//
+// Flags:
+//
+//	-O                 optimize (default true; -O=false is the -g pipeline)
+//	-safe              run the GC-safety annotator first
+//	-check             run the annotator in checking mode (debugging)
+//	-post              run the peephole postprocessor
+//	-machine name      ss2 | ss10 | p90 (default ss10)
+//	-in file           program input (getchar stream)
+//	-gc-every n        trigger a collection every n instructions (async regime)
+//	-validate          detect accesses to reclaimed objects
+//	-S                 print the assembly listing instead of running
+//	-stats             print cycle/GC statistics after the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcsafety"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+)
+
+func main() {
+	var (
+		optimize = flag.Bool("O", true, "optimize")
+		safe     = flag.Bool("safe", false, "annotate for GC-safety")
+		check    = flag.Bool("check", false, "annotate for pointer-arithmetic checking")
+		post     = flag.Bool("post", false, "run the peephole postprocessor")
+		machname = flag.String("machine", "ss10", "machine model: ss2, ss10 or p90")
+		inFile   = flag.String("in", "", "program input file")
+		gcEvery  = flag.Uint64("gc-every", 0, "collect every n instructions")
+		validate = flag.Bool("validate", false, "detect accesses to reclaimed objects")
+		baseOnly = flag.Bool("base-only", false, "collector recognizes heap-stored interior pointers only at object bases (Extensions mode)")
+		asm      = flag.Bool("S", false, "print assembly instead of running")
+		stats    = flag.Bool("stats", false, "print statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccrun [flags] input.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var cfg machine.Config
+	switch *machname {
+	case "ss2":
+		cfg = machine.SPARCstation2()
+	case "ss10":
+		cfg = machine.SPARCstation10()
+	case "p90":
+		cfg = machine.Pentium90()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machname))
+	}
+	var input string
+	if *inFile != "" {
+		b, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		input = string(b)
+	}
+	p := gcsafety.Pipeline{
+		Annotate:    *safe || *check,
+		Optimize:    *optimize,
+		Postprocess: *post,
+		Machine:     &cfg,
+		Exec: interp.Options{
+			Input:         input,
+			GCEveryInstrs: *gcEvery,
+			Validate:      *validate,
+			BaseOnlyHeap:  *baseOnly,
+		},
+	}
+	if *check {
+		p.AnnotateOptions = gcsafety.Checked()
+	}
+	if *asm {
+		prog, _, err := gcsafety.Build(flag.Arg(0), string(src), p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.Listing())
+		return
+	}
+	res, err := gcsafety.Run(flag.Arg(0), string(src), p)
+	if res != nil && res.Exec != nil {
+		fmt.Print(res.Exec.Output)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		e := res.Exec
+		fmt.Fprintf(os.Stderr, "\n%s: %d instructions, %d cycles, %d collections, %d objects allocated, code size %d\n",
+			cfg.Name, e.Instrs, e.Cycles, e.GCStats.Collections, e.GCStats.ObjectsAlloced, res.Program.Size())
+	}
+	os.Exit(int(res.Exec.ExitCode))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ccrun: %v\n", err)
+	os.Exit(1)
+}

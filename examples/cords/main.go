@@ -1,0 +1,62 @@
+// Cords: run the cordtest workload — the cord (rope) string package the
+// paper measured — through every treatment of the evaluation, printing the
+// slowdown row exactly as it appears in the paper's tables, plus the
+// postprocessor's recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcsafety/internal/bench"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/workloads"
+)
+
+func main() {
+	w, ok := workloads.ByName("cordtest")
+	if !ok {
+		log.Fatal("cordtest workload missing")
+	}
+	fmt.Printf("cordtest: %d lines of C, cord package + test driver\n\n", w.Lines)
+
+	for _, cfg := range machine.Configs() {
+		base, err := bench.Measure(w, bench.Opt, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		safe, err := bench.Measure(w, bench.OptSafe, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbg, err := bench.Measure(w, bench.Debug, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chk, err := bench.Measure(w, bench.DebugChecked, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		post, err := bench.Measure(w, bench.OptSafePost, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pct := func(m *bench.Measurement) float64 {
+			return (float64(m.Cycles)/float64(base.Cycles) - 1) * 100
+		}
+		fmt.Printf("%s:\n", cfg.Name)
+		fmt.Printf("  -O          %12d cycles   (baseline)\n", base.Cycles)
+		fmt.Printf("  -O safe     %12d cycles   %+6.1f%%\n", safe.Cycles, pct(safe))
+		fmt.Printf("  -O safe+post%12d cycles   %+6.1f%%   (after the peephole postprocessor)\n", post.Cycles, pct(post))
+		fmt.Printf("  -g          %12d cycles   %+6.1f%%\n", dbg.Cycles, pct(dbg))
+		fmt.Printf("  -g checked  %12d cycles   %+6.1f%%\n", chk.Cycles, pct(chk))
+		fmt.Println()
+	}
+
+	res, err := bench.Measure(w, bench.Opt, machine.SPARCstation10())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("program output:")
+	fmt.Print(res.Output)
+}

@@ -1,0 +1,73 @@
+// Quickstart: annotate a C program for GC-safety, compile it for the
+// simulated SPARC, and run it against the conservative collector — the
+// whole pipeline in a page of code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcsafety"
+	"gcsafety/internal/interp"
+)
+
+const program = `
+struct node { int val; struct node *next; };
+
+struct node *cons(int v, struct node *rest) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    n->val = v;
+    n->next = rest;
+    return n;
+}
+
+int main() {
+    struct node *list = 0;
+    int i;
+    int sum = 0;
+    for (i = 1; i <= 100; i++) list = cons(i, list);
+    while (list) {
+        sum += list->val;
+        list = list->next;
+    }
+    print_str("sum 1..100 = ");
+    print_int(sum);
+    print_str("\n");
+    return 0;
+}
+`
+
+func main() {
+	// Step 1: the preprocessor. This is the paper's contribution — a
+	// C-to-C rewrite inserting KEEP_LIVE(e, BASE(e)) around pointer
+	// arithmetic.
+	ann, err := gcsafety.Annotate("quickstart.c", program, gcsafety.Safe())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annotator inserted %d KEEP_LIVE calls (%d suppressed as plain copies)\n\n",
+		ann.Inserted, ann.Suppressed)
+	fmt.Println("--- annotated source ---")
+	fmt.Println(ann.Output)
+
+	// Step 2: compile (optimized) and execute with an asynchronous
+	// collector — a collection may fire between any two instructions —
+	// and the premature-reclamation detector armed.
+	res, err := gcsafety.Run("quickstart.c", program, gcsafety.Pipeline{
+		Annotate:        true,
+		AnnotateOptions: gcsafety.Safe(),
+		Optimize:        true,
+		Exec: interp.Options{
+			GCEveryInstrs: 50,
+			Validate:      true,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- program output ---")
+	fmt.Print(res.Exec.Output)
+	fmt.Printf("\n%d instructions, %d cycles, %d collections, %d objects allocated\n",
+		res.Exec.Instrs, res.Exec.Cycles, res.Exec.GCStats.Collections,
+		res.Exec.GCStats.ObjectsAlloced)
+}

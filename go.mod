@@ -1,0 +1,3 @@
+module gcsafety
+
+go 1.22

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/workloads"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. Each returns
+// a table whose columns are variants of the safe treatment.
+
+// AblationCallVsAsm compares the paper's two KEEP_LIVE implementations:
+// the opaque-external-function fallback ("terribly inefficient") versus the
+// empty-asm pseudo-instruction. The call variant is produced by running the
+// annotated *source text* back through the front end, so every KEEP_LIVE is
+// a genuine function call.
+func AblationCallVsAsm(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "KEEP_LIVE implementation: empty asm vs. opaque call (" + cfg.Name + "):",
+		Columns: []string{"asm (safe)", "call"},
+	}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		asm, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Re-parse the annotated text: KEEP_LIVE becomes a real call.
+		res, err := gcsafe.AnnotateSource(w.Name+".c", w.Source, gcsafe.Options{})
+		if err != nil {
+			return nil, err
+		}
+		w2 := w
+		w2.Source = res.Output
+		w2.Want = "" // output text identical, but skip double-checking
+		call, err := Measure(w2, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Workload: w.Name,
+			Cells: []Cell{
+				{Pct: pct(asm.Cycles, base.Cycles)},
+				{Pct: pct(call.Cycles, base.Cycles)},
+			},
+		})
+	}
+	return t, nil
+}
+
+// AblationCopySuppression measures the paper's optimization (1): with
+// suppression disabled, every plain pointer copy also gets a KEEP_LIVE.
+func AblationCopySuppression(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Optimization (1) copy suppression (" + cfg.Name + "):",
+		Columns: []string{"safe (opt1 on)", "safe (opt1 off)"},
+	}
+	off := OptSafe
+	off.Name = "-O, safe, no-opt1"
+	off.Gcsafe = &gcsafe.Options{NoCopySuppression: true}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		on, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		noSup, err := Measure(w, off, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Workload: w.Name,
+			Cells: []Cell{
+				{Pct: pct(on.Cycles, base.Cycles)},
+				{Pct: pct(noSup.Cycles, base.Cycles)},
+			},
+		})
+	}
+	return t, nil
+}
+
+// AblationIncDecExpansion measures the paper's optimization (2): with the
+// specialized expansion disabled, pointer ++/-- forces the variable's
+// address to be taken, pushing it out of registers.
+func AblationIncDecExpansion(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Optimization (2) ++/-- expansion (" + cfg.Name + "):",
+		Columns: []string{"safe (opt2 on)", "safe (opt2 off)"},
+	}
+	off := OptSafe
+	off.Name = "-O, safe, no-opt2"
+	off.Gcsafe = &gcsafe.Options{NoIncDecExpansion: true}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		on, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		general, err := Measure(w, off, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Workload: w.Name,
+			Cells: []Cell{
+				{Pct: pct(on.Cycles, base.Cycles)},
+				{Pct: pct(general.Cycles, base.Cycles)},
+			},
+		})
+	}
+	return t, nil
+}
+
+// AblationBaseHeuristic measures the paper's optimization (3): replacing
+// base pointers with slowly varying equivalents.
+func AblationBaseHeuristic(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Optimization (3) base-pointer heuristic (" + cfg.Name + "):",
+		Columns: []string{"safe", "safe + heuristic"},
+	}
+	heur := OptSafe
+	heur.Name = "-O, safe, heuristic"
+	heur.Gcsafe = &gcsafe.Options{BaseHeuristic: true}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		on, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		h, err := Measure(w, heur, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Workload: w.Name,
+			Cells: []Cell{
+				{Pct: pct(on.Cycles, base.Cycles)},
+				{Pct: pct(h.Cycles, base.Cycles)},
+			},
+		})
+	}
+	return t, nil
+}
+
+// AblationCallSiteOnly measures the paper's optimization (4): "If we know
+// that garbage collections can be triggered only at procedure calls, the
+// number of KEEP_LIVE invocations could often be reduced dramatically."
+// The reduced program is measured under the allocation-trigger regime it
+// is safe for.
+func AblationCallSiteOnly(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Optimization (4) call-site-only annotation (" + cfg.Name + "):",
+		Columns: []string{"safe (async)", "safe (call-site)"},
+	}
+	callsite := OptSafe
+	callsite.Name = "-O, safe, call-site"
+	callsite.Gcsafe = &gcsafe.Options{CallSiteOnly: true}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		full, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		reduced, err := Measure(w, callsite, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Workload: w.Name,
+			Cells: []Cell{
+				{Pct: pct(full.Cycles, base.Cycles)},
+				{Pct: pct(reduced.Cycles, base.Cycles)},
+			},
+		})
+	}
+	return t, nil
+}

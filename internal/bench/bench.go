@@ -1,0 +1,277 @@
+// Package bench is the measurement harness for the evaluation: it builds
+// each workload under the paper's compilation treatments, executes it on a
+// machine model, and regenerates every table of the paper's Performance,
+// Analysis and Postprocessor sections (see EXPERIMENTS.md for the
+// paper-vs-measured record).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/peephole"
+	"gcsafety/internal/workloads"
+)
+
+// Treatment is one compilation configuration measured in the paper.
+type Treatment struct {
+	Name     string
+	Annotate bool
+	Checked  bool
+	Optimize bool
+	Post     bool
+	// Gcsafe overrides the default annotator options (ablations).
+	Gcsafe *gcsafe.Options
+}
+
+// Canonical treatments, named as in the paper's tables.
+var (
+	Opt          = Treatment{Name: "-O", Optimize: true}
+	OptSafe      = Treatment{Name: "-O, safe", Optimize: true, Annotate: true}
+	Debug        = Treatment{Name: "-g"}
+	DebugChecked = Treatment{Name: "-g, checked", Annotate: true, Checked: true}
+	OptSafePost  = Treatment{Name: "-O, safe+post", Optimize: true, Annotate: true, Post: true}
+)
+
+// Measurement is the result of one (workload, treatment, machine) cell.
+type Measurement struct {
+	Cycles      uint64
+	Instrs      uint64
+	Size        int // static instruction count of processed code
+	Output      string
+	CheckFailed bool // the pointer-arithmetic checker fired (gawk)
+	Collections uint64
+}
+
+// Measure builds and runs one cell.
+func Measure(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measurement, error) {
+	file, err := parser.Parse(w.Name+".c", w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)
+	}
+	if tr.Annotate {
+		opts := gcsafe.Options{}
+		if tr.Gcsafe != nil {
+			opts = *tr.Gcsafe
+		}
+		if tr.Checked {
+			opts.Mode = gcsafe.ModeChecked
+		}
+		if _, err := gcsafe.Annotate(file, opts); err != nil {
+			return nil, fmt.Errorf("%s: annotate: %w", w.Name, err)
+		}
+	}
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: tr.Optimize, Machine: cfg})
+	if err != nil {
+		return nil, fmt.Errorf("%s: compile: %w", w.Name, err)
+	}
+	if tr.Post {
+		peephole.Optimize(prog, cfg)
+	}
+	m := &Measurement{Size: prog.Size()}
+	res, err := interp.Run(prog, interp.Options{Config: cfg, Input: w.Input})
+	if err != nil {
+		if _, ok := findCheckError(err); ok {
+			m.CheckFailed = true
+			return m, nil
+		}
+		return nil, fmt.Errorf("%s [%s]: %w", w.Name, tr.Name, err)
+	}
+	m.Cycles = res.Cycles
+	m.Instrs = res.Instrs
+	m.Output = res.Output
+	m.Collections = res.GCStats.Collections
+	if w.Want != "" && res.Output != w.Want {
+		return nil, fmt.Errorf("%s [%s]: wrong output", w.Name, tr.Name)
+	}
+	return m, nil
+}
+
+func findCheckError(err error) (*interp.CheckError, bool) {
+	for err != nil {
+		if ce, ok := err.(*interp.CheckError); ok {
+			return ce, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil, false
+		}
+		err = u.Unwrap()
+	}
+	return nil, false
+}
+
+// Cell is one formatted table entry.
+type Cell struct {
+	Pct       float64 // slowdown or expansion percentage
+	Fails     bool    // "<fails>" (gawk checked)
+	Unavail   bool    // "-" (cfrac -g)
+	FailsNote string
+}
+
+func (c Cell) String() string {
+	switch {
+	case c.Fails:
+		return "<fails>"
+	case c.Unavail:
+		return "-"
+	default:
+		return fmt.Sprintf("%.0f%%", c.Pct)
+	}
+}
+
+// Row is one workload's row in a table.
+type Row struct {
+	Workload string
+	Cells    []Cell
+}
+
+// Table is one reproduced paper table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// String renders the table in the paper's layout.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	fmt.Fprintf(&sb, "%-10s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, "%-16s", c)
+	}
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s", r.Workload)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&sb, "%-16s", c.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func pct(mode, base uint64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return (float64(mode)/float64(base) - 1) * 100
+}
+
+// SlowdownTable reproduces the paper's per-machine running-time tables
+// (SPARCstation 2, SPARC 10, Pentium 90): "slowdown percentages relative to
+// the unpreprocessed optimized version" for GC-safe code, fully debuggable
+// code, and debuggable code with pointer-arithmetic checks.
+func SlowdownTable(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   cfg.Name + ":",
+		Columns: []string{"-O, safe", "-g", "-g, checked"},
+	}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Workload: w.Name}
+		safe, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, Cell{Pct: pct(safe.Cycles, base.Cycles)})
+		if w.DebugUnavailable {
+			row.Cells = append(row.Cells, Cell{Unavail: true}, Cell{Unavail: true})
+			t.Rows = append(t.Rows, row)
+			continue
+		}
+		dbg, err := Measure(w, Debug, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, Cell{Pct: pct(dbg.Cycles, base.Cycles)})
+		chk, err := Measure(w, DebugChecked, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if chk.CheckFailed {
+			row.Cells = append(row.Cells, Cell{Fails: true})
+		} else {
+			row.Cells = append(row.Cells, Cell{Pct: pct(chk.Cycles, base.Cycles)})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// CodeSizeTable reproduces the object-code expansion table: static
+// instruction counts of the processed code only, "not the standard
+// libraries", relative to the optimized build.
+func CodeSizeTable(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Object code size expansion (" + cfg.Name + "):",
+		Columns: []string{"-O, safe", "-g", "-g, checked"},
+	}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Workload: w.Name}
+		safe, err := Measure(w, OptSafe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, Cell{Pct: pct(uint64(safe.Size), uint64(base.Size))})
+		if w.DebugUnavailable {
+			row.Cells = append(row.Cells, Cell{Unavail: true}, Cell{Unavail: true})
+			t.Rows = append(t.Rows, row)
+			continue
+		}
+		dbg, err := Measure(w, Debug, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, Cell{Pct: pct(uint64(dbg.Size), uint64(base.Size))})
+		chk, err := Measure(w, DebugChecked, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells = append(row.Cells, Cell{Pct: pct(uint64(chk.Size), uint64(base.Size))})
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// PostprocessorTable reproduces the final table: residual running-time and
+// code-size degradation of safe code after the peephole postprocessor,
+// relative to the fully optimized normally compiled code.
+func PostprocessorTable(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "After the postprocessor (" + cfg.Name + "):",
+		Columns: []string{"running time", "code size"},
+	}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		post, err := Measure(w, OptSafePost, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Workload: w.Name,
+			Cells: []Cell{
+				{Pct: pct(post.Cycles, base.Cycles)},
+				{Pct: pct(uint64(post.Size), uint64(base.Size))},
+			},
+		})
+	}
+	return t, nil
+}

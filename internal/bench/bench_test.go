@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gcsafety/internal/machine"
+	"gcsafety/internal/workloads"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	w, _ := workloads.ByName("cordtest")
+	cfg := machine.SPARCstation10()
+	m, err := Measure(w, Opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles == 0 || m.Size == 0 {
+		t.Fatalf("empty measurement: %+v", m)
+	}
+	if !strings.Contains(m.Output, "PASS") {
+		t.Fatalf("output: %q", m.Output)
+	}
+}
+
+// TestSlowdownShape pins the qualitative shape of the running-time tables:
+// the safe column is small, -g is larger, checked is much larger — the
+// ordering and rough factors of the paper's measurements.
+func TestSlowdownShape(t *testing.T) {
+	for _, cfg := range machine.Configs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			tbl, err := SlowdownTable(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("\n%s", tbl)
+			if len(tbl.Rows) != 4 {
+				t.Fatalf("want 4 workloads, got %d", len(tbl.Rows))
+			}
+			for _, r := range tbl.Rows {
+				safe, dbg, chk := r.Cells[0], r.Cells[1], r.Cells[2]
+				if safe.Pct < -2 {
+					t.Errorf("%s: safe mode cheaper than unsafe (%.1f%%)", r.Workload, safe.Pct)
+				}
+				if safe.Pct > 60 {
+					t.Errorf("%s: safe overhead out of the paper's band (%.1f%%)", r.Workload, safe.Pct)
+				}
+				if dbg.Unavail {
+					if r.Workload != "cfrac" {
+						t.Errorf("%s: unexpected unavailable -g column", r.Workload)
+					}
+					continue
+				}
+				if dbg.Pct <= safe.Pct {
+					t.Errorf("%s: -g (%.1f%%) should cost more than safe (%.1f%%)",
+						r.Workload, dbg.Pct, safe.Pct)
+				}
+				if chk.Fails {
+					if r.Workload != "gawk" {
+						t.Errorf("%s: unexpected checked failure", r.Workload)
+					}
+					continue
+				}
+				if chk.Pct <= dbg.Pct {
+					t.Errorf("%s: checked (%.1f%%) should cost more than -g (%.1f%%)",
+						r.Workload, chk.Pct, dbg.Pct)
+				}
+				if chk.Pct < 60 {
+					t.Errorf("%s: checked overhead implausibly low (%.1f%%)", r.Workload, chk.Pct)
+				}
+			}
+		})
+	}
+}
+
+func TestGawkCheckedFailsAndCfracDebugUnavailable(t *testing.T) {
+	// The paper's two footnotes must both appear in the table.
+	tbl, err := SlowdownTable(machine.SPARCstation10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFails, sawUnavail bool
+	for _, r := range tbl.Rows {
+		for _, c := range r.Cells {
+			if c.Fails && r.Workload == "gawk" {
+				sawFails = true
+			}
+			if c.Unavail && r.Workload == "cfrac" {
+				sawUnavail = true
+			}
+		}
+	}
+	if !sawFails {
+		t.Error("gawk <fails> footnote missing")
+	}
+	if !sawUnavail {
+		t.Error("cfrac '-' footnote missing")
+	}
+}
+
+func TestCodeSizeShape(t *testing.T) {
+	tbl, err := CodeSizeTable(machine.SPARCstation10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	for _, r := range tbl.Rows {
+		safe := r.Cells[0]
+		if safe.Pct < 0 || safe.Pct > 60 {
+			t.Errorf("%s: safe code-size expansion out of band (%.1f%%)", r.Workload, safe.Pct)
+		}
+		if r.Cells[1].Unavail {
+			continue
+		}
+		// Robust shape properties (see EXPERIMENTS.md for the known
+		// divergence on the -g column's absolute magnitude): debug code is
+		// never smaller than optimized code, and checking dominates both.
+		if r.Cells[1].Pct < 0 {
+			t.Errorf("%s: -g code smaller than -O (%.1f%%)", r.Workload, r.Cells[1].Pct)
+		}
+		if r.Cells[2].Pct <= safe.Pct {
+			t.Errorf("%s: checked size (%.1f%%) should exceed safe (%.1f%%)",
+				r.Workload, r.Cells[2].Pct, safe.Pct)
+		}
+		if r.Cells[2].Pct <= r.Cells[1].Pct {
+			t.Errorf("%s: checked size (%.1f%%) should exceed -g (%.1f%%)",
+				r.Workload, r.Cells[2].Pct, r.Cells[1].Pct)
+		}
+	}
+}
+
+func TestPostprocessorRecoversPerformance(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	before, err := SlowdownTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := PostprocessorTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", after)
+	for i, r := range after.Rows {
+		post := r.Cells[0].Pct
+		safe := before.Rows[i].Cells[0].Pct
+		if post > safe+0.5 {
+			t.Errorf("%s: postprocessor made things worse (%.1f%% -> %.1f%%)",
+				r.Workload, safe, post)
+		}
+		if post > 10 {
+			t.Errorf("%s: residual overhead after postprocessing too high (%.1f%%)",
+				r.Workload, post)
+		}
+		if math.IsNaN(post) {
+			t.Errorf("%s: NaN cell", r.Workload)
+		}
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	t.Run("CallVsAsm", func(t *testing.T) {
+		tbl, err := AblationCallVsAsm(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", tbl)
+		for _, r := range tbl.Rows {
+			if r.Cells[1].Pct < r.Cells[0].Pct {
+				t.Errorf("%s: opaque-call KEEP_LIVE (%.1f%%) should cost at least the asm form (%.1f%%)",
+					r.Workload, r.Cells[1].Pct, r.Cells[0].Pct)
+			}
+		}
+	})
+	t.Run("CopySuppression", func(t *testing.T) {
+		tbl, err := AblationCopySuppression(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", tbl)
+		for _, r := range tbl.Rows {
+			if r.Cells[1].Pct+0.5 < r.Cells[0].Pct {
+				t.Errorf("%s: disabling copy suppression should not speed things up", r.Workload)
+			}
+		}
+	})
+	t.Run("IncDecExpansion", func(t *testing.T) {
+		tbl, err := AblationIncDecExpansion(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", tbl)
+	})
+	t.Run("CallSiteOnly", func(t *testing.T) {
+		tbl, err := AblationCallSiteOnly(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", tbl)
+		for _, r := range tbl.Rows {
+			if r.Cells[1].Pct > r.Cells[0].Pct+0.5 {
+				t.Errorf("%s: call-site-only annotation (%.1f%%) costs more than full annotation (%.1f%%)",
+					r.Workload, r.Cells[1].Pct, r.Cells[0].Pct)
+			}
+		}
+	})
+	t.Run("BaseHeuristic", func(t *testing.T) {
+		tbl, err := AblationBaseHeuristic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", tbl)
+	})
+}

@@ -1,0 +1,466 @@
+// Package ast defines the abstract syntax tree for the C subset. Every node
+// records the byte range it occupies in the original source so that the
+// GC-safety annotator can be implemented exactly as the paper describes: as
+// a list of insertions and deletions sorted by character position, applied
+// to the unmodified input text.
+package ast
+
+import (
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// ObjKind classifies declared objects.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjVar ObjKind = iota
+	ObjParam
+	ObjFunc
+	ObjEnumConst
+	ObjTemp // compiler-introduced temporary (never in the source text)
+)
+
+// Storage classifies where an object lives.
+type Storage int
+
+// Storage classes.
+const (
+	Auto Storage = iota
+	Static
+	Extern
+	Register
+)
+
+// Object is a declared entity: variable, parameter, function, enum constant
+// or synthesized temporary. The annotator and code generator share Objects,
+// so per-object analysis facts live here.
+type Object struct {
+	Name    string
+	Kind    ObjKind
+	Type    types.Type
+	Storage Storage
+	Global  bool
+	EnumVal int64
+	// AddrTaken is set by the checker when the object's address is taken;
+	// such variables cannot be register-allocated.
+	AddrTaken bool
+	// Seq disambiguates shadowed names within one function.
+	Seq int
+}
+
+// IsPointerVar reports whether the object is a variable (or parameter or
+// temporary) of pointer type — a "possible heap pointer" in the paper's
+// BASE definition.
+func (o *Object) IsPointerVar() bool {
+	if o == nil {
+		return false
+	}
+	switch o.Kind {
+	case ObjVar, ObjParam, ObjTemp:
+		return types.IsPointer(types.Decay(o.Type))
+	}
+	return false
+}
+
+// Expr is any C expression node.
+type Expr interface {
+	Pos() token.Pos
+	End() int
+	// Type returns the checked C type of the expression (after the checker
+	// has run); nil before checking.
+	Type() types.Type
+	exprNode()
+}
+
+// typed provides the Type storage shared by all expression nodes.
+type typed struct{ T types.Type }
+
+// Type returns the checked type.
+func (t *typed) Type() types.Type { return t.T }
+
+// SetType records the checked type of the node.
+func (t *typed) SetType(ty types.Type) { t.T = ty }
+
+// Ident is a reference to a named object.
+type Ident struct {
+	typed
+	Name    string
+	NamePos token.Pos
+	NameEnd int
+	Obj     *Object // resolved by the parser
+}
+
+// IntLit is an integer constant.
+type IntLit struct {
+	typed
+	Val    int64
+	LitPos token.Pos
+	LitEnd int
+}
+
+// CharLit is a character constant.
+type CharLit struct {
+	typed
+	Val    int64
+	LitPos token.Pos
+	LitEnd int
+}
+
+// StrLit is a string literal (already unescaped and concatenated).
+type StrLit struct {
+	typed
+	Val    string
+	LitPos token.Pos
+	LitEnd int
+}
+
+// Unary is a prefix or postfix unary operation. For Inc/Dec, Postfix
+// distinguishes x++ from ++x.
+type Unary struct {
+	typed
+	Op      token.Kind // Amp, Star, Plus, Minus, Tilde, Not, Inc, Dec
+	X       Expr
+	Postfix bool
+	OpPos   token.Pos
+	OpEnd   int
+}
+
+// Binary is a binary operation (everything except assignment and comma).
+type Binary struct {
+	typed
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Assign is a simple or compound assignment.
+type Assign struct {
+	typed
+	Op   token.Kind // Assign .. ShrAssign
+	L, R Expr
+}
+
+// Cond is the ?: operator.
+type Cond struct {
+	typed
+	C, T, F Expr
+}
+
+// Call is a function call.
+type Call struct {
+	typed
+	Fun    Expr
+	Args   []Expr
+	Lparen token.Pos
+	Rparen int
+}
+
+// Index is a subscript expression X[I].
+type Index struct {
+	typed
+	X, I   Expr
+	Rbrack int
+}
+
+// Member is X.Name or X->Name.
+type Member struct {
+	typed
+	X       Expr
+	Name    string
+	Arrow   bool
+	NameEnd int
+	Field   *types.Field // resolved by the checker
+}
+
+// Cast is an explicit type conversion.
+type Cast struct {
+	typed
+	To       types.Type
+	TypeText string // original spelling of the type, for diagnostics/printing
+	X        Expr
+	Lparen   token.Pos
+}
+
+// SizeofExpr is sizeof expr.
+type SizeofExpr struct {
+	typed
+	X     Expr
+	KwPos token.Pos
+}
+
+// SizeofType is sizeof(type-name).
+type SizeofType struct {
+	typed
+	Of        types.Type
+	TypeText  string
+	KwPos     token.Pos
+	RparenEnd int
+}
+
+// Comma is the comma operator X, Y.
+type Comma struct {
+	typed
+	X, Y Expr
+}
+
+// Paren is a parenthesized expression, kept explicit so source positions of
+// the rewritten text remain exact.
+type Paren struct {
+	typed
+	X         Expr
+	Lparen    token.Pos
+	RparenEnd int
+}
+
+// KeepLive is the paper's KEEP_LIVE(e, y) annotation, introduced by the
+// gcsafe pass (never written by users). Base may be nil when the paper's
+// BASE(e) is NIL but the expression must still be made opaque (allocation
+// results). When Checked is set, the node denotes the debugging-mode
+// GC_same_obj call instead of the empty-asm form.
+type KeepLive struct {
+	typed
+	X       Expr
+	Base    *Ident
+	Checked bool
+}
+
+// Position plumbing.
+
+// Pos implements Expr.
+func (x *Ident) Pos() token.Pos   { return x.NamePos }
+func (x *Ident) End() int         { return x.NameEnd }
+func (x *IntLit) Pos() token.Pos  { return x.LitPos }
+func (x *IntLit) End() int        { return x.LitEnd }
+func (x *CharLit) Pos() token.Pos { return x.LitPos }
+func (x *CharLit) End() int       { return x.LitEnd }
+func (x *StrLit) Pos() token.Pos  { return x.LitPos }
+func (x *StrLit) End() int        { return x.LitEnd }
+func (x *Unary) Pos() token.Pos {
+	if x.Postfix {
+		return x.X.Pos()
+	}
+	return x.OpPos
+}
+func (x *Unary) End() int {
+	if x.Postfix {
+		return x.OpEnd
+	}
+	return x.X.End()
+}
+func (x *Binary) Pos() token.Pos     { return x.X.Pos() }
+func (x *Binary) End() int           { return x.Y.End() }
+func (x *Assign) Pos() token.Pos     { return x.L.Pos() }
+func (x *Assign) End() int           { return x.R.End() }
+func (x *Cond) Pos() token.Pos       { return x.C.Pos() }
+func (x *Cond) End() int             { return x.F.End() }
+func (x *Call) Pos() token.Pos       { return x.Fun.Pos() }
+func (x *Call) End() int             { return x.Rparen }
+func (x *Index) Pos() token.Pos      { return x.X.Pos() }
+func (x *Index) End() int            { return x.Rbrack }
+func (x *Member) Pos() token.Pos     { return x.X.Pos() }
+func (x *Member) End() int           { return x.NameEnd }
+func (x *Cast) Pos() token.Pos       { return x.Lparen }
+func (x *Cast) End() int             { return x.X.End() }
+func (x *SizeofExpr) Pos() token.Pos { return x.KwPos }
+func (x *SizeofExpr) End() int       { return x.X.End() }
+func (x *SizeofType) Pos() token.Pos { return x.KwPos }
+func (x *SizeofType) End() int       { return x.RparenEnd }
+func (x *Comma) Pos() token.Pos      { return x.X.Pos() }
+func (x *Comma) End() int            { return x.Y.End() }
+func (x *Paren) Pos() token.Pos      { return x.Lparen }
+func (x *Paren) End() int            { return x.RparenEnd }
+func (x *KeepLive) Pos() token.Pos   { return x.X.Pos() }
+func (x *KeepLive) End() int         { return x.X.End() }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*CharLit) exprNode()    {}
+func (*StrLit) exprNode()     {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Cast) exprNode()       {}
+func (*SizeofExpr) exprNode() {}
+func (*SizeofType) exprNode() {}
+func (*Comma) exprNode()      {}
+func (*Paren) exprNode()      {}
+func (*KeepLive) exprNode()   {}
+
+// Unparen strips Paren wrappers.
+func Unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Stmt is any statement node.
+type Stmt interface {
+	Pos() token.Pos
+	stmtNode()
+}
+
+// ExprStmt is an expression statement.
+type ExprStmt struct {
+	X    Expr
+	Semi int
+}
+
+// DeclStmt is a local declaration (possibly several declarators).
+type DeclStmt struct {
+	Decls []*VarDecl
+	At    token.Pos
+}
+
+// Block is a brace-enclosed statement list.
+type Block struct {
+	Stmts  []Stmt
+	Lbrace token.Pos
+	Rbrace int
+}
+
+// If is an if/else statement.
+type If struct {
+	Cond       Expr
+	Then, Else Stmt
+	KwPos      token.Pos
+}
+
+// While is a while loop.
+type While struct {
+	Cond  Expr
+	Body  Stmt
+	KwPos token.Pos
+}
+
+// DoWhile is a do/while loop.
+type DoWhile struct {
+	Body  Stmt
+	Cond  Expr
+	KwPos token.Pos
+}
+
+// For is a for loop; any of Init, Cond, Post may be nil. Init is either an
+// *ExprStmt or a *DeclStmt.
+type For struct {
+	Init  Stmt
+	Cond  Expr
+	Post  Expr
+	Body  Stmt
+	KwPos token.Pos
+}
+
+// Return is a return statement; X may be nil.
+type Return struct {
+	X     Expr
+	KwPos token.Pos
+}
+
+// Break is a break statement.
+type Break struct{ KwPos token.Pos }
+
+// Continue is a continue statement.
+type Continue struct{ KwPos token.Pos }
+
+// CaseClause is one case (or default, when Vals is nil) group in a switch.
+type CaseClause struct {
+	Vals  []Expr // constant expressions; nil for default
+	Stmts []Stmt
+	KwPos token.Pos
+}
+
+// Switch is a switch statement with pre-grouped cases.
+type Switch struct {
+	X     Expr
+	Cases []*CaseClause
+	KwPos token.Pos
+}
+
+// Empty is a lone semicolon.
+type Empty struct{ SemiPos token.Pos }
+
+// Pos implements Stmt.
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *DeclStmt) Pos() token.Pos { return s.At }
+func (s *Block) Pos() token.Pos    { return s.Lbrace }
+func (s *If) Pos() token.Pos       { return s.KwPos }
+func (s *While) Pos() token.Pos    { return s.KwPos }
+func (s *DoWhile) Pos() token.Pos  { return s.KwPos }
+func (s *For) Pos() token.Pos      { return s.KwPos }
+func (s *Return) Pos() token.Pos   { return s.KwPos }
+func (s *Break) Pos() token.Pos    { return s.KwPos }
+func (s *Continue) Pos() token.Pos { return s.KwPos }
+func (s *Switch) Pos() token.Pos   { return s.KwPos }
+func (s *Empty) Pos() token.Pos    { return s.SemiPos }
+
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*DoWhile) stmtNode()  {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Switch) stmtNode()   {}
+func (*Empty) stmtNode()    {}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Pos() token.Pos
+	declNode()
+}
+
+// VarDecl declares one variable (one declarator of a declaration).
+type VarDecl struct {
+	Obj      *Object
+	Init     Expr   // scalar initializer, or nil
+	InitList []Expr // brace-enclosed initializer elements, or nil
+	At       token.Pos
+	EndOff   int
+}
+
+// FuncDecl is a function definition (or, with Body nil, a prototype).
+type FuncDecl struct {
+	Obj    *Object
+	FType  *types.Func
+	Params []*Object
+	Body   *Block
+	At     token.Pos
+	// Temps collects objects synthesized for this function by later passes
+	// (the gcsafe temporaries); codegen allocates stack slots for them.
+	Temps []*Object
+}
+
+// Pos implements Decl.
+func (d *VarDecl) Pos() token.Pos  { return d.At }
+func (d *FuncDecl) Pos() token.Pos { return d.At }
+
+func (*VarDecl) declNode()  {}
+func (*FuncDecl) declNode() {}
+
+// File is one parsed translation unit.
+type File struct {
+	Name   string
+	Source string
+	Decls  []Decl
+}
+
+// FuncByName returns the function definition with the given name, or nil.
+func (f *File) FuncByName(name string) *FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Obj.Name == name && fd.Body != nil {
+			return fd
+		}
+	}
+	return nil
+}

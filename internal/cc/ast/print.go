@@ -1,0 +1,187 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// PrintExpr renders an expression back to C source text. Synthesized nodes
+// (temporaries, KEEP_LIVE) print in the forms the paper's preprocessor
+// emits. Subexpressions are parenthesized defensively; like the paper's
+// output, the result "is not normally intended for human consumption".
+func PrintExpr(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e)
+	return sb.String()
+}
+
+func printExpr(sb *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		sb.WriteString(e.Name)
+	case *IntLit:
+		sb.WriteString(strconv.FormatInt(e.Val, 10))
+	case *CharLit:
+		sb.WriteString(quoteChar(byte(e.Val)))
+	case *StrLit:
+		sb.WriteString(quoteString(e.Val))
+	case *Unary:
+		if e.Postfix {
+			printOperand(sb, e.X)
+			sb.WriteString(e.Op.String())
+		} else {
+			sb.WriteString(e.Op.String())
+			// Avoid gluing `- -x` into `--x`.
+			if e.Op == token.Minus || e.Op == token.Plus || e.Op == token.Amp {
+				sb.WriteString(" ")
+			}
+			printOperand(sb, e.X)
+		}
+	case *Binary:
+		printOperand(sb, e.X)
+		sb.WriteString(" " + e.Op.String() + " ")
+		printOperand(sb, e.Y)
+	case *Assign:
+		printOperand(sb, e.L)
+		sb.WriteString(" " + e.Op.String() + " ")
+		printOperand(sb, e.R)
+	case *Cond:
+		printOperand(sb, e.C)
+		sb.WriteString(" ? ")
+		printOperand(sb, e.T)
+		sb.WriteString(" : ")
+		printOperand(sb, e.F)
+	case *Call:
+		printOperand(sb, e.Fun)
+		sb.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case *Index:
+		printOperand(sb, e.X)
+		sb.WriteString("[")
+		printExpr(sb, e.I)
+		sb.WriteString("]")
+	case *Member:
+		printOperand(sb, e.X)
+		if e.Arrow {
+			sb.WriteString("->")
+		} else {
+			sb.WriteString(".")
+		}
+		sb.WriteString(e.Name)
+	case *Cast:
+		sb.WriteString("(" + typeText(e.To, e.TypeText) + ")")
+		printOperand(sb, e.X)
+	case *SizeofExpr:
+		sb.WriteString("sizeof ")
+		printOperand(sb, e.X)
+	case *SizeofType:
+		sb.WriteString("sizeof(" + typeText(e.Of, e.TypeText) + ")")
+	case *Comma:
+		sb.WriteString("(")
+		printExpr(sb, e.X)
+		sb.WriteString(", ")
+		printExpr(sb, e.Y)
+		sb.WriteString(")")
+	case *Paren:
+		switch e.X.(type) {
+		case *Comma, *Paren:
+			// these already print self-delimited; extra parentheses would
+			// accumulate across print/parse round trips
+			printExpr(sb, e.X)
+		default:
+			sb.WriteString("(")
+			printExpr(sb, e.X)
+			sb.WriteString(")")
+		}
+	case *KeepLive:
+		if e.Checked {
+			sb.WriteString("GC_same_obj(")
+		} else {
+			sb.WriteString("KEEP_LIVE(")
+		}
+		printExpr(sb, e.X)
+		sb.WriteString(", ")
+		if e.Base == nil {
+			sb.WriteString("0")
+		} else {
+			sb.WriteString(e.Base.Name)
+		}
+		sb.WriteString(")")
+	default:
+		fmt.Fprintf(sb, "/*?%T?*/", e)
+	}
+}
+
+// printOperand prints e, parenthesizing anything that is not primary.
+func printOperand(sb *strings.Builder, e Expr) {
+	switch e.(type) {
+	case *Ident, *IntLit, *CharLit, *StrLit, *Paren, *Call, *Index, *Member, *Comma, *KeepLive:
+		printExpr(sb, e)
+	default:
+		sb.WriteString("(")
+		printExpr(sb, e)
+		sb.WriteString(")")
+	}
+}
+
+func typeText(t types.Type, original string) string {
+	if original != "" {
+		return original
+	}
+	return t.String()
+}
+
+func quoteChar(b byte) string {
+	switch b {
+	case '\'':
+		return `'\''`
+	case '\\':
+		return `'\\'`
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case 0:
+		return `'\0'`
+	}
+	if b >= 32 && b < 127 {
+		return "'" + string(b) + "'"
+	}
+	return fmt.Sprintf(`'\x%02x'`, b)
+}
+
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch b {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			if b >= 32 && b < 127 {
+				sb.WriteByte(b)
+			} else {
+				fmt.Fprintf(&sb, `\%03o`, b)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

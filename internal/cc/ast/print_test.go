@@ -1,0 +1,173 @@
+package ast
+
+import (
+	"testing"
+
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+func id(name string) *Ident {
+	i := &Ident{Name: name, Obj: &Object{Name: name, Kind: ObjVar, Type: types.IntType}}
+	i.SetType(types.IntType)
+	return i
+}
+
+func num(v int64) *IntLit {
+	l := &IntLit{Val: v}
+	l.SetType(types.IntType)
+	return l
+}
+
+func TestPrintBasicExpressions(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{num(42), "42"},
+		{id("x"), "x"},
+		{&Binary{Op: token.Plus, X: id("a"), Y: num(1)}, "a + 1"},
+		{&Binary{Op: token.Star, X: &Binary{Op: token.Plus, X: id("a"), Y: id("b")}, Y: num(2)},
+			"(a + b) * 2"},
+		{&Assign{Op: token.Assign, L: id("x"), R: num(5)}, "x = 5"},
+		{&Assign{Op: token.AddAssign, L: id("x"), R: num(5)}, "x += 5"},
+		{&Unary{Op: token.Minus, X: id("x")}, "- x"},
+		{&Unary{Op: token.Star, X: id("p")}, "*p"},
+		{&Unary{Op: token.Amp, X: id("x")}, "& x"},
+		{&Unary{Op: token.Inc, X: id("x"), Postfix: true}, "x++"},
+		{&Unary{Op: token.Dec, X: id("x")}, "--x"},
+		{&Index{X: id("a"), I: num(3)}, "a[3]"},
+		{&Member{X: id("s"), Name: "f"}, "s.f"},
+		{&Member{X: id("p"), Name: "f", Arrow: true}, "p->f"},
+		{&Cond{C: id("c"), T: num(1), F: num(2)}, "c ? 1 : 2"},
+		{&Comma{X: id("a"), Y: id("b")}, "(a, b)"},
+		{&Call{Fun: id("f"), Args: []Expr{num(1), num(2)}}, "f(1, 2)"},
+		{&Paren{X: id("x")}, "(x)"},
+	}
+	for _, c := range cases {
+		got := PrintExpr(c.e)
+		if got != c.want {
+			t.Errorf("PrintExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintKeepLive(t *testing.T) {
+	kl := &KeepLive{X: &Binary{Op: token.Plus, X: id("p"), Y: num(1)}, Base: id("p")}
+	if got := PrintExpr(kl); got != "KEEP_LIVE((p + 1), p)" && got != "KEEP_LIVE(p + 1, p)" {
+		t.Errorf("got %q", got)
+	}
+	klc := &KeepLive{X: id("p"), Base: id("p"), Checked: true}
+	if got := PrintExpr(klc); got != "GC_same_obj(p, p)" {
+		t.Errorf("got %q", got)
+	}
+	klNil := &KeepLive{X: id("p")}
+	if got := PrintExpr(klNil); got != "KEEP_LIVE(p, 0)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintStringAndCharEscapes(t *testing.T) {
+	s := &StrLit{Val: "a\nb\"c\\d\x01"}
+	got := PrintExpr(s)
+	want := `"a\nb\"c\\d\001"`
+	if got != want {
+		t.Errorf("string: got %q want %q", got, want)
+	}
+	c := &CharLit{Val: '\n'}
+	if got := PrintExpr(c); got != `'\n'` {
+		t.Errorf("char: got %q", got)
+	}
+	c2 := &CharLit{Val: 0}
+	if got := PrintExpr(c2); got != `'\0'` {
+		t.Errorf("nul char: got %q", got)
+	}
+}
+
+func TestPrintCastAndSizeof(t *testing.T) {
+	cast := &Cast{To: types.PointerTo(types.CharType), TypeText: "char *", X: id("x")}
+	if got := PrintExpr(cast); got != "(char *)x" {
+		t.Errorf("cast: got %q", got)
+	}
+	sz := &SizeofType{Of: types.IntType, TypeText: "int"}
+	if got := PrintExpr(sz); got != "sizeof(int)" {
+		t.Errorf("sizeof: got %q", got)
+	}
+}
+
+func TestUnparen(t *testing.T) {
+	inner := id("x")
+	wrapped := &Paren{X: &Paren{X: inner}}
+	if Unparen(wrapped) != inner {
+		t.Error("Unparen did not strip nested parens")
+	}
+	if Unparen(inner) != inner {
+		t.Error("Unparen changed a bare expression")
+	}
+}
+
+func TestObjectPredicates(t *testing.T) {
+	ptrVar := &Object{Name: "p", Kind: ObjVar, Type: types.PointerTo(types.CharType)}
+	if !ptrVar.IsPointerVar() {
+		t.Error("pointer variable not recognized")
+	}
+	intVar := &Object{Name: "i", Kind: ObjVar, Type: types.IntType}
+	if intVar.IsPointerVar() {
+		t.Error("int variable recognized as pointer")
+	}
+	fn := &Object{Name: "f", Kind: ObjFunc, Type: &types.Func{Ret: types.PointerTo(types.CharType)}}
+	if fn.IsPointerVar() {
+		t.Error("function recognized as pointer variable")
+	}
+	var nilObj *Object
+	if nilObj.IsPointerVar() {
+		t.Error("nil object recognized as pointer variable")
+	}
+	tmp := &Object{Name: "t", Kind: ObjTemp, Type: types.PointerTo(types.IntType)}
+	if !tmp.IsPointerVar() {
+		t.Error("pointer temp not recognized")
+	}
+}
+
+func TestInspectVisitsEverything(t *testing.T) {
+	// Build a statement tree and count identifier visits.
+	body := &Block{Stmts: []Stmt{
+		&ExprStmt{X: &Assign{Op: token.Assign, L: id("a"), R: &Binary{Op: token.Plus, X: id("b"), Y: id("c")}}},
+		&If{Cond: id("d"), Then: &Return{X: id("e")}, Else: &ExprStmt{X: id("f")}},
+		&While{Cond: id("g"), Body: &ExprStmt{X: id("h")}},
+		&For{Init: &ExprStmt{X: id("i")}, Cond: id("j"), Post: id("k"), Body: &Empty{}},
+		&Switch{X: id("l"), Cases: []*CaseClause{{Vals: []Expr{num(1)}, Stmts: []Stmt{&ExprStmt{X: id("m")}}}}},
+		&DoWhile{Body: &ExprStmt{X: id("n")}, Cond: id("o")},
+	}}
+	count := 0
+	Inspect(Stmt(body), func(e Expr) bool {
+		if _, ok := e.(*Ident); ok {
+			count++
+		}
+		return true
+	})
+	if count != 15 {
+		t.Fatalf("visited %d identifiers, want 15", count)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	e := &Binary{Op: token.Plus, X: &Paren{X: id("deep")}, Y: id("shallow")}
+	seen := map[string]bool{}
+	Inspect(Expr(e), func(x Expr) bool {
+		if p, ok := x.(*Paren); ok {
+			_ = p
+			return false // prune
+		}
+		if i, ok := x.(*Ident); ok {
+			seen[i.Name] = true
+		}
+		return true
+	})
+	if seen["deep"] {
+		t.Error("pruned subtree visited")
+	}
+	if !seen["shallow"] {
+		t.Error("sibling not visited")
+	}
+}

@@ -1,0 +1,125 @@
+package ast
+
+// Inspect traverses the statement or expression tree rooted at n in
+// depth-first order, calling f for every expression encountered. If f
+// returns false for an expression, its subexpressions are skipped.
+func Inspect(n any, f func(Expr) bool) {
+	switch n := n.(type) {
+	case nil:
+	case Expr:
+		inspectExpr(n, f)
+	case Stmt:
+		inspectStmt(n, f)
+	case *File:
+		for _, d := range n.Decls {
+			Inspect(d, f)
+		}
+	case *FuncDecl:
+		if n.Body != nil {
+			inspectStmt(n.Body, f)
+		}
+	case *VarDecl:
+		if n.Init != nil {
+			inspectExpr(n.Init, f)
+		}
+		for _, e := range n.InitList {
+			inspectExpr(e, f)
+		}
+	case Decl:
+	}
+}
+
+func inspectStmt(s Stmt, f func(Expr) bool) {
+	switch s := s.(type) {
+	case *ExprStmt:
+		inspectExpr(s.X, f)
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			Inspect(d, f)
+		}
+	case *Block:
+		for _, st := range s.Stmts {
+			inspectStmt(st, f)
+		}
+	case *If:
+		inspectExpr(s.Cond, f)
+		inspectStmt(s.Then, f)
+		if s.Else != nil {
+			inspectStmt(s.Else, f)
+		}
+	case *While:
+		inspectExpr(s.Cond, f)
+		inspectStmt(s.Body, f)
+	case *DoWhile:
+		inspectStmt(s.Body, f)
+		inspectExpr(s.Cond, f)
+	case *For:
+		if s.Init != nil {
+			inspectStmt(s.Init, f)
+		}
+		if s.Cond != nil {
+			inspectExpr(s.Cond, f)
+		}
+		if s.Post != nil {
+			inspectExpr(s.Post, f)
+		}
+		inspectStmt(s.Body, f)
+	case *Return:
+		if s.X != nil {
+			inspectExpr(s.X, f)
+		}
+	case *Switch:
+		inspectExpr(s.X, f)
+		for _, c := range s.Cases {
+			for _, st := range c.Stmts {
+				inspectStmt(st, f)
+			}
+		}
+	case *Break, *Continue, *Empty:
+	}
+}
+
+func inspectExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *Ident, *IntLit, *CharLit, *StrLit, *SizeofType:
+	case *Unary:
+		inspectExpr(e.X, f)
+	case *Binary:
+		inspectExpr(e.X, f)
+		inspectExpr(e.Y, f)
+	case *Assign:
+		inspectExpr(e.L, f)
+		inspectExpr(e.R, f)
+	case *Cond:
+		inspectExpr(e.C, f)
+		inspectExpr(e.T, f)
+		inspectExpr(e.F, f)
+	case *Call:
+		inspectExpr(e.Fun, f)
+		for _, a := range e.Args {
+			inspectExpr(a, f)
+		}
+	case *Index:
+		inspectExpr(e.X, f)
+		inspectExpr(e.I, f)
+	case *Member:
+		inspectExpr(e.X, f)
+	case *Cast:
+		inspectExpr(e.X, f)
+	case *SizeofExpr:
+		inspectExpr(e.X, f)
+	case *Comma:
+		inspectExpr(e.X, f)
+		inspectExpr(e.Y, f)
+	case *Paren:
+		inspectExpr(e.X, f)
+	case *KeepLive:
+		inspectExpr(e.X, f)
+		if e.Base != nil {
+			inspectExpr(e.Base, f)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package parser
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// evalConst evaluates an integer constant expression at parse time (for
+// array sizes, enum values and case labels). The second result reports
+// whether the expression was constant.
+func (p *Parser) evalConst(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, true
+	case *ast.CharLit:
+		return e.Val, true
+	case *ast.Paren:
+		return p.evalConst(e.X)
+	case *ast.Ident:
+		if e.Obj != nil && e.Obj.Kind == ast.ObjEnumConst {
+			return e.Obj.EnumVal, true
+		}
+		return 0, false
+	case *ast.SizeofType:
+		if s := e.Of.Size(); s >= 0 {
+			return int64(s), true
+		}
+		return 0, false
+	case *ast.SizeofExpr:
+		t := e.X.Type()
+		if t == nil {
+			return 0, false
+		}
+		if s := t.Size(); s >= 0 {
+			return int64(s), true
+		}
+		return 0, false
+	case *ast.Cast:
+		if !types.IsInteger(e.To) {
+			return 0, false
+		}
+		v, ok := p.evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		return truncConst(v, e.To), true
+	case *ast.Unary:
+		if e.Postfix {
+			return 0, false
+		}
+		v, ok := p.evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.Minus:
+			return -v, true
+		case token.Plus:
+			return v, true
+		case token.Tilde:
+			return int64(int32(^uint32(v))), true
+		case token.Not:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.Cond:
+		c, ok := p.evalConst(e.C)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return p.evalConst(e.T)
+		}
+		return p.evalConst(e.F)
+	case *ast.Binary:
+		x, ok := p.evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		// short-circuit forms must not require both sides constant
+		if e.Op == token.AndAnd {
+			if x == 0 {
+				return 0, true
+			}
+			y, ok := p.evalConst(e.Y)
+			if !ok {
+				return 0, false
+			}
+			return boolVal(y != 0), true
+		}
+		if e.Op == token.OrOr {
+			if x != 0 {
+				return 1, true
+			}
+			y, ok := p.evalConst(e.Y)
+			if !ok {
+				return 0, false
+			}
+			return boolVal(y != 0), true
+		}
+		y, ok := p.evalConst(e.Y)
+		if !ok {
+			return 0, false
+		}
+		unsigned := isUnsignedConstCtx(e)
+		return evalBinop(e.Op, x, y, unsigned)
+	}
+	return 0, false
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func truncConst(v int64, t types.Type) int64 {
+	switch b, _ := t.(*types.Basic); {
+	case b == nil:
+		return int64(int32(v))
+	case b.Kind == types.Char:
+		return int64(int8(v))
+	case b.Kind == types.UChar:
+		return int64(uint8(v))
+	case b.Kind == types.Short:
+		return int64(int16(v))
+	case b.Kind == types.UShort:
+		return int64(uint16(v))
+	case b.Kind == types.UInt:
+		return int64(uint32(v))
+	default:
+		return int64(int32(v))
+	}
+}
+
+func isUnsignedConstCtx(e *ast.Binary) bool {
+	t := e.Type()
+	if b, ok := t.(*types.Basic); ok {
+		return b.Kind == types.UInt
+	}
+	return false
+}
+
+func evalBinop(op token.Kind, x, y int64, unsigned bool) (int64, bool) {
+	ux, uy := uint32(x), uint32(y)
+	switch op {
+	case token.Plus:
+		return int64(int32(ux + uy)), true
+	case token.Minus:
+		return int64(int32(ux - uy)), true
+	case token.Star:
+		return int64(int32(ux * uy)), true
+	case token.Slash:
+		if y == 0 {
+			return 0, false
+		}
+		if unsigned {
+			return int64(int32(ux / uy)), true
+		}
+		return int64(int32(x) / int32(y)), true
+	case token.Percent:
+		if y == 0 {
+			return 0, false
+		}
+		if unsigned {
+			return int64(int32(ux % uy)), true
+		}
+		return int64(int32(x) % int32(y)), true
+	case token.Shl:
+		return int64(int32(ux << (uy & 31))), true
+	case token.Shr:
+		if unsigned {
+			return int64(int32(ux >> (uy & 31))), true
+		}
+		return int64(int32(x) >> (uy & 31)), true
+	case token.Amp:
+		return int64(int32(ux & uy)), true
+	case token.Pipe:
+		return int64(int32(ux | uy)), true
+	case token.Caret:
+		return int64(int32(ux ^ uy)), true
+	case token.Eq:
+		return boolVal(ux == uy), true
+	case token.Ne:
+		return boolVal(ux != uy), true
+	case token.Lt:
+		if unsigned {
+			return boolVal(ux < uy), true
+		}
+		return boolVal(int32(x) < int32(y)), true
+	case token.Le:
+		if unsigned {
+			return boolVal(ux <= uy), true
+		}
+		return boolVal(int32(x) <= int32(y)), true
+	case token.Gt:
+		if unsigned {
+			return boolVal(ux > uy), true
+		}
+		return boolVal(int32(x) > int32(y)), true
+	case token.Ge:
+		if unsigned {
+			return boolVal(ux >= uy), true
+		}
+		return boolVal(int32(x) >= int32(y)), true
+	}
+	return 0, false
+}
+
+// EvalConst exposes constant evaluation for other passes (codegen needs
+// case-label values).
+func EvalConst(e ast.Expr) (int64, bool) {
+	var p Parser
+	return p.evalConst(e)
+}

@@ -1,0 +1,176 @@
+// Package token defines the lexical tokens of the ANSI C subset accepted by
+// the preprocessor's front end, together with source positions. The
+// annotator rewrites the original source text by byte offset (the paper's
+// "list of insertions and deletions, sorted by character position"), so
+// every token records the exact byte range it occupies.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Operator kinds are grouped so precedence tables stay compact.
+const (
+	EOF Kind = iota
+	Ident
+	TypeName // identifier registered as a typedef name
+	IntLit
+	CharLit
+	StrLit
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	Colon
+	Question
+	Ellipsis
+
+	// Operators.
+	Assign    // =
+	AddAssign // +=
+	SubAssign // -=
+	MulAssign // *=
+	DivAssign // /=
+	ModAssign // %=
+	AndAssign // &=
+	OrAssign  // |=
+	XorAssign // ^=
+	ShlAssign // <<=
+	ShrAssign // >>=
+	Inc       // ++
+	Dec       // --
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Amp       // &
+	Pipe      // |
+	Caret     // ^
+	Tilde     // ~
+	Not       // !
+	Shl       // <<
+	Shr       // >>
+	Lt        // <
+	Gt        // >
+	Le        // <=
+	Ge        // >=
+	Eq        // ==
+	Ne        // !=
+	AndAnd    // &&
+	OrOr      // ||
+	Dot       // .
+	Arrow     // ->
+
+	// Keywords.
+	KwAuto
+	KwBreak
+	KwCase
+	KwChar
+	KwConst
+	KwContinue
+	KwDefault
+	KwDo
+	KwDouble
+	KwElse
+	KwEnum
+	KwExtern
+	KwFloat
+	KwFor
+	KwGoto
+	KwIf
+	KwInt
+	KwLong
+	KwRegister
+	KwReturn
+	KwShort
+	KwSigned
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwSwitch
+	KwTypedef
+	KwUnion
+	KwUnsigned
+	KwVoid
+	KwVolatile
+	KwWhile
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", TypeName: "type name", IntLit: "integer literal",
+	CharLit: "character literal", StrLit: "string literal",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[", RBracket: "]",
+	Semi: ";", Comma: ",", Colon: ":", Question: "?", Ellipsis: "...",
+	Assign: "=", AddAssign: "+=", SubAssign: "-=", MulAssign: "*=", DivAssign: "/=",
+	ModAssign: "%=", AndAssign: "&=", OrAssign: "|=", XorAssign: "^=",
+	ShlAssign: "<<=", ShrAssign: ">>=",
+	Inc: "++", Dec: "--", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Not: "!", Shl: "<<", Shr: ">>",
+	Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Eq: "==", Ne: "!=", AndAnd: "&&", OrOr: "||",
+	Dot: ".", Arrow: "->",
+	KwAuto: "auto", KwBreak: "break", KwCase: "case", KwChar: "char", KwConst: "const",
+	KwContinue: "continue", KwDefault: "default", KwDo: "do", KwDouble: "double",
+	KwElse: "else", KwEnum: "enum", KwExtern: "extern", KwFloat: "float", KwFor: "for",
+	KwGoto: "goto", KwIf: "if", KwInt: "int", KwLong: "long", KwRegister: "register",
+	KwReturn: "return", KwShort: "short", KwSigned: "signed", KwSizeof: "sizeof",
+	KwStatic: "static", KwStruct: "struct", KwSwitch: "switch", KwTypedef: "typedef",
+	KwUnion: "union", KwUnsigned: "unsigned", KwVoid: "void", KwVolatile: "volatile",
+	KwWhile: "while",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"auto": KwAuto, "break": KwBreak, "case": KwCase, "char": KwChar,
+	"const": KwConst, "continue": KwContinue, "default": KwDefault, "do": KwDo,
+	"double": KwDouble, "else": KwElse, "enum": KwEnum, "extern": KwExtern,
+	"float": KwFloat, "for": KwFor, "goto": KwGoto, "if": KwIf, "int": KwInt,
+	"long": KwLong, "register": KwRegister, "return": KwReturn, "short": KwShort,
+	"signed": KwSigned, "sizeof": KwSizeof, "static": KwStatic, "struct": KwStruct,
+	"switch": KwSwitch, "typedef": KwTypedef, "union": KwUnion,
+	"unsigned": KwUnsigned, "void": KwVoid, "volatile": KwVolatile, "while": KwWhile,
+}
+
+// Pos is a position in the source text.
+type Pos struct {
+	Off  int // byte offset, 0-based
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token. End is the byte offset one past the token's
+// final character, so the token's source text is input[Pos.Off:End].
+type Token struct {
+	Kind Kind
+	Text string // raw source spelling
+	Pos  Pos
+	End  int
+
+	// IntVal is the decoded value for IntLit and CharLit tokens.
+	IntVal int64
+	// StrVal is the decoded (unescaped) contents for StrLit tokens.
+	StrVal string
+}
+
+// IsAssign reports whether k is an assignment operator (including the
+// compound forms).
+func (k Kind) IsAssign() bool { return k >= Assign && k <= ShrAssign }
+
+// IsKeyword reports whether k is a keyword.
+func (k Kind) IsKeyword() bool { return k >= KwAuto && k <= KwWhile }

@@ -1,0 +1,60 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:       "EOF",
+		Ident:     "identifier",
+		Plus:      "+",
+		ShlAssign: "<<=",
+		Arrow:     "->",
+		KwWhile:   "while",
+		Ellipsis:  "...",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds must still render")
+	}
+}
+
+func TestIsAssign(t *testing.T) {
+	for _, k := range []Kind{Assign, AddAssign, SubAssign, MulAssign, DivAssign,
+		ModAssign, AndAssign, OrAssign, XorAssign, ShlAssign, ShrAssign} {
+		if !k.IsAssign() {
+			t.Errorf("%s not recognized as assignment", k)
+		}
+	}
+	for _, k := range []Kind{Plus, Eq, Inc, Comma, KwInt} {
+		if k.IsAssign() {
+			t.Errorf("%s wrongly recognized as assignment", k)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for word, k := range Keywords {
+		if !k.IsKeyword() {
+			t.Errorf("keyword %q kind not in keyword range", word)
+		}
+	}
+	for _, k := range []Kind{Ident, Plus, IntLit, EOF} {
+		if k.IsKeyword() {
+			t.Errorf("%s wrongly recognized as keyword", k)
+		}
+	}
+	if len(Keywords) != 32 {
+		t.Errorf("ANSI C has 32 keywords; table has %d", len(Keywords))
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Off: 10, Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("Pos.String() = %q", p.String())
+	}
+}

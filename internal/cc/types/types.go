@@ -1,0 +1,395 @@
+// Package types models the C type system of the front end: 32-bit ints and
+// pointers, chars, shorts, structs/unions, arrays, enums and function types.
+// Floating point is intentionally absent — none of the workloads need it and
+// the simulated machine is integer-only.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Machine layout parameters (see internal/gc for the matching constants).
+const (
+	PtrSize  = 4
+	IntSize  = 4
+	MaxAlign = 4
+)
+
+// Type is a C type.
+type Type interface {
+	Size() int  // size in bytes; 0 for void and functions, -1 for incomplete
+	Align() int // alignment in bytes
+	String() string
+}
+
+// BasicKind enumerates the scalar non-pointer types.
+type BasicKind int
+
+// Basic kinds. Long and int are both 32 bits, so long collapses to int.
+const (
+	Void BasicKind = iota
+	Char
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+)
+
+// Basic is a scalar non-pointer type.
+type Basic struct {
+	Kind BasicKind
+	name string
+}
+
+var basicSizes = [...]int{Void: 0, Char: 1, UChar: 1, Short: 2, UShort: 2, Int: 4, UInt: 4}
+
+// Size implements Type.
+func (b *Basic) Size() int { return basicSizes[b.Kind] }
+
+// Align implements Type.
+func (b *Basic) Align() int {
+	if s := b.Size(); s > 0 {
+		return s
+	}
+	return 1
+}
+
+func (b *Basic) String() string { return b.name }
+
+// Signed reports whether b is a signed integer type.
+func (b *Basic) Signed() bool {
+	return b.Kind == Char || b.Kind == Short || b.Kind == Int
+}
+
+// Singleton basic types. Plain char is signed, as on the paper's targets.
+var (
+	VoidType   = &Basic{Void, "void"}
+	CharType   = &Basic{Char, "char"}
+	UCharType  = &Basic{UChar, "unsigned char"}
+	ShortType  = &Basic{Short, "short"}
+	UShortType = &Basic{UShort, "unsigned short"}
+	IntType    = &Basic{Int, "int"}
+	UIntType   = &Basic{UInt, "unsigned int"}
+)
+
+// Pointer is a pointer type.
+type Pointer struct{ Elem Type }
+
+// Size implements Type.
+func (p *Pointer) Size() int { return PtrSize }
+
+// Align implements Type.
+func (p *Pointer) Align() int     { return PtrSize }
+func (p *Pointer) String() string { return p.Elem.String() + " *" }
+
+// PointerTo returns the pointer type to elem.
+func PointerTo(elem Type) *Pointer { return &Pointer{Elem: elem} }
+
+// Array is a C array type. Len < 0 means the length is not yet known
+// (e.g. `extern char buf[]` or inferred from an initializer).
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+// Size implements Type.
+func (a *Array) Size() int {
+	if a.Len < 0 {
+		return -1
+	}
+	return a.Elem.Size() * a.Len
+}
+
+// Align implements Type.
+func (a *Array) Align() int { return a.Elem.Align() }
+func (a *Array) String() string {
+	if a.Len < 0 {
+		return a.Elem.String() + " []"
+	}
+	return fmt.Sprintf("%s [%d]", a.Elem, a.Len)
+}
+
+// Field is one member of a struct or union.
+type Field struct {
+	Name string
+	Type Type
+	Off  int // byte offset within the aggregate
+}
+
+// Struct is a struct or union type. Incomplete (forward-declared) structs
+// have Fields == nil and size < 0 until completed.
+type Struct struct {
+	Tag    string
+	Union  bool
+	Fields []Field
+	size   int
+	align  int
+	done   bool
+}
+
+// NewStruct returns an incomplete struct (or union) type with the given tag.
+func NewStruct(tag string, union bool) *Struct {
+	return &Struct{Tag: tag, Union: union, size: -1, align: 1}
+}
+
+// Complete lays out the fields and finalizes the aggregate.
+func (s *Struct) Complete(fields []Field) error {
+	off := 0
+	align := 1
+	for i := range fields {
+		ft := fields[i].Type
+		fs := ft.Size()
+		if fs < 0 {
+			return fmt.Errorf("field %s has incomplete type %s", fields[i].Name, ft)
+		}
+		fa := ft.Align()
+		if fa > align {
+			align = fa
+		}
+		if s.Union {
+			fields[i].Off = 0
+			if fs > off {
+				off = fs
+			}
+		} else {
+			off = (off + fa - 1) / fa * fa
+			fields[i].Off = off
+			off += fs
+		}
+	}
+	s.Fields = fields
+	s.align = align
+	s.size = (off + align - 1) / align * align
+	if s.size == 0 {
+		s.size = align // empty aggregates still occupy space
+	}
+	s.done = true
+	return nil
+}
+
+// Completed reports whether the aggregate has been laid out.
+func (s *Struct) Completed() bool { return s.done }
+
+// Size implements Type.
+func (s *Struct) Size() int { return s.size }
+
+// Align implements Type.
+func (s *Struct) Align() int { return s.align }
+
+func (s *Struct) String() string {
+	kw := "struct"
+	if s.Union {
+		kw = "union"
+	}
+	if s.Tag != "" {
+		return kw + " " + s.Tag
+	}
+	return kw + " <anonymous>"
+}
+
+// FieldByName returns the named field, or nil.
+func (s *Struct) FieldByName(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Func is a function type.
+type Func struct {
+	Ret      Type
+	Params   []Param
+	Variadic bool
+	// OldStyle marks declarations with an empty parameter list `f()`, whose
+	// arguments are unchecked.
+	OldStyle bool
+}
+
+// Size implements Type.
+func (f *Func) Size() int { return 0 }
+
+// Align implements Type.
+func (f *Func) Align() int { return 1 }
+
+func (f *Func) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Ret.String())
+	sb.WriteString(" (")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Type.String())
+	}
+	if f.Variadic {
+		sb.WriteString(", ...")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Enum is an enumerated type; values are plain ints.
+type Enum struct {
+	Tag string
+}
+
+// Size implements Type.
+func (e *Enum) Size() int { return IntSize }
+
+// Align implements Type.
+func (e *Enum) Align() int     { return IntSize }
+func (e *Enum) String() string { return "enum " + e.Tag }
+
+// --- predicates and conversions ---
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
+
+// IsInteger reports whether t is an integer (or enum) type.
+func IsInteger(t Type) bool {
+	switch t := t.(type) {
+	case *Basic:
+		return t.Kind != Void
+	case *Enum:
+		return true
+	}
+	return false
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(*Pointer)
+	return ok
+}
+
+// IsScalar reports whether t is usable in a boolean context.
+func IsScalar(t Type) bool { return IsInteger(t) || IsPointer(t) }
+
+// IsAggregate reports whether t is a struct, union or array.
+func IsAggregate(t Type) bool {
+	switch t.(type) {
+	case *Struct, *Array:
+		return true
+	}
+	return false
+}
+
+// IsSigned reports whether integer type t is signed. Enums are signed.
+func IsSigned(t Type) bool {
+	switch t := t.(type) {
+	case *Basic:
+		return t.Signed()
+	case *Enum:
+		return true
+	}
+	return false
+}
+
+// Decay converts array types to pointers to their element type and function
+// types to pointers to the function, as happens to any C expression used as
+// a value.
+func Decay(t Type) Type {
+	switch t := t.(type) {
+	case *Array:
+		return PointerTo(t.Elem)
+	case *Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// Promote applies the integral promotions: everything smaller than int
+// becomes int.
+func Promote(t Type) Type {
+	if b, ok := t.(*Basic); ok {
+		switch b.Kind {
+		case Char, UChar, Short, UShort:
+			return IntType
+		}
+	}
+	if _, ok := t.(*Enum); ok {
+		return IntType
+	}
+	return t
+}
+
+// Arith returns the common type of the usual arithmetic conversions for two
+// integer operands.
+func Arith(a, b Type) Type {
+	a, b = Promote(a), Promote(b)
+	if ab, ok := a.(*Basic); ok {
+		if bb, ok := b.(*Basic); ok {
+			if ab.Kind == UInt || bb.Kind == UInt {
+				return UIntType
+			}
+		}
+	}
+	return IntType
+}
+
+// Identical reports whether two types are structurally identical. Struct
+// types are compared by identity (C's tag equivalence).
+func Identical(a, b Type) bool {
+	switch a := a.(type) {
+	case *Basic:
+		b, ok := b.(*Basic)
+		return ok && a.Kind == b.Kind
+	case *Pointer:
+		b, ok := b.(*Pointer)
+		return ok && Identical(a.Elem, b.Elem)
+	case *Array:
+		b, ok := b.(*Array)
+		return ok && a.Len == b.Len && Identical(a.Elem, b.Elem)
+	case *Struct:
+		return a == b
+	case *Enum:
+		return a == b
+	case *Func:
+		b, ok := b.(*Func)
+		if !ok || a.Variadic != b.Variadic || len(a.Params) != len(b.Params) {
+			return false
+		}
+		if !Identical(a.Ret, b.Ret) {
+			return false
+		}
+		for i := range a.Params {
+			if !Identical(a.Params[i].Type, b.Params[i].Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ContainsPointer reports whether storing a value of type t can place a
+// pointer in memory — used by the source-checking warnings for memcpy-style
+// type mismatches.
+func ContainsPointer(t Type) bool {
+	switch t := t.(type) {
+	case *Pointer:
+		return true
+	case *Array:
+		return ContainsPointer(t.Elem)
+	case *Struct:
+		for _, f := range t.Fields {
+			if ContainsPointer(f.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

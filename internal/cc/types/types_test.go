@@ -1,0 +1,231 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		size int
+	}{
+		{VoidType, 0}, {CharType, 1}, {UCharType, 1},
+		{ShortType, 2}, {UShortType, 2}, {IntType, 4}, {UIntType, 4},
+		{PointerTo(CharType), 4}, {PointerTo(PointerTo(IntType)), 4},
+		{&Enum{Tag: "e"}, 4},
+		{&Array{Elem: IntType, Len: 10}, 40},
+		{&Array{Elem: CharType, Len: 7}, 7},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("%s: size = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := NewStruct("s", false)
+	if s.Completed() || s.Size() >= 0 {
+		t.Fatal("fresh struct should be incomplete")
+	}
+	err := s.Complete([]Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "h", Type: ShortType},
+		{Name: "d", Type: CharType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffs := []int{0, 4, 8, 10}
+	for i, w := range wantOffs {
+		if s.Fields[i].Off != w {
+			t.Errorf("field %d offset = %d, want %d", i, s.Fields[i].Off, w)
+		}
+	}
+	if s.Size() != 12 {
+		t.Errorf("size = %d, want 12", s.Size())
+	}
+	if s.Align() != 4 {
+		t.Errorf("align = %d, want 4", s.Align())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := NewStruct("u", true)
+	if err := u.Complete([]Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 4 {
+		t.Errorf("size = %d", u.Size())
+	}
+	for _, f := range u.Fields {
+		if f.Off != 0 {
+			t.Errorf("union field %s at %d", f.Name, f.Off)
+		}
+	}
+}
+
+func TestIncompleteFieldRejected(t *testing.T) {
+	inner := NewStruct("inner", false)
+	outer := NewStruct("outer", false)
+	if err := outer.Complete([]Field{{Name: "x", Type: inner}}); err == nil {
+		t.Fatal("incomplete field accepted")
+	}
+}
+
+func TestEmptyStructOccupiesSpace(t *testing.T) {
+	s := NewStruct("e", false)
+	if err := s.Complete(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() <= 0 {
+		t.Fatalf("empty struct size = %d", s.Size())
+	}
+}
+
+func TestDecay(t *testing.T) {
+	arr := &Array{Elem: CharType, Len: 5}
+	if p, ok := Decay(arr).(*Pointer); !ok || p.Elem != CharType {
+		t.Errorf("array decay = %s", Decay(arr))
+	}
+	fn := &Func{Ret: IntType}
+	if p, ok := Decay(fn).(*Pointer); !ok {
+		t.Errorf("func decay = %s", Decay(fn))
+	} else if _, ok := p.Elem.(*Func); !ok {
+		t.Errorf("func decay elem = %s", p.Elem)
+	}
+	if Decay(IntType) != IntType {
+		t.Error("scalar decayed")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	for _, small := range []Type{CharType, UCharType, ShortType, UShortType, &Enum{}} {
+		if Promote(small) != IntType {
+			t.Errorf("%s did not promote to int", small)
+		}
+	}
+	if Promote(UIntType) != UIntType {
+		t.Error("unsigned int should not change")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if Arith(CharType, ShortType) != IntType {
+		t.Error("char+short should be int")
+	}
+	if Arith(IntType, UIntType) != UIntType {
+		t.Error("int+uint should be uint")
+	}
+	if Arith(UIntType, CharType) != UIntType {
+		t.Error("uint+char should be uint")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsVoid(VoidType) || IsVoid(IntType) {
+		t.Error("IsVoid")
+	}
+	if !IsInteger(CharType) || IsInteger(VoidType) || IsInteger(PointerTo(IntType)) {
+		t.Error("IsInteger")
+	}
+	if !IsPointer(PointerTo(IntType)) || IsPointer(IntType) {
+		t.Error("IsPointer")
+	}
+	if !IsScalar(IntType) || !IsScalar(PointerTo(IntType)) || IsScalar(VoidType) {
+		t.Error("IsScalar")
+	}
+	if !IsSigned(IntType) || IsSigned(UIntType) || !IsSigned(CharType) {
+		t.Error("IsSigned")
+	}
+	st := NewStruct("s", false)
+	if !IsAggregate(st) || !IsAggregate(&Array{Elem: IntType, Len: 1}) || IsAggregate(IntType) {
+		t.Error("IsAggregate")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Identical(PointerTo(CharType), PointerTo(CharType)) {
+		t.Error("structural pointer identity")
+	}
+	if Identical(PointerTo(CharType), PointerTo(IntType)) {
+		t.Error("different pointees identical")
+	}
+	a := NewStruct("s", false)
+	b := NewStruct("s", false)
+	if Identical(a, b) {
+		t.Error("distinct struct instances identical (C uses tag identity)")
+	}
+	if !Identical(a, a) {
+		t.Error("struct not identical to itself")
+	}
+	f1 := &Func{Ret: IntType, Params: []Param{{Type: CharType}}}
+	f2 := &Func{Ret: IntType, Params: []Param{{Type: CharType}}}
+	if !Identical(f1, f2) {
+		t.Error("structurally equal functions not identical")
+	}
+	f3 := &Func{Ret: IntType, Params: []Param{{Type: CharType}}, Variadic: true}
+	if Identical(f1, f3) {
+		t.Error("variadic mismatch identical")
+	}
+}
+
+func TestContainsPointer(t *testing.T) {
+	st := NewStruct("s", false)
+	if err := st.Complete([]Field{
+		{Name: "n", Type: IntType},
+		{Name: "p", Type: PointerTo(CharType)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ContainsPointer(st) {
+		t.Error("struct with pointer field")
+	}
+	flat := NewStruct("f", false)
+	if err := flat.Complete([]Field{{Name: "n", Type: IntType}}); err != nil {
+		t.Fatal(err)
+	}
+	if ContainsPointer(flat) {
+		t.Error("pointer-free struct")
+	}
+	if !ContainsPointer(&Array{Elem: PointerTo(IntType), Len: 3}) {
+		t.Error("array of pointers")
+	}
+}
+
+// Property: struct layout never overlaps fields and respects alignment.
+func TestQuickStructLayoutSound(t *testing.T) {
+	elems := []Type{CharType, ShortType, IntType, PointerTo(CharType), UCharType}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 20 {
+			return true
+		}
+		var fields []Field
+		for i, p := range picks {
+			fields = append(fields, Field{Name: string(rune('a' + i%26)), Type: elems[int(p)%len(elems)]})
+		}
+		s := NewStruct("q", false)
+		if err := s.Complete(fields); err != nil {
+			return false
+		}
+		end := 0
+		for _, fl := range s.Fields {
+			if fl.Off < end { // overlap with the previous field
+				return false
+			}
+			if fl.Off%fl.Type.Align() != 0 { // misaligned
+				return false
+			}
+			end = fl.Off + fl.Type.Size()
+		}
+		return s.Size() >= end && s.Size()%s.Align() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package codegen compiles the checked C AST (optionally annotated by
+// internal/gcsafe) to code for the simulated RISC machine. It provides two
+// pipelines mirroring the paper's measurement configurations:
+//
+//   - optimized ("-O"): register allocation for scalars, constant folding,
+//     copy propagation, displacement reassociation (the transformation that
+//     "disguises" pointers), dead-code elimination and load-address
+//     folding. Without KEEP_LIVE annotations, this pipeline is genuinely
+//     GC-unsafe — the hazard the paper opens with is reproducible.
+//   - debuggable ("-g"): every variable lives in memory at every program
+//     point, which is why "for most compilers, it is possible to guarantee
+//     GC-safety by generating fully debuggable code".
+//
+// KEEP_LIVE lowers to the KeepLive pseudo-instruction (the empty asm of the
+// paper's implementation); checked-mode KeepLive nodes lower to calls to
+// the GC_same_obj runtime function.
+package codegen
+
+import (
+	"fmt"
+
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/cc/types"
+	"gcsafety/internal/machine"
+)
+
+// Options selects the compilation pipeline.
+type Options struct {
+	// Optimize selects the -O pipeline; false is -g (fully debuggable).
+	Optimize bool
+	// Machine is the target configuration.
+	Machine machine.Config
+	// DisableReassociation turns off the displacement-folding optimization
+	// (for ablation: it is the paper's canonical GC-unsafe transformation).
+	DisableReassociation bool
+	// DisableLoadFolding turns off reg+reg load-address folding.
+	DisableLoadFolding bool
+}
+
+// Compile translates a type-checked translation unit.
+func Compile(file *ast.File, opts Options) (*machine.Program, error) {
+	c := &compiler{
+		opts: opts,
+		prog: &machine.Program{
+			Funcs:   map[string]*machine.Func{},
+			Globals: map[string]uint32{},
+		},
+		strings: map[string]uint32{},
+		funcIDs: map[string]int32{},
+	}
+	c.layoutGlobals(file)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			c.compileFunc(fd)
+		}
+	}
+	if len(c.errs) > 0 {
+		return nil, &Error{Errs: c.errs}
+	}
+	return c.prog, nil
+}
+
+// Error aggregates code generation diagnostics.
+type Error struct{ Errs []error }
+
+func (e *Error) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more errors)", e.Errs[0], len(e.Errs)-1)
+}
+
+type compiler struct {
+	opts    Options
+	prog    *machine.Program
+	errs    []error
+	strings map[string]uint32 // interned string literals -> address
+	funcIDs map[string]int32  // function "addresses" for indirect calls
+	globals []*ast.VarDecl
+}
+
+// funcRefID returns a stable small id serving as the "address" of a named
+// function (function addresses are never heap addresses, so any small
+// nonzero value works for the conservative collector).
+func (c *compiler) funcRefID(name string) int32 {
+	if id, ok := c.funcIDs[name]; ok {
+		return id
+	}
+	id := int32(len(c.funcIDs) + 1)
+	c.funcIDs[name] = id
+	return id
+}
+
+func (c *compiler) errorf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("codegen: "+format, args...))
+}
+
+// layoutGlobals assigns static addresses and builds the data image.
+func (c *compiler) layoutGlobals(file *ast.File) {
+	for _, d := range file.Decls {
+		v, ok := d.(*ast.VarDecl)
+		if !ok || v.Obj.Kind != ast.ObjVar {
+			continue
+		}
+		size := v.Obj.Type.Size()
+		if size < 0 {
+			c.errorf("global %s has incomplete type %s", v.Obj.Name, v.Obj.Type)
+			continue
+		}
+		if size == 0 {
+			size = 4
+		}
+		align := int32(v.Obj.Type.Align())
+		addr := machine.DataBase + uint32(len(c.prog.Data))
+		for addr%uint32(align) != 0 {
+			c.prog.Data = append(c.prog.Data, 0)
+			addr++
+		}
+		c.prog.Globals[v.Obj.Name] = addr
+		c.prog.Data = append(c.prog.Data, make([]byte, size)...)
+		c.globals = append(c.globals, v)
+	}
+	// Initializers are written after all addresses are known (they may
+	// reference other globals and string literals).
+	for _, v := range c.globals {
+		c.initGlobal(v)
+	}
+}
+
+func (c *compiler) internString(s string) uint32 {
+	if a, ok := c.strings[s]; ok {
+		return a
+	}
+	// align to 4 so word scans of the data segment stay aligned
+	for len(c.prog.Data)%4 != 0 {
+		c.prog.Data = append(c.prog.Data, 0)
+	}
+	addr := machine.DataBase + uint32(len(c.prog.Data))
+	c.prog.Data = append(c.prog.Data, []byte(s)...)
+	c.prog.Data = append(c.prog.Data, 0)
+	c.strings[s] = addr
+	return addr
+}
+
+func (c *compiler) dataPut32(addr uint32, v uint32) {
+	off := addr - machine.DataBase
+	c.prog.Data[off] = byte(v)
+	c.prog.Data[off+1] = byte(v >> 8)
+	c.prog.Data[off+2] = byte(v >> 16)
+	c.prog.Data[off+3] = byte(v >> 24)
+}
+
+func (c *compiler) initGlobal(v *ast.VarDecl) {
+	addr := c.prog.Globals[v.Obj.Name]
+	t := v.Obj.Type
+	switch {
+	case v.Init != nil:
+		c.initScalar(addr, t, v.Init, v.Obj.Name)
+	case v.InitList != nil:
+		arr, ok := t.(*types.Array)
+		if !ok {
+			st, ok2 := t.(*types.Struct)
+			if !ok2 {
+				c.errorf("brace initializer for non-aggregate global %s", v.Obj.Name)
+				return
+			}
+			for i, e := range v.InitList {
+				if i >= len(st.Fields) {
+					c.errorf("too many initializers for %s", v.Obj.Name)
+					break
+				}
+				f := st.Fields[i]
+				c.initScalar(addr+uint32(f.Off), f.Type, e, v.Obj.Name)
+			}
+			return
+		}
+		es := uint32(arr.Elem.Size())
+		for i, e := range v.InitList {
+			if i >= arr.Len {
+				c.errorf("too many initializers for %s", v.Obj.Name)
+				break
+			}
+			c.initScalar(addr+uint32(i)*es, arr.Elem, e, v.Obj.Name)
+		}
+	}
+}
+
+func (c *compiler) initScalar(addr uint32, t types.Type, e ast.Expr, name string) {
+	// String literal initializing a char array copies the bytes in place.
+	if arr, ok := t.(*types.Array); ok {
+		if s, ok2 := ast.Unparen(e).(*ast.StrLit); ok2 {
+			off := addr - machine.DataBase
+			n := copy(c.prog.Data[off:off+uint32(arr.Len)], s.Val)
+			_ = n
+			return
+		}
+	}
+	val, ok := c.staticValue(e)
+	if !ok {
+		c.errorf("initializer for %s is not a static constant: %s", name, ast.PrintExpr(e))
+		return
+	}
+	off := addr - machine.DataBase
+	switch t.Size() {
+	case 1:
+		c.prog.Data[off] = byte(val)
+	case 2:
+		c.prog.Data[off] = byte(val)
+		c.prog.Data[off+1] = byte(val >> 8)
+	default:
+		c.dataPut32(addr, val)
+	}
+}
+
+// staticValue evaluates a static initializer: integer constant expressions,
+// string literal addresses, addresses of globals and elements thereof.
+func (c *compiler) staticValue(e ast.Expr) (uint32, bool) {
+	if v, ok := parser.EvalConst(e); ok {
+		return uint32(v), true
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.StrLit:
+		return c.internString(e.Val), true
+	case *ast.Cast:
+		return c.staticValue(e.X)
+	case *ast.Ident:
+		// an array or function used as an address
+		if a, ok := c.prog.Globals[e.Name]; ok && isArrayType(e.Obj.Type) {
+			return a, true
+		}
+	case *ast.Unary:
+		if e.Op.String() == "&" {
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if a, ok := c.prog.Globals[id.Name]; ok {
+					return a, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func isArrayType(t types.Type) bool {
+	_, ok := t.(*types.Array)
+	return ok
+}

@@ -1,0 +1,237 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/machine"
+)
+
+func compile(t *testing.T, src string, optimize bool) *machine.Program {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := Compile(f, Options{Optimize: optimize, Machine: machine.SPARCstation10()})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Compile(f, Options{Optimize: true, Machine: machine.SPARCstation10()})
+	if err == nil {
+		t.Fatal("expected a compile error")
+	}
+	return err
+}
+
+func TestCompileProducesAllFunctions(t *testing.T) {
+	prog := compile(t, `
+int helper(int x) { return x * 2; }
+int main() { return helper(21); }
+`, true)
+	if len(prog.Order) != 2 {
+		t.Fatalf("Order = %v", prog.Order)
+	}
+	for _, name := range []string{"helper", "main"} {
+		f, ok := prog.Funcs[name]
+		if !ok || f.Size() == 0 {
+			t.Errorf("function %s missing or empty", name)
+		}
+	}
+}
+
+func TestGlobalDataImage(t *testing.T) {
+	prog := compile(t, `
+int scalar = 0x11223344;
+short half = 0x55AA;
+char byteval = 0x7F;
+char text[8] = "hi";
+int arr[3] = {1, 2, 3};
+char *sptr = "shared";
+char *sptr2 = "shared";
+int main() { return 0; }
+`, true)
+	read32 := func(sym string) uint32 {
+		off := prog.Globals[sym] - machine.DataBase
+		d := prog.Data
+		return uint32(d[off]) | uint32(d[off+1])<<8 | uint32(d[off+2])<<16 | uint32(d[off+3])<<24
+	}
+	if read32("scalar") != 0x11223344 {
+		t.Errorf("scalar = %#x", read32("scalar"))
+	}
+	off := prog.Globals["half"] - machine.DataBase
+	if got := uint16(prog.Data[off]) | uint16(prog.Data[off+1])<<8; got != 0x55AA {
+		t.Errorf("half = %#x", got)
+	}
+	if prog.Data[prog.Globals["byteval"]-machine.DataBase] != 0x7F {
+		t.Error("byteval wrong")
+	}
+	toff := prog.Globals["text"] - machine.DataBase
+	if string(prog.Data[toff:toff+2]) != "hi" {
+		t.Error("char array initializer wrong")
+	}
+	if read32("arr")+0 == 0 {
+		t.Error("arr empty")
+	}
+	// identical string literals are interned once
+	if read32("sptr") != read32("sptr2") {
+		t.Error("string literals not interned")
+	}
+}
+
+func TestEnumConstantsCompileToImmediates(t *testing.T) {
+	prog := compile(t, `
+enum { LIMIT = 77 };
+int main() { return LIMIT; }
+`, true)
+	found := false
+	for _, in := range prog.Funcs["main"].Code {
+		if in.Op == machine.Mov && in.HasImm && in.Imm == 77 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("enum constant not an immediate:\n%s", prog.Listing())
+	}
+}
+
+func TestDebugModeKeepsVariablesInMemory(t *testing.T) {
+	src := `
+int main() {
+    int a = 1;
+    int b = 2;
+    int c = a + b;
+    return c;
+}
+`
+	dbg := compile(t, src, false)
+	opt := compile(t, src, true)
+	countSP := func(p *machine.Program) int {
+		n := 0
+		for _, in := range p.Funcs["main"].Code {
+			if in.Op == machine.LdSP || in.Op == machine.StSP {
+				n++
+			}
+		}
+		return n
+	}
+	if countSP(dbg) <= countSP(opt) {
+		t.Fatalf("-g (%d stack ops) should have more memory traffic than -O (%d)",
+			countSP(dbg), countSP(opt))
+	}
+}
+
+func TestOptimizedSmallerOrEqual(t *testing.T) {
+	src := `
+int f(int *xs, int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += xs[i] * 4 + 1;
+    return s;
+}
+`
+	dbg := compile(t, src, false)
+	opt := compile(t, src, true)
+	if opt.Size() > dbg.Size() {
+		t.Fatalf("-O (%d instrs) larger than -g (%d)", opt.Size(), dbg.Size())
+	}
+}
+
+func TestErrorStructByValueParam(t *testing.T) {
+	err := compileErr(t, `
+struct big { int a; int b; };
+int use2(struct big v) { return v.a; }
+int main() {
+    struct big x;
+    x.a = 1;
+    return use2(x);
+}
+`)
+	if !strings.Contains(err.Error(), "struct") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorStaticLocal(t *testing.T) {
+	err := compileErr(t, `
+int counter() {
+    static int n = 0;
+    n++;
+    return n;
+}
+int main() { return counter(); }
+`)
+	if !strings.Contains(err.Error(), "static locals") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorNonConstGlobalInit(t *testing.T) {
+	err := compileErr(t, `
+int f();
+int x = f();
+int main() { return x; }
+`)
+	if !strings.Contains(err.Error(), "static constant") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDisableLoadFolding(t *testing.T) {
+	src := `int f(int *xs, int i) { return xs[i]; }`
+	f1, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFold, err := Compile(f1, Options{Optimize: true, Machine: machine.SPARCstation10()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := parser.Parse("t.c", src)
+	without, err := Compile(f2, Options{
+		Optimize: true, Machine: machine.SPARCstation10(), DisableLoadFolding: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Size() <= withFold.Size() {
+		t.Fatalf("disabling folding should grow code: %d vs %d", without.Size(), withFold.Size())
+	}
+}
+
+func TestPrologueOmittedForEmptyFrame(t *testing.T) {
+	prog := compile(t, `int id(int x) { return x; }`, true)
+	for _, in := range prog.Funcs["id"].Code {
+		if in.Op == machine.AdjSP {
+			t.Fatalf("empty frame still has a prologue:\n%s", prog.Listing())
+		}
+	}
+}
+
+func TestFunctionIDsStable(t *testing.T) {
+	prog := compile(t, `
+int a() { return 1; }
+int b() { return 2; }
+int main() { return a() + b(); }
+`, true)
+	ids := map[int32]string{}
+	for name, f := range prog.Funcs {
+		if f.ID == 0 {
+			t.Errorf("%s has zero id", name)
+		}
+		if other, dup := ids[f.ID]; dup {
+			t.Errorf("id %d shared by %s and %s", f.ID, name, other)
+		}
+		ids[f.ID] = name
+	}
+}

@@ -1,0 +1,676 @@
+package codegen
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+	"gcsafety/internal/machine"
+)
+
+// genExpr evaluates an expression into a fresh (or variable-resident)
+// virtual register and returns it.
+func (f *fn) genExpr(e ast.Expr) machine.Reg {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return f.movImm(int32(e.Val))
+	case *ast.CharLit:
+		return f.movImm(int32(e.Val))
+	case *ast.StrLit:
+		return f.movImm(int32(f.c.internString(e.Val)))
+	case *ast.SizeofExpr:
+		t := e.X.Type()
+		if t == nil {
+			return f.movImm(4)
+		}
+		return f.movImm(int32(t.Size()))
+	case *ast.SizeofType:
+		return f.movImm(int32(e.Of.Size()))
+	case *ast.Paren:
+		return f.genExpr(e.X)
+	case *ast.Ident:
+		return f.genIdent(e)
+	case *ast.Unary:
+		return f.genUnary(e)
+	case *ast.Binary:
+		return f.genBinary(e)
+	case *ast.Assign:
+		return f.genAssign(e)
+	case *ast.Cond:
+		return f.genCond(e)
+	case *ast.Call:
+		return f.genCall(e)
+	case *ast.Comma:
+		f.genExpr(e.X)
+		return f.genExpr(e.Y)
+	case *ast.Cast:
+		return f.genCast(e)
+	case *ast.Index, *ast.Member:
+		// value load (or address, for array-typed members)
+		if isArrayType(e.Type()) {
+			return f.genAddr(e)
+		}
+		a := f.genAddr(e)
+		return f.loadFrom(a, 0, e.Type())
+	case *ast.KeepLive:
+		return f.genKeepLive(e)
+	}
+	f.errorf("unsupported expression %T", e)
+	return f.movImm(0)
+}
+
+func (f *fn) movImm(v int32) machine.Reg {
+	r := f.newV()
+	f.emit(machine.RI(machine.Mov, r, machine.NoReg, v))
+	return r
+}
+
+func (f *fn) genIdent(e *ast.Ident) machine.Reg {
+	o := e.Obj
+	switch o.Kind {
+	case ast.ObjEnumConst:
+		return f.movImm(int32(o.EnumVal))
+	case ast.ObjFunc:
+		if mf, ok := f.c.prog.Funcs[o.Name]; ok {
+			return f.movImm(mf.ID)
+		}
+		// Forward reference or runtime function: ids are resolved by name
+		// at execution; hash names into the reserved low range.
+		return f.movImm(int32(f.c.funcRefID(o.Name)))
+	}
+	if v, ok := f.varReg(o); ok {
+		// copy out so expression temps never alias the variable's home
+		r := f.newV()
+		f.emit(machine.RR(machine.Mov, r, v, machine.NoReg))
+		return r
+	}
+	if isArrayType(o.Type) {
+		return f.genAddr(e) // arrays decay to their address
+	}
+	if o.Global {
+		a := f.globalAddr(o)
+		return f.loadFrom(a, 0, o.Type)
+	}
+	off := f.slotFor(o)
+	if sizeOf(o.Type) < 4 {
+		a := f.newV()
+		f.emit(machine.Instr{Op: machine.LeaSP, Rd: a, Imm: off})
+		return f.loadFrom(a, 0, o.Type)
+	}
+	r := f.newV()
+	f.emit(machine.Instr{Op: machine.LdSP, Rd: r, Imm: off})
+	return r
+}
+
+func (f *fn) globalAddr(o *ast.Object) machine.Reg {
+	addr, ok := f.c.prog.Globals[o.Name]
+	if !ok {
+		f.errorf("undefined global %s", o.Name)
+		addr = machine.DataBase
+	}
+	return f.movImm(int32(addr))
+}
+
+func (f *fn) genUnary(e *ast.Unary) machine.Reg {
+	switch e.Op {
+	case token.Star:
+		a := f.genExpr(e.X)
+		if isArrayType(e.Type()) {
+			return a
+		}
+		return f.loadFrom(a, 0, e.Type())
+	case token.Amp:
+		return f.genAddr(e.X)
+	case token.Minus:
+		x := f.genExpr(e.X)
+		r := f.newV()
+		zero := f.movImm(0)
+		f.emit(machine.RR(machine.Sub, r, zero, x))
+		return r
+	case token.Plus:
+		return f.genExpr(e.X)
+	case token.Tilde:
+		x := f.genExpr(e.X)
+		r := f.newV()
+		f.emit(machine.RI(machine.Xor, r, x, -1))
+		return r
+	case token.Not:
+		x := f.genExpr(e.X)
+		r := f.newV()
+		f.emit(machine.RI(machine.CmpEq, r, x, 0))
+		return r
+	case token.Inc, token.Dec:
+		return f.genIncDec(e)
+	}
+	f.errorf("unsupported unary operator %s", e.Op)
+	return f.movImm(0)
+}
+
+// genIncDec handles ++/-- that survive to code generation (integer
+// operands always; pointer operands only in the un-annotated pipeline).
+func (f *fn) genIncDec(e *ast.Unary) machine.Reg {
+	t := types.Decay(e.X.Type())
+	step := int32(1)
+	if pt, ok := t.(*types.Pointer); ok {
+		s := pt.Elem.Size()
+		if s > 0 {
+			step = int32(s)
+		}
+	}
+	if e.Op == token.Dec {
+		step = -step
+	}
+	old := f.genLvalueLoad(e.X)
+	nw := f.newV()
+	f.emit(machine.RI(machine.Add, nw, old, step))
+	f.storeLvalue(e.X, nw)
+	if e.Postfix {
+		return old
+	}
+	return nw
+}
+
+func (f *fn) genBinary(e *ast.Binary) machine.Reg {
+	switch e.Op {
+	case token.AndAnd, token.OrOr:
+		return f.genShortCircuit(e)
+	}
+	xt, yt := valueTypeOf(e.X), valueTypeOf(e.Y)
+	x := f.genExpr(e.X)
+	y := f.genExpr(e.Y)
+	r := f.newV()
+	switch e.Op {
+	case token.Plus:
+		// pointer + int scales the integer side
+		if pt, ok := types.Decay(xt).(*types.Pointer); ok {
+			y = f.scale(y, pt.Elem)
+		} else if pt, ok := types.Decay(yt).(*types.Pointer); ok {
+			x = f.scale(x, pt.Elem)
+		}
+		f.emit(machine.RR(machine.Add, r, x, y))
+	case token.Minus:
+		if pt, ok := types.Decay(xt).(*types.Pointer); ok {
+			if types.IsPointer(types.Decay(yt)) {
+				f.emit(machine.RR(machine.Sub, r, x, y))
+				if s := pt.Elem.Size(); s > 1 {
+					d := f.newV()
+					f.emit(machine.RI(machine.Div, d, r, int32(s)))
+					return d
+				}
+				return r
+			}
+			y = f.scale(y, pt.Elem)
+		}
+		f.emit(machine.RR(machine.Sub, r, x, y))
+	case token.Star:
+		f.emit(machine.RR(machine.Mul, r, x, y))
+	case token.Slash:
+		f.emit(machine.RR(f.signedOp(e, machine.Div, machine.Divu), r, x, y))
+	case token.Percent:
+		f.emit(machine.RR(f.signedOp(e, machine.Rem, machine.Remu), r, x, y))
+	case token.Amp:
+		f.emit(machine.RR(machine.And, r, x, y))
+	case token.Pipe:
+		f.emit(machine.RR(machine.Or, r, x, y))
+	case token.Caret:
+		f.emit(machine.RR(machine.Xor, r, x, y))
+	case token.Shl:
+		f.emit(machine.RR(machine.Shl, r, x, y))
+	case token.Shr:
+		op := machine.Shr
+		if !types.IsSigned(types.Promote(xt)) {
+			op = machine.Shru
+		}
+		f.emit(machine.RR(op, r, x, y))
+	case token.Eq:
+		f.emit(machine.RR(machine.CmpEq, r, x, y))
+	case token.Ne:
+		f.emit(machine.RR(machine.CmpNe, r, x, y))
+	case token.Lt, token.Le, token.Gt, token.Ge:
+		f.emit(machine.RR(f.relOp(e.Op, xt, yt), r, x, y))
+	default:
+		f.errorf("unsupported binary operator %s", e.Op)
+	}
+	return r
+}
+
+func (f *fn) signedOp(e *ast.Binary, s, u machine.Op) machine.Op {
+	t := types.Arith(types.Decay(valueTypeOf(e.X)), types.Decay(valueTypeOf(e.Y)))
+	if types.IsSigned(t) {
+		return s
+	}
+	return u
+}
+
+func (f *fn) relOp(op token.Kind, xt, yt types.Type) machine.Op {
+	unsigned := types.IsPointer(types.Decay(xt)) || types.IsPointer(types.Decay(yt))
+	if !unsigned {
+		ct := types.Arith(types.Decay(xt), types.Decay(yt))
+		unsigned = !types.IsSigned(ct)
+	}
+	switch op {
+	case token.Lt:
+		if unsigned {
+			return machine.CmpLtu
+		}
+		return machine.CmpLt
+	case token.Le:
+		if unsigned {
+			return machine.CmpLeu
+		}
+		return machine.CmpLe
+	case token.Gt:
+		if unsigned {
+			return machine.CmpGtu
+		}
+		return machine.CmpGt
+	default:
+		if unsigned {
+			return machine.CmpGeu
+		}
+		return machine.CmpGe
+	}
+}
+
+// scale multiplies an index register by an element size.
+func (f *fn) scale(r machine.Reg, elem types.Type) machine.Reg {
+	s := elem.Size()
+	if s <= 1 {
+		return r
+	}
+	out := f.newV()
+	f.emit(machine.RI(machine.Mul, out, r, int32(s)))
+	return out
+}
+
+func (f *fn) genShortCircuit(e *ast.Binary) machine.Reg {
+	r := f.newV()
+	end := f.newLabel()
+	if e.Op == token.AndAnd {
+		fail := f.newLabel()
+		x := f.genExpr(e.X)
+		f.emit(machine.Instr{Op: machine.Bz, Rs1: x, Imm: fail})
+		y := f.genExpr(e.Y)
+		f.emit(machine.Instr{Op: machine.Bz, Rs1: y, Imm: fail})
+		f.emit(machine.RI(machine.Mov, r, machine.NoReg, 1))
+		f.jmp(end)
+		f.label(fail)
+		f.emit(machine.RI(machine.Mov, r, machine.NoReg, 0))
+		f.label(end)
+		return r
+	}
+	ok := f.newLabel()
+	x := f.genExpr(e.X)
+	f.emit(machine.Instr{Op: machine.Bnz, Rs1: x, Imm: ok})
+	y := f.genExpr(e.Y)
+	f.emit(machine.Instr{Op: machine.Bnz, Rs1: y, Imm: ok})
+	f.emit(machine.RI(machine.Mov, r, machine.NoReg, 0))
+	f.jmp(end)
+	f.label(ok)
+	f.emit(machine.RI(machine.Mov, r, machine.NoReg, 1))
+	f.label(end)
+	return r
+}
+
+func (f *fn) genCond(e *ast.Cond) machine.Reg {
+	r := f.newV()
+	elseL, end := f.newLabel(), f.newLabel()
+	c := f.genExpr(e.C)
+	f.emit(machine.Instr{Op: machine.Bz, Rs1: c, Imm: elseL})
+	t := f.genExpr(e.T)
+	f.emit(machine.RR(machine.Mov, r, t, machine.NoReg))
+	f.jmp(end)
+	f.label(elseL)
+	fv := f.genExpr(e.F)
+	f.emit(machine.RR(machine.Mov, r, fv, machine.NoReg))
+	f.label(end)
+	return r
+}
+
+func (f *fn) genCast(e *ast.Cast) machine.Reg {
+	x := f.genExpr(e.X)
+	// Pointer and word-sized integer casts are free; narrowing truncates.
+	if b, ok := e.To.(*types.Basic); ok {
+		switch b.Kind {
+		case types.Char:
+			r := f.newV()
+			r2 := f.newV()
+			f.emit(machine.RI(machine.Shl, r, x, 24))
+			f.emit(machine.RI(machine.Shr, r2, r, 24))
+			return r2
+		case types.UChar:
+			r := f.newV()
+			f.emit(machine.RI(machine.And, r, x, 0xFF))
+			return r
+		case types.Short:
+			r := f.newV()
+			r2 := f.newV()
+			f.emit(machine.RI(machine.Shl, r, x, 16))
+			f.emit(machine.RI(machine.Shr, r2, r, 16))
+			return r2
+		case types.UShort:
+			r := f.newV()
+			f.emit(machine.RI(machine.And, r, x, 0xFFFF))
+			return r
+		}
+	}
+	return x
+}
+
+// genKeepLive lowers the annotation node: in safe mode, the empty
+// pseudo-instruction with its operand constraints; in checked mode, a real
+// call to GC_same_obj.
+func (f *fn) genKeepLive(e *ast.KeepLive) machine.Reg {
+	if e.Checked {
+		v := f.genExpr(e.X)
+		var b machine.Reg
+		if e.Base != nil {
+			b = f.genExpr(e.Base)
+		} else {
+			b = f.movImm(0)
+		}
+		return f.genCallRegs("GC_same_obj", []machine.Reg{v, b}, false)
+	}
+	v := f.genExpr(e.X)
+	var b machine.Reg = machine.NoReg
+	if e.Base != nil {
+		b = f.genExpr(e.Base)
+	}
+	r := f.newV()
+	f.emit(machine.Instr{Op: machine.KeepLive, Rd: r, Rs1: v, Rs2: b, Comment: "KEEP_LIVE"})
+	return r
+}
+
+// --- lvalues ---
+
+// genAddr computes the address of an lvalue into a register.
+func (f *fn) genAddr(e ast.Expr) machine.Reg {
+	switch e := e.(type) {
+	case *ast.Paren:
+		return f.genAddr(e.X)
+	case *ast.Ident:
+		o := e.Obj
+		if o.Kind == ast.ObjFunc {
+			return f.genIdent(e)
+		}
+		if _, ok := f.vregs[o]; ok {
+			f.errorf("address taken of register variable %s", o.Name)
+			return f.movImm(0)
+		}
+		if o.Global {
+			return f.globalAddr(o)
+		}
+		off := f.slotFor(o)
+		a := f.newV()
+		f.emit(machine.Instr{Op: machine.LeaSP, Rd: a, Imm: off})
+		return a
+	case *ast.Unary:
+		if e.Op == token.Star {
+			return f.genExpr(e.X)
+		}
+	case *ast.Index:
+		base, idx := e.X, e.I
+		if !types.IsPointer(types.Decay(valueTypeOf(base))) {
+			base, idx = idx, base
+		}
+		b := f.genExpr(base)
+		elem := e.Type()
+		if i, ok := constIndex(idx); ok {
+			a := f.newV()
+			f.emit(machine.RI(machine.Add, a, b, i*int32(sizeOfElem(elem))))
+			return a
+		}
+		iv := f.genExpr(idx)
+		iv = f.scale(iv, elemTypeOf(elem))
+		a := f.newV()
+		f.emit(machine.RR(machine.Add, a, b, iv))
+		return a
+	case *ast.Member:
+		var base machine.Reg
+		if e.Arrow {
+			base = f.genExpr(e.X)
+		} else {
+			base = f.genAddr(e.X)
+		}
+		if e.Field == nil {
+			f.errorf("unresolved member %s", e.Name)
+			return base
+		}
+		if e.Field.Off == 0 {
+			return base
+		}
+		a := f.newV()
+		f.emit(machine.RI(machine.Add, a, base, int32(e.Field.Off)))
+		return a
+	case *ast.KeepLive:
+		// *KEEP_LIVE(&lv, b) = v assigns through the pinned address
+		return f.genKeepLive(e)
+	case *ast.StrLit:
+		return f.movImm(int32(f.c.internString(e.Val)))
+	}
+	f.errorf("cannot take the address of %T", e)
+	return f.movImm(0)
+}
+
+// constIndex extracts a constant subscript.
+func constIndex(e ast.Expr) (int32, bool) {
+	if v, ok := parser.EvalConst(e); ok {
+		return int32(v), true
+	}
+	return 0, false
+}
+
+func sizeOfElem(t types.Type) int {
+	s := t.Size()
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// elemTypeOf wraps a type so scale() sees the element size of the access.
+func elemTypeOf(t types.Type) types.Type { return t }
+
+// genLvalueLoad loads the current value of an lvalue.
+func (f *fn) genLvalueLoad(e ast.Expr) machine.Reg {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok2 := f.varReg(id.Obj); ok2 {
+			r := f.newV()
+			f.emit(machine.RR(machine.Mov, r, v, machine.NoReg))
+			return r
+		}
+	}
+	return f.genExpr(e)
+}
+
+// storeLvalue stores val into lvalue e.
+func (f *fn) storeLvalue(e ast.Expr, val machine.Reg) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		o := e.Obj
+		if v, ok := f.varReg(o); ok {
+			f.emit(machine.RR(machine.Mov, v, val, machine.NoReg))
+			return
+		}
+		if o.Global {
+			a := f.globalAddr(o)
+			f.storeTo(a, 0, o.Type, val)
+			return
+		}
+		f.storeSlot(f.slotFor(o), o.Type, val)
+	default:
+		a := f.genAddr(e)
+		f.storeTo(a, 0, exprType(e), val)
+	}
+}
+
+func exprType(e ast.Expr) types.Type {
+	t := e.Type()
+	if t == nil {
+		return types.IntType
+	}
+	return t
+}
+
+func valueTypeOf(e ast.Expr) types.Type { return types.Decay(exprType(e)) }
+
+func (f *fn) genAssign(e *ast.Assign) machine.Reg {
+	if e.Op == token.Assign {
+		if st, ok := exprType(e.L).(*types.Struct); ok {
+			return f.genStructAssign(e, st)
+		}
+		r := f.genExpr(e.R)
+		f.storeLvalue(e.L, r)
+		return r
+	}
+	// compound assignment: load, operate, store
+	lt := valueTypeOf(e.L)
+	old := f.genLvalueLoad(e.L)
+	r := f.genExpr(e.R)
+	if pt, ok := lt.(*types.Pointer); ok {
+		r = f.scale(r, pt.Elem)
+	}
+	out := f.newV()
+	var op machine.Op
+	switch e.Op {
+	case token.AddAssign:
+		op = machine.Add
+	case token.SubAssign:
+		op = machine.Sub
+	case token.MulAssign:
+		op = machine.Mul
+	case token.DivAssign:
+		op = machine.Div
+		if !types.IsSigned(types.Promote(lt)) {
+			op = machine.Divu
+		}
+	case token.ModAssign:
+		op = machine.Rem
+		if !types.IsSigned(types.Promote(lt)) {
+			op = machine.Remu
+		}
+	case token.AndAssign:
+		op = machine.And
+	case token.OrAssign:
+		op = machine.Or
+	case token.XorAssign:
+		op = machine.Xor
+	case token.ShlAssign:
+		op = machine.Shl
+	case token.ShrAssign:
+		op = machine.Shr
+		if !types.IsSigned(types.Promote(lt)) {
+			op = machine.Shru
+		}
+	default:
+		f.errorf("unsupported compound assignment %s", e.Op)
+		op = machine.Add
+	}
+	f.emit(machine.RR(op, out, old, r))
+	f.storeLvalue(e.L, out)
+	return out
+}
+
+// genStructAssign copies a struct value with the runtime memcpy (structs
+// are assigned as wholes; the paper notes checked mode would need an extra
+// check here, which ValidateAccess in the interpreter provides).
+func (f *fn) genStructAssign(e *ast.Assign, st *types.Struct) machine.Reg {
+	dst := f.genAddr(e.L)
+	src := f.genAddr(e.R)
+	n := f.movImm(int32(st.Size()))
+	f.genCallRegs("memcpy", []machine.Reg{dst, src, n}, true)
+	return dst
+}
+
+// --- loads, stores, calls ---
+
+// loadFrom emits a width- and sign-correct load from [addr+off].
+func (f *fn) loadFrom(addr machine.Reg, off int32, t types.Type) machine.Reg {
+	r := f.newV()
+	op := machine.Ld
+	switch tt := types.Decay(t).(type) {
+	case *types.Basic:
+		switch tt.Kind {
+		case types.Char:
+			op = machine.LdB
+		case types.UChar:
+			op = machine.LdBu
+		case types.Short:
+			op = machine.LdH
+		case types.UShort:
+			op = machine.LdHu
+		}
+	}
+	f.emit(machine.RI(op, r, addr, off))
+	return r
+}
+
+// storeTo emits a width-correct store of val to [addr+off].
+func (f *fn) storeTo(addr machine.Reg, off int32, t types.Type, val machine.Reg) {
+	op := machine.St
+	switch tt := types.Decay(t).(type) {
+	case *types.Basic:
+		switch tt.Kind {
+		case types.Char, types.UChar:
+			op = machine.StB
+		case types.Short, types.UShort:
+			op = machine.StH
+		}
+	}
+	in := machine.RI(op, val, addr, off)
+	in.Rd = val
+	in.Rs1 = addr
+	f.emit(in)
+}
+
+func (f *fn) genCall(e *ast.Call) machine.Reg {
+	// Direct calls by name; indirect calls through a function id.
+	name := ""
+	if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Obj.Kind == ast.ObjFunc {
+		name = id.Obj.Name
+	}
+	args := make([]machine.Reg, len(e.Args))
+	for i, a := range e.Args {
+		if _, ok := exprType(a).(*types.Struct); ok {
+			f.errorf("passing structs by value is not supported")
+		}
+		args[i] = f.genExpr(a)
+	}
+	if name != "" {
+		return f.genCallRegs(name, args, false)
+	}
+	fp := f.genExpr(e.Fun)
+	return f.genCallIndirect(fp, args)
+}
+
+// genCallRegs emits the stack-based calling sequence. When discard is set
+// the result register is not materialized.
+func (f *fn) genCallRegs(name string, args []machine.Reg, discard bool) machine.Reg {
+	n := int32(len(args))
+	f.emit(machine.Instr{Op: machine.AdjSP, Imm: -4 * n})
+	for i, a := range args {
+		f.emit(machine.Instr{Op: machine.Arg, Rd: a, Imm: int32(4 * i)})
+	}
+	var r machine.Reg = machine.NoReg
+	if !discard {
+		r = f.newV()
+	}
+	f.emit(machine.Instr{Op: machine.Call, Rd: r, Sym: name, Imm: n})
+	f.emit(machine.Instr{Op: machine.AdjSP, Imm: 4 * n})
+	if discard {
+		return machine.NoReg
+	}
+	return r
+}
+
+func (f *fn) genCallIndirect(fp machine.Reg, args []machine.Reg) machine.Reg {
+	n := int32(len(args))
+	f.emit(machine.Instr{Op: machine.AdjSP, Imm: -4 * n})
+	for i, a := range args {
+		f.emit(machine.Instr{Op: machine.Arg, Rd: a, Imm: int32(4 * i)})
+	}
+	r := f.newV()
+	f.emit(machine.Instr{Op: machine.CallR, Rd: r, Rs1: fp, Imm: n})
+	f.emit(machine.Instr{Op: machine.AdjSP, Imm: 4 * n})
+	return r
+}

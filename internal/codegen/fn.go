@@ -1,0 +1,413 @@
+package codegen
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/cc/types"
+	"gcsafety/internal/machine"
+)
+
+// DebugHook, when set, receives intermediate code at each pipeline stage
+// (used by tests and debugging tools; nil in production).
+var DebugHook func(stage string, code []machine.Instr)
+
+// fn compiles a single function to virtual-register code, which then flows
+// through optimization, register allocation and lowering.
+type fn struct {
+	c      *compiler
+	fd     *ast.FuncDecl
+	code   []machine.Instr
+	nextV  machine.Reg
+	nextL  int32
+	frame  int32
+	slots  map[*ast.Object]int32
+	vregs  map[*ast.Object]machine.Reg
+	breaks []int32
+	conts  []int32
+}
+
+func (c *compiler) compileFunc(fd *ast.FuncDecl) {
+	f := &fn{
+		c:     c,
+		fd:    fd,
+		nextV: machine.VRegBase,
+		slots: map[*ast.Object]int32{},
+		vregs: map[*ast.Object]machine.Reg{},
+	}
+	mf := &machine.Func{
+		Name:      fd.Obj.Name,
+		NumParams: len(fd.Params),
+		ID:        c.funcRefID(fd.Obj.Name),
+	}
+	// Parameter and local variable placement. In the optimized pipeline,
+	// scalar locals whose address is never taken live in virtual
+	// registers; in the debuggable pipeline every variable has a memory
+	// home at all times.
+	f.emit(machine.Instr{Op: machine.AdjSP, Imm: 0}) // patched with -frame
+	for i, p := range fd.Params {
+		if f.vregEligible(p) {
+			v := f.newV()
+			f.vregs[p] = v
+			// incoming arg i lives at [sp + frame + 4*i]; the offset is
+			// patched during lowering (frame not yet known), marked by the
+			// special comment.
+			in := machine.Instr{Op: machine.LdSP, Rd: v, Imm: int32(4 * i), Comment: "param"}
+			f.emit(in)
+		} else {
+			f.paramSlot(p, i)
+		}
+	}
+	f.genBlock(fd.Body)
+	// Fall-through return (for void functions and main's implicit return).
+	f.emit(machine.Instr{Op: machine.Ret, Rs1: machine.NoReg})
+
+	code := f.code
+	if DebugHook != nil {
+		DebugHook("gen:"+mf.Name, code)
+	}
+	if c.opts.Optimize {
+		code = optimize(code, c.opts)
+		if DebugHook != nil {
+			DebugHook("opt:"+mf.Name, code)
+		}
+	}
+	var spillBase int32 = f.frame
+	code, frame := allocate(code, c.opts.Machine, spillBase)
+	code = lower(code, c.opts, frame, len(fd.Params))
+	mf.Code = code
+	mf.FrameSize = frame
+	c.prog.Funcs[mf.Name] = mf
+	c.prog.Order = append(c.prog.Order, mf.Name)
+}
+
+func (f *fn) emit(in machine.Instr) int {
+	f.code = append(f.code, in)
+	return len(f.code) - 1
+}
+
+func (f *fn) newV() machine.Reg {
+	v := f.nextV
+	f.nextV++
+	return v
+}
+
+func (f *fn) newLabel() int32 {
+	l := f.nextL
+	f.nextL++
+	return l
+}
+
+func (f *fn) label(l int32) { f.emit(machine.Instr{Op: machine.Label, Imm: l}) }
+func (f *fn) jmp(l int32)   { f.emit(machine.Instr{Op: machine.Jmp, Imm: l}) }
+
+func (f *fn) errorf(format string, args ...any) {
+	f.c.errorf("%s: "+format, append([]any{f.fd.Obj.Name}, args...)...)
+}
+
+// vregEligible reports whether a variable may live in a register: scalar
+// int/pointer, address never taken, optimized pipeline only.
+func (f *fn) vregEligible(o *ast.Object) bool {
+	if !f.c.opts.Optimize || o.AddrTaken {
+		return false
+	}
+	switch o.Type.(type) {
+	case *types.Array, *types.Struct:
+		// Aggregates are memory objects; their decayed pointer form must
+		// not promote them to registers.
+		return false
+	}
+	switch t := types.Decay(o.Type).(type) {
+	case *types.Pointer:
+		return true
+	case *types.Enum:
+		return true
+	case *types.Basic:
+		return t.Kind == types.Int || t.Kind == types.UInt
+	}
+	return false
+}
+
+// varReg returns the virtual register housing a register-resident
+// variable, allocating one lazily for annotator-introduced temporaries
+// (ObjTemp objects never pass through a DeclStmt).
+func (f *fn) varReg(o *ast.Object) (machine.Reg, bool) {
+	if v, ok := f.vregs[o]; ok {
+		return v, true
+	}
+	if o.Kind == ast.ObjTemp && f.vregEligible(o) {
+		v := f.newV()
+		f.vregs[o] = v
+		return v, true
+	}
+	return machine.NoReg, false
+}
+
+// slotFor returns (allocating on demand) the stack offset of a local.
+func (f *fn) slotFor(o *ast.Object) int32 {
+	if off, ok := f.slots[o]; ok {
+		return off
+	}
+	size := int32(o.Type.Size())
+	if size <= 0 {
+		size = 4
+	}
+	align := int32(o.Type.Align())
+	if align < 1 {
+		align = 1
+	}
+	f.frame = (f.frame + align - 1) / align * align
+	off := f.frame
+	f.frame += size
+	f.slots[o] = off
+	return off
+}
+
+// paramSlot records that parameter i's memory home is its incoming
+// argument slot. Incoming slots sit above the frame; they are encoded as
+// offset = paramBase + 4*i and fixed up in lowering once the frame size is
+// known. paramBase is a large sentinel that cannot collide with real
+// locals.
+const paramBase = 1 << 24
+
+func (f *fn) paramSlot(o *ast.Object, i int) {
+	f.slots[o] = paramBase + int32(4*i)
+}
+
+// --- statements ---
+
+func (f *fn) genBlock(b *ast.Block) {
+	for _, s := range b.Stmts {
+		f.genStmt(s)
+	}
+}
+
+func (f *fn) genStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		f.genExpr(s.X)
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			f.genLocalDecl(d)
+		}
+	case *ast.Block:
+		f.genBlock(s)
+	case *ast.Empty:
+	case *ast.If:
+		elseL, endL := f.newLabel(), f.newLabel()
+		c := f.genExpr(s.Cond)
+		f.emit(machine.Instr{Op: machine.Bz, Rs1: c, Imm: elseL})
+		f.genStmt(s.Then)
+		if s.Else != nil {
+			f.jmp(endL)
+			f.label(elseL)
+			f.genStmt(s.Else)
+			f.label(endL)
+		} else {
+			f.label(elseL)
+		}
+	case *ast.While:
+		top, end := f.newLabel(), f.newLabel()
+		f.pushLoop(end, top)
+		f.label(top)
+		c := f.genExpr(s.Cond)
+		f.emit(machine.Instr{Op: machine.Bz, Rs1: c, Imm: end})
+		f.genStmt(s.Body)
+		f.jmp(top)
+		f.label(end)
+		f.popLoop()
+	case *ast.DoWhile:
+		top, cond, end := f.newLabel(), f.newLabel(), f.newLabel()
+		f.pushLoop(end, cond)
+		f.label(top)
+		f.genStmt(s.Body)
+		f.label(cond)
+		c := f.genExpr(s.Cond)
+		f.emit(machine.Instr{Op: machine.Bnz, Rs1: c, Imm: top})
+		f.label(end)
+		f.popLoop()
+	case *ast.For:
+		if s.Init != nil {
+			f.genStmt(s.Init)
+		}
+		top, post, end := f.newLabel(), f.newLabel(), f.newLabel()
+		f.pushLoop(end, post)
+		f.label(top)
+		if s.Cond != nil {
+			c := f.genExpr(s.Cond)
+			f.emit(machine.Instr{Op: machine.Bz, Rs1: c, Imm: end})
+		}
+		f.genStmt(s.Body)
+		f.label(post)
+		if s.Post != nil {
+			f.genExpr(s.Post)
+		}
+		f.jmp(top)
+		f.label(end)
+		f.popLoop()
+	case *ast.Return:
+		if s.X != nil {
+			v := f.genExpr(s.X)
+			f.emit(machine.Instr{Op: machine.Ret, Rs1: v})
+		} else {
+			f.emit(machine.Instr{Op: machine.Ret, Rs1: machine.NoReg})
+		}
+	case *ast.Break:
+		if len(f.breaks) == 0 {
+			f.errorf("break outside loop or switch")
+			return
+		}
+		f.jmp(f.breaks[len(f.breaks)-1])
+	case *ast.Continue:
+		if len(f.conts) == 0 || f.conts[len(f.conts)-1] < 0 {
+			f.errorf("continue outside loop")
+			return
+		}
+		f.jmp(f.conts[len(f.conts)-1])
+	case *ast.Switch:
+		f.genSwitch(s)
+	}
+}
+
+func (f *fn) pushLoop(brk, cont int32) {
+	f.breaks = append(f.breaks, brk)
+	f.conts = append(f.conts, cont)
+}
+
+func (f *fn) popLoop() {
+	f.breaks = f.breaks[:len(f.breaks)-1]
+	f.conts = f.conts[:len(f.conts)-1]
+}
+
+func (f *fn) genSwitch(s *ast.Switch) {
+	v := f.genExpr(s.X)
+	end := f.newLabel()
+	// break applies; continue passes through to the enclosing loop
+	f.breaks = append(f.breaks, end)
+	f.conts = append(f.conts, f.innerCont())
+	labels := make([]int32, len(s.Cases))
+	var defaultL int32 = end
+	for i, cc := range s.Cases {
+		labels[i] = f.newLabel()
+		if cc.Vals == nil {
+			defaultL = labels[i]
+		}
+		for _, val := range cc.Vals {
+			cv, ok := parser.EvalConst(val)
+			if !ok {
+				f.errorf("non-constant case label")
+				continue
+			}
+			t := f.newV()
+			f.emit(machine.RI(machine.CmpEq, t, v, int32(cv)))
+			f.emit(machine.Instr{Op: machine.Bnz, Rs1: t, Imm: labels[i]})
+		}
+	}
+	f.jmp(defaultL)
+	for i, cc := range s.Cases {
+		f.label(labels[i])
+		for _, st := range cc.Stmts {
+			f.genStmt(st)
+		}
+		// fallthrough to the next clause, as in C
+	}
+	f.label(end)
+	f.breaks = f.breaks[:len(f.breaks)-1]
+	f.conts = f.conts[:len(f.conts)-1]
+}
+
+func (f *fn) innerCont() int32 {
+	if len(f.conts) == 0 {
+		return -1
+	}
+	return f.conts[len(f.conts)-1]
+}
+
+func (f *fn) genLocalDecl(d *ast.VarDecl) {
+	o := d.Obj
+	if o.Storage == ast.Static {
+		f.errorf("static locals are not supported (%s)", o.Name)
+		return
+	}
+	if f.vregEligible(o) {
+		v := f.newV()
+		f.vregs[o] = v
+		if d.Init != nil {
+			r := f.genExpr(d.Init)
+			f.emit(machine.RR(machine.Mov, v, r, machine.NoReg))
+		}
+		return
+	}
+	off := f.slotFor(o)
+	switch {
+	case d.Init != nil:
+		if arr, ok := o.Type.(*types.Array); ok {
+			if s, ok2 := ast.Unparen(d.Init).(*ast.StrLit); ok2 {
+				f.initLocalFromString(off, arr, s.Val)
+				return
+			}
+		}
+		r := f.genExpr(d.Init)
+		f.storeSlot(off, o.Type, r)
+	case d.InitList != nil:
+		f.initLocalList(off, o.Type, d.InitList)
+	}
+}
+
+func (f *fn) initLocalFromString(off int32, arr *types.Array, s string) {
+	addr := f.c.internString(s)
+	// copy via runtime memcpy: cheap and matches unpreprocessed libc
+	src := f.newV()
+	f.emit(machine.RI(machine.Mov, src, machine.NoReg, int32(addr)))
+	dst := f.newV()
+	f.emit(machine.Instr{Op: machine.LeaSP, Rd: dst, Imm: off})
+	n := len(s) + 1
+	if n > arr.Len {
+		n = arr.Len
+	}
+	ln := f.newV()
+	f.emit(machine.RI(machine.Mov, ln, machine.NoReg, int32(n)))
+	f.genCallRegs("memcpy", []machine.Reg{dst, src, ln}, true)
+}
+
+func (f *fn) initLocalList(off int32, t types.Type, list []ast.Expr) {
+	switch t := t.(type) {
+	case *types.Array:
+		es := int32(t.Elem.Size())
+		for i, e := range list {
+			r := f.genExpr(e)
+			f.storeSlot(off+int32(i)*es, t.Elem, r)
+		}
+	case *types.Struct:
+		for i, e := range list {
+			if i >= len(t.Fields) {
+				f.errorf("too many initializers")
+				return
+			}
+			r := f.genExpr(e)
+			f.storeSlot(off+int32(t.Fields[i].Off), t.Fields[i].Type, r)
+		}
+	default:
+		f.errorf("brace initializer for scalar")
+	}
+}
+
+// storeSlot stores r into the stack slot at off with the width of t.
+func (f *fn) storeSlot(off int32, t types.Type, r machine.Reg) {
+	switch sizeOf(t) {
+	case 1, 2:
+		// sub-word slots go through an address (StSP is word-sized)
+		a := f.newV()
+		f.emit(machine.Instr{Op: machine.LeaSP, Rd: a, Imm: off})
+		f.storeTo(a, 0, t, r)
+	default:
+		f.emit(machine.Instr{Op: machine.StSP, Rd: r, Imm: off})
+	}
+}
+
+func sizeOf(t types.Type) int {
+	s := types.Decay(t).Size()
+	if s <= 0 {
+		return 4
+	}
+	return s
+}

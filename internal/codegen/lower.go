@@ -1,0 +1,67 @@
+package codegen
+
+import "gcsafety/internal/machine"
+
+// lower finalizes machine code: patches the prologue frame adjustment,
+// rebases incoming-parameter offsets now that the frame size is known,
+// inserts the moves required by two-operand targets, and materializes the
+// location constraint of KeepLive (result and first operand share a
+// register, via a move when the allocator chose differently).
+func lower(code []machine.Instr, opts Options, frame int32, numParams int) []machine.Instr {
+	out := make([]machine.Instr, 0, len(code))
+	cfg := opts.Machine
+	scratchA := machine.Reg(cfg.NumRegs - 1)
+	scratchB := machine.Reg(cfg.NumRegs - 2)
+	for i, in := range code {
+		// prologue patch
+		if i == 0 && in.Op == machine.AdjSP {
+			in.Imm = -frame
+			if in.Imm == 0 {
+				continue // empty frame: drop the prologue entirely
+			}
+			out = append(out, in)
+			continue
+		}
+		// parameter offsets
+		switch in.Op {
+		case machine.LdSP, machine.StSP, machine.LeaSP:
+			if in.Imm >= paramBase {
+				in.Imm = in.Imm - paramBase + frame
+			} else if in.Comment == "param" {
+				in.Imm += frame
+				in.Comment = ""
+			}
+		}
+		// KeepLive location constraint
+		if in.Op == machine.KeepLive {
+			if in.Rd != in.Rs1 {
+				out = append(out, machine.RR(machine.Mov, in.Rd, in.Rs1, machine.NoReg))
+				in.Rs1 = in.Rd
+			}
+			out = append(out, in)
+			continue
+		}
+		// two-operand fixup
+		if cfg.TwoOperand && in.Op.IsArith() && in.Rd != in.Rs1 {
+			switch {
+			case !in.HasImm && in.Rd == in.Rs2 && commutative(in.Op):
+				in.Rs1, in.Rs2 = in.Rs2, in.Rs1
+			case !in.HasImm && in.Rd == in.Rs2:
+				// need a temporary: pick a scratch distinct from sources
+				s := scratchA
+				if in.Rs1 == s || in.Rs2 == s {
+					s = scratchB
+				}
+				out = append(out, machine.RR(machine.Mov, s, in.Rs1, machine.NoReg))
+				out = append(out, machine.RR(in.Op, s, s, in.Rs2))
+				out = append(out, machine.RR(machine.Mov, in.Rd, s, machine.NoReg))
+				continue
+			default:
+				out = append(out, machine.RR(machine.Mov, in.Rd, in.Rs1, machine.NoReg))
+				in.Rs1 = in.Rd
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}

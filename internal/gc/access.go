@@ -1,0 +1,114 @@
+package gc
+
+// This file holds the client-visible memory access and pointer-checking
+// operations: the GC_same_obj / GC_pre_incr / GC_post_incr family the
+// paper's debugging mode compiles pointer arithmetic into, plus validated
+// loads and stores used by the simulated machine.
+
+// Base is the paper's GC_base: see ObjectBase. It is exported under the
+// paper's name for readability at call sites.
+func (h *Heap) Base(a Addr) Addr { return h.ObjectBase(a) }
+
+// SameObject implements GC_same_obj(p, q): it checks that p and q point to
+// the same heap object and returns p. Following the paper, only heap
+// pointers are checked — if q does not point into the collected heap
+// (static or stack memory), the check passes vacuously, since "we do not
+// check references to statically allocated and stack memory".
+//
+// The check is deliberately performed against the collector's own rounded
+// object extents: a pointer that has strayed into the rounding slack at the
+// end of an object is accepted, reproducing the paper's "not completely
+// accurate" caveat.
+func (h *Heap) SameObject(p, q Addr) (Addr, error) {
+	bq := h.ObjectBase(q)
+	if bq == 0 {
+		return p, nil
+	}
+	bp := h.ObjectBase(p)
+	if bp != bq {
+		return p, errf("GC_same_obj", p,
+			"pointer arithmetic moved pointer out of its object (base %#x, result resolves to %#x)", bq, bp)
+	}
+	return p, nil
+}
+
+// PreIncr implements GC_pre_incr: it adds delta (a signed byte offset) to
+// the pointer stored at slot, checks that the result still points to the
+// object the original pointer referenced, stores it back, and returns the
+// new value. slot must hold a word inside heap, static or stack memory
+// owned by the caller; the load and store go through the supplied accessors
+// so the slot may live outside the collected heap.
+func (h *Heap) PreIncr(load func() Addr, store func(Addr), delta int32) (Addr, error) {
+	old := load()
+	nw := Addr(int64(old) + int64(delta))
+	store(nw)
+	_, err := h.SameObject(nw, old)
+	return nw, err
+}
+
+// PostIncr implements GC_post_incr: like PreIncr but returns the original
+// value of the pointer, as the C postfix operators require.
+func (h *Heap) PostIncr(load func() Addr, store func(Addr), delta int32) (Addr, error) {
+	old := load()
+	nw := Addr(int64(old) + int64(delta))
+	store(nw)
+	_, err := h.SameObject(nw, old)
+	return old, err
+}
+
+// ValidateAccess reports an error if [a, a+size) lies inside the heap's
+// address range but is not wholly contained in a single live object. Access
+// to non-heap addresses is not the heap's concern and passes. This is the
+// harness's premature-reclamation detector: a GC-unsafe program that keeps
+// using a collected object trips it.
+func (h *Heap) ValidateAccess(a Addr, size uint32) error {
+	if !h.Contains(a) {
+		return nil
+	}
+	base := h.ObjectBase(a)
+	if base == 0 {
+		return errf("access", a, "address is inside the heap but not inside any live object (premature reclamation or wild pointer)")
+	}
+	if a+size > base+h.ObjectSize(base) {
+		return errf("access", a, "access of %d bytes runs past the end of the object at %#x", size, base)
+	}
+	return nil
+}
+
+// ReadWord loads the little-endian word at a. The address must be
+// word-aligned and inside the heap's claimed range.
+func (h *Heap) ReadWord(a Addr) (Addr, error) {
+	if a%WordSize != 0 {
+		return 0, errf("read", a, "misaligned word load")
+	}
+	return h.rawWord(a)
+}
+
+// WriteWord stores the little-endian word w at a.
+func (h *Heap) WriteWord(a Addr, w Addr) error {
+	if a%WordSize != 0 {
+		return errf("write", a, "misaligned word store")
+	}
+	if a < HeapBase || a+WordSize > h.limit {
+		return errf("write", a, "address outside heap")
+	}
+	h.setRawWord(a, w)
+	return nil
+}
+
+// ReadByte loads the byte at a.
+func (h *Heap) ReadByteAt(a Addr) (byte, error) {
+	if a < HeapBase || a >= h.limit {
+		return 0, errf("read", a, "address outside heap")
+	}
+	return h.arena[a-HeapBase], nil
+}
+
+// WriteByte stores b at a.
+func (h *Heap) WriteByteAt(a Addr, b byte) error {
+	if a < HeapBase || a >= h.limit {
+		return errf("write", a, "address outside heap")
+	}
+	h.arena[a-HeapBase] = b
+	return nil
+}

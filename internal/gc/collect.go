@@ -1,0 +1,217 @@
+package gc
+
+// ObjectBase maps an arbitrary address to the base address of the allocated
+// heap object containing it, or 0 if a does not point into any live object.
+// This is the paper's GC_base: interior pointers — addresses anywhere inside
+// an object, including the extra byte past the requested end — resolve to
+// the object, exactly as the collector's default configuration promises.
+func (h *Heap) ObjectBase(a Addr) Addr {
+	ph := h.header(a)
+	if ph == nil {
+		return 0
+	}
+	if ph.large {
+		if a >= ph.base && a < ph.base+ph.spanLen && ph.allocBit(0) {
+			return ph.base
+		}
+		return 0
+	}
+	off := a - ph.base
+	idx := off / ph.objSize
+	if idx >= ph.nobj || !ph.allocBit(idx) {
+		return 0
+	}
+	return ph.base + idx*ph.objSize
+}
+
+// ObjectSize returns the rounded size in bytes of the live object whose base
+// address is given, or 0 if base is not the base of a live object.
+func (h *Heap) ObjectSize(base Addr) uint32 {
+	ph := h.header(base)
+	if ph == nil {
+		return 0
+	}
+	if ph.large {
+		if base == ph.base && ph.allocBit(0) {
+			return ph.objSize
+		}
+		return 0
+	}
+	off := base - ph.base
+	if off%ph.objSize != 0 {
+		return 0
+	}
+	idx := off / ph.objSize
+	if idx >= ph.nobj || !ph.allocBit(idx) {
+		return 0
+	}
+	return ph.objSize
+}
+
+// Collect performs a full stop-the-world mark-sweep collection, scanning the
+// roots supplied by the installed RootScanner and then, transitively, every
+// word of every reached object (the heap is untyped, so scanning is fully
+// conservative).
+func (h *Heap) Collect() {
+	if h.roots == nil || h.collecting {
+		return
+	}
+	h.collecting = true
+	defer func() { h.collecting = false }()
+
+	for _, ph := range h.pages {
+		ph.clearMarks()
+	}
+	h.markStack = h.markStack[:0]
+	h.roots.ScanRoots(h.markAddr)
+	h.drainMarkStack()
+	h.sweep()
+	h.sinceGC = 0
+	h.stats.Collections++
+}
+
+// markAddr treats w conservatively as a potential pointer: if it resolves to
+// a live, not-yet-marked object, the object is marked and queued for
+// scanning.
+func (h *Heap) markAddr(w Addr) {
+	ph := h.header(w)
+	if ph == nil {
+		return
+	}
+	var idx uint32
+	if ph.large {
+		if w < ph.base || w >= ph.base+ph.spanLen {
+			return
+		}
+		idx = 0
+	} else {
+		idx = (w - ph.base) / ph.objSize
+		if idx >= ph.nobj {
+			return
+		}
+	}
+	if !ph.allocBit(idx) || ph.markBit(idx) {
+		return
+	}
+	ph.setMark(idx)
+	h.markStack = append(h.markStack, ph.base+idx*ph.objSize)
+}
+
+func (h *Heap) drainMarkStack() {
+	for len(h.markStack) > 0 {
+		base := h.markStack[len(h.markStack)-1]
+		h.markStack = h.markStack[:len(h.markStack)-1]
+		size := h.ObjectSize(base)
+		for off := uint32(0); off+WordSize <= size; off += WordSize {
+			w, err := h.rawWord(base + off)
+			if err != nil {
+				break
+			}
+			if h.cfg.BaseOnlyHeapPointers {
+				h.markBaseOnly(w)
+			} else {
+				h.markAddr(w)
+			}
+		}
+	}
+}
+
+// sweep reclaims every allocated-but-unmarked object. Small-object pages
+// that become entirely empty are returned to the free-page pool; otherwise
+// freed slots rejoin their size-class free list. When Config.Poison is set,
+// reclaimed memory is filled with PoisonByte so that a GC-unsafe program
+// touching a prematurely collected object reads recognizably dead data.
+func (h *Heap) sweep() {
+	var liveObj, liveBytes uint64
+	// The per-class free lists are rebuilt from scratch: threading freed
+	// objects while stale list links still point into reclaimed pages would
+	// corrupt the lists.
+	for i := range h.freeLists {
+		h.freeLists[i] = 0
+	}
+	kept := h.pages[:0]
+	for _, ph := range h.pages {
+		if ph.large {
+			if ph.markBit(0) {
+				liveObj++
+				liveBytes += uint64(ph.objSize)
+				kept = append(kept, ph)
+				continue
+			}
+			if ph.allocBit(0) {
+				h.stats.ObjectsFreed++
+				h.stats.BytesFreed += uint64(ph.objSize)
+				if h.cfg.Poison {
+					h.poison(ph.base, ph.objSize)
+				}
+			}
+			h.releaseSpan(ph)
+			continue
+		}
+		var liveHere uint32
+		for i := uint32(0); i < ph.nobj; i++ {
+			if ph.markBit(i) {
+				liveHere++
+			}
+		}
+		if liveHere == 0 {
+			for i := uint32(0); i < ph.nobj; i++ {
+				if ph.allocBit(i) {
+					h.stats.ObjectsFreed++
+					h.stats.BytesFreed += uint64(ph.objSize)
+					if h.cfg.Poison {
+						h.poison(ph.base+i*ph.objSize, ph.objSize)
+					}
+					ph.clearAlloc(i)
+				}
+			}
+			h.releaseSpan(ph)
+			continue
+		}
+		kept = append(kept, ph)
+		class := ph.objSize / Granule
+		for i := uint32(0); i < ph.nobj; i++ {
+			obj := ph.base + i*ph.objSize
+			switch {
+			case ph.markBit(i):
+				liveObj++
+				liveBytes += uint64(ph.objSize)
+			case ph.allocBit(i):
+				h.stats.ObjectsFreed++
+				h.stats.BytesFreed += uint64(ph.objSize)
+				if h.cfg.Poison {
+					h.poison(obj, ph.objSize)
+				}
+				ph.clearAlloc(i)
+				h.setRawWord(obj, h.freeLists[class])
+				h.freeLists[class] = obj
+			default: // was already free: rethread
+				h.setRawWord(obj, h.freeLists[class])
+				h.freeLists[class] = obj
+			}
+		}
+	}
+	h.pages = kept
+	h.stats.LiveObjects = liveObj
+	h.stats.LiveBytes = liveBytes
+}
+
+// releaseSpan unmaps a header's pages and returns them to the free pool.
+func (h *Heap) releaseSpan(ph *pageHeader) {
+	first := (ph.base - HeapBase) / PageSize
+	npages := uint32(1)
+	if ph.large {
+		npages = ph.spanLen / PageSize
+	}
+	for p := first; p < first+npages; p++ {
+		h.setHeader(p, nil)
+	}
+	h.freeSpans = append(h.freeSpans, span{page: first, npages: npages})
+}
+
+func (h *Heap) poison(a Addr, n uint32) {
+	off := a - HeapBase
+	for i := uint32(0); i < n; i++ {
+		h.arena[off+i] = PoisonByte
+	}
+}

@@ -1,0 +1,117 @@
+// Package gc implements a conservative mark-sweep garbage collector over a
+// simulated 32-bit address space, modelled on the collector the paper
+// "Simple Garbage-Collector-Safety" (Boehm, PLDI 1996) relies on
+// ([Boehm95], the Boehm-Demers-Weiser collector in its default
+// configuration).
+//
+// The properties the paper depends on are reproduced faithfully:
+//
+//   - Any address pointing anywhere inside a live heap object (an interior
+//     pointer) is recognized as a valid reference to that object.
+//   - Objects are allocated with at least one extra byte at the end, so a
+//     pointer one past the end of an object still resolves to it.
+//   - The heap is organized as pages of uniformly sized objects, indexed by
+//     a tree of fixed height 2 ("we use a tree of fixed height 2 describing
+//     pages of uniformly sized objects"), which makes mapping an arbitrary
+//     address to the beginning of the corresponding object — the operation
+//     underlying both marking and GC_same_obj — very fast.
+//   - Object sizes are rounded up, so pointer-arithmetic checking through
+//     GC_same_obj is "not completely accurate" in exactly the way the paper
+//     describes: at most unused slack memory at the end of an object can be
+//     reached through an incorrectly computed pointer.
+//
+// The collector is nonmoving; hashing on pointer values is therefore safe
+// for clients, as the paper assumes.
+package gc
+
+import "fmt"
+
+// Addr is an address in the simulated 32-bit address space. Address 0 is
+// the null pointer and never maps to an object.
+type Addr = uint32
+
+// Fundamental layout constants of the simulated machine.
+const (
+	// WordSize is the size in bytes of a machine word and of a pointer.
+	WordSize = 4
+	// Granule is the allocation granularity: every small-object size is a
+	// multiple of this, and objects are aligned to it.
+	Granule = 8
+	// PageSize is the size of a heap block ("hblk" in Boehm's collector).
+	PageSize = 4096
+	// MaxSmall is the largest object size (after rounding) served from
+	// uniform-object pages; larger requests get whole-page spans.
+	MaxSmall = 512
+	// HeapBase is the lowest heap address. Anything below it (static data)
+	// or above the heap limit (the stack) is a GC root area, never a heap
+	// object.
+	HeapBase Addr = 0x1000_0000
+)
+
+// Config controls heap sizing and collection policy.
+type Config struct {
+	// MaxBytes caps the heap size. Zero means the default (64 MiB).
+	MaxBytes uint32
+	// TriggerBytes is the number of bytes allocated since the previous
+	// collection after which Alloc invokes a collection on its own (the
+	// "collections triggered at allocation sites" regime). Zero means the
+	// default (256 KiB). Set to ^uint32(0) to disable allocation-triggered
+	// collection entirely (the client then calls Collect itself, modelling
+	// an asynchronously triggered collector).
+	TriggerBytes uint32
+	// Poison controls whether reclaimed object memory is overwritten with
+	// PoisonByte during sweeping. Poisoning is how the test harness detects
+	// that a GC-unsafe program touched a prematurely collected object.
+	Poison bool
+	// BaseOnlyHeapPointers enables the paper's Extensions-section operating
+	// mode: interior pointers are valid only when they originate from the
+	// GC roots (stack, registers, statics); words inside heap objects are
+	// recognized as references only when they point exactly at an object's
+	// base. See extension.go.
+	BaseOnlyHeapPointers bool
+}
+
+// PoisonByte fills reclaimed objects when Config.Poison is set.
+const PoisonByte = 0xDD
+
+// RootScanner supplies the collector with the GC roots: machine registers,
+// the stack, and statically allocated memory. The collector calls Scan with
+// a visit function and expects every root word to be passed to it. Words
+// that do not look like heap pointers are ignored, so the scanner may (and
+// should) be fully conservative.
+type RootScanner interface {
+	ScanRoots(visit func(word Addr))
+}
+
+// RootFunc adapts a function to the RootScanner interface.
+type RootFunc func(visit func(word Addr))
+
+// ScanRoots implements RootScanner.
+func (f RootFunc) ScanRoots(visit func(word Addr)) { f(visit) }
+
+// Stats records cumulative collector activity.
+type Stats struct {
+	Collections    uint64 // completed collections
+	BytesAllocated uint64 // total bytes handed out (after rounding)
+	ObjectsAlloced uint64 // total objects handed out
+	ObjectsFreed   uint64 // objects reclaimed by sweeping
+	BytesFreed     uint64 // bytes reclaimed by sweeping
+	LiveObjects    uint64 // objects live after the most recent collection
+	LiveBytes      uint64 // bytes live after the most recent collection
+	HeapBytes      uint64 // bytes of address space claimed from the arena
+}
+
+// An Error wraps heap failures with the faulting address.
+type Error struct {
+	Op   string
+	Addr Addr
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("gc: %s at %#x: %s", e.Op, e.Addr, e.Msg)
+}
+
+func errf(op string, a Addr, format string, args ...any) error {
+	return &Error{Op: op, Addr: a, Msg: fmt.Sprintf(format, args...)}
+}

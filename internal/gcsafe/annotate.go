@@ -1,0 +1,494 @@
+package gcsafe
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// annotateFunc rewrites one function definition.
+func (an *annotator) annotateFunc(fd *ast.FuncDecl) {
+	an.fn = fd
+	an.heuristicBase = nil
+	if an.opts.BaseHeuristic {
+		an.computeHeuristicBases(fd)
+	}
+	an.block(fd.Body)
+	if len(fd.Temps) > 0 {
+		an.emitTempDecls(fd)
+	}
+	an.res.Temps += len(fd.Temps)
+	an.fn = nil
+}
+
+// globalDecl scans a file-scope initializer for source-checking warnings.
+// Static initializers are constant expressions evaluated before the
+// collector can run, so no KEEP_LIVE annotation is needed there.
+func (an *annotator) globalDecl(d *ast.VarDecl) {
+	if d.Init != nil {
+		an.warnExpr(d.Init)
+	}
+	for _, e := range d.InitList {
+		an.warnExpr(e)
+	}
+}
+
+func (an *annotator) block(b *ast.Block) {
+	for _, s := range b.Stmts {
+		an.stmt(s)
+	}
+}
+
+// stmtCallCheck updates stmtHasCall for the expressions about to be
+// annotated (only consulted under the CallSiteOnly option).
+func (an *annotator) stmtCallCheck(exprs ...ast.Expr) {
+	if !an.opts.CallSiteOnly {
+		an.stmtHasCall = true
+		return
+	}
+	an.stmtHasCall = false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(x ast.Expr) bool {
+			if _, ok := x.(*ast.Call); ok {
+				an.stmtHasCall = true
+			}
+			return true
+		})
+	}
+}
+
+func (an *annotator) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		an.stmtCallCheck(s.X)
+		an.exprStmt(s)
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			an.stmtCallCheck(d.Init)
+			if d.Init != nil {
+				an.exprSlot(mkslot(
+					func() ast.Expr { return d.Init },
+					func(n ast.Expr) { d.Init = n },
+				), types.IsPointer(types.Decay(d.Obj.Type)))
+			}
+			for i := range d.InitList {
+				i := i
+				an.exprSlot(mkslot(
+					func() ast.Expr { return d.InitList[i] },
+					func(n ast.Expr) { d.InitList[i] = n },
+				), false)
+			}
+		}
+	case *ast.Block:
+		an.block(s)
+	case *ast.If:
+		an.stmtCallCheck(s.Cond)
+		an.exprSlot(mkslot(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n }), false)
+		an.stmt(s.Then)
+		if s.Else != nil {
+			an.stmt(s.Else)
+		}
+	case *ast.While:
+		an.stmtCallCheck(s.Cond)
+		an.exprSlot(mkslot(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n }), false)
+		an.stmt(s.Body)
+	case *ast.DoWhile:
+		an.stmt(s.Body)
+		an.stmtCallCheck(s.Cond)
+		an.exprSlot(mkslot(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n }), false)
+	case *ast.For:
+		if s.Init != nil {
+			an.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			an.stmtCallCheck(s.Cond)
+			an.exprSlot(mkslot(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n }), false)
+		}
+		if s.Post != nil {
+			an.stmtCallCheck(s.Post)
+			an.exprSlot(mkslot(func() ast.Expr { return s.Post }, func(n ast.Expr) { s.Post = n }), false)
+		}
+		an.stmt(s.Body)
+	case *ast.Return:
+		if s.X != nil {
+			// "...or as a function argument or result".
+			an.stmtCallCheck(s.X)
+			wrap := types.IsPointer(types.Decay(an.fn.FType.Ret))
+			if wrap {
+				// A returned pointer crosses the call boundary back into
+				// the caller, so optimization (4) never drops it.
+				an.stmtHasCall = true
+			}
+			an.exprSlot(mkslot(func() ast.Expr { return s.X }, func(n ast.Expr) { s.X = n }), wrap)
+		}
+	case *ast.Switch:
+		an.stmtCallCheck(s.X)
+		an.exprSlot(mkslot(func() ast.Expr { return s.X }, func(n ast.Expr) { s.X = n }), false)
+		for _, c := range s.Cases {
+			for _, st := range c.Stmts {
+				an.stmt(st)
+			}
+		}
+	case *ast.Break, *ast.Continue, *ast.Empty:
+	}
+}
+
+// exprStmt handles a statement-level expression. A statement-level postfix
+// increment's value is unused, so it is rewritten in the cheaper prefix
+// shape (part of the paper's optimization (2) specialization).
+func (an *annotator) exprStmt(s *ast.ExprStmt) {
+	if u, ok := s.X.(*ast.Unary); ok && (u.Op == token.Inc || u.Op == token.Dec) && u.Postfix && isPtr(u.X) {
+		// Capture the postfix span before canonicalizing: a prefix node
+		// cannot represent the byte range of `p++`.
+		an.forcedSpan = &[2]int{u.Pos().Off, u.End()}
+		u.Postfix = false
+	}
+	an.exprSlot(mkslot(func() ast.Expr { return s.X }, func(n ast.Expr) { s.X = n }), false)
+}
+
+// exprSlot transforms the expression held in s. When wrap is set and the
+// value is a pointer, the KEEP_LIVE rule applies to the value produced.
+func (an *annotator) exprSlot(s *slot, wrap bool) {
+	switch e := s.get().(type) {
+	case *ast.Ident:
+		an.maybeWrapTransparent(s, wrap)
+	case *ast.IntLit, *ast.CharLit, *ast.SizeofType:
+		// Constants can never reference the heap; sizeof(type) evaluates
+		// nothing.
+	case *ast.StrLit:
+		// Static storage: never collected.
+	case *ast.SizeofExpr:
+		// The operand of sizeof is not evaluated; do not annotate inside.
+	case *ast.Paren:
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), wrap)
+	case *ast.Assign:
+		an.assign(s, e, wrap)
+	case *ast.Unary:
+		an.unary(s, e, wrap)
+	case *ast.Binary:
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+		an.exprSlot(mkslot(func() ast.Expr { return e.Y }, func(n ast.Expr) { e.Y = n }), false)
+		if wrap && isPtr(e) {
+			// Genuine pointer arithmetic: the heart of the algorithm.
+			an.wrapSlot(s)
+		}
+	case *ast.Cond:
+		an.exprSlot(mkslot(func() ast.Expr { return e.C }, func(n ast.Expr) { e.C = n }), false)
+		// A conditional is a generating expression; each arm's value feeds
+		// the result, so the wrap applies per arm (equivalent to the
+		// paper's temporary-introduction normal form, with the temporary
+		// being the value register itself).
+		an.exprSlot(mkslot(func() ast.Expr { return e.T }, func(n ast.Expr) { e.T = n }), wrap)
+		an.exprSlot(mkslot(func() ast.Expr { return e.F }, func(n ast.Expr) { e.F = n }), wrap)
+	case *ast.Call:
+		an.call(s, e, wrap)
+	case *ast.Comma:
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+		an.exprSlot(mkslot(func() ast.Expr { return e.Y }, func(n ast.Expr) { e.Y = n }), wrap)
+	case *ast.Cast:
+		an.castWarn(e)
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+		if wrap && isPtr(e) && !an.transparent(e) {
+			an.wrapSlot(s)
+		} else {
+			an.maybeWrapTransparent(s, wrap)
+		}
+	case *ast.Index, *ast.Member:
+		an.access(s, wrap)
+	case *ast.KeepLive:
+		// Already annotated (synthesized subtree).
+	}
+}
+
+// transparent reports whether the expression's result "is statically known
+// to be simply a copy of a value logically stored elsewhere" (paper,
+// optimization (1)): variables, loads, call results, stored assignment
+// values and constants. Such values need no KEEP_LIVE because KEEP_LIVE
+// condition (2) already guarantees their visibility.
+func (an *annotator) transparent(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.IntLit, *ast.CharLit, *ast.StrLit, *ast.Call, *ast.KeepLive:
+		return true
+	case *ast.Paren:
+		return an.transparent(e.X)
+	case *ast.Comma:
+		return an.transparent(e.Y)
+	case *ast.Cast:
+		return an.transparent(e.X)
+	case *ast.Assign:
+		// The value of a completed simple assignment is the stored value.
+		return e.Op == token.Assign
+	case *ast.Unary:
+		// A dereference result is a loaded copy; the arithmetic feeding it
+		// has already been wrapped.
+		return e.Op == token.Star
+	case *ast.Index, *ast.Member:
+		return true // loads; their address computation is wrapped separately
+	case *ast.Cond:
+		return an.transparent(e.T) && an.transparent(e.F)
+	}
+	return false
+}
+
+// maybeWrapTransparent handles a wrap request on a transparent (copy-like)
+// expression: with the paper's optimization (1) enabled it is suppressed;
+// otherwise the KEEP_LIVE goes in anyway.
+func (an *annotator) maybeWrapTransparent(s *slot, wrap bool) {
+	if !wrap || !isPtr(s.get()) {
+		return
+	}
+	b := an.baseOf(s)
+	if b.nilBase() {
+		return // cannot reference the heap at all
+	}
+	if an.opts.NoCopySuppression {
+		an.wrapSlot(s)
+		return
+	}
+	an.res.Suppressed++
+}
+
+// assign handles simple and compound assignments.
+func (an *annotator) assign(s *slot, e *ast.Assign, wrap bool) {
+	if e.Op == token.Assign {
+		an.assignWarn(e)
+		an.lvalueSlot(mkslot(func() ast.Expr { return e.L }, func(n ast.Expr) { e.L = n }))
+		// "replace every pointer-valued expression e that occurs as the
+		// right side of an assignment ... by KEEP_LIVE(e, BASE(e))"
+		an.exprSlot(mkslot(func() ast.Expr { return e.R }, func(n ast.Expr) { e.R = n }), isPtr(e.L))
+		an.maybeWrapTransparent(s, wrap)
+		return
+	}
+	if isPtr(e.L) {
+		// Pointer += / -= : treated as an assignment with arithmetic.
+		an.compoundPtrAssign(s, e)
+		return
+	}
+	an.lvalueSlot(mkslot(func() ast.Expr { return e.L }, func(n ast.Expr) { e.L = n }))
+	an.exprSlot(mkslot(func() ast.Expr { return e.R }, func(n ast.Expr) { e.R = n }), false)
+}
+
+func (an *annotator) unary(s *slot, e *ast.Unary, wrap bool) {
+	switch e.Op {
+	case token.Inc, token.Dec:
+		if isPtr(e.X) {
+			an.ptrIncDec(s, e)
+			return
+		}
+		an.lvalueSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+	case token.Star:
+		// "...or as the argument of a dereferencing operation".
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), true)
+		an.maybeWrapTransparent(s, wrap)
+	case token.Amp:
+		// The inner access must not take its own address wrap: the whole
+		// &e expression is the address arithmetic being protected.
+		switch x := ast.Unparen(e.X).(type) {
+		case *ast.Index, *ast.Member:
+			an.accessInternals(x)
+		default:
+			an.lvalueSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+		}
+		if wrap && isPtr(e) && !an.baseAddr(e.X).nilBase() {
+			// &e with a heap base is address arithmetic.
+			an.wrapSlot(s)
+		}
+	default:
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+	}
+}
+
+// call annotates a function call: every pointer-typed argument is a
+// KEEP_LIVE site ("or as a function argument").
+func (an *annotator) call(s *slot, e *ast.Call, wrap bool) {
+	an.exprSlot(mkslot(func() ast.Expr { return e.Fun }, func(n ast.Expr) { e.Fun = n }), false)
+	an.memcpyWarn(e)
+	for i := range e.Args {
+		i := i
+		an.exprSlot(mkslot(
+			func() ast.Expr { return e.Args[i] },
+			func(n ast.Expr) { e.Args[i] = n },
+		), isPtr(e.Args[i]))
+	}
+	// The call result is treated as the value of a KEEP_LIVE expression
+	// (the paper's assumption for allocation functions, generalized), so
+	// the whole call is transparent.
+	an.maybeWrapTransparent(s, wrap)
+}
+
+// access handles subscript and member expressions used as values: the
+// address computation is pointer arithmetic, so the access becomes
+// *KEEP_LIVE(&(e), BASEADDR(e)) when a heap base exists. ("We essentially
+// treat pointer offset calculations as pointer arithmetic.")
+func (an *annotator) access(s *slot, wrap bool) {
+	an.accessInternals(s.get())
+	e := s.get()
+	b := an.baseAddr(e)
+	if b.nilBase() {
+		// Named local/static storage: no heap object can be involved.
+		return
+	}
+	if _, ok := e.Type().(*types.Array); ok {
+		// No load occurs; the value is the (decayed) address itself. Wrap
+		// the address arithmetic only if requested as a value.
+		if wrap {
+			an.wrapSlot(s)
+		}
+		return
+	}
+	an.wrapAccessAddr(s)
+	// The loaded value itself is transparent; honour a value wrap only
+	// when suppression is off.
+	an.maybeWrapTransparent(s, wrap)
+}
+
+// wrapAccessAddr rewrites the access in s to *KEEP_LIVE(&(e), base),
+// preserving the original source span on the synthesized nodes so nested
+// annotations keep editing by position.
+func (an *annotator) wrapAccessAddr(s *slot) {
+	if an.opts.CallSiteOnly && !an.stmtHasCall {
+		an.res.Suppressed++
+		return
+	}
+	e := s.get()
+	b := an.baseAddr(e)
+	if b.nilBase() {
+		return
+	}
+	origPos, origEnd := e.Pos(), e.End()
+	baseObj := an.materializeBase(b)
+	amp := &ast.Unary{Op: token.Amp, X: e, OpPos: origPos}
+	amp.SetType(types.PointerTo(e.Type()))
+	kl := an.newKeepLive(amp, baseObj)
+	star := &ast.Unary{Op: token.Star, X: kl, OpPos: origPos}
+	star.SetType(e.Type())
+	s.set(star)
+	an.emitAddrWrap(origPos.Off, origEnd, e.Type(), baseObj)
+	an.res.Inserted++
+}
+
+// accessInternals annotates the constituents of an access chain without
+// inserting the chain's own address wrap.
+func (an *annotator) accessInternals(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Index:
+		// The pointer operand's own arithmetic (if any) is wrapped through
+		// the normal rules; BASEADDR covers keeping the base live across
+		// the subscript arithmetic itself.
+		an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+		an.exprSlot(mkslot(func() ast.Expr { return e.I }, func(n ast.Expr) { e.I = n }), false)
+	case *ast.Member:
+		if e.Arrow {
+			an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+			return
+		}
+		// Dot chains recurse structurally: only the outermost access gets
+		// the address wrap.
+		switch x := e.X.(type) {
+		case *ast.Index:
+			an.exprSlot(mkslot(func() ast.Expr { return x.X }, func(n ast.Expr) { x.X = n }), false)
+			an.exprSlot(mkslot(func() ast.Expr { return x.I }, func(n ast.Expr) { x.I = n }), false)
+		case *ast.Member:
+			an.accessInternals(x)
+		case *ast.Paren:
+			an.accessInternals(x.X)
+		case *ast.Unary:
+			if x.Op == token.Star {
+				an.exprSlot(mkslot(func() ast.Expr { return x.X }, func(n ast.Expr) { x.X = n }), true)
+			}
+		case *ast.Ident:
+			// plain variable: nothing to do
+		default:
+			an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), false)
+		}
+	}
+}
+
+// lvalueSlot annotates an expression used as an assignment target (no value
+// load happens, but the address computation still needs protection).
+func (an *annotator) lvalueSlot(s *slot) {
+	switch e := s.get().(type) {
+	case *ast.Ident:
+	case *ast.Paren:
+		an.lvalueSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+	case *ast.Unary:
+		if e.Op == token.Star {
+			an.exprSlot(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }), true)
+		}
+	case *ast.Index, *ast.Member:
+		an.accessInternals(e)
+		an.wrapAccessAddr(s)
+	}
+}
+
+// wrapSlot applies KEEP_LIVE(e, BASE(e)) to the expression in s, emitting
+// the matching text edits.
+func (an *annotator) wrapSlot(s *slot) {
+	if an.opts.CallSiteOnly && !an.stmtHasCall {
+		// Optimization (4): no collection point inside this statement.
+		an.res.Suppressed++
+		return
+	}
+	b := an.baseOf(s)
+	if b.nilBase() {
+		// Definitely not a heap pointer: annotation would be dead weight.
+		return
+	}
+	baseObj := an.materializeBase(b)
+	e := s.get()
+	origPos, origEnd := e.Pos(), e.End()
+	kl := an.newKeepLive(e, baseObj)
+	s.set(kl)
+	an.emitValueWrap(origPos.Off, origEnd, types.Decay(e.Type()), baseObj)
+	an.res.Inserted++
+}
+
+// materializeBase resolves a baseInfo to a concrete base variable,
+// introducing a temporary at the generating site if necessary, and applies
+// the paper's optimization (3) base-pointer heuristic.
+func (an *annotator) materializeBase(b baseInfo) *ast.Object {
+	if b.gen != nil {
+		g := b.gen.get()
+		tmp := parser.NewTemp(an.fn, types.Decay(g.Type()))
+		asn := &ast.Assign{Op: token.Assign, L: objIdent(tmp), R: g}
+		asn.SetType(tmp.Type)
+		par := &ast.Paren{X: asn, Lparen: g.Pos(), RparenEnd: g.End()}
+		par.SetType(tmp.Type)
+		b.gen.set(par)
+		an.emitOpen(g.Pos().Off, "("+tmp.Name+" = ")
+		an.emitClose(g.End(), ")")
+		return tmp
+	}
+	if an.heuristicBase != nil {
+		if better, ok := an.heuristicBase[b.obj]; ok {
+			return better
+		}
+	}
+	return b.obj
+}
+
+// newKeepLive builds an annotation node around x.
+func (an *annotator) newKeepLive(x ast.Expr, base *ast.Object) *ast.KeepLive {
+	kl := &ast.KeepLive{X: x, Checked: an.opts.Mode == ModeChecked}
+	if base != nil {
+		kl.Base = objIdent(base)
+	}
+	kl.SetType(types.Decay(x.Type()))
+	return kl
+}
+
+func objIdent(o *ast.Object) *ast.Ident {
+	id := &ast.Ident{Name: o.Name, Obj: o}
+	id.SetType(o.Type)
+	return id
+}
+
+func intLit(v int64) *ast.IntLit {
+	l := &ast.IntLit{Val: v}
+	l.SetType(types.IntType)
+	return l
+}

@@ -1,0 +1,203 @@
+package gcsafe
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// This file implements the paper's inductive BASE / BASEADDR definition:
+// BASE(e) is the pointer variable from which the value of e is computed, or
+// NIL if there is no such pointer variable, chosen so that e and BASE(e)
+// are guaranteed to point to the same object whenever e points to a heap
+// object. BASEADDR(e) is the possible base pointer for &e.
+//
+// Two distinct "no base variable" outcomes matter to the annotator:
+//
+//   - definitely-not-heap (address of a named variable, a string literal, a
+//     null constant): no annotation is needed at all, because the value can
+//     never reference a collected object;
+//   - generating expression (function call, pointer dereference, loaded
+//     struct member, conditional): the value may well be a heap pointer but
+//     no existing variable holds it. The paper's presentation assumes such
+//     results are assigned to temporaries first ("we assume that
+//     temporaries have already been introduced"); baseInfo carries the
+//     generating site — as a slot in its parent node — so the annotator can
+//     introduce exactly that temporary by splicing in `(tmp = g)`.
+type baseInfo struct {
+	obj *ast.Object // base pointer variable, if any
+	gen *slot       // generating subexpression needing a temporary, if any
+}
+
+// nilBase reports the definitely-not-heap outcome.
+func (b baseInfo) nilBase() bool { return b.obj == nil && b.gen == nil }
+
+// slot is a settable reference to an expression held by its parent node.
+type slot struct {
+	get func() ast.Expr
+	set func(ast.Expr)
+}
+
+func mkslot(get func() ast.Expr, set func(ast.Expr)) *slot {
+	return &slot{get: get, set: set}
+}
+
+// baseOf computes BASE of the expression held in s.
+func (an *annotator) baseOf(s *slot) baseInfo {
+	switch e := s.get().(type) {
+	case *ast.Ident:
+		// BASE(x) = x if x is a variable and possible heap pointer.
+		if e.Obj.IsPointerVar() && !isArrayObj(e.Obj) {
+			return baseInfo{obj: e.Obj}
+		}
+		// Array variables (and plain integers, function names, enum
+		// constants) denote storage outside the collected heap.
+		return baseInfo{}
+	case *ast.IntLit, *ast.CharLit, *ast.SizeofExpr, *ast.SizeofType:
+		// BASE(0) = NIL.
+		return baseInfo{}
+	case *ast.StrLit:
+		// String literals live in static storage.
+		return baseInfo{}
+	case *ast.Paren:
+		return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+	case *ast.Assign:
+		if e.Op == token.Assign {
+			// BASE(x = e) = x if x is a pointer variable, else BASE(e).
+			if id, ok := ast.Unparen(e.L).(*ast.Ident); ok && id.Obj.IsPointerVar() && !isArrayObj(id.Obj) {
+				return baseInfo{obj: id.Obj}
+			}
+			return an.baseOf(mkslot(func() ast.Expr { return e.R }, func(n ast.Expr) { e.R = n }))
+		}
+		// BASE(e1 += e2) = BASE(e1); likewise -=.
+		return an.baseOf(mkslot(func() ast.Expr { return e.L }, func(n ast.Expr) { e.L = n }))
+	case *ast.Unary:
+		switch e.Op {
+		case token.Inc, token.Dec:
+			// BASE(e1++) = BASE(++e1) = BASE(e1).
+			return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+		case token.Amp:
+			// BASE(&e1) = BASEADDR(e1).
+			return an.baseAddr(e.X)
+		case token.Star:
+			// A dereference is a generating expression.
+			return baseInfo{gen: s}
+		}
+		return baseInfo{}
+	case *ast.Binary:
+		switch e.Op {
+		case token.Plus:
+			// BASE(e1 + e2) = BASE(e1) where e1 is the pointer-typed side.
+			if isPtr(e.X) {
+				return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+			}
+			if isPtr(e.Y) {
+				return an.baseOf(mkslot(func() ast.Expr { return e.Y }, func(n ast.Expr) { e.Y = n }))
+			}
+		case token.Minus:
+			if isPtr(e.X) {
+				return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+			}
+		}
+		return baseInfo{}
+	case *ast.Comma:
+		// BASE(e1, e2) = BASE(e2).
+		return an.baseOf(mkslot(func() ast.Expr { return e.Y }, func(n ast.Expr) { e.Y = n }))
+	case *ast.Cast:
+		// A pointer-to-pointer cast preserves the object. Integer-to-
+		// pointer casts have no base (and draw a warning elsewhere).
+		if isPtr(e.X) {
+			return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+		}
+		return baseInfo{}
+	case *ast.KeepLive:
+		// An already-annotated value is explicitly visible and serves as
+		// its own base evidence.
+		if e.Base != nil {
+			return baseInfo{obj: e.Base.Obj}
+		}
+		return baseInfo{gen: s}
+	case *ast.Call:
+		// Generating: the result must be named by a temporary before
+		// arithmetic can hang off it.
+		return baseInfo{gen: s}
+	case *ast.Cond:
+		return baseInfo{gen: s}
+	case *ast.Index:
+		// A loaded element is generating — unless the element has array
+		// type, in which case no load happens and this is address
+		// arithmetic on the underlying object (the paper's "e -> x will
+		// not actually involve a dereference if the field x has array
+		// type").
+		if _, ok := e.Type().(*types.Array); ok {
+			return an.baseAddr(e)
+		}
+		return baseInfo{gen: s}
+	case *ast.Member:
+		if _, ok := e.Type().(*types.Array); ok {
+			return an.baseAddr(e)
+		}
+		return baseInfo{gen: s}
+	}
+	return baseInfo{}
+}
+
+// baseAddr computes BASEADDR(e) for an lvalue expression e. The generating
+// outcomes inside an address computation resolve through BASE of the
+// pointer operand, so no slot is needed at this level: any temporary will
+// be introduced at the pointer operand the recursion reaches.
+func (an *annotator) baseAddr(e ast.Expr) baseInfo {
+	switch e := e.(type) {
+	case *ast.Ident:
+		// BASEADDR(x) = NIL if x is a variable: the address of a named
+		// variable is stack or static storage, never heap.
+		return baseInfo{}
+	case *ast.Paren:
+		return an.baseAddr(e.X)
+	case *ast.Index:
+		// BASEADDR(e1[e2]) = BASE(e1) if non-NIL, else BASE(e2).
+		if isPtr(e.X) || isArrayExpr(e.X) {
+			bx := an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+			if !bx.nilBase() {
+				return bx
+			}
+			if isPtr(e.I) {
+				return an.baseOf(mkslot(func() ast.Expr { return e.I }, func(n ast.Expr) { e.I = n }))
+			}
+			return bx
+		}
+		if isPtr(e.I) {
+			return an.baseOf(mkslot(func() ast.Expr { return e.I }, func(n ast.Expr) { e.I = n }))
+		}
+		return baseInfo{}
+	case *ast.Member:
+		if e.Arrow {
+			// BASEADDR(e1 -> x) = BASE(e1).
+			return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+		}
+		// BASEADDR(e1.x) follows the enclosing lvalue.
+		return an.baseAddr(e.X)
+	case *ast.Unary:
+		if e.Op == token.Star {
+			// &*e simplifies to e, so BASEADDR(*e) = BASE(e).
+			return an.baseOf(mkslot(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n }))
+		}
+	}
+	return baseInfo{}
+}
+
+// isArrayObj reports whether the object's declared type is an array (its
+// storage is the variable itself, not a heap object).
+func isArrayObj(o *ast.Object) bool {
+	_, ok := o.Type.(*types.Array)
+	return ok
+}
+
+// isArrayExpr reports whether e's un-decayed type is an array.
+func isArrayExpr(e ast.Expr) bool {
+	if e.Type() == nil {
+		return false
+	}
+	_, ok := e.Type().(*types.Array)
+	return ok
+}

@@ -1,0 +1,319 @@
+package gcsafe
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases of the annotation algorithm beyond the main test file.
+
+func TestComplexLvalueCompoundAssign(t *testing.T) {
+	// Pointer += through a dereference: the general expansion with
+	// temporaries applies.
+	src := `
+void f(char **pp, int n) {
+    *pp += n;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "__tmp1") || !strings.Contains(res.Output, "__tmp2") {
+		t.Fatalf("general expansion temps missing:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(__tmp2 + n, __tmp2)") {
+		t.Fatalf("arithmetic not annotated:\n%s", res.Output)
+	}
+}
+
+func TestComplexLvalueIncrement(t *testing.T) {
+	src := `
+struct cur { char *pos; };
+void f(struct cur *c) {
+    c->pos++;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	// The lvalue c->pos requires the general (tmp1 = &(e), ...) expansion;
+	// &(c->pos) itself is address arithmetic with base c.
+	if !strings.Contains(res.Output, "__tmp1") {
+		t.Fatalf("expansion missing:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(& c->pos, c)") {
+		t.Fatalf("address of member not annotated:\n%s", res.Output)
+	}
+}
+
+func TestNestedAccessChain(t *testing.T) {
+	src := `
+struct inner { int vals[4]; };
+struct outer { struct inner *in; };
+int f(struct outer *o, int i) {
+    return o->in->vals[i];
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	// Chain: load o->in (annotated), then index into the array member of
+	// the loaded struct (annotated with a temp as base).
+	if res.Inserted < 2 {
+		t.Fatalf("Inserted = %d:\n%s", res.Inserted, res.Output)
+	}
+}
+
+func TestArrayMemberNoDereference(t *testing.T) {
+	// The paper: "the C expression e -> x will not actually involve a
+	// dereference if the field x has array type". Using the array member
+	// as a value is address arithmetic, not a load.
+	src := `
+struct buf { int len; char data[16]; };
+char *f(struct buf *b) {
+    return b->data;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "KEEP_LIVE(b->data, b)") {
+		t.Fatalf("array-member decay not annotated as arithmetic:\n%s", res.Output)
+	}
+}
+
+func TestAddressOfElementWrapped(t *testing.T) {
+	src := `
+int *f(int *xs, int i) {
+    return &xs[i];
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "KEEP_LIVE(&xs[i], xs)") {
+		t.Fatalf("&xs[i] not annotated:\n%s", res.Output)
+	}
+}
+
+func TestAddressOfLocalNotWrapped(t *testing.T) {
+	src := `
+void g(int *p);
+void f() {
+    int x;
+    g(&x);
+}
+`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 0 {
+		t.Fatalf("address of a local annotated:\n%s", res.Output)
+	}
+}
+
+func TestCastChainPreservesBase(t *testing.T) {
+	src := `
+struct a { int x; };
+struct b { int y; };
+struct b *f(struct a *p) {
+    return (struct b *)((char *)p + 8);
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, ", p)") {
+		t.Fatalf("base lost through cast chain:\n%s", res.Output)
+	}
+	if len(res.Warnings) != 0 {
+		t.Fatalf("pointer-to-pointer casts should not warn: %v", res.Warnings)
+	}
+}
+
+func TestCommaBasePropagation(t *testing.T) {
+	// BASE(e1, e2) = BASE(e2).
+	src := `
+char *f(char *p, int n) {
+    return (n++, p + n);
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "KEEP_LIVE(p + n, p)") {
+		t.Fatalf("comma RHS not annotated with p:\n%s", res.Output)
+	}
+}
+
+func TestConditionalBaseSplit(t *testing.T) {
+	src := `
+char *f(int c, char *p, char *q) {
+    char *r;
+    r = (c ? p : q) + 1;
+    return r;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	// The conditional is a generating expression: its value is named by a
+	// temporary and the arithmetic is based on it.
+	if !strings.Contains(res.Output, "__tmp1") {
+		t.Fatalf("no temp for the conditional base:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, ", __tmp1))") {
+		t.Fatalf("temp not used as base:\n%s", res.Output)
+	}
+}
+
+func TestAsmStyleAddressForm(t *testing.T) {
+	src := `int f(int *xs, int i) { return xs[i]; }`
+	res := annotate(t, src, Options{Style: EmitAsm})
+	if !strings.Contains(res.Output, "int * __kl = &(xs[i])") {
+		t.Fatalf("asm address form:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, `"rm"((xs))`) {
+		t.Fatalf("asm base constraint:\n%s", res.Output)
+	}
+}
+
+func TestGlobalInitializerWarningsOnly(t *testing.T) {
+	src := `
+char *bad = (char *)3000;
+int *fine = 0;
+int main() { return 0; }
+`
+	res := annotate(t, src, Options{})
+	if len(res.Warnings) != 1 {
+		t.Fatalf("warnings = %v", res.Warnings)
+	}
+	if res.Inserted != 0 {
+		t.Fatalf("static initializers must not be annotated:\n%s", res.Output)
+	}
+}
+
+func TestCheckedComplexLvalueIncrement(t *testing.T) {
+	// Checked mode with a non-simple lvalue uses the general expansion
+	// with GC_same_obj checks inside.
+	src := `
+void f(char **pp) {
+    (*pp)++;
+}
+`
+	res := annotate(t, src, Options{Mode: ModeChecked})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "GC_same_obj") {
+		t.Fatalf("no check in:\n%s", res.Output)
+	}
+}
+
+func TestPointerSubtractionNotWrapped(t *testing.T) {
+	// p - q yields an integer; no annotation site exists.
+	src := `int f(char *p, char *q) { return p - q; }`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 0 {
+		t.Fatalf("integer-valued subtraction annotated:\n%s", res.Output)
+	}
+}
+
+func TestDecrementAndSubAssign(t *testing.T) {
+	src := `
+void f(char *p, int n) {
+    p--;
+    --p;
+    p -= n;
+    *p = 0;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "KEEP_LIVE(p - 1, p)") {
+		t.Fatalf("decrement arithmetic missing:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(p - n, p)") {
+		t.Fatalf("-= arithmetic missing:\n%s", res.Output)
+	}
+}
+
+func TestMultipleFunctionsIndependentTemps(t *testing.T) {
+	src := `
+char *mk();
+char *f() { return mk() + 1; }
+char *g() { return mk() + 2; }
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	// Each function numbers its temporaries from 1.
+	if strings.Count(res.Output, "char * __tmp1;") != 2 {
+		t.Fatalf("per-function temp declarations wrong:\n%s", res.Output)
+	}
+}
+
+func TestWhileConditionAnnotated(t *testing.T) {
+	src := `
+int f(char *p) {
+    int n = 0;
+    while (p[n]) n++;
+    return n;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "KEEP_LIVE(&(p[n]), p)") {
+		t.Fatalf("loop condition subscript not annotated:\n%s", res.Output)
+	}
+}
+
+func TestStructPointerReturnedFieldChain(t *testing.T) {
+	src := `
+struct list { struct list *next; };
+struct list *advance(struct list *l, int n) {
+    while (n-- > 0) l = l->next;
+    return l;
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "KEEP_LIVE(&(l->next), l)") {
+		t.Fatalf("next-chain not annotated:\n%s", res.Output)
+	}
+}
+
+func TestWarningPositions(t *testing.T) {
+	src := "int x;\nchar *f(int v) {\n    return (char *)v;\n}\n"
+	res := annotate(t, src, Options{})
+	if len(res.Warnings) != 1 {
+		t.Fatalf("warnings = %v", res.Warnings)
+	}
+	w := res.Warnings[0]
+	if w.Line != 3 {
+		t.Errorf("warning line = %d, want 3", w.Line)
+	}
+	if !strings.Contains(w.String(), "warning:") {
+		t.Errorf("warning format: %s", w)
+	}
+}
+
+func TestStrictStructCastWarning(t *testing.T) {
+	// The paper: warnings should also fire "when the same thing is
+	// accomplished by a cast between different structure pointer types".
+	src := `
+struct holder { char *p; int n; };
+struct plain  { int a; int b; };
+struct same   { char *q; int m; };
+void f(struct holder *h) {
+    struct plain *bad = (struct plain *)h;   /* pointer word becomes int */
+    struct same *ok = (struct same *)h;      /* layouts agree */
+    bad->a = 1;
+    ok->m = 2;
+}
+`
+	res := annotate(t, src, Options{StrictCastWarnings: true})
+	var strict int
+	for _, w := range res.Warnings {
+		if strings.Contains(w.Msg, "changes which words hold pointers") {
+			strict++
+		}
+	}
+	if strict != 1 {
+		t.Fatalf("strict cast warnings = %d, want 1 (%v)", strict, res.Warnings)
+	}
+	// Default options keep the paper's implemented behaviour: no warning.
+	res2 := annotate(t, src, Options{})
+	for _, w := range res2.Warnings {
+		if strings.Contains(w.Msg, "changes which words hold") {
+			t.Fatalf("strict warning fired without the option: %v", w)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package gcsafe
+
+import (
+	"fmt"
+	"strings"
+
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/types"
+)
+
+// Text-edit emission. All emission respects silent mode: inside a
+// structural rewrite the whole span is replaced by printed text, so nested
+// emissions would double up.
+
+func (an *annotator) emitOpen(off int, text string) {
+	if an.silent == 0 {
+		an.edits.InsertOpen(off, text)
+	}
+}
+
+func (an *annotator) emitClose(off int, text string) {
+	if an.silent == 0 {
+		an.edits.InsertClose(off, text)
+	}
+}
+
+func (an *annotator) emitReplace(off, end int, text string) {
+	if an.silent == 0 {
+		an.edits.Replace(off, end, text)
+	}
+}
+
+// emitValueWrap surrounds source span [off,end) — a pointer-valued
+// expression of type t — with the annotation for KEEP_LIVE(e, base).
+func (an *annotator) emitValueWrap(off, end int, t types.Type, base *ast.Object) {
+	if an.silent > 0 {
+		return
+	}
+	bn := "0"
+	if base != nil {
+		bn = base.Name
+	}
+	ct := typeCText(t)
+	switch {
+	case an.opts.Mode == ModeChecked:
+		an.emitOpen(off, "(("+ct+")GC_same_obj((void *)(")
+		an.emitClose(end, "), (void *)("+bn+")))")
+	case an.opts.Style == EmitAsm:
+		an.emitOpen(off, "({ "+ct+" __kl = (")
+		an.emitClose(end, "); __asm__(\"\" : \"+r\"(__kl) : \"rm\"(("+bn+"))); __kl; })")
+	default:
+		an.emitOpen(off, "(("+ct+")KEEP_LIVE(")
+		an.emitClose(end, ", "+bn+"))")
+	}
+}
+
+// emitAddrWrap surrounds an lvalue access span with the address-arithmetic
+// annotation *KEEP_LIVE(&(e), base), where t is the accessed (element)
+// type.
+func (an *annotator) emitAddrWrap(off, end int, t types.Type, base *ast.Object) {
+	if an.silent > 0 {
+		return
+	}
+	bn := "0"
+	if base != nil {
+		bn = base.Name
+	}
+	ct := typeCText(t)
+	switch {
+	case an.opts.Mode == ModeChecked:
+		an.emitOpen(off, "(*("+ct+" *)GC_same_obj((void *)&(")
+		an.emitClose(end, "), (void *)("+bn+")))")
+	case an.opts.Style == EmitAsm:
+		an.emitOpen(off, "(*({ "+ct+" * __kl = &(")
+		an.emitClose(end, "); __asm__(\"\" : \"+r\"(__kl) : \"rm\"(("+bn+"))); __kl; }))")
+	default:
+		an.emitOpen(off, "(*("+ct+" *)KEEP_LIVE(&(")
+		an.emitClose(end, "), "+bn+"))")
+	}
+}
+
+// emitTempDecls inserts declarations for the function's synthesized
+// temporaries right after the opening brace of its body.
+func (an *annotator) emitTempDecls(fd *ast.FuncDecl) {
+	var sb strings.Builder
+	for _, t := range fd.Temps {
+		fmt.Fprintf(&sb, " %s;", declCText(t.Type, t.Name))
+	}
+	an.emitOpen(fd.Body.Lbrace.Off+1, sb.String())
+}
+
+// typeCText renders a type as C source text suitable for a cast. Arrays
+// and functions render as their decayed pointer forms.
+func typeCText(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Basic:
+		return t.String()
+	case *types.Pointer:
+		if _, ok := t.Elem.(*types.Func); ok {
+			return "void *"
+		}
+		return typeCText(t.Elem) + " *"
+	case *types.Struct:
+		return t.String()
+	case *types.Enum:
+		return "int"
+	case *types.Array:
+		return typeCText(t.Elem) + " *"
+	case *types.Func:
+		return "void *"
+	}
+	return "void *"
+}
+
+// declCText renders a declaration of name with type t.
+func declCText(t types.Type, name string) string {
+	return typeCText(t) + " " + name
+}

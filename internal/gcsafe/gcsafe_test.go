@@ -1,0 +1,473 @@
+package gcsafe
+
+import (
+	"strings"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+)
+
+func annotate(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	res, err := AnnotateSource("test.c", src, opts)
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	return res
+}
+
+// reparse checks that the rewritten text is still accepted by the front
+// end (the annotator's output feeds a real compiler in the paper).
+func reparse(t *testing.T, out string) {
+	t.Helper()
+	if _, err := parser.Parse("out.c", out); err != nil {
+		t.Fatalf("annotated output does not re-parse: %v\n--- output ---\n%s", err, out)
+	}
+}
+
+func TestDisguisedPointerExample(t *testing.T) {
+	// The paper's opening example: a final reference p[i-1000] may be
+	// compiled as p -= 1000; ... p[i] ..., hiding the object. The
+	// annotation must wrap the subscript's address arithmetic with base p.
+	src := `
+char g(char *p, int i) {
+    return p[i - 1000];
+}
+`
+	res := annotate(t, src, Options{})
+	if res.Inserted == 0 {
+		t.Fatal("no annotation inserted for the canonical example")
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(&(p[i - 1000]), p)") {
+		t.Fatalf("missing KEEP_LIVE around subscript arithmetic:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestAnalysisExampleXPlusOne(t *testing.T) {
+	// The paper's Analysis section example: char f(char *x) { return x[1]; }
+	src := `char f(char *x) { return x[1]; }`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 1 {
+		t.Fatalf("Inserted = %d, want 1", res.Inserted)
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(&(x[1]), x)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestAsmStyleEmission(t *testing.T) {
+	src := `char f(char *x) { return x[1]; }`
+	res := annotate(t, src, Options{Style: EmitAsm})
+	if !strings.Contains(res.Output, `__asm__("" : "+r"(__kl) : "rm"((x)))`) {
+		t.Fatalf("asm-style output missing constraint:\n%s", res.Output)
+	}
+}
+
+func TestCopySuppression(t *testing.T) {
+	// Optimization (1): "There is clearly no reason to replace the
+	// assignment p = q by p = KEEP_LIVE(q, q)."
+	src := `
+void f(char *q) {
+    char *p;
+    p = q;
+}
+`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 0 {
+		t.Fatalf("plain copy was annotated: %d insertions\n%s", res.Inserted, res.Output)
+	}
+	if res.Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", res.Suppressed)
+	}
+	// Ablation: with suppression off, the copy gets wrapped.
+	res2 := annotate(t, src, Options{NoCopySuppression: true})
+	if res2.Inserted != 1 {
+		t.Fatalf("NoCopySuppression Inserted = %d, want 1\n%s", res2.Inserted, res2.Output)
+	}
+	if !strings.Contains(res2.Output, "KEEP_LIVE(q, q)") {
+		t.Fatalf("output:\n%s", res2.Output)
+	}
+	reparse(t, res2.Output)
+}
+
+func TestPointerArithmeticAssignment(t *testing.T) {
+	src := `
+char *f(char *p, int n) {
+    char *q;
+    q = p + n;
+    return q;
+}
+`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "KEEP_LIVE(p + n, p)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestReturnWrapped(t *testing.T) {
+	src := `char *f(char *p) { return p + 4; }`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "KEEP_LIVE(p + 4, p)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestCallArgumentWrapped(t *testing.T) {
+	src := `
+void g(char *s);
+void f(char *p) { g(p + 2); }
+`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "KEEP_LIVE(p + 2, p)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestStringCopyLoop(t *testing.T) {
+	// The canonical string copy loop from the paper's optimization (3).
+	src := `
+void copy(char *s, char *t) {
+    char *p; char *q;
+    p = s; q = t;
+    while (*p++ = *q++);
+}
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	// Postfix increments must be expanded with temporaries (optimization 2
+	// keeps simple variables out of memory).
+	if !strings.Contains(res.Output, "__tmp1") {
+		t.Fatalf("expected temporaries in expansion:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(__tmp1 + 1, __tmp1)") {
+		t.Fatalf("expected KEEP_LIVE on increment arithmetic:\n%s", res.Output)
+	}
+
+	// Optimization (3): with the heuristic, the base pointers become the
+	// slowly varying s and t.
+	res3 := annotate(t, src, Options{BaseHeuristic: true})
+	reparse(t, res3.Output)
+	if !strings.Contains(res3.Output, "KEEP_LIVE(__tmp1 + 1, s)") {
+		t.Fatalf("heuristic did not substitute s as base:\n%s", res3.Output)
+	}
+	if !strings.Contains(res3.Output, "KEEP_LIVE(__tmp2 + 1, t)") {
+		t.Fatalf("heuristic did not substitute t as base:\n%s", res3.Output)
+	}
+}
+
+func TestCheckedModeEmission(t *testing.T) {
+	src := `char f(char *p) { return p[1]; }`
+	res := annotate(t, src, Options{Mode: ModeChecked})
+	if !strings.Contains(res.Output, "GC_same_obj((void *)&(p[1]), (void *)(p))") {
+		t.Fatalf("checked output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestCheckedPreIncrement(t *testing.T) {
+	// Paper: ++p in debugging mode becomes
+	// (char (*)) GC_pre_incr(&(p), sizeof(char)*(+(1)))
+	src := `void f(char *p) { ++p; *p = 1; }`
+	res := annotate(t, src, Options{Mode: ModeChecked})
+	if !strings.Contains(res.Output, "GC_pre_incr(& p, 1)") &&
+		!strings.Contains(res.Output, "GC_pre_incr(&(p), 1)") &&
+		!strings.Contains(res.Output, "GC_pre_incr((& p), 1)") {
+		t.Fatalf("checked ++p output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestCheckedPostIncrementScaling(t *testing.T) {
+	src := `
+struct pair { int a; int b; };
+void f(struct pair *p) { p++; }
+`
+	res := annotate(t, src, Options{Mode: ModeChecked})
+	// struct pair is 8 bytes; statement-level p++ is canonicalized to the
+	// prefix form, so GC_pre_incr gets a byte delta of 8.
+	if !strings.Contains(res.Output, "8)") {
+		t.Fatalf("expected byte delta 8 in:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestCompoundAssignRewrite(t *testing.T) {
+	src := `void f(char *p, int n) { p += n; *p = 0; }`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "p = ") || !strings.Contains(res.Output, "KEEP_LIVE(p + n, p)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestMemberAccessAnnotated(t *testing.T) {
+	src := `
+struct node { int val; struct node *next; };
+int f(struct node *p) { return p->next->val; }
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	// Both the inner p->next load and the outer ->val access involve
+	// address arithmetic; the outer one's base is a temporary naming the
+	// loaded p->next.
+	if res.Inserted < 2 {
+		t.Fatalf("Inserted = %d, want >= 2\n%s", res.Inserted, res.Output)
+	}
+	if res.Temps < 1 {
+		t.Fatalf("expected a temporary for the generating base\n%s", res.Output)
+	}
+}
+
+func TestLocalStructNotAnnotated(t *testing.T) {
+	// Accesses rooted at named local/static storage can never touch the
+	// collected heap; no annotation should appear.
+	src := `
+struct point { int x; int y; };
+int f() {
+    struct point v;
+    int arr[10];
+    v.x = 1;
+    arr[3] = v.x;
+    return arr[3] + v.y;
+}
+`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 0 {
+		t.Fatalf("local-storage accesses annotated (%d):\n%s", res.Inserted, res.Output)
+	}
+	if res.Output != strings.ReplaceAll(src, "\r", "") {
+		t.Fatalf("output should be byte-identical to input:\n%s", res.Output)
+	}
+}
+
+func TestHeapArrayViaPointerAnnotated(t *testing.T) {
+	src := `
+int f(int *a, int i) { return a[i]; }
+`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "KEEP_LIVE(&(a[i]), a)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestStoreThroughSubscript(t *testing.T) {
+	src := `void f(int *a, int i, int v) { a[i] = v; }`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "(*(int *)KEEP_LIVE(&(a[i]), a)) = v") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestIntToPointerWarning(t *testing.T) {
+	src := `
+char *f(int bits) {
+    return (char *)bits;
+}
+`
+	res := annotate(t, src, Options{})
+	if len(res.Warnings) == 0 {
+		t.Fatal("no warning for integer-to-pointer conversion")
+	}
+	if !strings.Contains(res.Warnings[0].Msg, "non-pointer") {
+		t.Fatalf("warning = %v", res.Warnings[0])
+	}
+}
+
+func TestSmallIntToPointerBenign(t *testing.T) {
+	src := `char *f() { return (char *)0; }
+char *g() { return (char *)1; }`
+	res := annotate(t, src, Options{})
+	if len(res.Warnings) != 0 {
+		t.Fatalf("benign small-integer conversions warned: %v", res.Warnings)
+	}
+}
+
+func TestMemcpyMismatchWarning(t *testing.T) {
+	src := `
+struct holder { char *p; };
+void f(struct holder *h, char *buf) {
+    memcpy((void *)buf, (void *)h, sizeof(struct holder));
+}
+`
+	res := annotate(t, src, Options{})
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w.Msg, "memcpy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no memcpy warning; warnings = %v", res.Warnings)
+	}
+}
+
+func TestSizeofOperandNotAnnotated(t *testing.T) {
+	src := `unsigned f(char *p) { return sizeof p[1]; }`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 0 {
+		t.Fatalf("sizeof operand annotated:\n%s", res.Output)
+	}
+}
+
+func TestConditionalArmsWrapped(t *testing.T) {
+	src := `char *f(char *p, char *q, int c) { return c ? p + 1 : q + 2; }`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "KEEP_LIVE(p + 1, p)") ||
+		!strings.Contains(res.Output, "KEEP_LIVE(q + 2, q)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestGeneratingBaseGetsTemp(t *testing.T) {
+	// f() + 4: the call result must be named before arithmetic hangs off
+	// it ("we assume that temporaries have already been introduced").
+	src := `
+char *mk();
+char *f() { return mk() + 4; }
+`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if res.Temps != 1 {
+		t.Fatalf("Temps = %d, want 1\n%s", res.Temps, res.Output)
+	}
+	if !strings.Contains(res.Output, "(__tmp1 = mk())") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, ", __tmp1))") {
+		t.Fatalf("temp not used as base:\n%s", res.Output)
+	}
+}
+
+func TestTempDeclarationsEmitted(t *testing.T) {
+	src := `
+char *mk();
+char *f() { return mk() + 4; }
+`
+	res := annotate(t, src, Options{})
+	if !strings.Contains(res.Output, "char * __tmp1;") {
+		t.Fatalf("temporary not declared:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestStatementLevelIncrementCheap(t *testing.T) {
+	// `p++;` at statement level uses the prefix expansion (no temp).
+	src := `void f(char *p) { p++; *p = 0; }`
+	res := annotate(t, src, Options{})
+	if strings.Contains(res.Output, "__tmp") {
+		t.Fatalf("statement-level p++ should not need a temp:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "p = KEEP_LIVE(p + 1, p)") {
+		t.Fatalf("output:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestValueUsedPostIncrementKeepsValue(t *testing.T) {
+	src := `char f(char *p) { return *p++; }`
+	res := annotate(t, src, Options{})
+	reparse(t, res.Output)
+	if !strings.Contains(res.Output, "__tmp1 = p") {
+		t.Fatalf("postfix with used value needs the save temp:\n%s", res.Output)
+	}
+}
+
+func TestNoIncDecExpansionAblation(t *testing.T) {
+	src := `void f(char *p) { p++; *p = 0; }`
+	res := annotate(t, src, Options{NoIncDecExpansion: true})
+	reparse(t, res.Output)
+	// The general form takes the variable's address, forcing it to memory.
+	if !strings.Contains(res.Output, "= & p") && !strings.Contains(res.Output, "= &p") &&
+		!strings.Contains(res.Output, "= (& p)") {
+		t.Fatalf("general expansion should take &p:\n%s", res.Output)
+	}
+}
+
+func TestIdempotentOnPointerFreeCode(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 0 || res.Output != src {
+		t.Fatalf("pointer-free code modified:\n%s", res.Output)
+	}
+}
+
+func TestAnnotationCountsReported(t *testing.T) {
+	src := `
+char *f(char *p) {
+    char *q;
+    q = p;         /* suppressed copy */
+    q = p + 1;     /* wrapped arithmetic */
+    return q;      /* suppressed copy (return of variable) */
+}
+`
+	res := annotate(t, src, Options{})
+	if res.Inserted != 1 {
+		t.Fatalf("Inserted = %d, want 1\n%s", res.Inserted, res.Output)
+	}
+	if res.Suppressed != 2 {
+		t.Fatalf("Suppressed = %d, want 2", res.Suppressed)
+	}
+}
+
+func TestCallSiteOnlyDropsCallFreeAnnotations(t *testing.T) {
+	// Optimization (4): statements without calls need no KEEP_LIVE when
+	// collections happen only at call sites.
+	src := `
+char f(char *p, int i) {
+    return p[i - 1000];        /* no call in this statement */
+}
+char g(char *p) {
+    return p[strlen(p) - 1];   /* a call: annotation must stay */
+}
+`
+	res := annotate(t, src, Options{CallSiteOnly: true})
+	if strings.Contains(res.Output, "KEEP_LIVE(&(p[i - 1000])") {
+		t.Fatalf("call-free statement still annotated:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "KEEP_LIVE(&(p[strlen(p) - 1]), p)") {
+		t.Fatalf("call-bearing statement lost its annotation:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}
+
+func TestCallSiteOnlyKeepsReturnAnnotations(t *testing.T) {
+	// A returned pointer crosses a call boundary by definition.
+	src := `char *f(char *p) { return p + 4; }`
+	res := annotate(t, src, Options{CallSiteOnly: true})
+	if !strings.Contains(res.Output, "KEEP_LIVE(p + 4, p)") {
+		t.Fatalf("return annotation dropped:\n%s", res.Output)
+	}
+}
+
+func TestCallSiteOnlyIncDec(t *testing.T) {
+	src := `
+void f(char *p) {
+    p++;                       /* no call: left untouched */
+    *p = 0;
+}
+void g(char *p) {
+    putchar(*p++);             /* call in statement: rewritten */
+}
+`
+	res := annotate(t, src, Options{CallSiteOnly: true})
+	if !strings.Contains(res.Output, "    p++;") {
+		t.Fatalf("call-free increment rewritten:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "__tmp1") {
+		t.Fatalf("call-bearing increment not rewritten:\n%s", res.Output)
+	}
+	reparse(t, res.Output)
+}

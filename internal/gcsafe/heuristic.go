@@ -1,0 +1,77 @@
+package gcsafe
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/token"
+)
+
+// computeHeuristicBases implements the paper's optimization (3): "A good
+// heuristic appears to be to replace base pointers in KEEP_LIVE expressions
+// by equivalent, but less rapidly varying base pointers, especially if
+// those are likely to be live in any case."
+//
+// The analysis is deliberately small (the paper calls for "a small amount
+// of analysis"): a pointer variable p may use s as its base when, in the
+// whole function, p receives exactly one plain copy `p = s` from a pointer
+// variable s, every other assignment to p is self-arithmetic
+// (BASE(rhs) = p, e.g. p++, p += k, p = p + k, or KEEP_LIVE forms thereof),
+// s is never assigned, and neither variable has its address taken. Under
+// those conditions p always points into the object s points to, so s is an
+// equivalent, less rapidly varying base — exactly the `while (*p++ = *q++)`
+// string-copy situation the paper illustrates.
+func (an *annotator) computeHeuristicBases(fd *ast.FuncDecl) {
+	assigns := map[*ast.Object]int{}
+	copies := map[*ast.Object][]*ast.Object{}
+	others := map[*ast.Object]int{}
+
+	record := func(target *ast.Object, src ast.Expr, selfArith bool) {
+		assigns[target]++
+		if selfArith {
+			return
+		}
+		if src != nil {
+			if id, ok := ast.Unparen(src).(*ast.Ident); ok && id.Obj.IsPointerVar() && !isArrayObj(id.Obj) {
+				copies[target] = append(copies[target], id.Obj)
+				return
+			}
+		}
+		others[target]++
+	}
+
+	ast.Inspect(fd, func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Assign:
+			id, ok := isSimpleVar(e.L)
+			if !ok || !id.Obj.IsPointerVar() {
+				return true
+			}
+			if e.Op != token.Assign {
+				record(id.Obj, nil, true) // p += k is self-arithmetic
+				return true
+			}
+			b := an.baseOf(mkslot(func() ast.Expr { return e.R }, func(ast.Expr) {}))
+			record(id.Obj, e.R, b.obj == id.Obj)
+		case *ast.Unary:
+			if e.Op == token.Inc || e.Op == token.Dec {
+				if id, ok := isSimpleVar(e.X); ok && id.Obj.IsPointerVar() {
+					record(id.Obj, nil, true)
+				}
+			}
+		}
+		return true
+	})
+
+	for p, cs := range copies {
+		if len(cs) != 1 || others[p] != 0 || p.AddrTaken {
+			continue
+		}
+		s := cs[0]
+		if s == p || assigns[s] != 0 || s.AddrTaken {
+			continue
+		}
+		if an.heuristicBase == nil {
+			an.heuristicBase = map[*ast.Object]*ast.Object{}
+		}
+		an.heuristicBase[p] = s
+	}
+}

@@ -1,0 +1,291 @@
+package gcsafe
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// This file implements the structural rewrites for pointer increment,
+// decrement and compound assignment — the paper's optimization (2) and its
+// debugging-mode GC_pre_incr / GC_post_incr expansions.
+
+// elemSizeOf returns the byte size of the pointee of a pointer-typed
+// expression (1 for void*, matching gcc's arithmetic-on-void* extension).
+func elemSizeOf(e ast.Expr) int {
+	pt, ok := types.Decay(e.Type()).(*types.Pointer)
+	if !ok {
+		return 1
+	}
+	s := pt.Elem.Size()
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// replaceStructural annotates and rebuilds the expression in s via build
+// (run in silent mode so no stray text edits escape), then replaces the
+// original source span with the printed form of the new tree.
+func (an *annotator) replaceStructural(s *slot, build func() ast.Expr) {
+	orig := s.get()
+	pos, end := orig.Pos().Off, orig.End()
+	if an.forcedSpan != nil {
+		pos, end = an.forcedSpan[0], an.forcedSpan[1]
+		an.forcedSpan = nil
+	}
+	an.silent++
+	n := build()
+	an.silent--
+	par := &ast.Paren{X: n, Lparen: token.Pos{Off: pos, Line: orig.Pos().Line, Col: orig.Pos().Col}, RparenEnd: end}
+	par.SetType(types.Decay(n.Type()))
+	s.set(par)
+	an.emitReplace(pos, end, ast.PrintExpr(n))
+}
+
+// heuristicFor applies the optimization (3) base substitution for a
+// variable, returning the variable itself when no better base is known.
+func (an *annotator) heuristicFor(o *ast.Object) *ast.Object {
+	if an.heuristicBase != nil {
+		if b, ok := an.heuristicBase[o]; ok {
+			return b
+		}
+	}
+	return o
+}
+
+func isSimpleVar(e ast.Expr) (*ast.Ident, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Obj == nil {
+		return nil, false
+	}
+	switch id.Obj.Kind {
+	case ast.ObjVar, ast.ObjParam, ast.ObjTemp:
+		return id, true
+	}
+	return nil, false
+}
+
+// ptrIncDec rewrites ++p, p++, --p, p-- on pointer-typed lvalues.
+func (an *annotator) ptrIncDec(s *slot, e *ast.Unary) {
+	if an.opts.CallSiteOnly && !an.stmtHasCall {
+		// Optimization (4): no collection point inside this statement.
+		an.forcedSpan = nil
+		an.res.Suppressed++
+		return
+	}
+	delta := int64(1)
+	op := token.Plus
+	if e.Op == token.Dec {
+		op = token.Minus
+	}
+	ptrT := types.Decay(e.X.Type())
+	byteDelta := int64(elemSizeOf(e.X))
+	if e.Op == token.Dec {
+		byteDelta = -byteDelta
+	}
+	id, simple := isSimpleVar(e.X)
+
+	if an.opts.Mode == ModeChecked && simple {
+		// The paper's debugging expansion:
+		//   ++p  =>  (char (*)) GC_pre_incr(&(p), sizeof(char)*(+(1)))
+		an.replaceStructural(s, func() ast.Expr {
+			fn := "GC_pre_incr"
+			if e.Postfix {
+				fn = "GC_post_incr"
+			}
+			return an.castTo(ptrT, an.runtimeCall(fn, an.addrOf(objIdent(id.Obj)), intLit(byteDelta)))
+		})
+		return
+	}
+
+	if simple && !an.opts.NoIncDecExpansion {
+		// Optimization (2): a simple variable that might be register
+		// allocated must not be forced to memory, so expand without taking
+		// its address:
+		//   ++p  =>  (p = KEEP_LIVE(p + 1, p))
+		//   p++  =>  (tmp = p, p = KEEP_LIVE(tmp + 1, tmp), tmp)
+		an.replaceStructural(s, func() ast.Expr {
+			p := id.Obj
+			if !e.Postfix {
+				arith := an.ptrArith(objIdent(p), op, intLit(delta), ptrT)
+				kl := an.newKeepLive(arith, an.heuristicFor(p))
+				asn := &ast.Assign{Op: token.Assign, L: objIdent(p), R: kl}
+				asn.SetType(ptrT)
+				return asn
+			}
+			tmp := parser.NewTemp(an.fn, ptrT)
+			save := &ast.Assign{Op: token.Assign, L: objIdent(tmp), R: objIdent(p)}
+			save.SetType(ptrT)
+			arith := an.ptrArith(objIdent(tmp), op, intLit(delta), ptrT)
+			// Without the optimization (3) heuristic the saved old value is
+			// the base; with it, the slowly varying equivalent replaces it.
+			base := an.heuristicFor(p)
+			if base == p {
+				base = tmp
+			}
+			kl := an.newKeepLive(arith, base)
+			upd := &ast.Assign{Op: token.Assign, L: objIdent(p), R: kl}
+			upd.SetType(ptrT)
+			return commaChain(ptrT, save, upd, objIdent(tmp))
+		})
+		return
+	}
+
+	// The fully general expansion for arbitrary lvalues (and the
+	// NoIncDecExpansion ablation):
+	//   e++ => (tmp1 = &(e), tmp2 = *tmp1, *tmp1 = KEEP_LIVE(tmp2+1, tmp2), tmp2)
+	//   ++e => (tmp1 = &(e), tmp2 = *tmp1, tmp2 = KEEP_LIVE(tmp2+1, tmp2),
+	//           *tmp1 = tmp2, tmp2)
+	an.replaceStructural(s, func() ast.Expr {
+		lv := an.annotatedLvalue(e.X)
+		tmp1 := parser.NewTemp(an.fn, types.PointerTo(ptrT))
+		tmp2 := parser.NewTemp(an.fn, ptrT)
+		a1 := &ast.Assign{Op: token.Assign, L: objIdent(tmp1), R: an.addrOf(lv)}
+		a1.SetType(tmp1.Type)
+		a2 := &ast.Assign{Op: token.Assign, L: objIdent(tmp2), R: deref(objIdent(tmp1), ptrT)}
+		a2.SetType(ptrT)
+		arith := an.ptrArith(objIdent(tmp2), op, intLit(delta), ptrT)
+		kl := an.newKeepLive(arith, tmp2)
+		if e.Postfix {
+			st := &ast.Assign{Op: token.Assign, L: deref(objIdent(tmp1), ptrT), R: kl}
+			st.SetType(ptrT)
+			return commaChain(ptrT, a1, a2, st, objIdent(tmp2))
+		}
+		upd := &ast.Assign{Op: token.Assign, L: objIdent(tmp2), R: kl}
+		upd.SetType(ptrT)
+		st := &ast.Assign{Op: token.Assign, L: deref(objIdent(tmp1), ptrT), R: objIdent(tmp2)}
+		st.SetType(ptrT)
+		return commaChain(ptrT, a1, a2, upd, st, objIdent(tmp2))
+	})
+}
+
+// compoundPtrAssign rewrites p += e and p -= e for pointer-typed targets.
+func (an *annotator) compoundPtrAssign(s *slot, e *ast.Assign) {
+	if an.opts.CallSiteOnly && !an.stmtHasCall {
+		an.res.Suppressed++
+		an.exprSlot(mkslot(func() ast.Expr { return e.R }, func(n ast.Expr) { e.R = n }), false)
+		return
+	}
+	op := token.Plus
+	if e.Op == token.SubAssign {
+		op = token.Minus
+	}
+	ptrT := types.Decay(e.L.Type())
+	id, simple := isSimpleVar(e.L)
+	an.replaceStructural(s, func() ast.Expr {
+		// Annotate the amount expression first (integers: wrap=false).
+		rSlot := mkslot(func() ast.Expr { return e.R }, func(n ast.Expr) { e.R = n })
+		an.exprSlot(rSlot, false)
+		amount := parenIfNeeded(e.R)
+		if simple {
+			// p += e  =>  (p = KEEP_LIVE(p + (e), p))
+			arith := an.ptrArith(objIdent(id.Obj), op, amount, ptrT)
+			kl := an.newKeepLive(arith, id.Obj)
+			asn := &ast.Assign{Op: token.Assign, L: objIdent(id.Obj), R: kl}
+			asn.SetType(ptrT)
+			return asn
+		}
+		lv := an.annotatedLvalue(e.L)
+		tmp1 := parser.NewTemp(an.fn, types.PointerTo(ptrT))
+		tmp2 := parser.NewTemp(an.fn, ptrT)
+		a1 := &ast.Assign{Op: token.Assign, L: objIdent(tmp1), R: an.addrOf(lv)}
+		a1.SetType(tmp1.Type)
+		a2 := &ast.Assign{Op: token.Assign, L: objIdent(tmp2), R: deref(objIdent(tmp1), ptrT)}
+		a2.SetType(ptrT)
+		arith := an.ptrArith(objIdent(tmp2), op, amount, ptrT)
+		kl := an.newKeepLive(arith, tmp2)
+		st := &ast.Assign{Op: token.Assign, L: deref(objIdent(tmp1), ptrT), R: kl}
+		st.SetType(ptrT)
+		return commaChain(ptrT, a1, a2, st)
+	})
+}
+
+// annotatedLvalue runs the lvalue transformation on a detached expression
+// and returns the result.
+func (an *annotator) annotatedLvalue(e ast.Expr) ast.Expr {
+	box := e
+	an.lvalueSlot(mkslot(func() ast.Expr { return box }, func(n ast.Expr) { box = n }))
+	return box
+}
+
+// ptrArith builds pointer ± integer with the pointer's type.
+func (an *annotator) ptrArith(p ast.Expr, op token.Kind, amt ast.Expr, ptrT types.Type) ast.Expr {
+	b := &ast.Binary{Op: op, X: p, Y: amt}
+	b.SetType(ptrT)
+	return b
+}
+
+func (an *annotator) addrOf(e ast.Expr) ast.Expr {
+	// Taking the address forces the object out of registers — the cost the
+	// paper's optimization (2) exists to avoid.
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Obj != nil {
+		id.Obj.AddrTaken = true
+	}
+	u := &ast.Unary{Op: token.Amp, X: e}
+	t := e.Type()
+	if t == nil {
+		t = types.IntType
+	}
+	u.SetType(types.PointerTo(t))
+	return u
+}
+
+func deref(e ast.Expr, elemT types.Type) ast.Expr {
+	u := &ast.Unary{Op: token.Star, X: e}
+	u.SetType(elemT)
+	return u
+}
+
+func parenIfNeeded(e ast.Expr) ast.Expr {
+	switch e.(type) {
+	case *ast.Ident, *ast.IntLit, *ast.CharLit, *ast.Paren, *ast.Call:
+		return e
+	}
+	p := &ast.Paren{X: e, Lparen: e.Pos(), RparenEnd: e.End()}
+	p.SetType(e.Type())
+	return p
+}
+
+// commaChain folds exprs into left-nested comma expressions typed as t.
+func commaChain(t types.Type, exprs ...ast.Expr) ast.Expr {
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		c := &ast.Comma{X: out, Y: e}
+		c.SetType(e.Type())
+		out = c
+	}
+	if !types.Identical(types.Decay(out.Type()), types.Decay(t)) {
+		out.(*ast.Comma).SetType(t)
+	}
+	return out
+}
+
+// runtimeCall builds a call to a named runtime function (GC_pre_incr etc.),
+// synthesizing the extern declaration object on demand.
+func (an *annotator) runtimeCall(name string, args ...ast.Expr) ast.Expr {
+	obj := an.runtimeFns[name]
+	if obj == nil {
+		if an.runtimeFns == nil {
+			an.runtimeFns = map[string]*ast.Object{}
+		}
+		obj = &ast.Object{
+			Name:    name,
+			Kind:    ast.ObjFunc,
+			Storage: ast.Extern,
+			Global:  true,
+			Type:    &types.Func{Ret: types.PointerTo(types.VoidType), OldStyle: true},
+		}
+		an.runtimeFns[name] = obj
+	}
+	c := &ast.Call{Fun: objIdent(obj), Args: args}
+	c.SetType(types.PointerTo(types.VoidType))
+	return c
+}
+
+func (an *annotator) castTo(t types.Type, e ast.Expr) ast.Expr {
+	c := &ast.Cast{To: t, TypeText: typeCText(t), X: e}
+	c.SetType(t)
+	return c
+}

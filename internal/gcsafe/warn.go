@@ -1,0 +1,186 @@
+package gcsafe
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/types"
+)
+
+// Source-checking diagnostics (paper, "Source Checking" assumption 1 and
+// 2): warn when nonpointer values are directly converted to pointers, and
+// when memcpy/memmove argument types disagree about whether the copied
+// memory contains pointers (the practical way a strictly conforming program
+// hides pointers from the collector).
+
+func (an *annotator) castWarn(e *ast.Cast) {
+	if !types.IsPointer(e.To) {
+		return
+	}
+	xt := e.X.Type()
+	if xt == nil {
+		return
+	}
+	if an.opts.StrictCastWarnings {
+		an.structCastWarn(e, xt)
+	}
+	if !types.IsInteger(types.Decay(xt)) {
+		return
+	}
+	if isNullLike(e.X) {
+		// "the common practice of converting very small integers to
+		// pointers that are never dereferenced" is benign.
+		return
+	}
+	an.warnf(e.Pos(), "conversion of non-pointer value to pointer type %s may disguise a heap pointer from the collector", typeCText(e.To))
+}
+
+// assignWarn flags implicit integer-to-pointer assignment.
+func (an *annotator) assignWarn(e *ast.Assign) {
+	if !isPtr(e.L) {
+		return
+	}
+	rt := e.R.Type()
+	if rt == nil || !types.IsInteger(types.Decay(rt)) {
+		return
+	}
+	if isNullLike(e.R) {
+		return
+	}
+	an.warnf(e.Pos(), "implicit conversion of integer to pointer in assignment")
+}
+
+// memcpyWarn flags memcpy/memmove calls "with arguments whose types don't
+// match" in pointer content, which can write heap pointers to collector-
+// invisible or misaligned locations.
+func (an *annotator) memcpyWarn(c *ast.Call) {
+	id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch id.Name {
+	case "memcpy", "memmove":
+	default:
+		return
+	}
+	if len(c.Args) < 2 {
+		return
+	}
+	d := pointeeHasPointers(c.Args[0])
+	s := pointeeHasPointers(c.Args[1])
+	if d != s {
+		an.warnf(c.Pos(), "%s between pointer-bearing and pointer-free memory may hide pointers from the collector", id.Name)
+	}
+}
+
+// pointeeHasPointers looks through casts to the original argument type and
+// reports whether the memory it addresses can contain pointers.
+func pointeeHasPointers(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Cast:
+			e = x.X
+			continue
+		}
+		break
+	}
+	t := e.Type()
+	if t == nil {
+		return false
+	}
+	switch t := types.Decay(t).(type) {
+	case *types.Pointer:
+		return types.ContainsPointer(t.Elem)
+	}
+	return false
+}
+
+// warnExpr runs the warning checks over an expression tree without
+// transforming it (used for file-scope initializers).
+func (an *annotator) warnExpr(e ast.Expr) {
+	ast.Inspect(e, func(x ast.Expr) bool {
+		switch x := x.(type) {
+		case *ast.Cast:
+			an.castWarn(x)
+		case *ast.Assign:
+			an.assignWarn(x)
+		case *ast.Call:
+			an.memcpyWarn(x)
+		}
+		return true
+	})
+}
+
+func isNullLike(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.IntLit:
+		// Very small integers converted to pointers are tolerated; they
+		// are never valid heap addresses.
+		return e.Val >= 0 && e.Val < 256
+	case *ast.Cast:
+		return isNullLike(e.X)
+	}
+	return false
+}
+
+// structCastWarn implements the paper's recommended extra check: a cast
+// between different structure pointer types can "accomplish the same thing"
+// as an integer-to-pointer conversion when the two layouts disagree about
+// which words hold pointers — heap references can be disguised as integers
+// or integers exposed as references.
+func (an *annotator) structCastWarn(e *ast.Cast, fromT types.Type) {
+	toP, ok := e.To.(*types.Pointer)
+	if !ok {
+		return
+	}
+	fromP, ok := types.Decay(fromT).(*types.Pointer)
+	if !ok {
+		return
+	}
+	toS, ok1 := toP.Elem.(*types.Struct)
+	fromS, ok2 := fromP.Elem.(*types.Struct)
+	if !ok1 || !ok2 || toS == fromS {
+		return
+	}
+	if !pointerLayoutCompatible(fromS, toS) {
+		an.warnf(e.Pos(), "cast between %s * and %s * changes which words hold pointers and may disguise heap references",
+			fromS, toS)
+	}
+}
+
+// pointerLayoutCompatible reports whether every pointer-holding word offset
+// in the overlapping prefix of the two structs agrees.
+func pointerLayoutCompatible(a, b *types.Struct) bool {
+	pa := pointerOffsets(a)
+	pb := pointerOffsets(b)
+	limit := a.Size()
+	if b.Size() < limit {
+		limit = b.Size()
+	}
+	for off := 0; off < limit; off += 4 {
+		if pa[off] != pb[off] {
+			return false
+		}
+	}
+	return true
+}
+
+func pointerOffsets(s *types.Struct) map[int]bool {
+	out := map[int]bool{}
+	var walk func(t types.Type, base int)
+	walk = func(t types.Type, base int) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			out[base] = true
+		case *types.Array:
+			es := t.Elem.Size()
+			for i := 0; i < t.Len; i++ {
+				walk(t.Elem, base+i*es)
+			}
+		case *types.Struct:
+			for _, f := range t.Fields {
+				walk(f.Type, base+f.Off)
+			}
+		}
+	}
+	walk(s, 0)
+	return out
+}

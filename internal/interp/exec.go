@@ -1,0 +1,268 @@
+package interp
+
+import (
+	"fmt"
+
+	"gcsafety/internal/machine"
+)
+
+// call runs fn to completion (including nested calls) using an explicit
+// frame stack, so a collection can fire between any two instructions.
+func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
+	stack := []*frame{{fn: entry, pc: 0, savedSP: m.sp, retReg: retReg}}
+	for len(stack) > 0 && !m.exited {
+		fr := stack[len(stack)-1]
+		if fr.pc >= len(fr.fn.Code) {
+			// fall off the end: return 0
+			m.sp = fr.savedSP
+			m.setReg(fr.retReg, 0)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		in := fr.fn.Code[fr.pc]
+		if m.instrs >= m.opts.MaxInstrs {
+			return &FaultError{Fn: fr.fn.Name, PC: fr.pc,
+				Err: fmt.Errorf("instruction budget (%d) exhausted", m.opts.MaxInstrs)}
+		}
+		m.instrs++
+		m.cycles += m.cfg.CostOf(in.Op)
+		// Asynchronous collection regime: a GC may fire between any two
+		// instructions.
+		if m.opts.GCEveryInstrs > 0 {
+			m.sinceGC++
+			if m.sinceGC >= m.opts.GCEveryInstrs {
+				m.sinceGC = 0
+				m.heap.Collect()
+			}
+		}
+		fr.pc++
+		ret, push, err := m.step(fr, in)
+		if err != nil {
+			return &FaultError{Fn: fr.fn.Name, PC: fr.pc - 1, Err: err}
+		}
+		if push != nil {
+			stack = append(stack, push)
+			continue
+		}
+		if ret {
+			m.sp = fr.savedSP
+			m.setReg(fr.retReg, m.pendingRet)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+func (m *Machine) reg(r machine.Reg) uint32 {
+	if r == machine.NoReg || int(r) >= len(m.regs) {
+		return 0
+	}
+	return m.regs[r]
+}
+
+func (m *Machine) setReg(r machine.Reg, v uint32) {
+	if r == machine.NoReg || int(r) >= len(m.regs) {
+		return
+	}
+	m.regs[r] = v
+}
+
+// src2 resolves the second operand (register or immediate).
+func (m *Machine) src2(in machine.Instr) uint32 {
+	if in.HasImm {
+		return uint32(in.Imm)
+	}
+	return m.reg(in.Rs2)
+}
+
+// step executes one instruction. It returns ret=true when the current
+// frame finished, or a new frame to push for calls.
+func (m *Machine) step(fr *frame, in machine.Instr) (ret bool, push *frame, err error) {
+	switch in.Op {
+	case machine.Nop, machine.Label:
+	case machine.KeepLive:
+		// The empty asm: value flows through unchanged; the base operand is
+		// merely kept live by its presence here.
+		m.setReg(in.Rd, m.reg(in.Rs1))
+	case machine.Mov:
+		m.setReg(in.Rd, m.src2first(in))
+	case machine.Add:
+		m.setReg(in.Rd, m.reg(in.Rs1)+m.src2(in))
+	case machine.Sub:
+		m.setReg(in.Rd, m.reg(in.Rs1)-m.src2(in))
+	case machine.Mul:
+		m.setReg(in.Rd, m.reg(in.Rs1)*m.src2(in))
+	case machine.Div:
+		d := int32(m.src2(in))
+		if d == 0 {
+			return false, nil, fmt.Errorf("division by zero")
+		}
+		m.setReg(in.Rd, uint32(int32(m.reg(in.Rs1))/d))
+	case machine.Divu:
+		d := m.src2(in)
+		if d == 0 {
+			return false, nil, fmt.Errorf("division by zero")
+		}
+		m.setReg(in.Rd, m.reg(in.Rs1)/d)
+	case machine.Rem:
+		d := int32(m.src2(in))
+		if d == 0 {
+			return false, nil, fmt.Errorf("division by zero")
+		}
+		m.setReg(in.Rd, uint32(int32(m.reg(in.Rs1))%d))
+	case machine.Remu:
+		d := m.src2(in)
+		if d == 0 {
+			return false, nil, fmt.Errorf("division by zero")
+		}
+		m.setReg(in.Rd, m.reg(in.Rs1)%d)
+	case machine.And:
+		m.setReg(in.Rd, m.reg(in.Rs1)&m.src2(in))
+	case machine.Or:
+		m.setReg(in.Rd, m.reg(in.Rs1)|m.src2(in))
+	case machine.Xor:
+		m.setReg(in.Rd, m.reg(in.Rs1)^m.src2(in))
+	case machine.Shl:
+		m.setReg(in.Rd, m.reg(in.Rs1)<<(m.src2(in)&31))
+	case machine.Shr:
+		m.setReg(in.Rd, uint32(int32(m.reg(in.Rs1))>>(m.src2(in)&31)))
+	case machine.Shru:
+		m.setReg(in.Rd, m.reg(in.Rs1)>>(m.src2(in)&31))
+	case machine.CmpEq:
+		m.setReg(in.Rd, b2u(m.reg(in.Rs1) == m.src2(in)))
+	case machine.CmpNe:
+		m.setReg(in.Rd, b2u(m.reg(in.Rs1) != m.src2(in)))
+	case machine.CmpLt:
+		m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) < int32(m.src2(in))))
+	case machine.CmpLe:
+		m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) <= int32(m.src2(in))))
+	case machine.CmpGt:
+		m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) > int32(m.src2(in))))
+	case machine.CmpGe:
+		m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) >= int32(m.src2(in))))
+	case machine.CmpLtu:
+		m.setReg(in.Rd, b2u(m.reg(in.Rs1) < m.src2(in)))
+	case machine.CmpLeu:
+		m.setReg(in.Rd, b2u(m.reg(in.Rs1) <= m.src2(in)))
+	case machine.CmpGtu:
+		m.setReg(in.Rd, b2u(m.reg(in.Rs1) > m.src2(in)))
+	case machine.CmpGeu:
+		m.setReg(in.Rd, b2u(m.reg(in.Rs1) >= m.src2(in)))
+	case machine.Ld:
+		v, e := m.read32(m.reg(in.Rs1) + m.src2(in))
+		if e != nil {
+			return false, nil, e
+		}
+		m.setReg(in.Rd, v)
+	case machine.LdB:
+		b, e := m.read8(m.reg(in.Rs1) + m.src2(in))
+		if e != nil {
+			return false, nil, e
+		}
+		m.setReg(in.Rd, uint32(int32(int8(b))))
+	case machine.LdBu:
+		b, e := m.read8(m.reg(in.Rs1) + m.src2(in))
+		if e != nil {
+			return false, nil, e
+		}
+		m.setReg(in.Rd, uint32(b))
+	case machine.LdH:
+		h, e := m.read16(m.reg(in.Rs1) + m.src2(in))
+		if e != nil {
+			return false, nil, e
+		}
+		m.setReg(in.Rd, uint32(int32(int16(h))))
+	case machine.LdHu:
+		h, e := m.read16(m.reg(in.Rs1) + m.src2(in))
+		if e != nil {
+			return false, nil, e
+		}
+		m.setReg(in.Rd, uint32(h))
+	case machine.St:
+		if e := m.write32(m.reg(in.Rs1)+m.src2(in), m.reg(in.Rd)); e != nil {
+			return false, nil, e
+		}
+	case machine.StB:
+		if e := m.write8(m.reg(in.Rs1)+m.src2(in), byte(m.reg(in.Rd))); e != nil {
+			return false, nil, e
+		}
+	case machine.StH:
+		if e := m.write16(m.reg(in.Rs1)+m.src2(in), uint16(m.reg(in.Rd))); e != nil {
+			return false, nil, e
+		}
+	case machine.Jmp:
+		fr.pc = m.labels[fr.fn.Name][in.Imm]
+	case machine.Bz:
+		if m.reg(in.Rs1) == 0 {
+			fr.pc = m.labels[fr.fn.Name][in.Imm]
+		}
+	case machine.Bnz:
+		if m.reg(in.Rs1) != 0 {
+			fr.pc = m.labels[fr.fn.Name][in.Imm]
+		}
+	case machine.AdjSP:
+		ns := m.sp + uint32(in.Imm)
+		if ns < machine.StackLimit || ns > machine.StackTop {
+			return false, nil, fmt.Errorf("stack overflow (sp=%#x)", ns)
+		}
+		m.sp = ns
+	case machine.LeaSP:
+		m.setReg(in.Rd, m.sp+uint32(in.Imm))
+	case machine.LdSP:
+		v, e := m.read32(m.sp + uint32(in.Imm))
+		if e != nil {
+			return false, nil, e
+		}
+		m.setReg(in.Rd, v)
+	case machine.StSP, machine.Arg:
+		if e := m.write32(m.sp+uint32(in.Imm), m.reg(in.Rd)); e != nil {
+			return false, nil, e
+		}
+	case machine.Call:
+		return m.doCall(in.Sym, in.Rd, int(in.Imm))
+	case machine.CallR:
+		id := int32(m.reg(in.Rs1))
+		f, ok := m.byID[id]
+		if !ok {
+			return false, nil, fmt.Errorf("indirect call to invalid function id %d", id)
+		}
+		return false, &frame{fn: f, pc: 0, savedSP: m.sp, retReg: in.Rd}, nil
+	case machine.Ret:
+		if in.Rs1 != machine.NoReg {
+			m.pendingRet = m.reg(in.Rs1)
+		} else {
+			m.pendingRet = 0
+		}
+		return true, nil, nil
+	default:
+		return false, nil, fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+	return false, nil, nil
+}
+
+func (m *Machine) src2first(in machine.Instr) uint32 {
+	if in.HasImm {
+		return uint32(in.Imm)
+	}
+	return m.reg(in.Rs1)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// doCall dispatches a direct call: user function or runtime builtin.
+func (m *Machine) doCall(sym string, rd machine.Reg, nargs int) (bool, *frame, error) {
+	if f, ok := m.prog.Funcs[sym]; ok {
+		return false, &frame{fn: f, pc: 0, savedSP: m.sp, retReg: rd}, nil
+	}
+	v, err := m.runtimeCall(sym, nargs)
+	if err != nil {
+		return false, nil, err
+	}
+	m.setReg(rd, v)
+	return false, nil, nil
+}

@@ -1,0 +1,225 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gc"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/machine"
+)
+
+// hazardSrc is the paper's opening example, arranged so that the object's
+// final reference is the subscript p[i - 1000] with a dynamic index. The
+// optimizer replaces it by `p = p - 1000; ... p[i]` — and between those two
+// instructions there may be "no recognizable pointer to the object
+// referenced by p".
+const hazardSrc = `
+int main() {
+    int i = getchar() + 2000;            /* dynamic: defeats constant folding */
+    int k = getchar() + 1000;            /* read before the allocation so that */
+    char *p = (char *)GC_malloc(2000);   /* p's live range crosses no call and */
+    p[k] = 55;                           /* p stays purely in a register */
+    print_int(p[i - 1000]);              /* final reference through p */
+    return 0;
+}
+`
+
+// buildHazard compiles hazardSrc under the given treatment.
+func buildHazard(t *testing.T, annotate bool, mode gcsafe.Mode, optimize bool, cg codegen.Options) *machine.Program {
+	t.Helper()
+	file, err := parser.Parse("hazard.c", hazardSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if annotate {
+		if _, err := gcsafe.Annotate(file, gcsafe.Options{Mode: mode}); err != nil {
+			t.Fatalf("annotate: %v", err)
+		}
+	}
+	if cg.Machine.Name == "" {
+		cg.Machine = machine.SPARCstation10()
+	}
+	cg.Optimize = optimize
+	prog, err := codegen.Compile(file, cg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// hazardExec runs with a fully asynchronous collector (a GC before every
+// instruction) and the premature-reclamation detector armed.
+func hazardExec(t *testing.T, prog *machine.Program) (*Result, error) {
+	t.Helper()
+	m := New(prog, Options{
+		Config:        machine.SPARCstation10(),
+		Validate:      true,
+		GCEveryInstrs: 1,
+		Input:         "AA", // i = 'A'+2000; index written = 'A'+1000 = i-1000
+	})
+	return m.Run()
+}
+
+func TestHazardUnsafeOptimizedCollectsPrematurely(t *testing.T) {
+	prog := buildHazard(t, false, gcsafe.ModeSafe, true, codegen.Options{})
+	res, err := hazardExec(t, prog)
+	if err == nil {
+		t.Fatalf("expected premature-reclamation fault; got output %q", res.Output)
+	}
+	var ge *gc.Error
+	if !errors.As(err, &ge) {
+		t.Fatalf("fault is not a heap access error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "not inside any live object") {
+		t.Fatalf("unexpected fault: %v", err)
+	}
+}
+
+func TestHazardDisguiseVisibleInListing(t *testing.T) {
+	// The compiled unsafe code must actually contain the disguising
+	// sequence: an instruction that subtracts 1000 from the pointer.
+	prog := buildHazard(t, false, gcsafe.ModeSafe, true, codegen.Options{})
+	listing := prog.Funcs["main"].Code
+	found := false
+	for _, in := range listing {
+		if in.Op == machine.Sub && in.HasImm && in.Imm == 1000 && in.Rd == in.Rs1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disguising `p = p - 1000` not present:\n%s", prog.Listing())
+	}
+}
+
+func TestHazardSafeAnnotationPreventsCollection(t *testing.T) {
+	prog := buildHazard(t, true, gcsafe.ModeSafe, true, codegen.Options{})
+	res, err := hazardExec(t, prog)
+	if err != nil {
+		t.Fatalf("annotated program faulted: %v", err)
+	}
+	if res.Output != "55" {
+		t.Fatalf("output = %q, want 55", res.Output)
+	}
+	if res.GCStats.Collections == 0 {
+		t.Fatal("the async collector never ran; the test proves nothing")
+	}
+}
+
+func TestHazardCheckedModeAlsoSafe(t *testing.T) {
+	// "the checking calls ensure GC-safety, though not in a
+	// performance-optimal fashion"
+	prog := buildHazard(t, true, gcsafe.ModeChecked, true, codegen.Options{})
+	res, err := hazardExec(t, prog)
+	if err != nil {
+		t.Fatalf("checked program faulted: %v", err)
+	}
+	if res.Output != "55" {
+		t.Fatalf("output = %q, want 55", res.Output)
+	}
+}
+
+func TestHazardDebuggableCodeIsSafe(t *testing.T) {
+	// "For most compilers, it is possible to guarantee GC-safety by
+	// generating fully debuggable code."
+	prog := buildHazard(t, false, gcsafe.ModeSafe, false, codegen.Options{})
+	res, err := hazardExec(t, prog)
+	if err != nil {
+		t.Fatalf("-g program faulted: %v", err)
+	}
+	if res.Output != "55" {
+		t.Fatalf("output = %q, want 55", res.Output)
+	}
+}
+
+func TestHazardGoneWithoutReassociation(t *testing.T) {
+	// Ablation: disabling the disguising transformation removes the hazard
+	// even without annotations (matching the paper's observation that the
+	// problem is "essentially never observed in practice").
+	prog := buildHazard(t, false, gcsafe.ModeSafe, true,
+		codegen.Options{DisableReassociation: true})
+	res, err := hazardExec(t, prog)
+	if err != nil {
+		t.Fatalf("program faulted: %v", err)
+	}
+	if res.Output != "55" {
+		t.Fatalf("output = %q, want 55", res.Output)
+	}
+}
+
+func TestHazardSafeOnAllMachines(t *testing.T) {
+	for _, cfg := range machine.Configs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			prog := buildHazard(t, true, gcsafe.ModeSafe, true, codegen.Options{Machine: cfg})
+			m := New(prog, Options{
+				Config: cfg, Validate: true, GCEveryInstrs: 1, Input: "AA",
+			})
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("faulted: %v", err)
+			}
+			if res.Output != "55" {
+				t.Fatalf("output = %q", res.Output)
+			}
+		})
+	}
+}
+
+// TestSafeModeCostsMoreThanUnsafe verifies the fundamental trade: the
+// annotated optimized program runs correctly but no faster than the
+// unannotated one.
+func TestSafeModeCostsMoreThanUnsafe(t *testing.T) {
+	src := `
+int sum(char *p, int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += p[i];
+    return s;
+}
+int main() {
+    char *p = (char *)GC_malloc(1000);
+    int i;
+    for (i = 0; i < 1000; i++) p[i] = 1;
+    print_int(sum(p, 1000));
+    return 0;
+}
+`
+	run := func(annotate bool) *Result {
+		file, err := parser.Parse("s.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if annotate {
+			if _, err := gcsafe.Annotate(file, gcsafe.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cfg := machine.SPARCstation10()
+		prog, err := codegen.Compile(file, codegen.Options{Optimize: true, Machine: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(prog, Options{Config: cfg, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	safe := run(true)
+	if plain.Output != "1000" || safe.Output != "1000" {
+		t.Fatalf("outputs: %q / %q", plain.Output, safe.Output)
+	}
+	if safe.Cycles < plain.Cycles {
+		t.Fatalf("safe (%d cycles) cheaper than unsafe (%d)?", safe.Cycles, plain.Cycles)
+	}
+	over := float64(safe.Cycles-plain.Cycles) / float64(plain.Cycles) * 100
+	t.Logf("safe-mode overhead: %.1f%% (%d -> %d cycles)", over, plain.Cycles, safe.Cycles)
+	if over > 100 {
+		t.Fatalf("safe-mode overhead implausibly high: %.1f%%", over)
+	}
+}

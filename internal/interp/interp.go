@@ -1,0 +1,213 @@
+// Package interp executes compiled programs on the simulated machine,
+// linking them against the conservative collector and the native runtime
+// library (the unpreprocessed "standard C library" of the paper's
+// methodology). It provides:
+//
+//   - deterministic cycle accounting under a machine cost model, the
+//     basis for every performance table in EXPERIMENTS.md;
+//   - conservative root scanning of the register file, the stack and the
+//     static data segment;
+//   - two collection-trigger regimes: allocation-triggered only (the
+//     paper's "collections triggered only at procedure calls" discussion)
+//     and asynchronous (a collection may fire between any two
+//     instructions), which is the regime the safety argument must survive;
+//   - an optional access validator that detects loads and stores to
+//     reclaimed heap objects — the harness's premature-collection detector
+//     (never part of the cost model).
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"gcsafety/internal/gc"
+	"gcsafety/internal/machine"
+)
+
+// Options configures one execution.
+type Options struct {
+	Config machine.Config
+	// HeapBytes caps the collected heap (default 16 MiB).
+	HeapBytes uint32
+	// TriggerBytes is the allocation-trigger threshold (default 128 KiB).
+	TriggerBytes uint32
+	// GCEveryInstrs, when nonzero, additionally triggers a collection every
+	// N executed instructions — the asynchronous-collector regime.
+	GCEveryInstrs uint64
+	// Validate checks every heap access against the live-object map,
+	// catching use of prematurely collected objects. Purely a harness
+	// feature; adds no cycles.
+	Validate bool
+	// MaxInstrs aborts runaway programs (default 2e9).
+	MaxInstrs uint64
+	// BaseOnlyHeap enables the collector's Extensions-section operating
+	// mode: interior pointers stored in heap objects are not recognized as
+	// references (see internal/gc/extension.go).
+	BaseOnlyHeap bool
+	// Input is the byte stream consumed by getchar().
+	Input string
+	// Entry is the function to run (default "main").
+	Entry string
+}
+
+// Result reports one execution.
+type Result struct {
+	Output   string
+	ExitCode int32
+	Cycles   uint64
+	Instrs   uint64
+	GCStats  gc.Stats
+}
+
+// A FaultError reports a memory or checking fault with machine context.
+type FaultError struct {
+	Fn  string
+	PC  int
+	Err error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("fault in %s at pc %d: %v", e.Fn, e.PC, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// CheckError is the error produced when a GC_same_obj-style runtime check
+// fails (the paper's pointer-arithmetic checker firing).
+type CheckError struct{ Err error }
+
+func (e *CheckError) Error() string { return "pointer check failed: " + e.Err.Error() }
+func (e *CheckError) Unwrap() error { return e.Err }
+
+type frame struct {
+	fn      *machine.Func
+	pc      int
+	savedSP uint32
+	retReg  machine.Reg
+}
+
+// Machine is the execution engine.
+type Machine struct {
+	prog   *machine.Program
+	opts   Options
+	cfg    machine.Config
+	heap   *gc.Heap
+	regs   []uint32
+	sp     uint32
+	static []byte
+	stack  []byte
+	labels map[string]map[int32]int
+	byID   map[int32]*machine.Func
+	out    strings.Builder
+	in     int
+	cycles uint64
+	instrs uint64
+	rng    uint32
+	exited bool
+	exit   int32
+	// pendingRet carries the value of the most recent Ret to the caller's
+	// result register.
+	pendingRet uint32
+	// sinceGC counts instructions since the last async collection.
+	sinceGC uint64
+}
+
+// New prepares a machine for the program.
+func New(prog *machine.Program, opts Options) *Machine {
+	if opts.HeapBytes == 0 {
+		opts.HeapBytes = 16 << 20
+	}
+	if opts.TriggerBytes == 0 {
+		opts.TriggerBytes = 128 << 10
+	}
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 2_000_000_000
+	}
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	m := &Machine{
+		prog:   prog,
+		opts:   opts,
+		cfg:    opts.Config,
+		regs:   make([]uint32, opts.Config.NumRegs),
+		sp:     machine.StackTop,
+		static: append([]byte(nil), prog.Data...),
+		stack:  make([]byte, machine.StackTop-machine.StackLimit),
+		labels: map[string]map[int32]int{},
+		byID:   map[int32]*machine.Func{},
+		rng:    0x9E3779B9,
+	}
+	m.heap = gc.NewHeap(gc.Config{
+		MaxBytes:             opts.HeapBytes,
+		TriggerBytes:         opts.TriggerBytes,
+		Poison:               true,
+		BaseOnlyHeapPointers: opts.BaseOnlyHeap,
+	})
+	m.heap.SetRoots(gc.RootFunc(m.scanRoots))
+	for name, f := range prog.Funcs {
+		lm := map[int32]int{}
+		for pc, in := range f.Code {
+			if in.Op == machine.Label {
+				lm[in.Imm] = pc
+			}
+		}
+		m.labels[name] = lm
+		m.byID[f.ID] = f
+	}
+	return m
+}
+
+// Run executes the program and returns the result.
+func Run(prog *machine.Program, opts Options) (*Result, error) {
+	m := New(prog, opts)
+	return m.Run()
+}
+
+// Run executes the entry function to completion.
+func (m *Machine) Run() (*Result, error) {
+	entry, ok := m.prog.Funcs[m.opts.Entry]
+	if !ok {
+		return nil, fmt.Errorf("interp: no function %q", m.opts.Entry)
+	}
+	if err := m.call(entry, machine.NoReg); err != nil {
+		return m.result(), err
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) result() *Result {
+	return &Result{
+		Output:   m.out.String(),
+		ExitCode: m.exit,
+		Cycles:   m.cycles,
+		Instrs:   m.instrs,
+		GCStats:  m.heap.Stats(),
+	}
+}
+
+// scanRoots feeds the collector every word in the register file, the live
+// stack, and the static data segment.
+func (m *Machine) scanRoots(visit func(gc.Addr)) {
+	for _, r := range m.regs {
+		visit(r)
+	}
+	for a := m.sp &^ 3; a < machine.StackTop; a += 4 {
+		w, err := m.read32raw(a)
+		if err == nil {
+			visit(w)
+		}
+	}
+	base := machine.DataBase
+	for off := 0; off+4 <= len(m.static); off += 4 {
+		visit(uint32(m.static[off]) | uint32(m.static[off+1])<<8 |
+			uint32(m.static[off+2])<<16 | uint32(m.static[off+3])<<24)
+	}
+	_ = base
+}
+
+// Stats exposes collector statistics mid-run (for tests).
+func (m *Machine) Stats() gc.Stats { return m.heap.Stats() }
+
+// Heap exposes the collector (for tests and the checker example).
+func (m *Machine) Heap() *gc.Heap { return m.heap }

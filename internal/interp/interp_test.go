@@ -1,0 +1,499 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/machine"
+)
+
+// compileAndRun builds a C source with the given pipeline and executes it.
+func compileAndRun(t *testing.T, src string, optimize bool, opts Options) *Result {
+	t.Helper()
+	file, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cfg := machine.SPARCstation10()
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: optimize, Machine: cfg})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts.Config = cfg
+	res, err := Run(prog, opts)
+	if err != nil {
+		t.Fatalf("run: %v\noutput so far: %q", err, res.Output)
+	}
+	return res
+}
+
+// runBoth runs the program in both pipelines and checks they agree.
+func runBoth(t *testing.T, src, want string) {
+	t.Helper()
+	for _, opt := range []bool{false, true} {
+		res := compileAndRun(t, src, opt, Options{Validate: true})
+		if res.Output != want {
+			t.Errorf("optimize=%v: output = %q, want %q", opt, res.Output, want)
+		}
+	}
+}
+
+func TestHelloWorld(t *testing.T) {
+	runBoth(t, `
+int main() {
+    print_str("hello, world\n");
+    return 0;
+}
+`, "hello, world\n")
+}
+
+func TestArithmetic(t *testing.T) {
+	runBoth(t, `
+int main() {
+    int a = 6;
+    int b = 7;
+    print_int(a * b);
+    print_int(-3 + 5);
+    print_int(17 / 5);
+    print_int(17 % 5);
+    print_int(1 << 10);
+    print_int(-8 >> 1);
+    return 0;
+}
+`, "422321024-4")
+}
+
+func TestUnsignedArithmetic(t *testing.T) {
+	runBoth(t, `
+int main() {
+    unsigned a = 0xFFFFFFF0u;
+    unsigned b = a >> 4;
+    print_int(b == 0x0FFFFFFF);
+    print_int(a / 16 == b);
+    print_int(3000000000u > 5u);
+    return 0;
+}
+`, "111")
+}
+
+func TestControlFlow(t *testing.T) {
+	runBoth(t, `
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2; else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+int main() {
+    print_int(collatz(27));
+    return 0;
+}
+`, "111")
+}
+
+func TestForLoopAndBreakContinue(t *testing.T) {
+	runBoth(t, `
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 20; i++) {
+        if (i % 2) continue;
+        if (i > 10) break;
+        s += i;
+    }
+    print_int(s);
+    return 0;
+}
+`, "30")
+}
+
+func TestSwitch(t *testing.T) {
+	runBoth(t, `
+int classify(int c) {
+    switch (c) {
+    case 1:
+    case 2: return 10;
+    case 3: return 20;
+    default: return 30;
+    }
+}
+int main() {
+    print_int(classify(1));
+    print_int(classify(2));
+    print_int(classify(3));
+    print_int(classify(99));
+    return 0;
+}
+`, "10102030")
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	runBoth(t, `
+int main() {
+    int x = 2;
+    int s = 0;
+    switch (x) {
+    case 1: s += 1;
+    case 2: s += 2;
+    case 3: s += 4;
+        break;
+    case 4: s += 8;
+    }
+    print_int(s);
+    return 0;
+}
+`, "6")
+}
+
+func TestRecursion(t *testing.T) {
+	runBoth(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print_int(fib(15));
+    return 0;
+}
+`, "610")
+}
+
+func TestGlobals(t *testing.T) {
+	runBoth(t, `
+int counter = 5;
+int table[4] = {10, 20, 30, 40};
+char *msg = "ok";
+int main() {
+    counter += 2;
+    print_int(counter);
+    print_int(table[2]);
+    print_str(msg);
+    return 0;
+}
+`, "730ok")
+}
+
+func TestHeapAllocation(t *testing.T) {
+	runBoth(t, `
+int main() {
+    int *p = (int *)GC_malloc(10 * sizeof(int));
+    int i;
+    for (i = 0; i < 10; i++) p[i] = i * i;
+    int s = 0;
+    for (i = 0; i < 10; i++) s += p[i];
+    print_int(s);
+    return 0;
+}
+`, "285")
+}
+
+func TestLinkedListSurvivesGC(t *testing.T) {
+	src := `
+struct node { int val; struct node *next; };
+struct node *cons(int v, struct node *rest) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    n->val = v;
+    n->next = rest;
+    return n;
+}
+int main() {
+    struct node *head = 0;
+    int i;
+    for (i = 0; i < 1000; i++) {
+        head = cons(i, head);
+        /* garbage to provoke collections */
+        GC_malloc(64);
+    }
+    int s = 0;
+    struct node *p;
+    for (p = head; p != 0; p = p->next) s += p->val;
+    print_int(s);
+    return 0;
+}
+`
+	for _, opt := range []bool{false, true} {
+		res := compileAndRun(t, src, opt, Options{Validate: true, TriggerBytes: 8 << 10})
+		if res.Output != "499500" {
+			t.Errorf("optimize=%v: output = %q", opt, res.Output)
+		}
+		if res.GCStats.Collections == 0 {
+			t.Errorf("optimize=%v: expected collections to run", opt)
+		}
+	}
+}
+
+func TestStringsRuntime(t *testing.T) {
+	runBoth(t, `
+int main() {
+    char *buf = (char *)GC_malloc(64);
+    strcpy(buf, "abc");
+    strcat(buf, "def");
+    print_int(strlen(buf));
+    print_int(strcmp(buf, "abcdef") == 0);
+    print_int(strcmp(buf, "abcdeg") < 0);
+    char *p = strchr(buf, 'd');
+    print_str(p);
+    return 0;
+}
+`, "611def")
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	runBoth(t, `
+int main() {
+    char *s = (char *)GC_malloc(16);
+    strcpy(s, "hello");
+    char *p = s;
+    int n = 0;
+    while (*p++) n++;
+    print_int(n);
+    int *xs = (int *)GC_malloc(4 * sizeof(int));
+    int *q = xs;
+    *q++ = 1; *q++ = 2; *q++ = 3;
+    print_int(q - xs);
+    print_int(xs[0] + xs[1] + xs[2]);
+    return 0;
+}
+`, "536")
+}
+
+func TestStructMembers(t *testing.T) {
+	runBoth(t, `
+struct point { int x; int y; };
+struct rect { struct point lo; struct point hi; };
+int area(struct rect *r) {
+    return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+}
+int main() {
+    struct rect r;
+    r.lo.x = 1; r.lo.y = 2; r.hi.x = 5; r.hi.y = 7;
+    print_int(area(&r));
+    return 0;
+}
+`, "20")
+}
+
+func TestCharShortWidths(t *testing.T) {
+	runBoth(t, `
+int main() {
+    char c = 200;       /* wraps to -56 as signed char */
+    unsigned char u = 200;
+    short s = 40000;    /* wraps negative */
+    unsigned short w = 40000;
+    print_int(c);
+    print_int(u);
+    print_int(s < 0);
+    print_int(w);
+    return 0;
+}
+`, "-56200140000")
+}
+
+func TestConditionalAndLogical(t *testing.T) {
+	runBoth(t, `
+int sideEffects = 0;
+int bump() { sideEffects++; return 1; }
+int main() {
+    int x = 5 > 3 ? 10 : 20;
+    print_int(x);
+    if (0 && bump()) {}
+    if (1 || bump()) {}
+    print_int(sideEffects); /* short circuit: no calls */
+    print_int(!0);
+    print_int(~0 == -1);
+    return 0;
+}
+`, "10011")
+}
+
+func TestFunctionPointers(t *testing.T) {
+	runBoth(t, `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int apply(int (*f)(int), int x) { return f(x); }
+int main() {
+    print_int(apply(twice, 10));
+    print_int(apply(thrice, 10));
+    return 0;
+}
+`, "2030")
+}
+
+func TestStructAssignment(t *testing.T) {
+	runBoth(t, `
+struct pair { int a; int b; };
+int main() {
+    struct pair x;
+    struct pair y;
+    x.a = 3; x.b = 4;
+    y = x;
+    y.a = 9;
+    print_int(x.a + x.b + y.a + y.b);
+    return 0;
+}
+`, "20")
+}
+
+func TestGetcharInput(t *testing.T) {
+	src := `
+int main() {
+    int c;
+    int n = 0;
+    while ((c = getchar()) != -1) {
+        if (c == 'x') n++;
+    }
+    print_int(n);
+    return 0;
+}
+`
+	res := compileAndRun(t, src, true, Options{Validate: true, Input: "axbxcx"})
+	if res.Output != "3" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestMallocMapsToCollector(t *testing.T) {
+	runBoth(t, `
+int main() {
+    int i;
+    for (i = 0; i < 20000; i++) {
+        char *p = (char *)malloc(100);
+        p[0] = 1;
+        free(p); /* removed by the runtime; collector reclaims */
+    }
+    print_str("done");
+    return 0;
+}
+`, "done")
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	runBoth(t, `
+int grid[3][4];
+int main() {
+    int i; int j;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            grid[i][j] = i * 10 + j;
+    print_int(grid[2][3]);
+    print_int(grid[0][1]);
+    return 0;
+}
+`, "231")
+}
+
+func TestExitCode(t *testing.T) {
+	res := compileAndRun(t, `int main() { exit(42); print_str("unreachable"); return 0; }`,
+		true, Options{})
+	if res.ExitCode != 42 {
+		t.Fatalf("exit code = %d", res.ExitCode)
+	}
+	if res.Output != "" {
+		t.Fatalf("output after exit: %q", res.Output)
+	}
+}
+
+func TestCyclesAccounted(t *testing.T) {
+	res := compileAndRun(t, `
+int main() {
+    int i; int s = 0;
+    for (i = 0; i < 1000; i++) s += i;
+    print_int(s);
+    return 0;
+}
+`, true, Options{})
+	if res.Cycles == 0 || res.Instrs == 0 {
+		t.Fatalf("no accounting: %+v", res)
+	}
+	if res.Cycles < res.Instrs/2 {
+		t.Fatalf("cycle count implausible: %d cycles for %d instrs", res.Cycles, res.Instrs)
+	}
+}
+
+func TestOptimizedIsFaster(t *testing.T) {
+	src := `
+int main() {
+    int i; int s = 0;
+    int arr[50];
+    for (i = 0; i < 50; i++) arr[i] = i;
+    for (i = 0; i < 50; i++) s += arr[i] * 2 + 1;
+    print_int(s);
+    return 0;
+}
+`
+	dbg := compileAndRun(t, src, false, Options{})
+	opt := compileAndRun(t, src, true, Options{})
+	if dbg.Output != opt.Output {
+		t.Fatalf("outputs differ: %q vs %q", dbg.Output, opt.Output)
+	}
+	if opt.Cycles >= dbg.Cycles {
+		t.Fatalf("optimized (%d cycles) not faster than debug (%d cycles)", opt.Cycles, dbg.Cycles)
+	}
+}
+
+func TestRealloc(t *testing.T) {
+	runBoth(t, `
+int main() {
+    int *p = (int *)malloc(2 * sizeof(int));
+    p[0] = 11; p[1] = 22;
+    p = (int *)realloc((void *)p, 4 * sizeof(int));
+    p[2] = 33; p[3] = 44;
+    print_int(p[0] + p[1] + p[2] + p[3]);
+    return 0;
+}
+`, "110")
+}
+
+func TestDeepCallStack(t *testing.T) {
+	runBoth(t, `
+int down(int n) {
+    if (n == 0) return 0;
+    return 1 + down(n - 1);
+}
+int main() {
+    print_int(down(500));
+    return 0;
+}
+`, "500")
+}
+
+func TestAsyncGCRegime(t *testing.T) {
+	// With a collection possible between any two instructions, correctly
+	// rooted programs must still work.
+	src := `
+struct node { int val; struct node *next; };
+int main() {
+    struct node *head = 0;
+    int i;
+    for (i = 0; i < 50; i++) {
+        struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+        n->val = i;
+        n->next = head;
+        head = n;
+    }
+    int s = 0;
+    while (head) { s += head->val; head = head->next; }
+    print_int(s);
+    return 0;
+}
+`
+	res := compileAndRun(t, src, false, Options{Validate: true, GCEveryInstrs: 7})
+	if res.Output != "1225" {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.GCStats.Collections == 0 {
+		t.Fatal("async regime never collected")
+	}
+}
+
+func TestUndefinedFunctionFault(t *testing.T) {
+	file, err := parser.Parse("t.c", `int main() { nosuchfn(); return 0; }`)
+	if err == nil || !strings.Contains(err.Error(), "implicit declaration") {
+		t.Fatalf("expected implicit-declaration diagnostic, got %v", err)
+	}
+	_ = file
+}

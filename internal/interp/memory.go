@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"fmt"
+
+	"gcsafety/internal/gc"
+	"gcsafety/internal/machine"
+)
+
+// Simulated memory map:
+//
+//	0x00002000 .. : static data segment (GC roots, scanned)
+//	0x10000000 .. : collected heap (internal/gc)
+//	0x3ff00000 .. 0x40000000 : stack, grows down (GC roots, scanned)
+
+func (m *Machine) inStatic(a uint32) bool {
+	return a >= machine.DataBase && a < machine.DataBase+uint32(len(m.static))
+}
+
+func (m *Machine) inStack(a uint32) bool {
+	return a >= machine.StackLimit && a < machine.StackTop
+}
+
+// validate runs the premature-reclamation detector on heap accesses.
+func (m *Machine) validate(a uint32, size uint32) error {
+	if !m.opts.Validate {
+		return nil
+	}
+	return m.heap.ValidateAccess(a, size)
+}
+
+func (m *Machine) read32raw(a uint32) (uint32, error) {
+	switch {
+	case m.inStatic(a):
+		off := a - machine.DataBase
+		if int(off)+4 > len(m.static) {
+			return 0, fmt.Errorf("static read past segment at %#x", a)
+		}
+		s := m.static[off:]
+		return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24, nil
+	case m.inStack(a):
+		off := a - machine.StackLimit
+		s := m.stack[off:]
+		return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24, nil
+	case m.heap.Contains(a):
+		return m.heap.ReadWord(a)
+	}
+	return 0, fmt.Errorf("read of unmapped address %#x", a)
+}
+
+func (m *Machine) read32(a uint32) (uint32, error) {
+	if a%4 != 0 {
+		return 0, fmt.Errorf("misaligned word read at %#x", a)
+	}
+	if m.heap.Contains(a) {
+		if err := m.validate(a, 4); err != nil {
+			return 0, err
+		}
+	}
+	return m.read32raw(a)
+}
+
+func (m *Machine) write32(a, v uint32) error {
+	if a%4 != 0 {
+		return fmt.Errorf("misaligned word write at %#x", a)
+	}
+	switch {
+	case m.inStatic(a):
+		off := a - machine.DataBase
+		if int(off)+4 > len(m.static) {
+			return fmt.Errorf("static write past segment at %#x", a)
+		}
+		m.static[off] = byte(v)
+		m.static[off+1] = byte(v >> 8)
+		m.static[off+2] = byte(v >> 16)
+		m.static[off+3] = byte(v >> 24)
+		return nil
+	case m.inStack(a):
+		off := a - machine.StackLimit
+		m.stack[off] = byte(v)
+		m.stack[off+1] = byte(v >> 8)
+		m.stack[off+2] = byte(v >> 16)
+		m.stack[off+3] = byte(v >> 24)
+		return nil
+	case m.heap.Contains(a):
+		if err := m.validate(a, 4); err != nil {
+			return err
+		}
+		return m.heap.WriteWord(a, v)
+	}
+	return fmt.Errorf("write to unmapped address %#x", a)
+}
+
+func (m *Machine) read8(a uint32) (byte, error) {
+	switch {
+	case m.inStatic(a):
+		return m.static[a-machine.DataBase], nil
+	case m.inStack(a):
+		return m.stack[a-machine.StackLimit], nil
+	case m.heap.Contains(a):
+		if err := m.validate(a, 1); err != nil {
+			return 0, err
+		}
+		return m.heap.ReadByteAt(a)
+	}
+	return 0, fmt.Errorf("read of unmapped address %#x", a)
+}
+
+func (m *Machine) write8(a uint32, v byte) error {
+	switch {
+	case m.inStatic(a):
+		m.static[a-machine.DataBase] = v
+		return nil
+	case m.inStack(a):
+		m.stack[a-machine.StackLimit] = v
+		return nil
+	case m.heap.Contains(a):
+		if err := m.validate(a, 1); err != nil {
+			return err
+		}
+		return m.heap.WriteByteAt(a, v)
+	}
+	return fmt.Errorf("write to unmapped address %#x", a)
+}
+
+func (m *Machine) read16(a uint32) (uint16, error) {
+	if a%2 != 0 {
+		return 0, fmt.Errorf("misaligned halfword read at %#x", a)
+	}
+	lo, err := m.read8(a)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := m.read8(a + 1)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(lo) | uint16(hi)<<8, nil
+}
+
+func (m *Machine) write16(a uint32, v uint16) error {
+	if a%2 != 0 {
+		return fmt.Errorf("misaligned halfword write at %#x", a)
+	}
+	if err := m.write8(a, byte(v)); err != nil {
+		return err
+	}
+	return m.write8(a+1, byte(v>>8))
+}
+
+// cstring reads a NUL-terminated string (bounded) for runtime helpers.
+func (m *Machine) cstring(a uint32) (string, error) {
+	var b []byte
+	for i := 0; i < 1<<20; i++ {
+		c, err := m.read8(a + uint32(i))
+		if err != nil {
+			return "", err
+		}
+		if c == 0 {
+			return string(b), nil
+		}
+		b = append(b, c)
+	}
+	return "", fmt.Errorf("unterminated string at %#x", a)
+}
+
+var _ = gc.WordSize // documented relationship with the collector layout

@@ -1,0 +1,314 @@
+package interp
+
+import (
+	"fmt"
+
+	"gcsafety/internal/machine"
+)
+
+// The native runtime library. These functions model the paper's
+// unpreprocessed standard library ("the critical pieces are likely to be
+// either hand assembly coded, or manually checked for GC-safety"): they
+// execute natively, charging a nominal cycle cost, and are GC-safe by
+// construction.
+
+// Nominal runtime costs (cycles).
+const (
+	rtBase    = 8  // fixed dispatch/prologue cost of any runtime routine
+	rtPerByte = 1  // per-byte cost of string/memory routines
+	rtAlloc   = 40 // allocator fast-path cost
+	rtCheck   = 12 // GC_same_obj page-tree lookup cost
+)
+
+func (m *Machine) arg(i int) (uint32, error) {
+	return m.read32(m.sp + uint32(4*i))
+}
+
+func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
+	args := make([]uint32, nargs)
+	for i := range args {
+		v, err := m.arg(i)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	a := func(i int) uint32 {
+		if i < len(args) {
+			return args[i]
+		}
+		return 0
+	}
+	m.cycles += rtBase
+	switch sym {
+	case "malloc", "GC_malloc":
+		m.cycles += rtAlloc
+		return m.alloc(a(0))
+	case "calloc":
+		m.cycles += rtAlloc
+		return m.alloc(a(0) * a(1))
+	case "realloc":
+		m.cycles += rtAlloc
+		return m.realloc(a(0), a(1))
+	case "free":
+		// The paper's methodology: "remove all calls to free".
+		return 0, nil
+	case "GC_gcollect":
+		m.heap.Collect()
+		return 0, nil
+	case "GC_base":
+		m.cycles += rtCheck
+		return m.heap.Base(a(0)), nil
+	case "GC_same_obj":
+		m.cycles += rtCheck
+		p, err := m.heap.SameObject(a(0), a(1))
+		if err != nil {
+			return 0, &CheckError{Err: err}
+		}
+		return p, nil
+	case "GC_pre_incr":
+		m.cycles += rtCheck + 4
+		return m.gcIncr(a(0), int32(a(1)), false)
+	case "GC_post_incr":
+		m.cycles += rtCheck + 4
+		return m.gcIncr(a(0), int32(a(1)), true)
+	case "KEEP_LIVE":
+		// The paper's portable fallback: "a call to an external function
+		// whose implementation is unavailable to the compiler for
+		// analysis, but which actually just returns its first argument."
+		return a(0), nil
+	case "strlen":
+		s, err := m.cstring(a(0))
+		if err != nil {
+			return 0, err
+		}
+		m.cycles += uint64(len(s)) * rtPerByte
+		return uint32(len(s)), nil
+	case "strcpy":
+		return m.strcpy(a(0), a(1), 1<<30, true)
+	case "strncpy":
+		return m.strcpy(a(0), a(1), a(2), true)
+	case "strcat":
+		s, err := m.cstring(a(0))
+		if err != nil {
+			return 0, err
+		}
+		m.cycles += uint64(len(s)) * rtPerByte
+		if _, err := m.strcpy(a(0)+uint32(len(s)), a(1), 1<<30, true); err != nil {
+			return 0, err
+		}
+		return a(0), nil
+	case "strcmp":
+		return m.strcmp(a(0), a(1), 1<<30)
+	case "strncmp":
+		return m.strcmp(a(0), a(1), a(2))
+	case "strchr":
+		s, err := m.cstring(a(0))
+		if err != nil {
+			return 0, err
+		}
+		m.cycles += uint64(len(s)) * rtPerByte
+		for i := 0; i <= len(s); i++ {
+			var c byte
+			if i < len(s) {
+				c = s[i]
+			}
+			if c == byte(a(1)) {
+				return a(0) + uint32(i), nil
+			}
+		}
+		return 0, nil
+	case "memcpy", "memmove":
+		return m.memmove(a(0), a(1), a(2))
+	case "memset":
+		m.cycles += uint64(a(2)) * rtPerByte
+		for i := uint32(0); i < a(2); i++ {
+			if err := m.write8(a(0)+i, byte(a(1))); err != nil {
+				return 0, err
+			}
+		}
+		return a(0), nil
+	case "memcmp":
+		m.cycles += uint64(a(2)) * rtPerByte
+		for i := uint32(0); i < a(2); i++ {
+			x, err := m.read8(a(0) + i)
+			if err != nil {
+				return 0, err
+			}
+			y, err := m.read8(a(1) + i)
+			if err != nil {
+				return 0, err
+			}
+			if x != y {
+				if x < y {
+					return uint32(0xFFFFFFFF), nil
+				}
+				return 1, nil
+			}
+		}
+		return 0, nil
+	case "putchar":
+		m.out.WriteByte(byte(a(0)))
+		return a(0), nil
+	case "puts":
+		s, err := m.cstring(a(0))
+		if err != nil {
+			return 0, err
+		}
+		m.out.WriteString(s)
+		m.out.WriteByte('\n')
+		return 0, nil
+	case "print_str":
+		s, err := m.cstring(a(0))
+		if err != nil {
+			return 0, err
+		}
+		m.out.WriteString(s)
+		return 0, nil
+	case "print_int":
+		fmt.Fprintf(&m.out, "%d", int32(a(0)))
+		return 0, nil
+	case "getchar":
+		if m.in >= len(m.opts.Input) {
+			return uint32(0xFFFFFFFF), nil // EOF
+		}
+		c := m.opts.Input[m.in]
+		m.in++
+		return uint32(c), nil
+	case "exit":
+		m.exited = true
+		m.exit = int32(a(0))
+		return 0, nil
+	case "abort":
+		return 0, fmt.Errorf("abort() called")
+	case "assert_true":
+		if a(0) == 0 {
+			return 0, fmt.Errorf("assertion failed")
+		}
+		return 0, nil
+	case "rand_next":
+		// xorshift32: deterministic workload driver
+		x := m.rng
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		m.rng = x
+		return x, nil
+	}
+	return 0, fmt.Errorf("call to undefined function %q", sym)
+}
+
+func (m *Machine) alloc(n uint32) (uint32, error) {
+	a, err := m.heap.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	return a, nil
+}
+
+func (m *Machine) realloc(p, n uint32) (uint32, error) {
+	if p == 0 {
+		return m.alloc(n)
+	}
+	na, err := m.alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	old := m.heap.ObjectSize(m.heap.Base(p))
+	cp := old
+	if n < cp {
+		cp = n
+	}
+	if _, err := m.memmove(na, p, cp); err != nil {
+		return 0, err
+	}
+	return na, nil
+}
+
+func (m *Machine) gcIncr(slot uint32, delta int32, post bool) (uint32, error) {
+	old, err := m.read32(slot)
+	if err != nil {
+		return 0, err
+	}
+	nw := uint32(int64(old) + int64(delta))
+	if err := m.write32(slot, nw); err != nil {
+		return 0, err
+	}
+	if _, err := m.heap.SameObject(nw, old); err != nil {
+		return 0, &CheckError{Err: err}
+	}
+	if post {
+		return old, nil
+	}
+	return nw, nil
+}
+
+func (m *Machine) strcpy(dst, src, max uint32, nulTerm bool) (uint32, error) {
+	var i uint32
+	for i = 0; i < max; i++ {
+		c, err := m.read8(src + i)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.write8(dst+i, c); err != nil {
+			return 0, err
+		}
+		m.cycles += rtPerByte
+		if c == 0 {
+			break
+		}
+	}
+	return dst, nil
+}
+
+func (m *Machine) strcmp(p, q, max uint32) (uint32, error) {
+	for i := uint32(0); i < max; i++ {
+		x, err := m.read8(p + i)
+		if err != nil {
+			return 0, err
+		}
+		y, err := m.read8(q + i)
+		if err != nil {
+			return 0, err
+		}
+		m.cycles += rtPerByte
+		if x != y {
+			if x < y {
+				return uint32(0xFFFFFFFF), nil
+			}
+			return 1, nil
+		}
+		if x == 0 {
+			return 0, nil
+		}
+	}
+	return 0, nil
+}
+
+func (m *Machine) memmove(dst, src, n uint32) (uint32, error) {
+	m.cycles += uint64(n) * rtPerByte
+	if dst < src {
+		for i := uint32(0); i < n; i++ {
+			c, err := m.read8(src + i)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.write8(dst+i, c); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for i := n; i > 0; i-- {
+			c, err := m.read8(src + i - 1)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.write8(dst+i-1, c); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+var _ = machine.NoReg

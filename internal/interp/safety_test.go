@@ -1,0 +1,297 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/peephole"
+)
+
+// The paper's Correctness section argues that in an annotated program
+// "objects remain GC-accessible until the final access". These tests
+// approximate a formalization: a battery of pointer-manipulating programs,
+// each executed under collectors firing at several hostile cadences, with
+// the premature-reclamation detector armed. The programs must produce the
+// -g reference output in every treatment.
+
+var safetyPrograms = []struct {
+	name string
+	src  string
+	want string
+}{
+	{
+		name: "list-splice",
+		src: `
+struct node { int v; struct node *next; };
+struct node *mk(int v) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    n->v = v;
+    n->next = 0;
+    return n;
+}
+int main() {
+    struct node *head = mk(0);
+    struct node *tail = head;
+    int i;
+    for (i = 1; i < 40; i++) {
+        tail->next = mk(i);
+        tail = tail->next;
+    }
+    /* splice out every other node */
+    struct node *p = head;
+    while (p && p->next) {
+        p->next = p->next->next;
+        p = p->next;
+    }
+    int s = 0;
+    for (p = head; p; p = p->next) s += p->v;
+    print_int(s);
+    return 0;
+}
+`,
+		want: "380",
+	},
+	{
+		name: "binary-tree",
+		src: `
+struct tree { int v; struct tree *l; struct tree *r; };
+struct tree *insert(struct tree *t, int v) {
+    if (t == 0) {
+        struct tree *n = (struct tree *)GC_malloc(sizeof(struct tree));
+        n->v = v;
+        n->l = 0;
+        n->r = 0;
+        return n;
+    }
+    if (v < t->v) t->l = insert(t->l, v);
+    else t->r = insert(t->r, v);
+    return t;
+}
+int sum(struct tree *t) {
+    if (t == 0) return 0;
+    return t->v + sum(t->l) + sum(t->r);
+}
+int main() {
+    struct tree *t = 0;
+    int i;
+    for (i = 0; i < 60; i++) t = insert(t, (i * 37) % 101);
+    print_int(sum(t));
+    return 0;
+}
+`,
+		want: "2971",
+	},
+	{
+		name: "string-walk",
+		src: `
+int main() {
+    char *s = (char *)GC_malloc(26 + 1);
+    char *p = s;
+    char c;
+    for (c = 'a'; c <= 'z'; c++) *p++ = c;
+    *p = 0;
+    int vowels = 0;
+    for (p = s; *p; p++) {
+        if (*p == 'a' || *p == 'e' || *p == 'i' || *p == 'o' || *p == 'u') vowels++;
+    }
+    print_int(vowels);
+    print_int(strlen(s));
+    return 0;
+}
+`,
+		want: "526",
+	},
+	{
+		name: "pointer-array-shuffle",
+		src: `
+int main() {
+    char **slots = (char **)GC_malloc(16 * sizeof(char *));
+    int i;
+    for (i = 0; i < 16; i++) {
+        char *obj = (char *)GC_malloc(32);
+        obj[0] = 'A' + i;
+        slots[i] = obj;
+    }
+    /* rotate the pointers; the old first object stays live via slots */
+    for (i = 0; i < 160; i++) {
+        char *first = slots[0];
+        int j;
+        for (j = 0; j < 15; j++) slots[j] = slots[j + 1];
+        slots[15] = first;
+        GC_malloc(48); /* garbage pressure */
+    }
+    for (i = 0; i < 16; i++) putchar(slots[i][0]);
+    return 0;
+}
+`,
+		want: "ABCDEFGHIJKLMNOP",
+	},
+	{
+		name: "interior-pointer-in-heap",
+		src: `
+struct box { int pad; char *mid; };
+int main() {
+    struct box *b = (struct box *)GC_malloc(sizeof(struct box));
+    char *obj = (char *)GC_malloc(100);
+    obj[50] = 'Z';
+    b->mid = obj + 50;           /* interior pointer stored in the heap */
+    obj = 0;                     /* only the interior pointer remains */
+    GC_gcollect();
+    putchar(*(b->mid));
+    return 0;
+}
+`,
+		want: "Z",
+	},
+	{
+		name: "realloc-growth",
+		src: `
+int main() {
+    int *v = (int *)malloc(4 * sizeof(int));
+    int n = 0;
+    int cap = 4;
+    int i;
+    for (i = 0; i < 200; i++) {
+        if (n == cap) {
+            cap *= 2;
+            v = (int *)realloc((void *)v, cap * sizeof(int));
+        }
+        v[n] = i;
+        n++;
+    }
+    int s = 0;
+    for (i = 0; i < n; i++) s += v[i];
+    print_int(s);
+    return 0;
+}
+`,
+		want: "19900",
+	},
+}
+
+func TestAnnotatedProgramsSafeUnderHostileGC(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	for _, prog := range safetyPrograms {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			for _, cadence := range []uint64{1, 3, 17} {
+				for _, post := range []bool{false, true} {
+					file, err := parser.Parse(prog.name+".c", prog.src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := gcsafe.Annotate(file, gcsafe.Options{}); err != nil {
+						t.Fatal(err)
+					}
+					compiled, err := codegen.Compile(file, codegen.Options{Optimize: true, Machine: cfg})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if post {
+						peephole.Optimize(compiled, cfg)
+					}
+					res, err := Run(compiled, Options{
+						Config: cfg, Validate: true, GCEveryInstrs: cadence,
+					})
+					label := fmt.Sprintf("cadence=%d post=%v", cadence, post)
+					if err != nil {
+						t.Fatalf("%s: faulted: %v", label, err)
+					}
+					if res.Output != prog.want {
+						t.Fatalf("%s: output %q, want %q", label, res.Output, prog.want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckedModeAcceptsLegalPrograms: the debugging configuration must not
+// produce false positives on strictly conforming pointer arithmetic.
+func TestCheckedModeAcceptsLegalPrograms(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	for _, prog := range safetyPrograms {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			file, err := parser.Parse(prog.name+".c", prog.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := gcsafe.Annotate(file, gcsafe.Options{Mode: gcsafe.ModeChecked}); err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := codegen.Compile(file, codegen.Options{Machine: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(compiled, Options{Config: cfg, Validate: true})
+			if err != nil {
+				t.Fatalf("false positive: %v", err)
+			}
+			if res.Output != prog.want {
+				t.Fatalf("output %q, want %q", res.Output, prog.want)
+			}
+		})
+	}
+}
+
+// TestUnannotatedDebugAlsoSafe: the -g fallback must also survive the
+// hostile regime (the paper's "fully debuggable code" guarantee).
+func TestUnannotatedDebugAlsoSafe(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	for _, prog := range safetyPrograms {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			file, err := parser.Parse(prog.name+".c", prog.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := codegen.Compile(file, codegen.Options{Machine: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(compiled, Options{Config: cfg, Validate: true, GCEveryInstrs: 1})
+			if err != nil {
+				t.Fatalf("faulted: %v", err)
+			}
+			if res.Output != prog.want {
+				t.Fatalf("output %q, want %q", res.Output, prog.want)
+			}
+		})
+	}
+}
+
+// TestCallSiteOnlyAnnotationSafeUnderCallSiteGC: programs annotated with
+// the paper's optimization (4) are safe under the collector regime they
+// were built for — collections at allocation/call sites only.
+func TestCallSiteOnlyAnnotationSafeUnderCallSiteGC(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	for _, prog := range safetyPrograms {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			file, err := parser.Parse(prog.name+".c", prog.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := gcsafe.Annotate(file, gcsafe.Options{CallSiteOnly: true}); err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := codegen.Compile(file, codegen.Options{Optimize: true, Machine: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Aggressive allocation-trigger, but no asynchronous firings.
+			res, err := Run(compiled, Options{Config: cfg, Validate: true, TriggerBytes: 512})
+			if err != nil {
+				t.Fatalf("faulted: %v", err)
+			}
+			if res.Output != prog.want {
+				t.Fatalf("output %q, want %q", res.Output, prog.want)
+			}
+		})
+	}
+}

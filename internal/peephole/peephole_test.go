@@ -1,0 +1,279 @@
+package peephole
+
+import (
+	"strings"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+)
+
+func compileSafe(t *testing.T, src string, cfg machine.Config) *machine.Program {
+	t.Helper()
+	file, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gcsafe.Annotate(file, gcsafe.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: true, Machine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestAnalysisExampleFusion reproduces the paper's Analysis section: for
+//
+//	char f(char *x) { return x[1]; }
+//
+// the safe build emits `add %o0,1,%g2 ; <empty asm> ; ldsb [%g2],%o0`
+// where the normal optimized code is the single `ldsb [%o0+1],%o0`. The
+// postprocessor's pattern 1 folds the add back into the load.
+func TestAnalysisExampleFusion(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	prog := compileSafe(t, `char f(char *x) { return x[1]; }`, cfg)
+	f := prog.Funcs["f"]
+
+	var hasAdd, hasPlainLoad bool
+	for _, in := range f.Code {
+		if in.Op == machine.Add && in.HasImm && in.Imm == 1 {
+			hasAdd = true
+		}
+		if in.Op == machine.LdB && in.HasImm && in.Imm == 1 {
+			hasPlainLoad = true
+		}
+	}
+	if !hasAdd || hasPlainLoad {
+		t.Fatalf("safe build should have the separate add and no fused load:\n%s", listing(f))
+	}
+
+	st := Optimize(prog, cfg)
+	if st.Fused == 0 {
+		t.Fatalf("pattern 1 did not fire:\n%s", listing(prog.Funcs["f"]))
+	}
+	hasAdd, hasPlainLoad = false, false
+	var keepliveSurvives bool
+	for _, in := range prog.Funcs["f"].Code {
+		if in.Op == machine.Add && in.HasImm && in.Imm == 1 {
+			hasAdd = true
+		}
+		if in.Op == machine.LdB && in.HasImm && in.Imm == 1 {
+			hasPlainLoad = true
+		}
+		if in.Op == machine.KeepLive {
+			keepliveSurvives = true
+		}
+	}
+	if hasAdd || !hasPlainLoad {
+		t.Fatalf("postprocessed code should use the fused ldsb [x+1]:\n%s", listing(prog.Funcs["f"]))
+	}
+	if !keepliveSurvives {
+		t.Fatal("the empty asm (and its base-liveness effect) must survive fusion")
+	}
+}
+
+func listing(f *machine.Func) string {
+	var sb strings.Builder
+	for _, in := range f.Code {
+		sb.WriteString(in.String() + "\n")
+	}
+	return sb.String()
+}
+
+// TestOutputsPreserved checks semantic preservation on a nontrivial
+// program across all machine models.
+func TestOutputsPreserved(t *testing.T) {
+	src := `
+struct node { int v; struct node *next; };
+int main() {
+    struct node *head = 0;
+    int i;
+    for (i = 0; i < 200; i++) {
+        struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+        n->v = i * 3;
+        n->next = head;
+        head = n;
+    }
+    int s = 0;
+    struct node *p;
+    for (p = head; p; p = p->next) s += p->v;
+    print_int(s);
+    char *buf = (char *)GC_malloc(64);
+    strcpy(buf, "-check-");
+    print_str(buf + 1);
+    return 0;
+}
+`
+	for _, cfg := range machine.Configs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			before := compileSafe(t, src, cfg)
+			rb, err := interp.Run(before, interp.Options{Config: cfg, Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := compileSafe(t, src, cfg)
+			Optimize(after, cfg)
+			ra, err := interp.Run(after, interp.Options{Config: cfg, Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rb.Output != ra.Output {
+				t.Fatalf("postprocessing changed output: %q vs %q", rb.Output, ra.Output)
+			}
+			if ra.Cycles > rb.Cycles {
+				t.Fatalf("postprocessing made the program slower: %d -> %d", rb.Cycles, ra.Cycles)
+			}
+			if after.Size() > before.Size() {
+				t.Fatalf("postprocessing grew the code: %d -> %d", before.Size(), after.Size())
+			}
+		})
+	}
+}
+
+// TestSafetyPreservedUnderPostprocessing reruns the postprocessed safe
+// code under the fully asynchronous collector: the paper's arguments (1)-(3)
+// say the three patterns cannot invalidate KEEP_LIVE semantics.
+func TestSafetyPreservedUnderPostprocessing(t *testing.T) {
+	src := `
+int main() {
+    int i = getchar() + 2000;
+    int k = getchar() + 1000;
+    char *p = (char *)GC_malloc(2000);
+    p[k] = 55;
+    print_int(p[i - 1000]);
+    return 0;
+}
+`
+	cfg := machine.SPARCstation10()
+	prog := compileSafe(t, src, cfg)
+	Optimize(prog, cfg)
+	res, err := interp.Run(prog, interp.Options{
+		Config: cfg, Validate: true, GCEveryInstrs: 1, Input: "AA",
+	})
+	if err != nil {
+		t.Fatalf("postprocessed safe code faulted under async GC: %v", err)
+	}
+	if res.Output != "55" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+// TestKeepLiveBaseBlocksPattern exercises the paper's explicit constraint:
+// "The transformation could not apply if z were originally mentioned as
+// the second argument of a KEEP_LIVE" — the base operand counts as a use,
+// so a register serving as a KEEP_LIVE base is not rewritten away.
+func TestKeepLiveBaseBlocksPattern(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	code := []machine.Instr{
+		machine.RI(machine.Add, 0, 1, 4),              // z(r0) = r1 + 4
+		{Op: machine.KeepLive, Rd: 2, Rs1: 2, Rs2: 0}, // ... r0 is a KL base
+		machine.RI(machine.Ld, 3, 0, 0),               // ld r3, [r0+0]
+		{Op: machine.Ret, Rs1: 3},                     //
+	}
+	f := &machine.Func{Name: "f", Code: code}
+	prog := &machine.Program{Funcs: map[string]*machine.Func{"f": f}, Order: []string{"f"}}
+	st := Optimize(prog, cfg)
+	if st.Fused != 0 {
+		t.Fatalf("pattern 1 fired although z is a KEEP_LIVE base:\n%s", listing(prog.Funcs["f"]))
+	}
+}
+
+// TestCopyForwarding exercises pattern 2 on a hand-built block.
+func TestCopyForwarding(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	code := []machine.Instr{
+		machine.RI(machine.Mov, 1, machine.NoReg, 7), // r1 = 7
+		machine.RR(machine.Mov, 2, 1, machine.NoReg), // r2 = r1   (pattern 2 target)
+		machine.RI(machine.Add, 3, 2, 1),             // r3 = r2 + 1
+		{Op: machine.Ret, Rs1: 3},
+	}
+	f := &machine.Func{Name: "f", Code: code}
+	prog := &machine.Program{Funcs: map[string]*machine.Func{"f": f}, Order: []string{"f"}}
+	st := Optimize(prog, cfg)
+	if st.CopiesGone == 0 {
+		t.Fatalf("pattern 2 did not fire:\n%s", listing(f))
+	}
+	for _, in := range prog.Funcs["f"].Code {
+		if in.Op == machine.Mov && !in.HasImm {
+			t.Fatalf("register copy not removed:\n%s", listing(prog.Funcs["f"]))
+		}
+	}
+}
+
+// TestRetargetAdd exercises pattern 3 on a hand-built block.
+func TestRetargetAdd(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	code := []machine.Instr{
+		machine.RR(machine.Add, 3, 1, 2),             // add r3 = r1 + r2
+		machine.RI(machine.Xor, 4, 1, 0),             // unrelated
+		machine.RR(machine.Mov, 5, 3, machine.NoReg), // r5 = r3 (single use of r3)
+		{Op: machine.Ret, Rs1: 5},
+	}
+	f := &machine.Func{Name: "f", Code: code}
+	prog := &machine.Program{Funcs: map[string]*machine.Func{"f": f}, Order: []string{"f"}}
+	st := Optimize(prog, cfg)
+	if st.Retargeted == 0 && st.CopiesGone == 0 {
+		t.Fatalf("neither pattern 3 nor pattern 2 fired:\n%s", listing(prog.Funcs["f"]))
+	}
+	count := 0
+	for _, in := range prog.Funcs["f"].Code {
+		if in.Op == machine.Mov && !in.HasImm {
+			count++
+		}
+	}
+	if count != 0 {
+		t.Fatalf("copy not eliminated:\n%s", listing(prog.Funcs["f"]))
+	}
+}
+
+// TestNoFusionWithoutIndexedLoads checks that a machine without reg+reg
+// addressing (LoadIndexed=false) suppresses pattern 1 for register adds.
+func TestNoFusionWithoutIndexedLoads(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	cfg.LoadIndexed = false
+	code := []machine.Instr{
+		machine.RR(machine.Add, 0, 1, 2),
+		machine.RI(machine.Ld, 3, 0, 0),
+		{Op: machine.Ret, Rs1: 3},
+	}
+	f := &machine.Func{Name: "f", Code: code}
+	prog := &machine.Program{Funcs: map[string]*machine.Func{"f": f}, Order: []string{"f"}}
+	st := Optimize(prog, cfg)
+	if st.Fused != 0 {
+		t.Fatal("pattern 1 fired on a machine without indexed loads")
+	}
+}
+
+// TestLiveOutBlocksRemoval: a copy whose target is live out of the block
+// must not be deleted.
+func TestLiveOutBlocksRemoval(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	code := []machine.Instr{
+		machine.RI(machine.Mov, 1, machine.NoReg, 7),
+		machine.RR(machine.Mov, 2, 1, machine.NoReg),
+		machine.RI(machine.Add, 1, 2, 1), // redefines r1; r2 still needed below
+		{Op: machine.Jmp, Imm: 0},
+		{Op: machine.Label, Imm: 0},
+		machine.RI(machine.Add, 3, 2, 5), // r2 used in the next block
+		{Op: machine.Ret, Rs1: 3},
+	}
+	f := &machine.Func{Name: "f", Code: code}
+	prog := &machine.Program{Funcs: map[string]*machine.Func{"f": f}, Order: []string{"f"}}
+	Optimize(prog, cfg)
+	// r2 must still be defined before its cross-block use.
+	defined := false
+	for _, in := range prog.Funcs["f"].Code {
+		if machine.Def(in) == 2 {
+			defined = true
+		}
+		if in.Op == machine.Add && in.Rs1 == 2 && in.Imm == 5 && !defined {
+			t.Fatalf("use of r2 before any definition:\n%s", listing(prog.Funcs["f"]))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package rewrite implements the paper's source-rewriting strategy: "In the
+// process it generates a list of insertions and deletions, sorted by
+// character position in the original source string. After parsing is
+// complete, the insertions and deletions are applied to the original
+// source."
+//
+// Insertions come in two flavours so that nested annotations compose
+// correctly: an Open insertion (text that starts a wrapper, e.g.
+// "KEEP_LIVE(") and a Close insertion (text that ends one, e.g. ", p)").
+// When several insertions land on the same byte offset, closes are emitted
+// before opens, closes in emission order (innermost wrapper first), opens in
+// reverse emission order (outermost wrapper first) — the orders produced by
+// a post-order annotation traversal.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type editKind int
+
+const (
+	editClose editKind = iota // sorts before opens at equal offset
+	editOpen
+	editReplace
+)
+
+type edit struct {
+	off  int
+	end  int // > off only for replacements
+	kind editKind
+	seq  int
+	text string
+}
+
+// List accumulates edits against one source string.
+type List struct {
+	edits []edit
+	seq   int
+}
+
+// InsertOpen schedules wrapper-opening text at off.
+func (l *List) InsertOpen(off int, text string) {
+	l.seq++
+	l.edits = append(l.edits, edit{off: off, end: off, kind: editOpen, seq: l.seq, text: text})
+}
+
+// InsertClose schedules wrapper-closing text at off.
+func (l *List) InsertClose(off int, text string) {
+	l.seq++
+	l.edits = append(l.edits, edit{off: off, end: off, kind: editClose, seq: l.seq, text: text})
+}
+
+// Replace schedules the deletion of src[off:end] and the insertion of text
+// in its place. A replacement must not overlap any other edit.
+func (l *List) Replace(off, end int, text string) {
+	l.seq++
+	l.edits = append(l.edits, edit{off: off, end: end, kind: editReplace, seq: l.seq, text: text})
+}
+
+// Len reports the number of scheduled edits.
+func (l *List) Len() int { return len(l.edits) }
+
+// Apply applies all scheduled edits to src and returns the rewritten text.
+func (l *List) Apply(src string) (string, error) {
+	edits := make([]edit, len(l.edits))
+	copy(edits, l.edits)
+	sort.SliceStable(edits, func(i, j int) bool {
+		a, b := edits[i], edits[j]
+		if a.off != b.off {
+			return a.off < b.off
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.kind == editOpen {
+			return a.seq > b.seq // outermost (emitted later) first
+		}
+		return a.seq < b.seq // innermost close first; replaces by order
+	})
+	var sb strings.Builder
+	pos := 0
+	for _, e := range edits {
+		if e.off < pos {
+			return "", fmt.Errorf("rewrite: overlapping edits at offset %d (already emitted through %d)", e.off, pos)
+		}
+		if e.end > len(src) || e.off > len(src) {
+			return "", fmt.Errorf("rewrite: edit at %d..%d past end of source (%d bytes)", e.off, e.end, len(src))
+		}
+		sb.WriteString(src[pos:e.off])
+		sb.WriteString(e.text)
+		pos = e.end
+	}
+	sb.WriteString(src[pos:])
+	return sb.String(), nil
+}

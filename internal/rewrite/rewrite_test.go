@@ -1,0 +1,104 @@
+package rewrite
+
+import "testing"
+
+func apply(t *testing.T, l *List, src string) string {
+	t.Helper()
+	out, err := l.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSimpleInsert(t *testing.T) {
+	var l List
+	src := "p + 1"
+	l.InsertOpen(0, "KEEP_LIVE(")
+	l.InsertClose(5, ", p)")
+	if got := apply(t, &l, src); got != "KEEP_LIVE(p + 1, p)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNestedWrapsSameStart(t *testing.T) {
+	// outer wraps [0,5), inner wraps [0,1) — post-order emits inner first.
+	var l List
+	src := "p + 1"
+	l.InsertOpen(0, "I(")
+	l.InsertClose(1, ",a)")
+	l.InsertOpen(0, "O(")
+	l.InsertClose(5, ",b)")
+	if got := apply(t, &l, src); got != "O(I(p,a) + 1,b)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNestedWrapsSameEnd(t *testing.T) {
+	// inner wraps [4,5), outer wraps [0,5): closes share offset 5.
+	var l List
+	src := "p + q"
+	l.InsertOpen(4, "I(")
+	l.InsertClose(5, ",a)")
+	l.InsertOpen(0, "O(")
+	l.InsertClose(5, ",b)")
+	if got := apply(t, &l, src); got != "O(p + I(q,a),b)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCloseBeforeOpenAtSameOffset(t *testing.T) {
+	var l List
+	src := "ab"
+	l.InsertClose(1, ")")
+	l.InsertOpen(1, "(")
+	if got := apply(t, &l, src); got != "a)(b" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	var l List
+	src := "x = p++;"
+	l.Replace(4, 7, "(tmp = p, p = KEEP_LIVE(tmp + 1, tmp), tmp)")
+	want := "x = (tmp = p, p = KEEP_LIVE(tmp + 1, tmp), tmp);"
+	if got := apply(t, &l, src); got != want {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	var l List
+	l.Replace(0, 5, "x")
+	l.InsertOpen(2, "(")
+	if _, err := l.Apply("hello world"); err == nil {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestOutOfRangeDetected(t *testing.T) {
+	var l List
+	l.InsertOpen(99, "(")
+	if _, err := l.Apply("short"); err == nil {
+		t.Fatal("out-of-range edit not detected")
+	}
+}
+
+func TestManyEditsSortedStably(t *testing.T) {
+	var l List
+	src := "abcdef"
+	l.InsertOpen(2, "[")
+	l.InsertClose(4, "]")
+	l.InsertOpen(0, "<")
+	l.InsertClose(6, ">")
+	if got := apply(t, &l, src); got != "<ab[cd]ef>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyListIdentity(t *testing.T) {
+	var l List
+	if got := apply(t, &l, "unchanged"); got != "unchanged" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,293 @@
+package workloads
+
+// Cfrac returns the factoring workload: trial-division factorization over
+// linked-list bignums, the allocation profile of the real cfrac (every
+// intermediate number is a fresh chain of heap cells).
+func Cfrac() Workload {
+	return Workload{
+		Name:             "cfrac",
+		Source:           cfracSrc,
+		Want:             cfracWant,
+		DebugUnavailable: true, // the paper's footnote: no -g numbers for cfrac
+		Lines:            countLines(cfracSrc),
+	}
+}
+
+const cfracSrc = `/* cfrac: factoring with linked-list bignums (base 10000 cells). */
+
+enum { BASE = 10000 };
+
+struct cell {
+    int digit;            /* 0..BASE-1, least significant first */
+    struct cell *next;
+};
+
+struct num {
+    struct cell *head;    /* null means zero */
+    int ncells;
+};
+
+struct num *num_zero() {
+    struct num *n = (struct num *)GC_malloc(sizeof(struct num));
+    n->head = 0;
+    n->ncells = 0;
+    return n;
+}
+
+struct cell *new_cell(int digit, struct cell *next) {
+    struct cell *c = (struct cell *)GC_malloc(sizeof(struct cell));
+    c->digit = digit;
+    c->next = next;
+    return c;
+}
+
+struct num *num_from_int(int v) {
+    struct num *n = num_zero();
+    struct cell **tail = &n->head;
+    while (v > 0) {
+        struct cell *c = new_cell(v % BASE, 0);
+        *tail = c;
+        tail = &c->next;
+        v /= BASE;
+        n->ncells++;
+    }
+    return n;
+}
+
+int num_is_zero(struct num *n) { return n->head == 0; }
+
+/* compare n against small nonnegative v */
+int num_cmp_int(struct num *n, int v) {
+    struct num *m = num_from_int(v);
+    struct cell *a = n->head;
+    struct cell *b = m->head;
+    int result = 0;
+    while (a != 0 || b != 0) {
+        int da = 0;
+        int db = 0;
+        if (a != 0) { da = a->digit; a = a->next; }
+        if (b != 0) { db = b->digit; b = b->next; }
+        if (da != db) {
+            if (da < db) result = -1;
+            else result = 1;
+        }
+    }
+    return result;
+}
+
+/* compare two bignums */
+int num_cmp(struct num *x, struct num *y) {
+    struct cell *a = x->head;
+    struct cell *b = y->head;
+    int result = 0;
+    while (a != 0 || b != 0) {
+        int da = 0;
+        int db = 0;
+        if (a != 0) { da = a->digit; a = a->next; }
+        if (b != 0) { db = b->digit; b = b->next; }
+        if (da != db) {
+            if (da < db) result = -1;
+            else result = 1;
+        }
+    }
+    return result;
+}
+
+/* n * v for small v, fresh result */
+struct num *num_mul_int(struct num *n, int v) {
+    struct num *r = num_zero();
+    struct cell **tail = &r->head;
+    struct cell *a = n->head;
+    int carry = 0;
+    while (a != 0 || carry != 0) {
+        int d = carry;
+        struct cell *c;
+        if (a != 0) {
+            d += a->digit * v;
+            a = a->next;
+        }
+        carry = d / BASE;
+        c = new_cell(d % BASE, 0);
+        *tail = c;
+        tail = &c->next;
+        r->ncells++;
+    }
+    /* normalize a trailing zero cell away (v == 0 case) */
+    if (r->head != 0 && r->head->digit == 0 && r->head->next == 0) {
+        r->head = 0;
+        r->ncells = 0;
+    }
+    return r;
+}
+
+/* n + v for small v, fresh result */
+struct num *num_add_int(struct num *n, int v) {
+    struct num *r = num_zero();
+    struct cell **tail = &r->head;
+    struct cell *a = n->head;
+    int carry = v;
+    while (a != 0 || carry != 0) {
+        int d = carry;
+        struct cell *c;
+        if (a != 0) {
+            d += a->digit;
+            a = a->next;
+        }
+        carry = d / BASE;
+        c = new_cell(d % BASE, 0);
+        *tail = c;
+        tail = &c->next;
+        r->ncells++;
+    }
+    return r;
+}
+
+/* x * y, full bignum product (schoolbook, cell chains throughout) */
+struct num *num_mul(struct num *x, struct num *y) {
+    struct num *r = num_zero();
+    struct num *shifted = x;
+    struct cell *b;
+    for (b = y->head; b != 0; b = b->next) {
+        struct num *term = num_mul_int(shifted, b->digit);
+        /* r = r + term */
+        struct num *ns = num_zero();
+        struct cell **tail = &ns->head;
+        struct cell *p = r->head;
+        struct cell *q = term->head;
+        int carry = 0;
+        while (p != 0 || q != 0 || carry != 0) {
+            int d = carry;
+            struct cell *c;
+            if (p != 0) { d += p->digit; p = p->next; }
+            if (q != 0) { d += q->digit; q = q->next; }
+            carry = d / BASE;
+            c = new_cell(d % BASE, 0);
+            *tail = c;
+            tail = &c->next;
+            ns->ncells++;
+        }
+        r = ns;
+        shifted = num_mul_int(shifted, BASE);
+    }
+    return r;
+}
+
+/* Divide n by small d: fresh quotient, remainder through *rem. */
+struct num *num_divmod_int(struct num *n, int d, int *rem) {
+    struct cell **cells;
+    struct cell *p;
+    struct num *q = num_zero();
+    int k = n->ncells;
+    int i;
+    int r = 0;
+    if (k == 0) { *rem = 0; return q; }
+    cells = (struct cell **)GC_malloc(k * sizeof(struct cell *));
+    i = 0;
+    for (p = n->head; p != 0; p = p->next) {
+        cells[i] = p;
+        i++;
+    }
+    for (i = k - 1; i >= 0; i--) {
+        int cur = r * BASE + cells[i]->digit;
+        int qd = cur / d;
+        r = cur % d;
+        if (qd != 0 || q->head != 0) {
+            q->head = new_cell(qd, q->head);
+            q->ncells++;
+        }
+    }
+    *rem = r;
+    return q;
+}
+
+void num_print(struct num *n) {
+    struct cell **cells;
+    struct cell *p;
+    int k = n->ncells;
+    int i;
+    if (k == 0) { print_str("0"); return; }
+    cells = (struct cell **)GC_malloc(k * sizeof(struct cell *));
+    i = 0;
+    for (p = n->head; p != 0; p = p->next) { cells[i] = p; i++; }
+    print_int(cells[k - 1]->digit);
+    for (i = k - 2; i >= 0; i--) {
+        int d = cells[i]->digit;
+        if (d < 1000) print_str("0");
+        if (d < 100) print_str("0");
+        if (d < 10) print_str("0");
+        print_int(d);
+    }
+}
+
+/* parse a decimal string into a bignum */
+struct num *num_from_str(char *s) {
+    struct num *n = num_zero();
+    int i;
+    int len = strlen(s);
+    for (i = 0; i < len; i++) {
+        n = num_mul_int(n, 10);
+        n = num_add_int(n, s[i] - '0');
+    }
+    return n;
+}
+
+enum { TRIAL_LIMIT = 3000 };
+
+/* factor n by trial division; prints the factorization and verifies it by
+   multiplying the factors back together. Returns the factor count. */
+int factor(char *decimal) {
+    struct num *orig = num_from_str(decimal);
+    struct num *n = orig;
+    struct num *check = num_from_int(1);
+    int count = 0;
+    int d = 2;
+    num_print(orig);
+    print_str(" = ");
+    while (num_cmp_int(n, 1) > 0) {
+        int rem;
+        struct num *q = num_divmod_int(n, d, &rem);
+        if (rem == 0) {
+            print_int(d);
+            print_str(" ");
+            count++;
+            check = num_mul(check, num_from_int(d));
+            n = q;
+        } else {
+            if (d == 2) d = 3;
+            else d += 2;
+            if (d > TRIAL_LIMIT) {
+                /* remaining cofactor is prime for our inputs */
+                print_str("[");
+                num_print(n);
+                print_str("] ");
+                count++;
+                check = num_mul(check, n);
+                n = num_from_int(1);
+            }
+        }
+    }
+    if (num_cmp(check, orig) == 0) print_str("ok\n");
+    else print_str("MISMATCH\n");
+    return count;
+}
+
+int main() {
+    int total = 0;
+    total += factor("1063409504683");        /* 1009*1013*1019*1021 */
+    total += factor("10403");                /* 101*103 */
+    total += factor("87178291200");          /* 14! */
+    total += factor("614889782588491410");   /* primorial(47) */
+    total += factor("18006");                /* 2*3*3001: cofactor path */
+    print_str("factors: ");
+    print_int(total);
+    print_str("\n");
+    return 0;
+}
+`
+
+const cfracWant = "1063409504683 = 1009 1013 1019 1021 ok\n" +
+	"10403 = 101 103 ok\n" +
+	"87178291200 = 2 2 2 2 2 2 2 2 2 2 2 3 3 3 3 3 5 5 7 7 11 13 ok\n" +
+	"614889782588491410 = 2 3 5 7 11 13 17 19 23 29 31 37 41 43 47 ok\n" +
+	"18006 = 2 3 [3001] ok\n" +
+	"factors: 46\n"

@@ -1,0 +1,243 @@
+package workloads
+
+// Cordtest returns the cord (rope) string package and its test driver:
+// heap-allocated concatenation trees over immutable string leaves, with
+// construction, indexing, flattening, substring and comparison — the shape
+// of the cord package distributed with the Boehm collector.
+func Cordtest() Workload {
+	return Workload{
+		Name:   "cordtest",
+		Source: cordtestSrc,
+		Want:   cordtestWant,
+		Lines:  countLines(cordtestSrc),
+	}
+}
+
+const cordtestSrc = `/* cordtest: concatenation-tree (rope) string package and test driver. */
+
+struct cord {
+    int len;
+    char *leaf;           /* non-null for leaf nodes */
+    struct cord *left;
+    struct cord *right;
+};
+
+struct cord *cord_from(char *s) {
+    struct cord *c = (struct cord *)GC_malloc(sizeof(struct cord));
+    int n = strlen(s);
+    char *copy = (char *)GC_malloc(n + 1);
+    strcpy(copy, s);
+    c->len = n;
+    c->leaf = copy;
+    c->left = 0;
+    c->right = 0;
+    return c;
+}
+
+struct cord *cord_cat(struct cord *a, struct cord *b) {
+    struct cord *c;
+    if (a == 0 || a->len == 0) return b;
+    if (b == 0 || b->len == 0) return a;
+    c = (struct cord *)GC_malloc(sizeof(struct cord));
+    c->len = a->len + b->len;
+    c->leaf = 0;
+    c->left = a;
+    c->right = b;
+    return c;
+}
+
+int cord_len(struct cord *c) {
+    if (c == 0) return 0;
+    return c->len;
+}
+
+char cord_fetch(struct cord *c, int i) {
+    while (c->leaf == 0) {
+        if (i < c->left->len) {
+            c = c->left;
+        } else {
+            i -= c->left->len;
+            c = c->right;
+        }
+    }
+    return c->leaf[i];
+}
+
+void cord_fill(struct cord *c, char *buf) {
+    if (c == 0) return;
+    if (c->leaf != 0) {
+        int i;
+        for (i = 0; i < c->len; i++) buf[i] = c->leaf[i];
+        return;
+    }
+    cord_fill(c->left, buf);
+    cord_fill(c->right, buf + c->left->len);
+}
+
+char *cord_to_str(struct cord *c) {
+    char *buf = (char *)GC_malloc(cord_len(c) + 1);
+    cord_fill(c, buf);
+    buf[cord_len(c)] = 0;
+    return buf;
+}
+
+struct cord *cord_substr(struct cord *c, int start, int n) {
+    if (c == 0 || n <= 0) return 0;
+    if (start < 0) { n += start; start = 0; }
+    if (start >= c->len) return 0;
+    if (start + n > c->len) n = c->len - start;
+    if (c->leaf != 0) {
+        struct cord *r = (struct cord *)GC_malloc(sizeof(struct cord));
+        char *piece = (char *)GC_malloc(n + 1);
+        int i;
+        for (i = 0; i < n; i++) piece[i] = c->leaf[start + i];
+        piece[n] = 0;
+        r->len = n;
+        r->leaf = piece;
+        r->left = 0;
+        r->right = 0;
+        return r;
+    }
+    if (start + n <= c->left->len)
+        return cord_substr(c->left, start, n);
+    if (start >= c->left->len)
+        return cord_substr(c->right, start - c->left->len, n);
+    return cord_cat(cord_substr(c->left, start, c->left->len - start),
+                    cord_substr(c->right, 0, start + n - c->left->len));
+}
+
+int cord_cmp(struct cord *a, struct cord *b) {
+    int la = cord_len(a);
+    int lb = cord_len(b);
+    int n = la;
+    int i;
+    if (lb < n) n = lb;
+    for (i = 0; i < n; i++) {
+        char ca = cord_fetch(a, i);
+        char cb = cord_fetch(b, i);
+        if (ca != cb) {
+            if (ca < cb) return -1;
+            return 1;
+        }
+    }
+    if (la < lb) return -1;
+    if (la > lb) return 1;
+    return 0;
+}
+
+struct cord *cord_reverse(struct cord *c) {
+    if (c == 0) return 0;
+    if (c->leaf != 0) {
+        struct cord *r = (struct cord *)GC_malloc(sizeof(struct cord));
+        char *buf = (char *)GC_malloc(c->len + 1);
+        int i;
+        for (i = 0; i < c->len; i++) buf[i] = c->leaf[c->len - 1 - i];
+        buf[c->len] = 0;
+        r->len = c->len;
+        r->leaf = buf;
+        r->left = 0;
+        r->right = 0;
+        return r;
+    }
+    return cord_cat(cord_reverse(c->right), cord_reverse(c->left));
+}
+
+/* A simple checksum over a cord via repeated indexing. */
+int cord_hash(struct cord *c) {
+    int h = 0;
+    int i;
+    int n = cord_len(c);
+    for (i = 0; i < n; i++) {
+        h = h * 31 + cord_fetch(c, i);
+        h = h & 0xFFFFFF;
+    }
+    return h;
+}
+
+enum { ITERS = 5 };
+
+int check(int cond, char *what) {
+    if (!cond) {
+        print_str("FAIL: ");
+        print_str(what);
+        print_str("\n");
+        return 0;
+    }
+    return 1;
+}
+
+int run_iter(int iter) {
+    struct cord *c = cord_from("");
+    struct cord *unit = cord_from("abcdefghij");
+    int reps = 40 + iter;
+    int i;
+    int ok = 1;
+    for (i = 0; i < reps; i++) {
+        c = cord_cat(c, unit);
+    }
+    ok = ok & check(cord_len(c) == reps * 10, "length after concatenation");
+    ok = ok & check(cord_fetch(c, 10 * (reps / 2) + 3) == 'd', "fetch mid character");
+
+    /* substring and flatten */
+    {
+        struct cord *mid = cord_substr(c, 15, 20);
+        char *s = cord_to_str(mid);
+        ok = ok & check(cord_len(mid) == 20, "substring length");
+        ok = ok & check(strlen(s) == 20, "flattened length");
+        ok = ok & check(s[0] == 'f', "substring start");
+    }
+
+    /* comparison laws */
+    {
+        struct cord *x = cord_cat(cord_from("hello "), cord_from("world"));
+        struct cord *y = cord_from("hello world");
+        struct cord *z = cord_from("hello worlz");
+        ok = ok & check(cord_cmp(x, y) == 0, "cmp equal across shapes");
+        ok = ok & check(cord_cmp(x, z) < 0, "cmp less");
+        ok = ok & check(cord_cmp(z, x) > 0, "cmp greater");
+    }
+
+    /* reverse twice is identity */
+    {
+        struct cord *r = cord_reverse(c);
+        struct cord *rr = cord_reverse(r);
+        ok = ok & check(cord_cmp(c, rr) == 0, "reverse twice");
+        ok = ok & check(cord_fetch(r, 0) == cord_fetch(c, cord_len(c) - 1), "reverse ends");
+    }
+
+    /* build a deep unbalanced cord and hash it */
+    {
+        struct cord *d = cord_from("x");
+        for (i = 0; i < 60; i++) {
+            d = cord_cat(d, cord_from("y"));
+            d = cord_cat(cord_from("z"), d);
+        }
+        ok = ok & check(cord_len(d) == 121, "deep cord length");
+        print_int(cord_hash(d));
+        print_str(" ");
+    }
+    print_int(cord_hash(cord_substr(c, 7, 91)));
+    print_str("\n");
+    return ok;
+}
+
+int main() {
+    int iter;
+    int ok = 1;
+    for (iter = 0; iter < ITERS; iter++) {
+        ok = ok & run_iter(iter);
+    }
+    if (ok) print_str("cordtest: PASS\n");
+    else print_str("cordtest: FAIL\n");
+    return 0;
+}
+`
+
+// cordtestWant was captured from the -g reference build and pins the whole
+// stack against regressions.
+const cordtestWant = "15057080 1931061\n" +
+	"15057080 1931061\n" +
+	"15057080 1931061\n" +
+	"15057080 1931061\n" +
+	"15057080 1931061\n" +
+	"cordtest: PASS\n"

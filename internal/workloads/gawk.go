@@ -1,0 +1,235 @@
+package workloads
+
+import "strings"
+
+// Gawk returns the miniature awk-style interpreter: it reads lines, splits
+// them into fields, accumulates per-key statistics in a chained hash table,
+// and prints a report. Like the real gawk 2.11 measured in the paper, it
+// contains a genuine pointer-arithmetic bug: the field vector is accessed
+// through a pointer to one element before the beginning of the array so
+// that fields are 1-indexed — "a common bug (sometimes referred to
+// incorrectly as a 'technique')". The unchecked builds run correctly (the
+// base pointer is also retained); the checked build "immediately and
+// correctly detected a pointer arithmetic error", so CheckedFails is set.
+func Gawk() Workload {
+	return Workload{
+		Name:         "gawk",
+		Source:       gawkSrc,
+		Input:        gawkInput(),
+		Want:         gawkWant,
+		CheckedFails: true,
+		Lines:        countLines(gawkSrc),
+	}
+}
+
+// gawkInput synthesizes the "second largest input supplied by Zorn" analog:
+// a deterministic log of space-separated records.
+func gawkInput() string {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	var sb strings.Builder
+	state := uint32(12345)
+	for i := 0; i < 400; i++ {
+		state = state*1103515245 + 12345
+		w := words[state%uint32(len(words))]
+		n := int(state % 997)
+		sb.WriteString(w)
+		sb.WriteByte(' ')
+		writeInt(&sb, n)
+		sb.WriteByte(' ')
+		writeInt(&sb, i)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func writeInt(sb *strings.Builder, n int) {
+	if n == 0 {
+		sb.WriteByte('0')
+		return
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	sb.Write(buf[i:])
+}
+
+const gawkSrc = `/* gawk: a miniature awk — field splitting, numeric accumulators and a
+   chained hash table keyed by the first field. */
+
+enum { MAXLINE = 256, MAXFIELDS = 16, NBUCKETS = 31 };
+
+struct entry {
+    char *key;
+    int count;
+    int sum;
+    struct entry *next;
+};
+
+struct entry *buckets[NBUCKETS];
+
+int hash_str(char *s) {
+    int h = 0;
+    while (*s) {
+        h = h * 31 + *s;
+        s++;
+    }
+    if (h < 0) h = -h;
+    return h % NBUCKETS;
+}
+
+struct entry *intern(char *key) {
+    int h = hash_str(key);
+    struct entry *e;
+    for (e = buckets[h]; e != 0; e = e->next) {
+        if (strcmp(e->key, key) == 0) return e;
+    }
+    e = (struct entry *)GC_malloc(sizeof(struct entry));
+    e->key = (char *)GC_malloc(strlen(key) + 1);
+    strcpy(e->key, key);
+    e->count = 0;
+    e->sum = 0;
+    e->next = buckets[h];
+    buckets[h] = e;
+    return e;
+}
+
+/* read one line; returns length or -1 at EOF */
+int read_line(char *buf) {
+    int c;
+    int n = 0;
+    for (;;) {
+        c = getchar();
+        if (c == -1) {
+            if (n == 0) return -1;
+            break;
+        }
+        if (c == '\n') break;
+        if (n < MAXLINE - 1) {
+            buf[n] = c;
+            n++;
+        }
+    }
+    buf[n] = 0;
+    return n;
+}
+
+/* fieldbase keeps the real allocation reachable; fields is the buggy
+   1-indexed view: one element before the beginning of the array. */
+char **fieldbase;
+char **fields;
+
+/* split buf into NUL-terminated fields; returns the field count */
+int split_fields(char *buf) {
+    int nf = 0;
+    char *p = buf;
+    fieldbase = (char **)GC_malloc(MAXFIELDS * sizeof(char *));
+    fields = fieldbase - 1;     /* 1-indexed access: fields[1] .. fields[nf] */
+    for (;;) {
+        while (*p == ' ' || *p == '\t') p++;
+        if (*p == 0) break;
+        nf++;
+        fields[nf] = p;
+        while (*p != 0 && *p != ' ' && *p != '\t') p++;
+        if (*p == 0) break;
+        *p = 0;
+        p++;
+    }
+    return nf;
+}
+
+/* duplicate a field into fresh heap storage (awk's $n values are fresh
+   strings each record) */
+char *dupstr(char *s) {
+    char *d = (char *)GC_malloc(strlen(s) + 1);
+    strcpy(d, s);
+    return d;
+}
+
+int to_number(char *s) {
+    int v = 0;
+    int neg = 0;
+    if (*s == '-') { neg = 1; s++; }
+    while (*s >= '0' && *s <= '9') {
+        v = v * 10 + (*s - '0');
+        s++;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+int nlines = 0;
+int total = 0;
+int maxval = -1;
+char maxkey[64];
+
+void process(char *line) {
+    int nf = split_fields(line);
+    struct entry *e;
+    int v;
+    int i;
+    if (nf < 2) return;
+    nlines++;
+    /* materialize $1..$nf as fresh heap strings, as awk does */
+    for (i = 1; i <= nf; i++) {
+        fields[i] = dupstr(fields[i]);
+    }
+    v = to_number(fields[2]);
+    total += v;
+    e = intern(fields[1]);
+    e->count++;
+    e->sum += v;
+    if (v > maxval) {
+        maxval = v;
+        strcpy(maxkey, fields[1]);
+    }
+}
+
+void report_key(char *key) {
+    struct entry *e = intern(key);
+    print_str(key);
+    print_str(": count ");
+    print_int(e->count);
+    print_str(" sum ");
+    print_int(e->sum);
+    print_str("\n");
+}
+
+int main() {
+    char line[MAXLINE];
+    for (;;) {
+        int n = read_line(line);
+        if (n < 0) break;
+        process(line);
+    }
+    print_str("lines ");
+    print_int(nlines);
+    print_str(" total ");
+    print_int(total);
+    print_str(" max ");
+    print_int(maxval);
+    print_str(" at ");
+    print_str(maxkey);
+    print_str("\n");
+    report_key("alpha");
+    report_key("beta");
+    report_key("gamma");
+    report_key("delta");
+    report_key("epsilon");
+    report_key("zeta");
+    report_key("eta");
+    return 0;
+}
+`
+
+const gawkWant = "lines 400 total 200516 max 995 at epsilon\n" +
+	"alpha: count 46 sum 21396\n" +
+	"beta: count 74 sum 34604\n" +
+	"gamma: count 60 sum 30512\n" +
+	"delta: count 55 sum 27003\n" +
+	"epsilon: count 60 sum 33447\n" +
+	"zeta: count 61 sum 30755\n" +
+	"eta: count 44 sum 22799\n"

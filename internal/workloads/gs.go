@@ -1,0 +1,383 @@
+package workloads
+
+// Gs returns the miniature PostScript-style interpreter: a token scanner, a
+// tagged-object operand stack, a dictionary, procedure objects and a
+// working set of operators. Like the real Ghostscript, "most heap objects
+// have prepended standard headers": every object is allocated with a header
+// block in front of the body, so body pointers are interior pointers into
+// the allocation — the layout the paper credits for Ghostscript's clean
+// behaviour under checking.
+func Gs() Workload {
+	return Workload{
+		Name:   "gs",
+		Source: gsSrc,
+		Input:  gsProgram,
+		Want:   gsWant,
+		Lines:  countLines(gsSrc),
+	}
+}
+
+// gsProgram is the PostScript-flavoured input: integer math, stack
+// manipulation, named definitions, procedures and loops.
+const gsProgram = `
+/fact { dup 1 le { pop 1 } { dup 1 sub fact mul } ifelse } def
+/square { dup mul } def
+/sumsq 0 def
+1 1 10 { square /sumsq sumsq 2 index add def pop } for
+(sum of squares 1..10: ) print sumsq =
+(10 factorial: ) print 10 fact =
+/fib { dup 2 lt { } { dup 1 sub fib exch 2 sub fib add } ifelse } def
+(fib 12: ) print 12 fib =
+/count 0 def
+20 { /count count 1 add def } repeat
+(repeat count: ) print count =
+1 2 3 4 5 add add add add (stack sum: ) print =
+(done) print nl
+`
+
+const gsSrc = `/* gs: a miniature PostScript interpreter with header-prefixed objects. */
+
+enum {
+    T_INT = 1, T_NAME = 2, T_STRING = 3, T_PROC = 4,
+    STACKSZ = 256, MAXTOK = 128
+};
+
+/* Every object is allocated as header + body in one block; the object
+   pointer refers to the body, an interior pointer past the header. */
+struct header {
+    int magic;
+    int kind;
+};
+
+struct obj {
+    int type;
+    int ival;
+    char *sval;          /* name, string, or procedure token text */
+};
+
+enum { HDRMAGIC = 0x6753 };
+
+struct obj *new_obj(int type) {
+    char *block = (char *)GC_malloc(sizeof(struct header) + sizeof(struct obj));
+    struct header *h = (struct header *)block;
+    struct obj *o = (struct obj *)(block + sizeof(struct header));
+    h->magic = HDRMAGIC;
+    h->kind = type;
+    o->type = type;
+    o->ival = 0;
+    o->sval = 0;
+    return o;
+}
+
+/* object header lookup, Ghostscript style */
+struct header *obj_header(struct obj *o) {
+    return (struct header *)((char *)o - sizeof(struct header));
+}
+
+struct obj *new_int(int v) {
+    struct obj *o = new_obj(T_INT);
+    o->ival = v;
+    return o;
+}
+
+struct obj *new_strobj(int type, char *s) {
+    struct obj *o = new_obj(type);
+    char *copy = (char *)GC_malloc(strlen(s) + 1);
+    strcpy(copy, s);
+    o->sval = copy;
+    return o;
+}
+
+/* operand stack */
+struct obj *stack[STACKSZ];
+int sp = 0;
+
+void push(struct obj *o) {
+    if (sp >= STACKSZ) { print_str("stack overflow\n"); exit(1); }
+    stack[sp] = o;
+    sp++;
+}
+
+struct obj *pop_obj() {
+    if (sp == 0) { print_str("stack underflow\n"); exit(1); }
+    sp--;
+    return stack[sp];
+}
+
+int pop_int() {
+    struct obj *o = pop_obj();
+    if (o->type != T_INT) { print_str("typecheck: int expected\n"); exit(1); }
+    if (obj_header(o)->magic != HDRMAGIC) { print_str("corrupt header\n"); exit(1); }
+    return o->ival;
+}
+
+/* dictionary: association list */
+struct dictent {
+    char *name;
+    struct obj *value;
+    struct dictent *next;
+};
+
+struct dictent *dict = 0;
+
+void dict_def(char *name, struct obj *value) {
+    struct dictent *d = (struct dictent *)GC_malloc(sizeof(struct dictent));
+    d->name = (char *)GC_malloc(strlen(name) + 1);
+    strcpy(d->name, name);
+    d->value = value;
+    d->next = dict;
+    dict = d;
+}
+
+struct obj *dict_load(char *name) {
+    struct dictent *d;
+    for (d = dict; d != 0; d = d->next) {
+        if (strcmp(d->name, name) == 0) return d->value;
+    }
+    return 0;
+}
+
+/* token scanner over a program string */
+struct scanner {
+    char *text;
+    int pos;
+    int len;
+};
+
+/* next token into tok; returns 0 at end. Handles (...) strings and
+   nested { } procedure bodies (returned as a single token). */
+int next_token(struct scanner *sc, char *tok) {
+    int n = 0;
+    char c;
+    for (;;) {
+        if (sc->pos >= sc->len) return 0;
+        c = sc->text[sc->pos];
+        if (c != ' ' && c != '\n' && c != '\t') break;
+        sc->pos++;
+    }
+    c = sc->text[sc->pos];
+    if (c == '(') {
+        sc->pos++;
+        while (sc->pos < sc->len && sc->text[sc->pos] != ')') {
+            if (n < MAXTOK - 2) { tok[n] = sc->text[sc->pos]; n++; }
+            sc->pos++;
+        }
+        sc->pos++;
+        /* mark as string with a leading SOH byte */
+        {
+            int i;
+            for (i = n; i > 0; i--) tok[i] = tok[i - 1];
+        }
+        tok[0] = 1;
+        tok[n + 1] = 0;
+        return 1;
+    }
+    if (c == '{') {
+        int depth = 1;
+        sc->pos++;
+        tok[n] = 2; n++;    /* STX marks a procedure body */
+        while (sc->pos < sc->len && depth > 0) {
+            c = sc->text[sc->pos];
+            if (c == '{') depth++;
+            if (c == '}') depth--;
+            if (depth > 0) {
+                if (n < MAXTOK - 1) { tok[n] = c; n++; }
+            }
+            sc->pos++;
+        }
+        tok[n] = 0;
+        return 1;
+    }
+    while (sc->pos < sc->len) {
+        c = sc->text[sc->pos];
+        if (c == ' ' || c == '\n' || c == '\t') break;
+        if (n < MAXTOK - 1) { tok[n] = c; n++; }
+        sc->pos++;
+    }
+    tok[n] = 0;
+    return 1;
+}
+
+int is_number(char *s) {
+    if (*s == '-') s++;
+    if (*s < '0' || *s > '9') return 0;
+    while (*s) {
+        if (*s < '0' || *s > '9') return 0;
+        s++;
+    }
+    return 1;
+}
+
+int parse_int(char *s) {
+    int neg = 0;
+    int v = 0;
+    if (*s == '-') { neg = 1; s++; }
+    while (*s) { v = v * 10 + (*s - '0'); s++; }
+    if (neg) return -v;
+    return v;
+}
+
+void run_string(char *text);
+
+/* execute one operator or name token */
+void exec_token(char *tok) {
+    if (is_number(tok)) {
+        push(new_int(parse_int(tok)));
+        return;
+    }
+    if (tok[0] == 1) { /* string literal */
+        push(new_strobj(T_STRING, tok + 1));
+        return;
+    }
+    if (tok[0] == 2) { /* procedure body */
+        push(new_strobj(T_PROC, tok + 1));
+        return;
+    }
+    if (tok[0] == '/') { /* literal name */
+        push(new_strobj(T_NAME, tok + 1));
+        return;
+    }
+    if (strcmp(tok, "add") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a + b)); return; }
+    if (strcmp(tok, "sub") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a - b)); return; }
+    if (strcmp(tok, "mul") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a * b)); return; }
+    if (strcmp(tok, "div") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a / b)); return; }
+    if (strcmp(tok, "mod") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a % b)); return; }
+    if (strcmp(tok, "neg") == 0) { push(new_int(-pop_int())); return; }
+    if (strcmp(tok, "dup") == 0) { struct obj *o = pop_obj(); push(o); push(o); return; }
+    if (strcmp(tok, "pop") == 0) { pop_obj(); return; }
+    if (strcmp(tok, "exch") == 0) {
+        struct obj *b = pop_obj();
+        struct obj *a = pop_obj();
+        push(b); push(a);
+        return;
+    }
+    if (strcmp(tok, "index") == 0) {
+        int n = pop_int();
+        if (n < 0 || n >= sp) { print_str("rangecheck\n"); exit(1); }
+        push(stack[sp - 1 - n]);
+        return;
+    }
+    if (strcmp(tok, "eq") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a == b)); return; }
+    if (strcmp(tok, "lt") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a < b)); return; }
+    if (strcmp(tok, "le") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a <= b)); return; }
+    if (strcmp(tok, "gt") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a > b)); return; }
+    if (strcmp(tok, "ge") == 0) { int b = pop_int(); int a = pop_int(); push(new_int(a >= b)); return; }
+    if (strcmp(tok, "def") == 0) {
+        struct obj *val = pop_obj();
+        struct obj *name = pop_obj();
+        if (name->type != T_NAME) { print_str("typecheck: name expected\n"); exit(1); }
+        dict_def(name->sval, val);
+        return;
+    }
+    if (strcmp(tok, "if") == 0) {
+        struct obj *proc = pop_obj();
+        int cond = pop_int();
+        if (cond) run_string(proc->sval);
+        return;
+    }
+    if (strcmp(tok, "ifelse") == 0) {
+        struct obj *pelse = pop_obj();
+        struct obj *pthen = pop_obj();
+        int cond = pop_int();
+        if (cond) run_string(pthen->sval);
+        else run_string(pelse->sval);
+        return;
+    }
+    if (strcmp(tok, "repeat") == 0) {
+        struct obj *proc = pop_obj();
+        int n = pop_int();
+        int i;
+        for (i = 0; i < n; i++) run_string(proc->sval);
+        return;
+    }
+    if (strcmp(tok, "for") == 0) {
+        struct obj *proc = pop_obj();
+        int limit = pop_int();
+        int step = pop_int();
+        int init = pop_int();
+        int i;
+        for (i = init; (step > 0 && i <= limit) || (step < 0 && i >= limit); i += step) {
+            push(new_int(i));
+            run_string(proc->sval);
+        }
+        return;
+    }
+    if (strcmp(tok, "print") == 0) {
+        struct obj *o = pop_obj();
+        if (o->type == T_STRING) print_str(o->sval);
+        else print_int(o->ival);
+        return;
+    }
+    if (strcmp(tok, "=") == 0) {
+        struct obj *o = pop_obj();
+        if (o->type == T_INT) print_int(o->ival);
+        else print_str(o->sval);
+        print_str("\n");
+        return;
+    }
+    if (strcmp(tok, "nl") == 0) { print_str("\n"); return; }
+    if (strcmp(tok, "pstack") == 0) {
+        int i;
+        for (i = sp - 1; i >= 0; i--) {
+            if (stack[i]->type == T_INT) print_int(stack[i]->ival);
+            else print_str(stack[i]->sval);
+            print_str(" ");
+        }
+        print_str("\n");
+        return;
+    }
+    /* otherwise: executable name — load and run/push */
+    {
+        struct obj *v = dict_load(tok);
+        if (v == 0) {
+            print_str("undefined: ");
+            print_str(tok);
+            print_str("\n");
+            exit(1);
+        }
+        if (v->type == T_PROC) run_string(v->sval);
+        else push(v);
+    }
+}
+
+void run_string(char *text) {
+    struct scanner sc;
+    char tok[MAXTOK];
+    sc.text = text;
+    sc.pos = 0;
+    sc.len = strlen(text);
+    while (next_token(&sc, tok)) {
+        exec_token(tok);
+    }
+}
+
+int main() {
+    char *program;
+    int cap = 4096;
+    int n = 0;
+    int c;
+    program = (char *)GC_malloc(cap);
+    for (;;) {
+        c = getchar();
+        if (c == -1) break;
+        if (n < cap - 1) {
+            program[n] = c;
+            n++;
+        }
+    }
+    program[n] = 0;
+    run_string(program);
+    print_str("objects on stack at exit: ");
+    print_int(sp);
+    print_str("\n");
+    return 0;
+}
+`
+
+const gsWant = "sum of squares 1..10: 385\n" +
+	"10 factorial: 3628800\n" +
+	"fib 12: 144\n" +
+	"repeat count: 20\n" +
+	"stack sum: 15\n" +
+	"done\n" +
+	"objects on stack at exit: 0\n"

@@ -1,0 +1,66 @@
+// Package workloads holds the benchmark programs of the evaluation: C
+// sources standing in for the paper's Zorn-suite measurements. All four are
+// "very pointer and allocation intensive", as the paper requires:
+//
+//   - cordtest: a cord (rope) string package and its test, the analogue of
+//     the package "normally distributed with our garbage collector";
+//   - cfrac: a factoring program over linked-list bignums (the smallest
+//     Zorn member);
+//   - gawk: a miniature awk-style field/accumulator interpreter that
+//     deliberately contains the classic pointer-arithmetic bug the paper's
+//     checker found in the real gawk ("to represent an array as a pointer
+//     to one element before the beginning of the array's memory");
+//   - gs: a miniature PostScript-style stack interpreter whose heap
+//     objects carry prepended standard headers, like the real Ghostscript.
+//
+// The sources use only the front end's C subset and the native runtime
+// library (the unpreprocessed libc of the methodology).
+package workloads
+
+// Workload is one benchmark program with its input and expected output.
+type Workload struct {
+	Name   string
+	Source string
+	Input  string
+	// Want is the expected program output; every measurement mode must
+	// reproduce it exactly (except modes marked as failing).
+	Want string
+	// CheckedFails marks workloads whose checked build correctly detects a
+	// real pointer-arithmetic bug and aborts (the paper's gawk footnote).
+	CheckedFails bool
+	// DebugUnavailable marks workloads without -g numbers (the paper's
+	// cfrac footnote: inlining kept it from compiling at -O0).
+	DebugUnavailable bool
+	// Lines is the source line count, reported like the paper does.
+	Lines int
+}
+
+// All returns the four workloads in the paper's presentation order.
+func All() []Workload {
+	return []Workload{
+		Cordtest(),
+		Cfrac(),
+		Gawk(),
+		Gs(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+func countLines(s string) int {
+	n := 1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
