@@ -1,0 +1,41 @@
+# Development gates for the gcsafety reproduction.
+#
+#   make check        the full pre-merge gate: vet, build, tests under the
+#                     race detector, the full (non-short) test suite, and a
+#                     10-second native-fuzzing smoke run per fuzz target
+#   make test         tier-1: exactly what CI runs (see ROADMAP.md)
+#   make fuzz-smoke   just the fuzzing smoke runs
+#   make fuzz         a longer local fuzzing session (5 minutes per target)
+
+GO ?= go
+FUZZPKG := ./internal/fuzz
+FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip
+
+.PHONY: check vet build test race fuzz-smoke fuzz
+
+check: vet build race test fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run uses -short: the differential matrix's 2000-program run is
+# covered by `test` above, and under the race detector a 100-program slice
+# exercises the same code at a tolerable cost.
+race:
+	$(GO) test -race -short ./...
+
+fuzz-smoke:
+	@for target in $(FUZZTARGETS); do \
+		$(GO) test -run '^$$' -fuzz=$$target -fuzztime=10s $(FUZZPKG) || exit 1; \
+	done
+
+fuzz:
+	@for target in $(FUZZTARGETS); do \
+		$(GO) test -run '^$$' -fuzz=$$target -fuzztime=5m $(FUZZPKG) || exit 1; \
+	done

@@ -21,6 +21,7 @@ import (
 	"gcsafety/internal/cc/ast"
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/codegen"
+	"gcsafety/internal/fuzz"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
@@ -123,3 +124,30 @@ func Run(name, src string, p Pipeline) (*Result, error) {
 
 // Parse exposes the front end for tools that want the AST.
 func Parse(name, src string) (*ast.File, error) { return parser.Parse(name, src) }
+
+// GeneratedProgram is a random C program paired with the output its
+// reference model predicts (see internal/fuzz).
+type GeneratedProgram = fuzz.Program
+
+// MatrixOptions configures a differential treatment-matrix run.
+type MatrixOptions = fuzz.MatrixOptions
+
+// MatrixResult reports one program's runs across the treatment matrix.
+type MatrixResult = fuzz.MatrixResult
+
+// GenerateProgram builds one random well-defined C program from a
+// deterministic seed, together with the model of its output. steps is the
+// number of operations in the program body.
+func GenerateProgram(seed int64, steps int) *GeneratedProgram {
+	return fuzz.Generate(seed, steps)
+}
+
+// RunMatrix compiles and executes a generated program under the full
+// differential treatment matrix — {unannotated, safe, checked} x {-g, -O} x
+// {peephole on/off} per machine, plus adversarial-collection runs — and
+// classifies every disagreement with the model. Only the unannotated
+// optimized build (the configuration the paper shows is not GC-safe) may
+// fail; all other treatments appear in MatrixResult.Violations if they do.
+func RunMatrix(p *GeneratedProgram, opt MatrixOptions) (*MatrixResult, error) {
+	return fuzz.RunMatrix(p, opt)
+}

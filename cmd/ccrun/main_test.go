@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke test: build the command and run it end to end on a small program.
+
+func buildCCRun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ccrun")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const ccrunProg = `int main() {
+    print_int(6 * 9);
+    print_str("\n");
+    return 0;
+}
+`
+
+func TestCCRunSmoke(t *testing.T) {
+	bin := buildCCRun(t)
+	src := filepath.Join(t.TempDir(), "prog.c")
+	if err := os.WriteFile(src, []byte(ccrunProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-validate", src},
+		{"-O=false", src},
+		{"-safe", "-post", "-machine", "p90", src},
+	} {
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("ccrun %v: %v", args, err)
+		}
+		if string(out) != "54\n" {
+			t.Fatalf("ccrun %v printed %q, want %q", args, out, "54\n")
+		}
+	}
+	// -S prints a listing instead of running.
+	out, err := exec.Command(bin, "-S", src).Output()
+	if err != nil {
+		t.Fatalf("ccrun -S: %v", err)
+	}
+	if !strings.Contains(string(out), "main:") {
+		t.Fatalf("ccrun -S listing has no main:\n%s", out)
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFuzzcheckSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "fuzzcheck")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "-n", "3", "-steps", "4", "-machines", "ss10").Output()
+	if err != nil {
+		t.Fatalf("fuzzcheck: %v", err)
+	}
+	if !strings.Contains(string(out), "fuzzcheck: 3 programs, 0 violations") {
+		t.Fatalf("unexpected campaign summary:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke test: the preprocessor reads a translation unit on stdin and emits
+// an annotated program on stdout.
+
+func buildGCSafe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gcsafe")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const gcsafeProg = `int main() {
+    int i = getchar() + 2000;
+    char *p = (char *)GC_malloc(2000);
+    p[5] = 55;
+    print_int(p[i - 1000]);
+    return 0;
+}
+`
+
+func TestGCSafeSmoke(t *testing.T) {
+	bin := buildGCSafe(t)
+
+	cmd := exec.Command(bin, "-mode", "safe")
+	cmd.Stdin = strings.NewReader(gcsafeProg)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("gcsafe -mode safe: %v", err)
+	}
+	if !strings.Contains(string(out), "KEEP_LIVE") {
+		t.Fatalf("safe mode emitted no KEEP_LIVE annotation:\n%s", out)
+	}
+
+	cmd = exec.Command(bin, "-mode", "check")
+	cmd.Stdin = strings.NewReader(gcsafeProg)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatalf("gcsafe -mode check: %v", err)
+	}
+	if !strings.Contains(string(out), "GC_same_obj") {
+		t.Fatalf("check mode emitted no GC_same_obj check:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke test: compile an annotated program and show the postprocessor's
+// before/after listings and recovered cost.
+
+func buildPeephole(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "peephole")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const peepholeProg = `int sum(char *p, int n) {
+    int s = 0;
+    while (n > 0) { s = s + *p; p++; n--; }
+    return s;
+}
+int main() {
+    char *b = (char *)GC_malloc(64);
+    int j;
+    for (j = 0; j < 64; j++) b[j] = 1;
+    print_int(sum(b, 64));
+    print_str("\n");
+    return 0;
+}
+`
+
+func TestPeepholeSmoke(t *testing.T) {
+	bin := buildPeephole(t)
+	src := filepath.Join(t.TempDir(), "prog.c")
+	if err := os.WriteFile(src, []byte(peepholeProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-machine", "ss10", src).Output()
+	if err != nil {
+		t.Fatalf("peephole: %v", err)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"before postprocessing",
+		"after postprocessing",
+		"--- postprocessor:",
+		"--- cycles:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("peephole output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke test: the example must show the unannotated optimized build losing
+// its object to the collector while the annotated and debuggable builds
+// print the right answer.
+
+func TestHazardExampleSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "hazard")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin).Output()
+	if err != nil {
+		t.Fatalf("hazard example: %v", err)
+	}
+	text := string(out)
+	if !strings.Contains(text, "FAULT:") {
+		t.Fatalf("example output shows no fault for the unsafe build:\n%s", text)
+	}
+	if strings.Count(text, `ok, output "55\n"`) < 2 {
+		t.Fatalf("annotated and debuggable builds should both print 55:\n%s", text)
+	}
+}

@@ -1,4 +1,4 @@
-package parser
+package parser_test
 
 import (
 	"fmt"
@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/fuzz"
 )
 
 // Property: printing a parsed expression and re-parsing the result reaches
@@ -79,7 +81,7 @@ int probe() { return %s; }
 
 func parseProbe(t *testing.T, exprText string) (ast.Expr, bool) {
 	t.Helper()
-	f, err := Parse("rt.c", fmt.Sprintf(roundtripFrame, exprText))
+	f, err := parser.Parse("rt.c", fmt.Sprintf(roundtripFrame, exprText))
 	if err != nil {
 		return nil, false
 	}
@@ -129,7 +131,7 @@ func TestConstEvalStableUnderRoundTrip(t *testing.T) {
 		if !valid {
 			continue
 		}
-		v1, isConst := EvalConst(e1)
+		v1, isConst := parser.EvalConst(e1)
 		if !isConst {
 			continue
 		}
@@ -137,7 +139,7 @@ func TestConstEvalStableUnderRoundTrip(t *testing.T) {
 		if !valid {
 			t.Fatalf("re-parse failed for %s", ast.PrintExpr(e1))
 		}
-		v2, isConst2 := EvalConst(e2)
+		v2, isConst2 := parser.EvalConst(e2)
 		if !isConst2 || v1 != v2 {
 			t.Fatalf("constant drifted: %s = %d, reprinted = %d", text, v1, v2)
 		}
@@ -163,5 +165,58 @@ func (g *exprGen) constExpr(depth int) string {
 		return fmt.Sprintf("(%s ? %s : %s)", g.constExpr(depth-1), g.constExpr(depth-1), g.constExpr(depth-1))
 	default:
 		return "sizeof(int)"
+	}
+}
+
+// The same fixpoint property, driven by the shared expression generator in
+// internal/fuzz — the single source of truth the differential harness and
+// FuzzParserRoundtrip use — so the local ad-hoc generator above and the
+// fuzzing subsystem keep exercising the printer from two angles.
+func TestPrintParseFixpointFuzzGenerator(t *testing.T) {
+	g := fuzz.NewExprGen(rand.New(rand.NewSource(1996)))
+	leaves := []string{"a", "b", "s.f", "q->g", "arr[a]", "p[b]", "fn(a, b)"}
+	tried := 0
+	for i := 0; i < 600; i++ {
+		text := g.Expr(4, leaves)
+		e1, valid := parseProbe(t, text)
+		if !valid {
+			continue
+		}
+		tried++
+		p1 := ast.PrintExpr(e1)
+		e2, valid := parseProbe(t, p1)
+		if !valid {
+			t.Fatalf("printed form does not re-parse:\n  original: %s\n  printed:  %s", text, p1)
+		}
+		if p2 := ast.PrintExpr(e2); p1 != p2 {
+			t.Fatalf("print/parse not a fixpoint:\n  original: %s\n  first:    %s\n  second:   %s", text, p1, p2)
+		}
+	}
+	if tried < 200 {
+		t.Fatalf("fuzz generator produced too few valid expressions (%d)", tried)
+	}
+}
+
+// Constant expressions from the shared generator parse, fold to the value
+// the generator predicted, and keep that value across a round trip.
+func TestFuzzGeneratorConstantsAgreeWithParser(t *testing.T) {
+	g := fuzz.NewExprGenSeed(42)
+	for i := 0; i < 400; i++ {
+		text, want := g.Const(4)
+		e1, valid := parseProbe(t, text)
+		if !valid {
+			t.Fatalf("generated constant does not parse: %s", text)
+		}
+		v1, isConst := parser.EvalConst(e1)
+		if !isConst || v1 != int64(want) {
+			t.Fatalf("parser folded %s to (%d,%v), generator predicted %d", text, v1, isConst, want)
+		}
+		e2, valid := parseProbe(t, ast.PrintExpr(e1))
+		if !valid {
+			t.Fatalf("re-parse failed for %s", ast.PrintExpr(e1))
+		}
+		if v2, ok := parser.EvalConst(e2); !ok || v2 != v1 {
+			t.Fatalf("constant drifted across round trip: %s", text)
+		}
 	}
 }

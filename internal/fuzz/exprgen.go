@@ -1,0 +1,161 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random C expression generation, shared between the program generator
+// (constant expressions whose value the model must predict) and the
+// parser<->printer round-trip property tests (expressions over declared
+// names whose printed form must reach a fixpoint).
+
+// ExprGen generates random C expression texts.
+type ExprGen struct{ src source }
+
+// NewExprGen returns a generator driven by r.
+func NewExprGen(r *rand.Rand) *ExprGen {
+	return &ExprGen{src: randAdapter{r}}
+}
+
+// NewExprGenSeed returns a deterministic generator from a bare seed.
+func NewExprGenSeed(seed int64) *ExprGen {
+	return &ExprGen{src: newPRNG(seed)}
+}
+
+type randAdapter struct{ r *rand.Rand }
+
+func (a randAdapter) intn(n int) int { return a.r.Intn(n) }
+
+// Const returns a random constant expression and its value under C
+// semantics on the simulated 32-bit machine: every operation evaluates in
+// int32 with wraparound, shifts mask their count to 5 bits, and >> is
+// arithmetic — exactly matching the parser's constant evaluator and the
+// compiler's constant folder. Division and remainder are never generated
+// (their well-definedness depends on the operand values).
+func (g *ExprGen) Const(depth int) (string, int32) {
+	return constExpr(g.src, depth)
+}
+
+// Expr returns a random expression over the given leaf texts (variable
+// names, member accesses...); integer literals are mixed in. The result is
+// syntactically valid but not necessarily type-correct — round-trip
+// callers skip texts that fail to parse.
+func (g *ExprGen) Expr(depth int, leaves []string) string {
+	return nameExpr(g.src, depth, leaves)
+}
+
+var binOps = []string{"+", "-", "*", "&", "|", "^", "<<", ">>",
+	"==", "!=", "<", ">", "<=", ">="}
+
+func constExpr(src source, depth int) (string, int32) {
+	if depth <= 0 || src.intn(3) == 0 {
+		v := int32(src.intn(256))
+		return fmt.Sprintf("%d", v), v
+	}
+	switch src.intn(8) {
+	case 0: // unary minus
+		t, v := constExpr(src, depth-1)
+		return "(-" + t + ")", -v
+	case 1: // bitwise not
+		t, v := constExpr(src, depth-1)
+		return "(~" + t + ")", ^v
+	case 2: // logical not
+		t, v := constExpr(src, depth-1)
+		return "(!" + t + ")", b32(v == 0)
+	case 3: // conditional
+		c, cv := constExpr(src, depth-1)
+		a, av := constExpr(src, depth-1)
+		b, bv := constExpr(src, depth-1)
+		r := bv
+		if cv != 0 {
+			r = av
+		}
+		return "(" + c + " ? " + a + " : " + b + ")", r
+	default:
+		x, xv := constExpr(src, depth-1)
+		op := binOps[src.intn(len(binOps))]
+		var y string
+		var yv int32
+		if op == "<<" || op == ">>" {
+			// keep shift counts in range as written
+			yv = int32(src.intn(31))
+			y = fmt.Sprintf("%d", yv)
+		} else {
+			y, yv = constExpr(src, depth-1)
+		}
+		return "(" + x + " " + op + " " + y + ")", evalBin(op, xv, yv)
+	}
+}
+
+// evalBin applies one C binary operator with the machine's int32
+// semantics.
+func evalBin(op string, x, y int32) int32 {
+	ux, uy := uint32(x), uint32(y)
+	switch op {
+	case "+":
+		return int32(ux + uy)
+	case "-":
+		return int32(ux - uy)
+	case "*":
+		return int32(ux * uy)
+	case "&":
+		return x & y
+	case "|":
+		return x | y
+	case "^":
+		return x ^ y
+	case "<<":
+		return int32(ux << (uy & 31))
+	case ">>":
+		return x >> (uy & 31)
+	case "==":
+		return b32(x == y)
+	case "!=":
+		return b32(x != y)
+	case "<":
+		return b32(x < y)
+	case ">":
+		return b32(x > y)
+	case "<=":
+		return b32(x <= y)
+	case ">=":
+		return b32(x >= y)
+	}
+	panic("fuzz: unknown operator " + op)
+}
+
+func b32(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var nameOps = append(append([]string{}, binOps...), "&&", "||")
+
+func nameExpr(src source, depth int, leaves []string) string {
+	if depth <= 0 || src.intn(4) == 0 {
+		if src.intn(2) == 0 || len(leaves) == 0 {
+			return fmt.Sprintf("%d", src.intn(1000))
+		}
+		return leaves[src.intn(len(leaves))]
+	}
+	switch src.intn(7) {
+	case 0:
+		return "(-" + nameExpr(src, depth-1, leaves) + ")"
+	case 1:
+		return "(~" + nameExpr(src, depth-1, leaves) + ")"
+	case 2:
+		return "(!" + nameExpr(src, depth-1, leaves) + ")"
+	case 3:
+		return "(" + nameExpr(src, depth-1, leaves) + " ? " +
+			nameExpr(src, depth-1, leaves) + " : " + nameExpr(src, depth-1, leaves) + ")"
+	case 4:
+		return "(" + nameExpr(src, depth-1, leaves) + ", " + nameExpr(src, depth-1, leaves) + ")"
+	default:
+		op := nameOps[src.intn(len(nameOps))]
+		return "(" + nameExpr(src, depth-1, leaves) + " " + op + " " +
+			nameExpr(src, depth-1, leaves) + ")"
+	}
+}

@@ -1,0 +1,87 @@
+// Package fuzz is the differential-fuzzing subsystem of the reproduction.
+// It generates random well-defined C programs that exercise the paper's
+// hazard catalogue — address-displacement folding (p[i-1000]), pointer
+// walks with ++/-- (the GC_pre_incr/GC_post_incr patterns), one-past-the-
+// end arithmetic, interior pointers into structs and arrays, and pointer
+// values crossing function boundaries — each paired with a Go-side
+// reference model of its output.
+//
+// The treatment-matrix runner (matrix.go) compiles every generated program
+// under the full cross-product
+//
+//	{unannotated, safe, checked} x {-g, -O} x {peephole on/off} x machines
+//
+// and asserts that every treatment reproduces the model's output, with one
+// deliberate exception: the unannotated optimized build, which the paper
+// shows is NOT GC-safe, is allowed to fail and its failures are recorded
+// rather than reported. Annotated optimized builds are additionally run
+// under a maximally adversarial collection schedule (a forced collection at
+// every allocation and between every two instructions) with the
+// premature-reclamation detector armed.
+//
+// reduce.go holds a delta-debugging reducer that shrinks failing programs
+// by statement deletion before they are reported, and the native fuzzing
+// entry points FuzzDifferential / FuzzParserRoundtrip live in the package's
+// tests. cmd/fuzzcheck drives long campaigns from the command line.
+package fuzz
+
+// source supplies the generator's random choices. Two implementations
+// exist: a PRNG-backed one for deterministic seeded generation and a
+// byte-stream one that lets `go test -fuzz` mutate program shapes directly.
+type source interface {
+	// intn returns a choice in [0, n). n must be positive.
+	intn(n int) int
+}
+
+// prngSource is an xorshift32 choice stream (the same generator the
+// simulated runtime's rand_next uses, but with an independent state).
+type prngSource struct{ x uint32 }
+
+func newPRNG(seed int64) *prngSource {
+	x := uint32(seed)*2654435761 + 0x9E3779B9
+	if x == 0 {
+		x = 0x9E3779B9
+	}
+	return &prngSource{x: x}
+}
+
+func (p *prngSource) next() uint32 {
+	x := p.x
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	p.x = x
+	return x
+}
+
+func (p *prngSource) intn(n int) int { return int(p.next() % uint32(n)) }
+
+// byteSource draws choices from a fuzzer-controlled byte string, so that
+// mutating the input mutates the generated program incrementally. When the
+// bytes run out it continues deterministically from a PRNG seeded by the
+// consumed data, keeping every input a complete program.
+type byteSource struct {
+	data []byte
+	pos  int
+	tail prngSource
+}
+
+func newByteSource(data []byte) *byteSource {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	if h == 0 {
+		h = 0x9E3779B9
+	}
+	return &byteSource{data: data, tail: prngSource{x: h}}
+}
+
+func (s *byteSource) intn(n int) int {
+	if s.pos < len(s.data) {
+		b := s.data[s.pos]
+		s.pos++
+		return int(uint32(b) % uint32(n))
+	}
+	return int(s.tail.next() % uint32(n))
+}

@@ -1,0 +1,391 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is one generated C translation unit together with the output its
+// Go-side reference model predicts. Every compilation treatment of the
+// program must produce exactly Want (premature reclamation in GC-unsafe
+// treatments being the one tolerated cause of disagreement).
+type Program struct {
+	// Label identifies the generation parameters (seed or byte corpus).
+	Label string
+	// Source is the C translation unit.
+	Source string
+	// Want is the model-predicted standard output.
+	Want string
+	// Ops names the operations that were generated, in order.
+	Ops []string
+	// Hazards counts the operations drawn from the paper's hazard
+	// catalogue (the ones an unannotated optimizer may miscompile into
+	// GC-unsafe code).
+	Hazards int
+}
+
+// gen accumulates one program: C text on one side, the model on the other.
+type gen struct {
+	src   source
+	funcs strings.Builder // generated op functions
+	main  strings.Builder // statements of main
+	out   strings.Builder // model-predicted output
+	ops   []string
+	nfn   int // op-function counter
+	slots [8][]int
+	// rng mirrors the simulated runtime's rand_next (xorshift32 starting
+	// at 0x9E3779B9), so the model can predict dynamic values.
+	rng     uint32
+	hazards int
+}
+
+// randNext mirrors interp's rand_next builtin.
+func (g *gen) randNext() uint32 {
+	x := g.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	g.rng = x
+	return x
+}
+
+// header declares the structures and helper functions shared by every
+// generated program. cons/listsum/listlen are the linked-list vocabulary of
+// the original differential tests; mkbuf returns a freshly allocated filled
+// buffer across a function boundary.
+const header = `struct node { int v; struct node *next; };
+struct pair { int a; int b; };
+struct node *slots[8];
+struct node *cons(int v, struct node *rest) {
+    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+    n->v = v;
+    n->next = rest;
+    return n;
+}
+int listsum(struct node *l) {
+    int s = 0;
+    while (l) { s += l->v; l = l->next; }
+    return s;
+}
+int listlen(struct node *l) {
+    int n = 0;
+    while (l) { n++; l = l->next; }
+    return n;
+}
+char *mkbuf(int n, int fill) {
+    char *b = (char *)GC_malloc(n);
+    int j;
+    for (j = 0; j < n; j++) b[j] = fill;
+    return b;
+}
+`
+
+// Generate builds one program from a deterministic seed. steps is the
+// number of operations in the program body.
+func Generate(seed int64, steps int) *Program {
+	p := generate(newPRNG(seed), steps)
+	p.Label = fmt.Sprintf("seed=%d steps=%d", seed, steps)
+	return p
+}
+
+// GenerateBytes builds a program whose shape is controlled by a fuzzer's
+// byte string: each byte decides one generator choice. The step count is
+// derived from the data, bounded to keep programs small.
+func GenerateBytes(data []byte) *Program {
+	s := newByteSource(data)
+	steps := 3 + s.intn(18)
+	p := generate(s, steps)
+	p.Label = fmt.Sprintf("bytes=%d steps=%d", len(data), steps)
+	return p
+}
+
+func generate(src source, steps int) *Program {
+	g := &gen{src: src, rng: 0x9E3779B9}
+	for i := 0; i < steps; i++ {
+		g.step()
+	}
+	// Final summary: the sums of all slot lists, so every program ends by
+	// observing the whole reachable linked structure.
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&g.main, "    print_int(listsum(slots[%d])); print_str(\"|\");\n", i)
+		fmt.Fprintf(&g.out, "%d|", sum(g.slots[i]))
+	}
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString(g.funcs.String())
+	b.WriteString("int main() {\n")
+	b.WriteString(g.main.String())
+	b.WriteString("    return 0;\n}\n")
+	return &Program{
+		Source:  b.String(),
+		Want:    g.out.String(),
+		Ops:     g.ops,
+		Hazards: g.hazards,
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// step appends one random operation.
+func (g *gen) step() {
+	// Weighted op table: the linked-list operations carry the bulk of the
+	// GC pressure and aliasing, the function ops carry the hazard
+	// catalogue.
+	type op struct {
+		name   string
+		weight int
+		run    func()
+	}
+	ops := []op{
+		{"push", 4, g.opPush},
+		{"pop", 2, g.opPop},
+		{"sum", 2, g.opSum},
+		{"move", 2, g.opMove},
+		{"len", 1, g.opLen},
+		{"const", 1, g.opConst},
+		{"disp", 3, g.opDisp},
+		{"walk-read", 2, g.opWalkRead},
+		{"walk-write", 1, g.opWalkWrite},
+		{"walk-back", 1, g.opWalkBack},
+		{"interior", 1, g.opInterior},
+		{"interior-only", 1, g.opInteriorOnly},
+		{"struct-array", 1, g.opStructArray},
+		{"buf-sum", 1, g.opBufSum},
+	}
+	total := 0
+	for _, o := range ops {
+		total += o.weight
+	}
+	n := g.src.intn(total)
+	for _, o := range ops {
+		if n < o.weight {
+			g.ops = append(g.ops, o.name)
+			o.run()
+			return
+		}
+		n -= o.weight
+	}
+}
+
+// --- inline linked-list operations (migrated from the original ad-hoc
+// generator in internal/interp/differential_test.go) ---
+
+func (g *gen) opPush() {
+	s := g.src.intn(8)
+	v := g.src.intn(1000)
+	fmt.Fprintf(&g.main, "    slots[%d] = cons(%d, slots[%d]);\n", s, v, s)
+	g.slots[s] = append([]int{v}, g.slots[s]...)
+}
+
+func (g *gen) opPop() {
+	s := g.src.intn(8)
+	fmt.Fprintf(&g.main, "    if (slots[%d]) slots[%d] = slots[%d]->next;\n", s, s, s)
+	if len(g.slots[s]) > 0 {
+		g.slots[s] = g.slots[s][1:]
+	}
+}
+
+func (g *gen) opSum() {
+	s := g.src.intn(8)
+	fmt.Fprintf(&g.main, "    print_int(listsum(slots[%d])); print_str(\" \");\n", s)
+	fmt.Fprintf(&g.out, "%d ", sum(g.slots[s]))
+}
+
+func (g *gen) opMove() {
+	s, d := g.src.intn(8), g.src.intn(8)
+	fmt.Fprintf(&g.main, "    slots[%d] = slots[%d];\n", d, s)
+	g.slots[d] = g.slots[s]
+}
+
+func (g *gen) opLen() {
+	s := g.src.intn(8)
+	pressure := 16 + g.src.intn(200)
+	fmt.Fprintf(&g.main, "    print_int(listlen(slots[%d])); GC_malloc(%d); print_str(\" \");\n", s, pressure)
+	fmt.Fprintf(&g.out, "%d ", len(g.slots[s]))
+}
+
+// opConst prints a random constant expression; the model evaluates it with
+// the same stepwise int32 semantics as the compiler's constant folder.
+func (g *gen) opConst() {
+	text, val := constExpr(g.src, 3)
+	fmt.Fprintf(&g.main, "    print_int(%s); print_str(\" \");\n", text)
+	fmt.Fprintf(&g.out, "%d ", val)
+}
+
+// --- hazard-catalogue operations, one function per instance ---
+
+// fn opens a new op function and returns its name; the returned function
+// must be called exactly once to close it and emit the call site.
+func (g *gen) fn() (name string, done func()) {
+	name = fmt.Sprintf("op_%d", g.nfn)
+	g.nfn++
+	fmt.Fprintf(&g.funcs, "int %s() {\n", name)
+	return name, func() {
+		g.funcs.WriteString("    return 0;\n}\n")
+		fmt.Fprintf(&g.main, "    %s();\n", name)
+	}
+}
+
+// opDisp is the paper's opening example: the final reference to a fresh
+// object is the subscript p[i - C] with a dynamic index, which displacement
+// reassociation rewrites into `p = p - C; ... p[i]` — and between those two
+// instructions there is no recognizable pointer to the object. The indices
+// are derived from one rand_next draw so that the write and the read hit
+// the same (well-defined) element.
+func (g *gen) opDisp() {
+	g.hazards++
+	d := 100 + g.src.intn(800)  // write displacement
+	c := 200 + g.src.intn(1300) // folded constant
+	size := d + 256 + 8 + g.src.intn(256)
+	v := 1 + g.src.intn(119)
+	t := int(g.randNext() & 255)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    int t = rand_next() & 255;
+    int i = t + %d;
+    int k = t + %d;
+    char *p = (char *)GC_malloc(%d);
+    p[k] = %d;
+    print_int(p[i - %d]); print_str(" ");
+`, c+d, d, size, v, c)
+	done()
+	_ = t // the written element is re-read: output is v regardless of t
+	fmt.Fprintf(&g.out, "%d ", v)
+}
+
+// opWalkRead walks a function-returned buffer with a post-incremented
+// pointer up to a one-past-the-end limit (GC_post_incr in checked mode).
+func (g *gen) opWalkRead() {
+	g.hazards++
+	n := 8 + g.src.intn(33)
+	f := 1 + g.src.intn(5)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    char *c = mkbuf(%d, %d);
+    char *end = c + %d;
+    int s = 0;
+    while (c < end) { s = s + *c; c++; }
+    print_int(s); print_str(" ");
+`, n, f, n)
+	done()
+	fmt.Fprintf(&g.out, "%d ", n*f)
+}
+
+// opWalkWrite fills a buffer through one alias and re-reads it through
+// another, with all three pointers (base, cursor, limit) into one object.
+func (g *gen) opWalkWrite() {
+	g.hazards++
+	n := 8 + g.src.intn(33)
+	f := 1 + g.src.intn(5)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    char *b = (char *)GC_malloc(%d);
+    char *c = b;
+    char *end = b + %d;
+    int s = 0;
+    while (c < end) { *c = %d; c++; }
+    for (c = b; c < end; c++) s = s + *c;
+    print_int(s); print_str(" ");
+`, n, n, f)
+	done()
+	fmt.Fprintf(&g.out, "%d ", n*f)
+}
+
+// opWalkBack starts one past the end and pre-decrements down to the base
+// (the GC_pre_incr pattern of the paper's debugging mode).
+func (g *gen) opWalkBack() {
+	g.hazards++
+	n := 8 + g.src.intn(33)
+	f := 1 + g.src.intn(5)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    char *b = mkbuf(%d, %d);
+    char *c = b + %d;
+    int s = 0;
+    while (c > b) { c--; s = s + *c; }
+    print_int(s); print_str(" ");
+`, n, f, n)
+	done()
+	fmt.Fprintf(&g.out, "%d ", n*f)
+}
+
+// opInterior takes an interior pointer into a heap struct and uses both the
+// base pointer and the interior pointer across an allocation.
+func (g *gen) opInterior() {
+	g.hazards++
+	x := g.src.intn(200)
+	y := g.src.intn(200)
+	pressure := 16 + g.src.intn(100)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    struct pair *pr = (struct pair *)GC_malloc(sizeof(struct pair));
+    int *ip = &pr->b;
+    pr->a = %d;
+    *ip = %d;
+    GC_malloc(%d);
+    print_int(pr->a + *ip); print_str(" ");
+`, x, y, pressure)
+	done()
+	fmt.Fprintf(&g.out, "%d ", x+y)
+}
+
+// opInteriorOnly drops the base pointer: after `pr = 0` the interior
+// pointer is the object's only root, which the collector's default
+// configuration must recognize.
+func (g *gen) opInteriorOnly() {
+	g.hazards++
+	z := g.src.intn(500)
+	pressure := 16 + g.src.intn(100)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    struct pair *pr = (struct pair *)GC_malloc(sizeof(struct pair));
+    int *ip = &pr->b;
+    *ip = %d;
+    pr = 0;
+    GC_malloc(%d);
+    print_int(*ip); print_str(" ");
+`, z, pressure)
+	done()
+	fmt.Fprintf(&g.out, "%d ", z)
+}
+
+// opStructArray allocates an array of structs and keeps an interior
+// pointer into a middle element's second field across the fill loop and an
+// allocation.
+func (g *gen) opStructArray() {
+	g.hazards++
+	k := 2 + g.src.intn(8)
+	mid := g.src.intn(k)
+	off := g.src.intn(100)
+	sel := g.src.intn(k)
+	pressure := 16 + g.src.intn(100)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    struct pair *a = (struct pair *)GC_malloc(%d * sizeof(struct pair));
+    int *ip = &a[%d].b;
+    int j;
+    for (j = 0; j < %d; j++) { a[j].a = j; a[j].b = j + %d; }
+    GC_malloc(%d);
+    print_int(*ip + a[%d].a); print_str(" ");
+`, k, mid, k, off, pressure, sel)
+	done()
+	fmt.Fprintf(&g.out, "%d ", (mid+off)+sel)
+}
+
+// opBufSum sums a function-returned buffer by index (exercising the
+// optimizer's indexed-load folding rather than pointer induction).
+func (g *gen) opBufSum() {
+	g.hazards++
+	n := 8 + g.src.intn(33)
+	f := 1 + g.src.intn(5)
+	pressure := 16 + g.src.intn(100)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    char *q = mkbuf(%d, %d);
+    int j;
+    int s = 0;
+    for (j = 0; j < %d; j++) s = s + q[j];
+    GC_malloc(%d);
+    print_int(s); print_str(" ");
+`, n, f, n, pressure)
+	done()
+	fmt.Fprintf(&g.out, "%d ", n*f)
+}

@@ -1,0 +1,128 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/parser"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(seed, 10)
+		b := Generate(seed, 10)
+		if a.Source != b.Source || a.Want != b.Want {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+	if Generate(1, 10).Source == Generate(2, 10).Source {
+		t.Fatalf("distinct seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsParse(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, 8)
+		if _, err := parser.Parse("gen.c", p.Source); err != nil {
+			t.Fatalf("seed %d does not parse: %v\n%s", seed, err, p.Source)
+		}
+	}
+}
+
+func TestGenerateBytesDeterministic(t *testing.T) {
+	data := []byte{3, 7, 200, 41, 0, 0, 99, 5}
+	a := GenerateBytes(data)
+	b := GenerateBytes(data)
+	if a.Source != b.Source || a.Want != b.Want {
+		t.Fatalf("GenerateBytes not deterministic")
+	}
+	if _, err := parser.Parse("gen.c", a.Source); err != nil {
+		t.Fatalf("byte-driven program does not parse: %v", err)
+	}
+	// Exhausted byte strings must still produce complete programs.
+	if p := GenerateBytes(nil); len(p.Ops) == 0 {
+		t.Fatalf("empty input produced an empty program")
+	}
+}
+
+// Every operation in the table, hazard catalogue included, must actually be
+// reachable from seeded generation.
+func TestOpCoverage(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 300; seed++ {
+		for _, op := range Generate(seed, 12).Ops {
+			seen[op] = true
+		}
+	}
+	want := []string{"push", "pop", "sum", "move", "len", "const",
+		"disp", "walk-read", "walk-write", "walk-back",
+		"interior", "interior-only", "struct-array", "buf-sum"}
+	for _, op := range want {
+		if !seen[op] {
+			t.Errorf("op %q never generated in 300 seeds", op)
+		}
+	}
+}
+
+// The generator's constant evaluator must agree with the parser's: the
+// model predicts print_int output for opConst using evalBin, and the
+// compiler folds the same expression using the front end's semantics.
+func TestConstExprMatchesParserEvaluator(t *testing.T) {
+	g := NewExprGenSeed(19960528)
+	for i := 0; i < 500; i++ {
+		text, val := g.Const(4)
+		src := fmt.Sprintf("int probe() { return %s; }", text)
+		f, err := parser.Parse("const.c", src)
+		if err != nil {
+			t.Fatalf("constant expression does not parse: %s: %v", text, err)
+		}
+		ret := f.FuncByName("probe").Body.Stmts[0].(*ast.Return)
+		got, isConst := parser.EvalConst(ret.X)
+		if !isConst {
+			t.Fatalf("parser did not fold %s", text)
+		}
+		if got != int64(val) {
+			t.Fatalf("constant disagreement on %s: generator %d, parser %d", text, val, got)
+		}
+	}
+}
+
+func TestHazardCounting(t *testing.T) {
+	total := 0
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, 10)
+		n := 0
+		for _, op := range p.Ops {
+			switch op {
+			case "disp", "walk-read", "walk-write", "walk-back",
+				"interior", "interior-only", "struct-array", "buf-sum":
+				n++
+			}
+		}
+		if n != p.Hazards {
+			t.Fatalf("seed %d: Hazards=%d but %d hazard ops in %v", seed, p.Hazards, n, p.Ops)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("no hazard operations generated at all")
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	if n := CountLines("a\n\n  \nb\nc\n"); n != 3 {
+		t.Fatalf("CountLines = %d, want 3", n)
+	}
+}
+
+func TestProgramShape(t *testing.T) {
+	p := Generate(7, 10)
+	if !strings.Contains(p.Source, "int main()") {
+		t.Fatalf("no main in generated program")
+	}
+	if !strings.HasSuffix(p.Want, "|") {
+		t.Fatalf("model output does not end with the slot summary: %q", p.Want)
+	}
+}

@@ -1,0 +1,278 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gc"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/peephole"
+)
+
+// Annotation selects the preprocessing treatment of a program.
+type Annotation int
+
+// Annotation treatments.
+const (
+	// AnnotateNone compiles the program as written (GC-unsafe when
+	// optimized).
+	AnnotateNone Annotation = iota
+	// AnnotateSafe runs the KEEP_LIVE annotator (the paper's production
+	// mode).
+	AnnotateSafe
+	// AnnotateChecked runs the annotator in pointer-checking mode (the
+	// paper's debugging mode).
+	AnnotateChecked
+)
+
+func (a Annotation) String() string {
+	switch a {
+	case AnnotateSafe:
+		return "safe"
+	case AnnotateChecked:
+		return "checked"
+	}
+	return "none"
+}
+
+// Treatment is one cell of the differential matrix: a full compilation and
+// execution configuration.
+type Treatment struct {
+	Machine  machine.Config
+	Annotate Annotation
+	Optimize bool
+	Post     bool // peephole postprocessor
+	// Adversarial runs under the maximally hostile collection schedule: a
+	// forced collection at every allocation and between every two
+	// instructions, with the premature-reclamation detector armed.
+	Adversarial bool
+}
+
+// Name is a compact human-readable treatment label.
+func (t Treatment) Name() string {
+	var b strings.Builder
+	b.WriteString(shortMachine(t.Machine))
+	if t.Optimize {
+		b.WriteString("/-O")
+	} else {
+		b.WriteString("/-g")
+	}
+	if t.Annotate != AnnotateNone {
+		b.WriteString(" " + t.Annotate.String())
+	}
+	if t.Post {
+		b.WriteString(" post")
+	}
+	if t.Adversarial {
+		b.WriteString(" adv")
+	}
+	return b.String()
+}
+
+func shortMachine(cfg machine.Config) string {
+	switch cfg.Name {
+	case "SPARCstation 2":
+		return "ss2"
+	case "SPARCstation 10":
+		return "ss10"
+	case "Pentium 90":
+		return "p90"
+	}
+	return cfg.Name
+}
+
+// MustAgree reports whether the treatment is required to reproduce the
+// model output. Only the unannotated optimized build — the configuration
+// the paper demonstrates is not GC-safe — is exempt.
+func (t Treatment) MustAgree() bool {
+	return !(t.Annotate == AnnotateNone && t.Optimize)
+}
+
+// TreatmentResult is the outcome of running one treatment.
+type TreatmentResult struct {
+	Treatment
+	Output string
+	Err    error // run-time fault, or nil
+}
+
+// Agreed reports whether the run completed and reproduced the model.
+func (r TreatmentResult) Agreed(want string) bool {
+	return r.Err == nil && r.Output == want
+}
+
+// MatrixOptions configures a matrix run.
+type MatrixOptions struct {
+	// Machines are the target configurations (default: the three paper
+	// machines).
+	Machines []machine.Config
+	// SkipAdversarial drops the hostile-schedule runs (used by callers
+	// that only want output agreement under the benign regime).
+	SkipAdversarial bool
+	// StopOnViolation aborts the matrix at the first violation.
+	StopOnViolation bool
+}
+
+// MatrixResult aggregates all treatment runs of one program.
+type MatrixResult struct {
+	Program *Program
+	Results []TreatmentResult
+	// Violations are must-agree treatments that faulted or diverged from
+	// the model: each one is a real finding (a compiler, annotator,
+	// collector or harness bug).
+	Violations []TreatmentResult
+	// UnsafeFailures are unannotated optimized runs that faulted or
+	// diverged. They demonstrate the paper's hazard and are expected, not
+	// findings; the premature-reclamation ones are the interesting kind.
+	UnsafeFailures []TreatmentResult
+}
+
+// PrematureReclamations counts unsafe failures whose fault is the
+// detector's "not inside any live object" heap error — the paper's
+// premature-collection scenario, as opposed to mere output divergence.
+func (m *MatrixResult) PrematureReclamations() int {
+	n := 0
+	for _, r := range m.UnsafeFailures {
+		if IsReclamationFault(r.Err) {
+			n++
+		}
+	}
+	return n
+}
+
+// IsReclamationFault reports whether err is the premature-reclamation
+// detector firing (an access inside the heap but not inside any live
+// object).
+func IsReclamationFault(err error) bool {
+	var ge *gc.Error
+	return errors.As(err, &ge) && strings.Contains(ge.Msg, "not inside any live object")
+}
+
+// Treatments expands opt into the full treatment list: the cross-product
+// {none, safe, checked} x {-g, -O} x {peephole on/off} per machine under
+// the benign schedule, plus the adversarial-schedule runs — the annotated
+// optimized builds (with and without peephole) on every machine, the
+// debuggable and checked builds on the first machine, and the unannotated
+// optimized build on every machine (expected to fail; recorded).
+func Treatments(opt MatrixOptions) []Treatment {
+	machines := opt.Machines
+	if len(machines) == 0 {
+		machines = machine.Configs()
+	}
+	var ts []Treatment
+	for _, cfg := range machines {
+		for _, ann := range []Annotation{AnnotateNone, AnnotateSafe, AnnotateChecked} {
+			for _, optimize := range []bool{false, true} {
+				for _, post := range []bool{false, true} {
+					ts = append(ts, Treatment{Machine: cfg, Annotate: ann, Optimize: optimize, Post: post})
+				}
+			}
+		}
+	}
+	if !opt.SkipAdversarial {
+		for _, cfg := range machines {
+			ts = append(ts,
+				Treatment{Machine: cfg, Annotate: AnnotateSafe, Optimize: true, Adversarial: true},
+				Treatment{Machine: cfg, Annotate: AnnotateSafe, Optimize: true, Post: true, Adversarial: true},
+				Treatment{Machine: cfg, Annotate: AnnotateNone, Optimize: true, Adversarial: true},
+			)
+		}
+		ts = append(ts,
+			Treatment{Machine: machines[0], Annotate: AnnotateNone, Adversarial: true},
+			Treatment{Machine: machines[0], Annotate: AnnotateChecked, Optimize: true, Adversarial: true},
+		)
+	}
+	return ts
+}
+
+// RunTreatment compiles and executes p under one treatment. The returned
+// error is a harness-level failure (the program did not parse, annotate or
+// compile) and aborts the whole matrix; run-time faults are reported inside
+// the TreatmentResult.
+func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
+	r := TreatmentResult{Treatment: t}
+	file, err := parser.Parse("fuzz.c", p.Source)
+	if err != nil {
+		return r, fmt.Errorf("parse: %w", err)
+	}
+	if t.Annotate != AnnotateNone {
+		opts := gcsafe.Options{}
+		if t.Annotate == AnnotateChecked {
+			opts.Mode = gcsafe.ModeChecked
+		}
+		if _, err := gcsafe.Annotate(file, opts); err != nil {
+			return r, fmt.Errorf("annotate: %w", err)
+		}
+	}
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: t.Optimize, Machine: t.Machine})
+	if err != nil {
+		return r, fmt.Errorf("compile: %w", err)
+	}
+	if t.Post {
+		peephole.Optimize(prog, t.Machine)
+	}
+	exec := interp.Options{Config: t.Machine, Validate: true}
+	if t.Adversarial {
+		exec.GCEveryInstrs = 1
+		exec.CollectAtEveryAlloc = true
+	} else {
+		// Benign but nontrivial schedule: allocation-triggered collections
+		// plus a mild asynchronous tick, so the collector genuinely runs.
+		exec.GCEveryInstrs = 211
+		exec.TriggerBytes = 8 << 10
+	}
+	res, err := interp.Run(prog, exec)
+	if res != nil {
+		r.Output = res.Output
+	}
+	r.Err = err
+	return r, nil
+}
+
+// RunMatrix runs p under every treatment and classifies the outcomes. The
+// returned error reports harness-level failures only (programs that do not
+// compile); treatment disagreements are data, in MatrixResult.
+func RunMatrix(p *Program, opt MatrixOptions) (*MatrixResult, error) {
+	m := &MatrixResult{Program: p}
+	for _, t := range Treatments(opt) {
+		r, err := RunTreatment(p, t)
+		if err != nil {
+			return m, fmt.Errorf("%s [%s]: %w", p.Label, t.Name(), err)
+		}
+		m.Results = append(m.Results, r)
+		if r.Agreed(p.Want) {
+			continue
+		}
+		if r.MustAgree() {
+			m.Violations = append(m.Violations, r)
+			if opt.StopOnViolation {
+				return m, nil
+			}
+		} else {
+			m.UnsafeFailures = append(m.UnsafeFailures, r)
+		}
+	}
+	return m, nil
+}
+
+// Describe renders a violation report: the treatment, what was expected,
+// what happened, and the program.
+func Describe(p *Program, rs []TreatmentResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (ops %s):\n", p.Label, strings.Join(p.Ops, ","))
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  [%s] ", r.Name())
+		if r.Err != nil {
+			fmt.Fprintf(&b, "faulted: %v\n", r.Err)
+		} else {
+			fmt.Fprintf(&b, "output diverged:\n    got:  %q\n    want: %q\n", r.Output, p.Want)
+		}
+	}
+	b.WriteString("source:\n")
+	b.WriteString(p.Source)
+	return b.String()
+}

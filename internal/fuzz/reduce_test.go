@@ -1,0 +1,61 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReduceReturnsInputWhenPredicateFailsOnIt(t *testing.T) {
+	src := "int main() { return 0; }\n"
+	got := Reduce(src, func(string) bool { return false })
+	if got != src {
+		t.Fatalf("Reduce modified a program the predicate rejects")
+	}
+}
+
+func TestReduceDropsIrrelevantStatements(t *testing.T) {
+	src := `int unused() {
+    return 42;
+}
+int main() {
+    int a = 1;
+    int b = 2;
+    print_int(7);
+    print_int(a + b);
+    return 0;
+}
+`
+	pred := func(c string) bool { return strings.Contains(c, "print_int(7)") }
+	got := Reduce(src, pred)
+	if !pred(got) {
+		t.Fatalf("reduced program no longer satisfies the predicate:\n%s", got)
+	}
+	if strings.Contains(got, "a + b") {
+		t.Fatalf("reducer kept deletable statements:\n%s", got)
+	}
+	if CountLines(got) > 4 {
+		t.Fatalf("reduced program still %d lines:\n%s", CountLines(got), got)
+	}
+}
+
+// The acceptance property: a seeded known-bad program (one whose
+// unannotated optimized build suffers premature reclamation under the
+// adversarial schedule) shrinks to a straightforwardly readable repro.
+func TestReduceShrinksKnownBadProgram(t *testing.T) {
+	p, bad := findKnownBad(t, 200)
+	before := CountLines(p.Source)
+	reduced := ReduceViolation(p, bad)
+	after := CountLines(reduced)
+	t.Logf("reduced %d lines to %d:\n%s", before, after, reduced)
+	if after > 15 {
+		t.Fatalf("reduced repro still %d non-blank lines (want <= 15):\n%s", after, reduced)
+	}
+	// The reduced program must still exhibit the fault.
+	r, err := RunTreatment(&Program{Label: "reduced", Source: reduced}, bad.Treatment)
+	if err != nil {
+		t.Fatalf("reduced program no longer compiles: %v", err)
+	}
+	if !IsReclamationFault(r.Err) {
+		t.Fatalf("reduced program no longer faults: err=%v", r.Err)
+	}
+}

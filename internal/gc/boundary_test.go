@@ -1,0 +1,145 @@
+package gc
+
+import "testing"
+
+// Edge cases of the GC_base / GC_same_obj contract: the one-past-the-end
+// rule (every object is allocated with at least one extra byte so that the
+// C-legal one-past-the-end pointer still resolves to the object),
+// zero-size allocations, and pointers at page boundaries of multi-page
+// objects.
+
+func TestOnePastEndResolvesToObject(t *testing.T) {
+	h := newTestHeap(t)
+	for _, n := range []uint32{1, 7, 8, 16, 40, 100, 511} {
+		a := mustAlloc(t, h, n)
+		if got := h.Base(a + n); got != a {
+			t.Fatalf("Base(a+%d) = %#x, want %#x (one-past-the-end must stay in the object)", n, got, a)
+		}
+		if _, err := h.SameObject(a+n, a); err != nil {
+			t.Fatalf("GC_same_obj(a+%d, a) rejected the one-past-the-end pointer: %v", n, err)
+		}
+	}
+}
+
+func TestOnePastEndKeepsObjectLive(t *testing.T) {
+	h := newTestHeap(t)
+	const n = 24
+	a := mustAlloc(t, h, n)
+	// Allocate a neighbor so a's page stays interesting, then drop every
+	// reference to a except the one-past-the-end pointer.
+	b := mustAlloc(t, h, n)
+	h.SetRoots(rootList{a + n, b})
+	h.Collect()
+	if got := h.ObjectBase(a); got != a {
+		t.Fatalf("object reclaimed despite a live one-past-the-end pointer (Base = %#x)", got)
+	}
+	if err := h.ValidateAccess(a, 4); err != nil {
+		t.Fatalf("object not accessible after collection: %v", err)
+	}
+}
+
+func TestOnePastRoundedEndIsOutside(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 24)
+	end := a + h.ObjectSize(a)
+	if got := h.ObjectBase(end); got == a {
+		t.Fatalf("pointer one past the rounded extent still resolves to the object")
+	}
+}
+
+func TestZeroSizeAllocationsAreDistinctObjects(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 0)
+	b := mustAlloc(t, h, 0)
+	if a == b {
+		t.Fatalf("two zero-size allocations share an address")
+	}
+	if h.ObjectBase(a) != a || h.ObjectBase(b) != b {
+		t.Fatalf("zero-size allocation is not a live object")
+	}
+	// The extra byte makes even a zero-size object's one-past-the-end
+	// (== base) pointer valid, and the object accessible at one byte.
+	if err := h.ValidateAccess(a, 1); err != nil {
+		t.Fatalf("zero-size object rejects a 1-byte access: %v", err)
+	}
+	if _, err := h.SameObject(a, b); err == nil {
+		t.Fatalf("GC_same_obj accepted pointers into two distinct zero-size objects")
+	}
+	h.SetRoots(rootList{a})
+	h.Collect()
+	if h.ObjectBase(a) != a {
+		t.Fatalf("rooted zero-size object was reclaimed")
+	}
+	if h.ObjectBase(b) != 0 {
+		t.Fatalf("unrooted zero-size object survived collection")
+	}
+}
+
+func TestPageBoundaryInteriorPointersOfLargeObject(t *testing.T) {
+	h := newTestHeap(t)
+	// Three-and-a-bit pages: interior pointers at every page boundary of
+	// the span must resolve to the base.
+	n := uint32(3*PageSize + 100)
+	a := mustAlloc(t, h, n)
+	for _, p := range []Addr{a, a + PageSize, a + 2*PageSize, a + 3*PageSize, a + n} {
+		if got := h.Base(p); got != a {
+			t.Fatalf("Base(%#x) = %#x, want %#x (offset %d into a %d-byte object)",
+				p, got, a, p-a, n)
+		}
+	}
+	// A page-boundary interior pointer alone must keep the whole span live.
+	h.SetRoots(rootList{a + 2*PageSize})
+	h.Collect()
+	if h.ObjectBase(a) != a {
+		t.Fatalf("large object reclaimed despite a live page-boundary interior pointer")
+	}
+	if err := h.ValidateAccess(a+n-4, 4); err != nil {
+		t.Fatalf("tail of large object not accessible: %v", err)
+	}
+}
+
+func TestSmallObjectAtPageBoundary(t *testing.T) {
+	h := newTestHeap(t)
+	// Fill at least one whole page with 64-byte-class objects so that some
+	// object's extent ends exactly at a page boundary.
+	size := h.ObjectSize(mustAlloc(t, h, 56))
+	if size == 0 || PageSize%size != 0 {
+		t.Fatalf("test assumes the class size divides the page (size=%d)", size)
+	}
+	objs := []Addr{}
+	for i := uint32(0); i < 2*PageSize/size; i++ {
+		objs = append(objs, mustAlloc(t, h, 56))
+	}
+	var last Addr // an object whose extent ends exactly at a page boundary
+	for _, a := range objs {
+		if (a+size)%PageSize == 0 {
+			last = a
+			break
+		}
+	}
+	if last == 0 {
+		t.Fatalf("no object found ending at a page boundary")
+	}
+	// One past the requested end stays inside; the first byte of the next
+	// page belongs to some other object (or none), never to this one.
+	if got := h.Base(last + 56); got != last {
+		t.Fatalf("Base(one past requested end) = %#x, want %#x", got, last)
+	}
+	next := last + size
+	if got := h.Base(next); got == last {
+		t.Fatalf("pointer at next page start resolves to the previous page's object")
+	}
+	if _, err := h.SameObject(next, last); err == nil && h.Base(next) != 0 {
+		t.Fatalf("GC_same_obj accepted a pointer that crossed a page boundary out of its object")
+	}
+}
+
+func TestSameObjectVacuousForNonHeapPointers(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 16)
+	// q outside the heap: the paper does not check references to static and
+	// stack memory, so the check passes regardless of p.
+	if _, err := h.SameObject(a+123456, 0x2000); err != nil {
+		t.Fatalf("GC_same_obj checked a non-heap q: %v", err)
+	}
+}

@@ -1,110 +1,33 @@
-package interp
+package interp_test
 
 import (
 	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/codegen"
+	"gcsafety/internal/fuzz"
 	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/peephole"
 )
 
-// Differential testing: random linked-structure programs are generated as C
-// source together with a Go-side reference model of their output. Every
-// compilation treatment must produce exactly the model's output, and the
-// annotated optimized build must additionally survive an asynchronous
-// collector with the reclamation detector armed.
-
-type progGen struct {
-	r     *rand.Rand
-	body  strings.Builder
-	model [8][]int // the Go-side model of the 8 list slots
-	out   strings.Builder
-}
-
-const diffHeader = `
-struct node { int v; struct node *next; };
-struct node *slots[8];
-
-struct node *cons(int v, struct node *rest) {
-    struct node *n = (struct node *)GC_malloc(sizeof(struct node));
-    n->v = v;
-    n->next = rest;
-    return n;
-}
-
-int listsum(struct node *l) {
-    int s = 0;
-    while (l) { s += l->v; l = l->next; }
-    return s;
-}
-
-int listlen(struct node *l) {
-    int n = 0;
-    while (l) { n++; l = l->next; }
-    return n;
-}
-`
-
-func (g *progGen) step(i int) {
-	slot := g.r.Intn(8)
-	switch g.r.Intn(6) {
-	case 0, 1: // push
-		v := g.r.Intn(1000)
-		fmt.Fprintf(&g.body, "    slots[%d] = cons(%d, slots[%d]);\n", slot, v, slot)
-		g.model[slot] = append([]int{v}, g.model[slot]...)
-	case 2: // pop
-		fmt.Fprintf(&g.body, "    if (slots[%d]) slots[%d] = slots[%d]->next;\n", slot, slot, slot)
-		if len(g.model[slot]) > 0 {
-			g.model[slot] = g.model[slot][1:]
-		}
-	case 3: // sum
-		fmt.Fprintf(&g.body, "    print_int(listsum(slots[%d])); print_str(\" \");\n", slot)
-		s := 0
-		for _, v := range g.model[slot] {
-			s += v
-		}
-		fmt.Fprintf(&g.out, "%d ", s)
-	case 4: // move a list between slots (aliasing)
-		dst := g.r.Intn(8)
-		fmt.Fprintf(&g.body, "    slots[%d] = slots[%d];\n", dst, slot)
-		g.model[dst] = g.model[slot]
-	case 5: // len + garbage pressure
-		fmt.Fprintf(&g.body, "    print_int(listlen(slots[%d])); GC_malloc(%d);\n",
-			slot, 16+g.r.Intn(200))
-		fmt.Fprintf(&g.out, "%d", len(g.model[slot]))
-	}
-}
-
-// generate builds one program and its expected output.
-func generate(seed int64, steps int) (src, want string) {
-	g := &progGen{r: rand.New(rand.NewSource(seed))}
-	for i := 0; i < steps; i++ {
-		g.step(i)
-	}
-	// final summary: sums of all slots
-	for i := 0; i < 8; i++ {
-		fmt.Fprintf(&g.body, "    print_int(listsum(slots[%d])); print_str(\"|\");\n", i)
-		s := 0
-		for _, v := range g.model[i] {
-			s += v
-		}
-		fmt.Fprintf(&g.out, "%d|", s)
-	}
-	src = diffHeader + "int main() {\n" + g.body.String() + "    return 0;\n}\n"
-	return src, g.out.String()
-}
+// Differential testing: random programs are generated as C source together
+// with a Go-side reference model of their output, and every compilation
+// treatment must produce exactly the model's output. The generator lives in
+// internal/fuzz (shared with the fuzzing harness and cmd/fuzzcheck); this
+// test drives the interpreter's own treatment combinations against it,
+// including the annotated optimized build under an asynchronous collector
+// with the reclamation detector armed.
 
 func TestDifferentialRandomPrograms(t *testing.T) {
 	cfg := machine.SPARCstation10()
 	for seed := int64(1); seed <= 12; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			src, want := generate(seed, 60)
+			p := fuzz.Generate(seed, 60)
+			src, want := p.Source, p.Want
 			treatments := []struct {
 				name     string
 				annotate bool
@@ -140,7 +63,7 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 				if tr.post {
 					peephole.Optimize(prog, cfg)
 				}
-				res, err := Run(prog, Options{
+				res, err := interp.Run(prog, interp.Options{
 					Config: cfg, Validate: true,
 					GCEveryInstrs: tr.async,
 					TriggerBytes:  8 << 10,
@@ -154,5 +77,24 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// The full treatment matrix, driven through the fuzz harness itself: a
+// smoke-sized complement to internal/fuzz's own 2000-program run, kept here
+// so the interpreter package exercises its adversarial scheduling hooks
+// (Options.CollectAtEveryAlloc, GCEveryInstrs=1) in its own test suite.
+func TestDifferentialMatrixSmoke(t *testing.T) {
+	for seed := int64(100); seed < 104; seed++ {
+		p := fuzz.Generate(seed, 8)
+		m, err := fuzz.RunMatrix(p, fuzz.MatrixOptions{
+			Machines: []machine.Config{machine.SPARCstation10()},
+		})
+		if err != nil {
+			t.Fatalf("harness failure: %v", err)
+		}
+		if len(m.Violations) > 0 {
+			t.Fatalf("matrix violation:\n%s", fuzz.Describe(p, m.Violations))
+		}
 	}
 }

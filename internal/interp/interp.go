@@ -34,6 +34,13 @@ type Options struct {
 	// GCEveryInstrs, when nonzero, additionally triggers a collection every
 	// N executed instructions — the asynchronous-collector regime.
 	GCEveryInstrs uint64
+	// CollectAtEveryAlloc forces a full collection at every allocation —
+	// the adversarial schedule of the differential fuzzing harness
+	// (internal/fuzz). Combined with GCEveryInstrs=1 and Validate it is the
+	// most hostile regime the machine can present to a program: any object
+	// whose last recognizable reference dies too early is reclaimed and the
+	// next access to it faults. It overrides TriggerBytes.
+	CollectAtEveryAlloc bool
 	// Validate checks every heap access against the live-object map,
 	// catching use of prematurely collected objects. Purely a harness
 	// feature; adds no cycles.
@@ -119,6 +126,9 @@ func New(prog *machine.Program, opts Options) *Machine {
 	}
 	if opts.TriggerBytes == 0 {
 		opts.TriggerBytes = 128 << 10
+	}
+	if opts.CollectAtEveryAlloc {
+		opts.TriggerBytes = 1
 	}
 	if opts.MaxInstrs == 0 {
 		opts.MaxInstrs = 2_000_000_000
