@@ -1,19 +1,28 @@
 # Development gates for the gcsafety reproduction.
 #
-#   make check        the full pre-merge gate: vet, build, tests under the
-#                     race detector, the full (non-short) test suite, and a
-#                     10-second native-fuzzing smoke run per fuzz target
+#   make check        the full pre-merge gate: gofmt, vet, build, tests under
+#                     the race detector, the full (non-short) test suite, a
+#                     10-second native-fuzzing smoke run per fuzz target, and
+#                     the gcsafed serve-smoke run
 #   make test         tier-1: exactly what CI runs (see ROADMAP.md)
 #   make fuzz-smoke   just the fuzzing smoke runs
 #   make fuzz         a longer local fuzzing session (5 minutes per target)
+#   make serve-smoke  build the real gcsafed binary, start it on a random
+#                     port, hit every endpoint, assert /metrics advanced
+#   make serve        run the daemon locally on the default port
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip
 
-.PHONY: check vet build test race fuzz-smoke fuzz
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke serve
 
-check: vet build race test fuzz-smoke
+check: fmt-check vet build race test fuzz-smoke serve-smoke
+
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -39,3 +48,12 @@ fuzz:
 	@for target in $(FUZZTARGETS); do \
 		$(GO) test -run '^$$' -fuzz=$$target -fuzztime=5m $(FUZZPKG) || exit 1; \
 	done
+
+# The end-to-end daemon gate: TestServeSmoke builds the real binary, starts
+# it on a random port, exercises every endpoint and asserts the /metrics
+# counters advanced. Run under the race detector, as check requires.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/gcsafed
+
+serve:
+	$(GO) run ./cmd/gcsafed

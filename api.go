@@ -16,6 +16,7 @@
 package gcsafety
 
 import (
+	"context"
 	"fmt"
 
 	"gcsafety/internal/cc/ast"
@@ -51,6 +52,15 @@ func Checked() AnnotateOptions { return AnnotateOptions{Mode: ModeChecked} }
 // Annotate runs the C-to-C preprocessor and returns the rewritten source
 // plus diagnostics.
 func Annotate(name, src string, opts AnnotateOptions) (*gcsafe.Result, error) {
+	return AnnotateContext(context.Background(), name, src, opts)
+}
+
+// AnnotateContext is Annotate under a context: a canceled or expired ctx
+// aborts before the (CPU-bound, but brief) annotation pass starts.
+func AnnotateContext(ctx context.Context, name, src string, opts AnnotateOptions) (*gcsafe.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("annotate: %w", err)
+	}
 	return gcsafe.AnnotateSource(name, src, opts)
 }
 
@@ -81,12 +91,25 @@ type Result struct {
 // Build parses, optionally annotates, compiles and optionally postprocesses
 // a translation unit.
 func Build(name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, error) {
+	return BuildContext(context.Background(), name, src, p)
+}
+
+// BuildContext is Build under a context, checked between pipeline stages:
+// a canceled or expired ctx aborts before the next of parse, annotate,
+// compile and postprocess begins.
+func BuildContext(ctx context.Context, name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("build: %w", err)
+	}
 	file, err := parser.Parse(name, src)
 	if err != nil {
 		return nil, nil, fmt.Errorf("parse: %w", err)
 	}
 	var ares *gcsafe.Result
 	if p.Annotate {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("build: %w", err)
+		}
 		ares, err = gcsafe.Annotate(file, p.AnnotateOptions)
 		if err != nil {
 			return nil, nil, fmt.Errorf("annotate: %w", err)
@@ -95,6 +118,9 @@ func Build(name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, erro
 	cfg := machine.SPARCstation10()
 	if p.Machine != nil {
 		cfg = *p.Machine
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("build: %w", err)
 	}
 	prog, err := codegen.Compile(file, codegen.Options{Optimize: p.Optimize, Machine: cfg})
 	if err != nil {
@@ -108,7 +134,15 @@ func Build(name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, erro
 
 // Run executes the full pipeline on one C translation unit.
 func Run(name, src string, p Pipeline) (*Result, error) {
-	prog, ares, err := Build(name, src, p)
+	return RunContext(context.Background(), name, src, p)
+}
+
+// RunContext is Run under a context: the build stages observe ctx at their
+// boundaries and the interpreter polls it between instructions, so a
+// deadline or cancellation bounds the whole pipeline — the robustness
+// contract the gcsafed daemon depends on to survive adversarial inputs.
+func RunContext(ctx context.Context, name, src string, p Pipeline) (*Result, error) {
+	prog, ares, err := BuildContext(ctx, name, src, p)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +152,7 @@ func Run(name, src string, p Pipeline) (*Result, error) {
 	}
 	ex := p.Exec
 	ex.Config = cfg
-	res, err := interp.Run(prog, ex)
+	res, err := interp.RunContext(ctx, prog, ex)
 	return &Result{Exec: res, Program: prog, Annotate: ares}, err
 }
 

@@ -16,11 +16,15 @@
 //	-in file           program input (getchar stream)
 //	-gc-every n        trigger a collection every n instructions (async regime)
 //	-validate          detect accesses to reclaimed objects
+//	-timeout d         abort the build+run after a wall-clock duration (0 = none)
+//	-max-steps n       abort the run after n executed instructions (0 = default 2e9)
 //	-S                 print the assembly listing instead of running
 //	-stats             print cycle/GC statistics after the run
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +44,8 @@ func main() {
 		inFile   = flag.String("in", "", "program input file")
 		gcEvery  = flag.Uint64("gc-every", 0, "collect every n instructions")
 		validate = flag.Bool("validate", false, "detect accesses to reclaimed objects")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for build+run (0 = none)")
+		maxSteps = flag.Uint64("max-steps", 0, "instruction budget for the run (0 = default)")
 		baseOnly = flag.Bool("base-only", false, "collector recognizes heap-stored interior pointers only at object bases (Extensions mode)")
 		asm      = flag.Bool("S", false, "print assembly instead of running")
 		stats    = flag.Bool("stats", false, "print statistics")
@@ -82,22 +88,33 @@ func main() {
 			GCEveryInstrs: *gcEvery,
 			Validate:      *validate,
 			BaseOnlyHeap:  *baseOnly,
+			MaxInstrs:     *maxSteps,
 		},
 	}
 	if *check {
 		p.AnnotateOptions = gcsafety.Checked()
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *asm {
-		prog, _, err := gcsafety.Build(flag.Arg(0), string(src), p)
+		prog, _, err := gcsafety.BuildContext(ctx, flag.Arg(0), string(src), p)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(prog.Listing())
 		return
 	}
-	res, err := gcsafety.Run(flag.Arg(0), string(src), p)
+	res, err := gcsafety.RunContext(ctx, flag.Arg(0), string(src), p)
 	if res != nil && res.Exec != nil {
 		fmt.Print(res.Exec.Output)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "ccrun: timeout (%v) exceeded\n", *timeout)
+		os.Exit(124)
 	}
 	if err != nil {
 		fatal(err)

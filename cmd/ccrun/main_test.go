@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -53,5 +54,45 @@ func TestCCRunSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "main:") {
 		t.Fatalf("ccrun -S listing has no main:\n%s", out)
+	}
+}
+
+const runawayProg = `int main() {
+    int i = 0;
+    while (1) { i = i + 1; }
+    return i;
+}
+`
+
+// The new robustness flags: a runaway program must be stopped by both the
+// wall-clock budget and the instruction budget.
+func TestCCRunTimeoutAndStepLimit(t *testing.T) {
+	bin := buildCCRun(t)
+	src := filepath.Join(t.TempDir(), "loop.c")
+	if err := os.WriteFile(src, []byte(runawayProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-timeout", "200ms", src)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 124 {
+		t.Fatalf("-timeout: err = %v, want exit status 124; stderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "timeout") {
+		t.Fatalf("-timeout stderr: %q", stderr.String())
+	}
+
+	cmd = exec.Command(bin, "-max-steps", "100000", src)
+	stderr.Reset()
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("-max-steps: err = %v, want exit status 1", err)
+	}
+	if !strings.Contains(stderr.String(), "instruction budget") {
+		t.Fatalf("-max-steps stderr: %q", stderr.String())
 	}
 }

@@ -16,6 +16,10 @@
 //	-seed s           first seed; programs use seeds s, s+1, ... (default 1)
 //	-steps k          operations per generated program (default 8)
 //	-machines list    comma-separated subset of ss2,ss10,p90 (default all)
+//	-timeout d        wall-clock budget for the whole campaign (0 = none);
+//	                  on expiry the campaign stops with exit status 3
+//	-max-steps n      instruction budget per treatment run, so a runaway
+//	                  generated program cannot hang the campaign (default 50M)
 //	-stop             stop at the first violation
 //	-reduce           minimize failing programs before reporting (default true)
 //	-unsafe           also show premature reclamations of the unannotated
@@ -26,6 +30,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +47,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "first seed")
 		steps      = flag.Int("steps", 8, "operations per program")
 		machlist   = flag.String("machines", "", "comma-separated machines (ss2,ss10,p90)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the campaign (0 = none)")
+		maxSteps   = flag.Uint64("max-steps", 50_000_000, "instruction budget per treatment run")
 		stop       = flag.Bool("stop", false, "stop at first violation")
 		reduce     = flag.Bool("reduce", true, "minimize failing programs")
 		showUnsafe = flag.Bool("unsafe", false, "report unsafe-build reclamations too")
@@ -53,13 +61,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fuzzcheck:", err)
 		os.Exit(2)
 	}
-	opt := fuzz.MatrixOptions{Machines: machines, StopOnViolation: *stop}
+	opt := fuzz.MatrixOptions{Machines: machines, StopOnViolation: *stop, MaxInstrs: *maxSteps}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	violations, unsafeFaults, reclamations := 0, 0, 0
 	for i := 0; i < *n; i++ {
 		s := *seed + int64(i)
 		p := fuzz.Generate(s, *steps)
-		m, err := fuzz.RunMatrix(p, opt)
+		m, err := fuzz.RunMatrixContext(ctx, p, opt)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "fuzzcheck: timeout (%v) exceeded after %d programs\n", *timeout, i)
+			os.Exit(3)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fuzzcheck: harness failure: %v\n", err)
 			os.Exit(2)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -19,5 +20,28 @@ func TestFuzzcheckSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "fuzzcheck: 3 programs, 0 violations") {
 		t.Fatalf("unexpected campaign summary:\n%s", out)
+	}
+
+	// An expired -timeout must stop the campaign with exit status 3, not
+	// hang it.
+	cmd := exec.Command(bin, "-n", "100000", "-steps", "8", "-timeout", "1ns")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("timeout run: err = %v, want exit status 3; stderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "timeout") {
+		t.Fatalf("timeout run stderr: %q", stderr.String())
+	}
+
+	// -max-steps must be accepted and keep a normal campaign green.
+	out, err = exec.Command(bin, "-n", "2", "-steps", "4", "-machines", "ss10", "-max-steps", "1000000").Output()
+	if err != nil {
+		t.Fatalf("fuzzcheck -max-steps: %v", err)
+	}
+	if !strings.Contains(string(out), "2 programs, 0 violations") {
+		t.Fatalf("unexpected -max-steps summary:\n%s", out)
 	}
 }

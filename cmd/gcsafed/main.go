@@ -1,0 +1,102 @@
+// Command gcsafed is the reproduction pipeline as a long-running service:
+// an HTTP/JSON daemon exposing annotate, check, compile, run and the
+// differential treatment matrix, backed by a bounded worker pool and a
+// content-addressed artifact cache (see internal/server).
+//
+// Usage:
+//
+//	gcsafed [flags]
+//
+// Flags:
+//
+//	-addr host:port    listen address (default 127.0.0.1:7996; :0 picks a
+//	                   free port, printed on startup)
+//	-workers n         concurrent pipeline executions (default GOMAXPROCS)
+//	-queue n           waiting requests before load shedding (default 64)
+//	-cache-bytes n     artifact cache LRU budget (default 256 MiB)
+//	-max-body n        request body cap in bytes (default 1 MiB)
+//	-timeout d         per-request processing ceiling (default 30s)
+//	-max-steps n       per-run interpreter instruction ceiling (default 200M)
+//
+// Endpoints:
+//
+//	POST /v1/annotate  C in, KEEP_LIVE/GC_same_obj-annotated C out
+//	POST /v1/check     source-checking diagnostics only
+//	POST /v1/compile   one treatment cell, content-addressed-cached
+//	POST /v1/run       compile (cached) + execute under deadline and budget
+//	POST /v1/matrix    one generated program through the treatment matrix
+//	GET  /healthz      liveness
+//	GET  /metrics      JSON counters: traffic, latency, cache, GC stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gcsafety/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7996", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent pipeline executions (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "queued requests before load shedding (0 = default 64)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "artifact cache byte budget (0 = default 256 MiB)")
+		maxBody    = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
+		timeout    = flag.Duration("timeout", 0, "per-request processing ceiling (0 = default 30s)")
+		maxSteps   = flag.Uint64("max-steps", 0, "per-run instruction ceiling (0 = default 200M)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: gcsafed [flags]")
+		os.Exit(2)
+	}
+
+	s := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheBytes:   *cacheBytes,
+		MaxBodyBytes: *maxBody,
+		RunTimeout:   *timeout,
+		MaxSteps:     *maxSteps,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcsafed: %v\n", err)
+		os.Exit(1)
+	}
+	// The resolved address line is part of the interface: the serve-smoke
+	// harness (and anyone scripting -addr :0) parses it.
+	fmt.Printf("gcsafed: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "gcsafed: %v\n", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Printf("gcsafed: %v, draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "gcsafed: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// A Key names one cache entry: the hex form of a SHA-256 digest over every
+// input that influences the artifact. Two requests share an entry exactly
+// when their keys collide, so the KeyBuilder must see *all* the inputs —
+// source text, annotation options, machine, optimization level, peephole
+// flag — and nothing volatile.
+type Key string
+
+// KeyBuilder accumulates the inputs of a content-addressed key. Every
+// field is written length-prefixed (and bools/ints in fixed-width binary),
+// so distinct field sequences can never produce the same digest by
+// concatenation tricks ("ab"+"c" vs "a"+"bc").
+type KeyBuilder struct {
+	h hash.Hash
+}
+
+// NewKey starts a key for one artifact kind. The kind participates in the
+// digest, so e.g. an "annotate" and a "compile" artifact of identical
+// inputs occupy distinct entries.
+func NewKey(kind string) *KeyBuilder {
+	b := &KeyBuilder{h: sha256.New()}
+	b.Str(kind)
+	return b
+}
+
+func (b *KeyBuilder) writeLen(n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	b.h.Write(buf[:])
+}
+
+// Str appends one string field.
+func (b *KeyBuilder) Str(s string) *KeyBuilder {
+	b.writeLen(len(s))
+	b.h.Write([]byte(s))
+	return b
+}
+
+// Bool appends one boolean field.
+func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
+	if v {
+		b.h.Write([]byte{1})
+	} else {
+		b.h.Write([]byte{0})
+	}
+	return b
+}
+
+// Int appends one integer field in fixed-width binary.
+func (b *KeyBuilder) Int(v int64) *KeyBuilder {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	b.h.Write(buf[:])
+	return b
+}
+
+// Uint appends one unsigned integer field in fixed-width binary.
+func (b *KeyBuilder) Uint(v uint64) *KeyBuilder {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.h.Write(buf[:])
+	return b
+}
+
+// Sum finalizes the key.
+func (b *KeyBuilder) Sum() Key {
+	return Key(hex.EncodeToString(b.h.Sum(nil)))
+}

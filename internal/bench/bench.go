@@ -6,10 +6,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
+	"gcsafety/internal/artifact"
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/codegen"
 	"gcsafety/internal/gcsafe"
@@ -49,8 +52,80 @@ type Measurement struct {
 	Collections uint64
 }
 
-// Measure builds and runs one cell.
+// cells is the harness's artifact cache. Every (workload, treatment,
+// machine) cell is fully deterministic — same compile, same cycle counts —
+// so the whole Measurement is content-addressed by the cell's inputs and
+// computed once, no matter how many tables ask for it. Before this cache
+// each table recompiled (and re-ran) its baseline and repeated cells from
+// scratch; see EXPERIMENTS.md ("Artifact-cache speedup") for the measured
+// effect. Unbounded: the cell space is the small finite treatment matrix.
+var cells = artifact.New(0)
+
+// cellCompiles counts the cells actually built and run (cache misses).
+var cellCompiles atomic.Uint64
+
+// CellCompiles reports how many cells have been measured for real since
+// the last ResetCache (the rest were cache hits).
+func CellCompiles() uint64 { return cellCompiles.Load() }
+
+// CacheStats exposes the cell cache's counters.
+func CacheStats() artifact.Stats { return cells.Stats() }
+
+// ResetCache drops every cached cell (benchmarks that want to time the
+// cold path).
+func ResetCache() {
+	cells = artifact.New(0)
+	cellCompiles.Store(0)
+}
+
+// cellKey digests everything that influences a cell: the workload's
+// source, input and expected output, the full treatment configuration
+// including annotator ablation options, and the machine.
+func cellKey(w workloads.Workload, tr Treatment, cfg machine.Config) artifact.Key {
+	opts := gcsafe.Options{}
+	if tr.Gcsafe != nil {
+		opts = *tr.Gcsafe
+	}
+	return artifact.NewKey("bench-cell").
+		Str(w.Name).
+		Str(w.Source).
+		Str(w.Input).
+		Str(w.Want).
+		Bool(tr.Annotate).
+		Bool(tr.Checked).
+		Bool(tr.Optimize).
+		Bool(tr.Post).
+		Int(int64(opts.Mode)).
+		Bool(opts.NoCopySuppression).
+		Bool(opts.NoIncDecExpansion).
+		Bool(opts.BaseHeuristic).
+		Bool(opts.CallSiteOnly).
+		Bool(opts.StrictCastWarnings).
+		Int(int64(opts.Style)).
+		Str(cfg.Name).
+		Sum()
+}
+
+// Measure returns one cell's measurement, computing it at most once per
+// distinct cell across all tables (and all concurrent callers). The
+// returned Measurement is shared: callers must not mutate it.
 func Measure(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measurement, error) {
+	v, _, err := cells.GetOrCompute(context.Background(), cellKey(w, tr, cfg), func() (any, int64, error) {
+		cellCompiles.Add(1)
+		m, err := measureCell(w, tr, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, int64(len(m.Output)) + 128, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Measurement), nil
+}
+
+// measureCell builds and runs one cell from scratch.
+func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measurement, error) {
 	file, err := parser.Parse(w.Name+".c", w.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)

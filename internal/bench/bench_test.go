@@ -3,6 +3,7 @@ package bench
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"gcsafety/internal/machine"
@@ -213,4 +214,78 @@ func TestAblationTables(t *testing.T) {
 		}
 		t.Logf("\n%s", tbl)
 	})
+}
+
+// TestCellCacheDedupes pins the artifact-cache contract: a repeated cell
+// is served from cache (same Measurement, no recompilation), including
+// under concurrency.
+func TestCellCacheDedupes(t *testing.T) {
+	ResetCache()
+	w, _ := workloads.ByName("cordtest")
+	cfg := machine.SPARCstation10()
+	m1, err := Measure(w, Opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CellCompiles(); got != 1 {
+		t.Fatalf("compiles after first Measure = %d, want 1", got)
+	}
+	m2, err := Measure(w, Opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("repeated cell was recomputed, not shared")
+	}
+	if got := CellCompiles(); got != 1 {
+		t.Fatalf("compiles after repeat = %d, want 1", got)
+	}
+
+	ResetCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Measure(w, OptSafe, cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := CellCompiles(); got != 1 {
+		t.Fatalf("concurrent identical cells compiled %d times, want 1", got)
+	}
+}
+
+// TestTablesShareCells pins the satellite requirement: generating every
+// table compiles each distinct (workload, treatment, machine) cell once.
+// The three per-machine slowdown tables, the code-size table and the
+// postprocessor table overlap heavily in cells; the cache collapses the
+// overlap.
+func TestTablesShareCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates every table")
+	}
+	ResetCache()
+	cfg := machine.SPARCstation10()
+	if _, err := SlowdownTable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	afterSlowdown := CellCompiles()
+	if _, err := CodeSizeTable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := CellCompiles(); got != afterSlowdown {
+		t.Fatalf("CodeSizeTable recompiled %d cells; all were already measured", got-afterSlowdown)
+	}
+	if _, err := PostprocessorTable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The postprocessor table adds exactly one new treatment (safe+post)
+	// per workload.
+	want := afterSlowdown + uint64(len(workloads.All()))
+	if got := CellCompiles(); got != want {
+		t.Fatalf("compiles after all tables = %d, want %d", got, want)
+	}
 }

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -115,6 +116,10 @@ type MatrixOptions struct {
 	SkipAdversarial bool
 	// StopOnViolation aborts the matrix at the first violation.
 	StopOnViolation bool
+	// MaxInstrs caps each treatment run's executed instructions (0 = the
+	// interpreter default). With RunMatrixContext's deadline support this
+	// is what keeps runaway generated programs from hanging a campaign.
+	MaxInstrs uint64
 }
 
 // MatrixResult aggregates all treatment runs of one program.
@@ -194,7 +199,17 @@ func Treatments(opt MatrixOptions) []Treatment {
 // compile) and aborts the whole matrix; run-time faults are reported inside
 // the TreatmentResult.
 func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
+	return RunTreatmentContext(context.Background(), p, t, 0)
+}
+
+// RunTreatmentContext is RunTreatment under a context and an instruction
+// budget (0 = interpreter default). Context expiry is a harness-level
+// outcome — the treatment was not measured — never a violation.
+func RunTreatmentContext(ctx context.Context, p *Program, t Treatment, maxInstrs uint64) (TreatmentResult, error) {
 	r := TreatmentResult{Treatment: t}
+	if err := ctx.Err(); err != nil {
+		return r, fmt.Errorf("matrix: %w", err)
+	}
 	file, err := parser.Parse("fuzz.c", p.Source)
 	if err != nil {
 		return r, fmt.Errorf("parse: %w", err)
@@ -215,7 +230,7 @@ func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
 	if t.Post {
 		peephole.Optimize(prog, t.Machine)
 	}
-	exec := interp.Options{Config: t.Machine, Validate: true}
+	exec := interp.Options{Config: t.Machine, Validate: true, MaxInstrs: maxInstrs}
 	if t.Adversarial {
 		exec.GCEveryInstrs = 1
 		exec.CollectAtEveryAlloc = true
@@ -225,9 +240,12 @@ func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
 		exec.GCEveryInstrs = 211
 		exec.TriggerBytes = 8 << 10
 	}
-	res, err := interp.Run(prog, exec)
+	res, err := interp.RunContext(ctx, prog, exec)
 	if res != nil {
 		r.Output = res.Output
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return r, fmt.Errorf("matrix: %w", err)
 	}
 	r.Err = err
 	return r, nil
@@ -237,9 +255,15 @@ func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
 // returned error reports harness-level failures only (programs that do not
 // compile); treatment disagreements are data, in MatrixResult.
 func RunMatrix(p *Program, opt MatrixOptions) (*MatrixResult, error) {
+	return RunMatrixContext(context.Background(), p, opt)
+}
+
+// RunMatrixContext is RunMatrix under a context: the deadline bounds the
+// whole matrix, including each treatment's interpreter run.
+func RunMatrixContext(ctx context.Context, p *Program, opt MatrixOptions) (*MatrixResult, error) {
 	m := &MatrixResult{Program: p}
 	for _, t := range Treatments(opt) {
-		r, err := RunTreatment(p, t)
+		r, err := RunTreatmentContext(ctx, p, t, opt.MaxInstrs)
 		if err != nil {
 			return m, fmt.Errorf("%s [%s]: %w", p.Label, t.Name(), err)
 		}

@@ -1,0 +1,122 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/machine"
+)
+
+// infiniteLoop never terminates on its own: only the context or the
+// instruction budget can stop it.
+const infiniteLoop = `
+int main() {
+    int i = 0;
+    while (1) { i = i + 1; }
+    return i;
+}
+`
+
+func compileSrc(t *testing.T, src string) *machine.Program {
+	t.Helper()
+	file, err := parser.Parse("ctx.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: true, Machine: machine.SPARCstation10()})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func TestRunContextCancel(t *testing.T) {
+	prog := compileSrc(t, infiniteLoop)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, prog, Options{Config: machine.SPARCstation10()})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	prog := compileSrc(t, infiniteLoop)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, prog, Options{Config: machine.SPARCstation10()})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline overshot by %v", elapsed)
+	}
+}
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	prog := compileSrc(t, `int main() { return 0; }`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, prog, Options{Config: machine.SPARCstation10()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestInstrLimitSentinel(t *testing.T) {
+	prog := compileSrc(t, infiniteLoop)
+	res, err := RunContext(context.Background(), prog,
+		Options{Config: machine.SPARCstation10(), MaxInstrs: 10_000})
+	if !errors.Is(err, ErrInstrLimit) {
+		t.Fatalf("err = %v, want ErrInstrLimit", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want a *FaultError carrying machine context", err)
+	}
+	if res == nil || res.Instrs != 10_000 {
+		t.Fatalf("result = %+v, want Instrs == 10000", res)
+	}
+}
+
+// TestRunContextCompletedRunUnaffected pins that a live context costs a
+// terminating program nothing: same output, same cycle count as Run.
+func TestRunContextCompletedRunUnaffected(t *testing.T) {
+	prog := compileSrc(t, `
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 1000; i++) { s = s + i; }
+    print_int(s);
+    return 0;
+}
+`)
+	plain, err := Run(prog, Options{Config: machine.SPARCstation10()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	under, err := RunContext(ctx, prog, Options{Config: machine.SPARCstation10()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Output != under.Output || plain.Cycles != under.Cycles {
+		t.Fatalf("context run diverged: %q/%d vs %q/%d",
+			plain.Output, plain.Cycles, under.Output, under.Cycles)
+	}
+}

@@ -22,7 +22,12 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 		in := fr.fn.Code[fr.pc]
 		if m.instrs >= m.opts.MaxInstrs {
 			return &FaultError{Fn: fr.fn.Name, PC: fr.pc,
-				Err: fmt.Errorf("instruction budget (%d) exhausted", m.opts.MaxInstrs)}
+				Err: fmt.Errorf("%w (%d)", ErrInstrLimit, m.opts.MaxInstrs)}
+		}
+		if m.instrs%ctxCheckInterval == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+			}
 		}
 		m.instrs++
 		m.cycles += m.cfg.CostOf(in.Op)

@@ -17,12 +17,26 @@
 package interp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"gcsafety/internal/gc"
 	"gcsafety/internal/machine"
 )
+
+// ErrInstrLimit is the sentinel wrapped by the fault produced when a run
+// exhausts Options.MaxInstrs. Callers distinguish a runaway program
+// (errors.Is(err, ErrInstrLimit)) from a genuine memory fault.
+var ErrInstrLimit = errors.New("instruction budget exhausted")
+
+// ctxCheckInterval is how many instructions execute between polls of the
+// run's context. Polling a context involves an atomic load and possibly a
+// channel select, far more than one simulated instruction; amortizing it
+// over a power-of-two stride keeps cancellation latency in the microsecond
+// range while costing the interpreter loop nothing measurable.
+const ctxCheckInterval = 1024
 
 // Options configures one execution.
 type Options struct {
@@ -97,6 +111,7 @@ type frame struct {
 type Machine struct {
 	prog   *machine.Program
 	opts   Options
+	ctx    context.Context
 	cfg    machine.Config
 	heap   *gc.Heap
 	regs   []uint32
@@ -139,6 +154,7 @@ func New(prog *machine.Program, opts Options) *Machine {
 	m := &Machine{
 		prog:   prog,
 		opts:   opts,
+		ctx:    context.Background(),
 		cfg:    opts.Config,
 		regs:   make([]uint32, opts.Config.NumRegs),
 		sp:     machine.StackTop,
@@ -174,11 +190,33 @@ func Run(prog *machine.Program, opts Options) (*Result, error) {
 	return m.Run()
 }
 
+// RunContext executes the program under ctx: cancellation or deadline
+// expiry aborts the run between two instructions with an error wrapping
+// ctx.Err(). This is the entry point the gcsafed daemon uses to bound
+// adversarial inputs.
+func RunContext(ctx context.Context, prog *machine.Program, opts Options) (*Result, error) {
+	m := New(prog, opts)
+	return m.RunContext(ctx)
+}
+
 // Run executes the entry function to completion.
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext executes the entry function to completion or until ctx is
+// done, whichever comes first.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.ctx = ctx
 	entry, ok := m.prog.Funcs[m.opts.Entry]
 	if !ok {
 		return nil, fmt.Errorf("interp: no function %q", m.opts.Entry)
+	}
+	if err := ctx.Err(); err != nil {
+		return m.result(), fmt.Errorf("interp: %w", err)
 	}
 	if err := m.call(entry, machine.NoReg); err != nil {
 		return m.result(), err

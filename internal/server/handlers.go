@@ -1,0 +1,498 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"gcsafety/internal/artifact"
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/fuzz"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/peephole"
+)
+
+// decode parses a JSON request body into v, translating the failure modes
+// into their HTTP statuses (400 malformed, 413 oversized).
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if isMaxBytesError(err) {
+			return err
+		}
+		return errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// AnnotateRequest asks for the C-to-C preprocessor.
+type AnnotateRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Mode is "safe" (default) or "checked".
+	Mode string `json:"mode"`
+	// Style is "macro" (default) or "asm".
+	Style             string `json:"style"`
+	NoCopySuppression bool   `json:"no_copy_suppression"`
+	NoIncDecExpansion bool   `json:"no_incdec_expansion"`
+	BaseHeuristic     bool   `json:"base_heuristic"`
+	CallSiteOnly      bool   `json:"call_site_only"`
+	StrictCasts       bool   `json:"strict_casts"`
+}
+
+// AnnotateResponse returns the rewritten source and diagnostics.
+type AnnotateResponse struct {
+	Output     string   `json:"output"`
+	Warnings   []string `json:"warnings"`
+	Inserted   int      `json:"inserted"`
+	Suppressed int      `json:"suppressed"`
+	Temps      int      `json:"temps"`
+	CacheHit   bool     `json:"cache_hit"`
+}
+
+func (req *AnnotateRequest) options() (gcsafe.Options, error) {
+	opts := gcsafe.Options{
+		NoCopySuppression:  req.NoCopySuppression,
+		NoIncDecExpansion:  req.NoIncDecExpansion,
+		BaseHeuristic:      req.BaseHeuristic,
+		CallSiteOnly:       req.CallSiteOnly,
+		StrictCastWarnings: req.StrictCasts,
+	}
+	switch req.Mode {
+	case "", "safe":
+	case "checked":
+		opts.Mode = gcsafe.ModeChecked
+	default:
+		return opts, errf(http.StatusBadRequest, "unknown mode %q (want safe or checked)", req.Mode)
+	}
+	switch req.Style {
+	case "", "macro":
+	case "asm":
+		opts.Style = gcsafe.EmitAsm
+	default:
+		return opts, errf(http.StatusBadRequest, "unknown style %q (want macro or asm)", req.Style)
+	}
+	return opts, nil
+}
+
+func annotateKey(src string, opts gcsafe.Options) artifact.Key {
+	return artifact.NewKey("annotate").
+		Str(src).
+		Int(int64(opts.Mode)).
+		Bool(opts.NoCopySuppression).
+		Bool(opts.NoIncDecExpansion).
+		Bool(opts.BaseHeuristic).
+		Bool(opts.CallSiteOnly).
+		Bool(opts.StrictCastWarnings).
+		Int(int64(opts.Style)).
+		Sum()
+}
+
+// annotated is the cached product of one annotator execution.
+type annotated struct {
+	output     string
+	warnings   []string
+	inserted   int
+	suppressed int
+	temps      int
+}
+
+// annotate runs the preprocessor through the artifact cache.
+func (s *Server) annotate(ctx context.Context, name, src string, opts gcsafe.Options) (*annotated, bool, error) {
+	if name == "" {
+		name = "input.c"
+	}
+	v, hit, err := s.cache.GetOrCompute(ctx, annotateKey(src, opts), func() (any, int64, error) {
+		s.annotations.Add(1)
+		res, err := gcsafe.AnnotateSource(name, src, opts)
+		if err != nil {
+			return nil, 0, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		a := &annotated{
+			output:     res.Output,
+			inserted:   res.Inserted,
+			suppressed: res.Suppressed,
+			temps:      res.Temps,
+		}
+		for _, w := range res.Warnings {
+			a.warnings = append(a.warnings, w.String())
+		}
+		return a, int64(len(src) + len(res.Output) + 256), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*annotated), hit, nil
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) error {
+	var req AnnotateRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	opts, err := req.options()
+	if err != nil {
+		return err
+	}
+	a, hit, err := s.annotate(r.Context(), req.Name, req.Source, opts)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, AnnotateResponse{
+		Output:     a.output,
+		Warnings:   a.warnings,
+		Inserted:   a.inserted,
+		Suppressed: a.suppressed,
+		Temps:      a.temps,
+		CacheHit:   hit,
+	})
+	return nil
+}
+
+// CheckRequest asks for source diagnostics only: the preprocessor's
+// warnings (nonpointer-to-pointer conversions, memcpy shapes, and — by
+// default here — the strict structure-cast check), without the rewritten
+// output.
+type CheckRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// CheckResponse lists the diagnostics.
+type CheckResponse struct {
+	Warnings []string `json:"warnings"`
+	Clean    bool     `json:"clean"`
+	CacheHit bool     `json:"cache_hit"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) error {
+	var req CheckRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	a, hit, err := s.annotate(r.Context(), req.Name, req.Source,
+		gcsafe.Options{StrictCastWarnings: true})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, CheckResponse{
+		Warnings: a.warnings,
+		Clean:    len(a.warnings) == 0,
+		CacheHit: hit,
+	})
+	return nil
+}
+
+// CompileRequest selects one cell of the paper's treatment space for a
+// caller-supplied translation unit.
+type CompileRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Machine is ss2, ss10 (default) or p90.
+	Machine string `json:"machine"`
+	// Annotate is "none" (default), "safe" or "checked".
+	Annotate string `json:"annotate"`
+	Optimize bool   `json:"optimize"`
+	// Post runs the peephole postprocessor.
+	Post bool `json:"post"`
+	// Listing asks for the assembly listing in the response.
+	Listing bool `json:"listing"`
+}
+
+// CompileResponse describes the compiled artifact.
+type CompileResponse struct {
+	// Size is the static instruction count of the processed code.
+	Size     int    `json:"size"`
+	Machine  string `json:"machine"`
+	Listing  string `json:"listing,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+// compiled is the cached product of one compiler execution. The Program
+// is immutable after the peephole pass and shared by every subsequent run.
+type compiled struct {
+	prog *machine.Program
+	size int
+}
+
+func compileKey(src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) artifact.Key {
+	return artifact.NewKey("compile").
+		Str(src).
+		Int(int64(ann)).
+		Bool(optimize).
+		Bool(post).
+		Str(cfg.Name).
+		Sum()
+}
+
+func annotationByName(name string) (fuzz.Annotation, error) {
+	switch name {
+	case "", "none":
+		return fuzz.AnnotateNone, nil
+	case "safe":
+		return fuzz.AnnotateSafe, nil
+	case "checked":
+		return fuzz.AnnotateChecked, nil
+	}
+	return 0, errf(http.StatusBadRequest, "unknown annotate %q (want none, safe or checked)", name)
+}
+
+// compile builds one treatment cell through the artifact cache: parse,
+// optionally annotate, compile, optionally postprocess — exactly once per
+// distinct (source, annotation, machine, opt level, peephole flag) under
+// arbitrary concurrency.
+func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) (*compiled, bool, error) {
+	if name == "" {
+		name = "input.c"
+	}
+	v, hit, err := s.cache.GetOrCompute(ctx, compileKey(src, ann, optimize, post, cfg), func() (any, int64, error) {
+		s.compiles.Add(1)
+		file, err := parser.Parse(name, src)
+		if err != nil {
+			return nil, 0, errf(http.StatusUnprocessableEntity, "parse: %v", err)
+		}
+		if ann != fuzz.AnnotateNone {
+			opts := gcsafe.Options{}
+			if ann == fuzz.AnnotateChecked {
+				opts.Mode = gcsafe.ModeChecked
+			}
+			if _, err := gcsafe.Annotate(file, opts); err != nil {
+				return nil, 0, errf(http.StatusUnprocessableEntity, "annotate: %v", err)
+			}
+		}
+		prog, err := codegen.Compile(file, codegen.Options{Optimize: optimize, Machine: cfg})
+		if err != nil {
+			return nil, 0, errf(http.StatusUnprocessableEntity, "compile: %v", err)
+		}
+		if post {
+			peephole.Optimize(prog, cfg)
+		}
+		c := &compiled{prog: prog, size: prog.Size()}
+		// Accounted size: instruction words plus the static segment, with
+		// a per-function overhead allowance.
+		return c, int64(c.size)*16 + int64(len(prog.Data)) + int64(len(prog.Funcs))*64 + 256, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*compiled), hit, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) error {
+	var req CompileRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	cfg, err := machineByName(req.Machine)
+	if err != nil {
+		return err
+	}
+	ann, err := annotationByName(req.Annotate)
+	if err != nil {
+		return err
+	}
+	c, hit, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, cfg)
+	if err != nil {
+		return err
+	}
+	resp := CompileResponse{Size: c.size, Machine: cfg.Name, CacheHit: hit}
+	if req.Listing {
+		resp.Listing = c.prog.Listing()
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// RunRequest compiles (through the cache) and executes a program.
+type RunRequest struct {
+	CompileRequest
+	// Input is the byte stream consumed by getchar().
+	Input string `json:"input"`
+	// GCEvery triggers a collection every n instructions (async regime).
+	GCEvery uint64 `json:"gc_every"`
+	// CollectAtEveryAlloc forces a collection at every allocation (the
+	// adversarial schedule).
+	CollectAtEveryAlloc bool `json:"collect_at_every_alloc"`
+	// Validate arms the premature-reclamation detector.
+	Validate bool `json:"validate"`
+	// BaseOnly selects the collector's Extensions-section operating mode.
+	BaseOnly bool `json:"base_only"`
+	// MaxSteps caps executed instructions; clamped to the server ceiling.
+	MaxSteps uint64 `json:"max_steps"`
+	// TimeoutMs caps wall time; clamped to the server ceiling.
+	TimeoutMs int64 `json:"timeout_ms"`
+}
+
+// RunResponse reports one execution. A run-time fault of the simulated
+// program (including premature-reclamation detections and failed pointer
+// checks) is data, not an HTTP error: the pipeline did its job.
+type RunResponse struct {
+	Output      string `json:"output"`
+	ExitCode    int32  `json:"exit_code"`
+	Fault       string `json:"fault,omitempty"`
+	CheckFailed bool   `json:"check_failed,omitempty"`
+	StepLimit   bool   `json:"step_limit,omitempty"`
+	Cycles      uint64 `json:"cycles"`
+	Instrs      uint64 `json:"instrs"`
+	Collections uint64 `json:"gc_collections"`
+	Allocated   uint64 `json:"gc_objects_allocated"`
+	Size        int    `json:"size"`
+	CacheHit    bool   `json:"cache_hit"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
+	var req RunRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	cfg, err := machineByName(req.Machine)
+	if err != nil {
+		return err
+	}
+	ann, err := annotationByName(req.Annotate)
+	if err != nil {
+		return err
+	}
+	c, hit, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.runContext(r.Context(), req.TimeoutMs)
+	defer cancel()
+	steps := s.cfg.MaxSteps
+	if req.MaxSteps > 0 && req.MaxSteps < steps {
+		steps = req.MaxSteps
+	}
+	res, runErr := interp.RunContext(ctx, c.prog, interp.Options{
+		Config:              cfg,
+		Input:               req.Input,
+		GCEveryInstrs:       req.GCEvery,
+		CollectAtEveryAlloc: req.CollectAtEveryAlloc,
+		Validate:            req.Validate,
+		BaseOnlyHeap:        req.BaseOnly,
+		MaxInstrs:           steps,
+	})
+	if runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)) {
+		return runErr
+	}
+	resp := RunResponse{Size: c.size, CacheHit: hit}
+	if res != nil {
+		resp.Output = res.Output
+		resp.ExitCode = res.ExitCode
+		resp.Cycles = res.Cycles
+		resp.Instrs = res.Instrs
+		resp.Collections = res.GCStats.Collections
+		resp.Allocated = res.GCStats.ObjectsAlloced
+		s.metrics.runs.record(res.Instrs, res.Cycles, res.GCStats, runErr != nil)
+	}
+	if runErr != nil {
+		resp.Fault = runErr.Error()
+		resp.StepLimit = errors.Is(runErr, interp.ErrInstrLimit)
+		var ce *interp.CheckError
+		resp.CheckFailed = errors.As(runErr, &ce)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// runContext derives the execution context: the request's own context,
+// bounded by the server ceiling, tightened further if the request asked
+// for less.
+func (s *Server) runContext(parent context.Context, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RunTimeout
+	if timeoutMs > 0 {
+		if rd := time.Duration(timeoutMs) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// MatrixRequest runs one generated program through the differential
+// treatment matrix (see internal/fuzz): the service form of fuzzcheck.
+type MatrixRequest struct {
+	// Seed selects the generated program deterministically.
+	Seed int64 `json:"seed"`
+	// Steps is the number of operations in the program body (default 8,
+	// capped at 64).
+	Steps int `json:"steps"`
+	// Machines restricts the matrix (subset of ss2, ss10, p90).
+	Machines []string `json:"machines"`
+	// SkipAdversarial drops the hostile-schedule runs.
+	SkipAdversarial bool `json:"skip_adversarial"`
+}
+
+// MatrixResponse summarizes the matrix outcome.
+type MatrixResponse struct {
+	Label                 string   `json:"label"`
+	Source                string   `json:"source"`
+	Want                  string   `json:"want"`
+	Treatments            int      `json:"treatments"`
+	Violations            []string `json:"violations"`
+	UnsafeFailures        int      `json:"unsafe_failures"`
+	PrematureReclamations int      `json:"premature_reclamations"`
+}
+
+const maxMatrixSteps = 64
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) error {
+	var req MatrixRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.Steps <= 0 {
+		req.Steps = 8
+	}
+	if req.Steps > maxMatrixSteps {
+		return errf(http.StatusBadRequest, "steps %d exceeds the cap (%d)", req.Steps, maxMatrixSteps)
+	}
+	var machines []machine.Config
+	for _, name := range req.Machines {
+		cfg, err := machineByName(name)
+		if err != nil {
+			return err
+		}
+		machines = append(machines, cfg)
+	}
+	ctx, cancel := s.runContext(r.Context(), 0)
+	defer cancel()
+	p := fuzz.Generate(req.Seed, req.Steps)
+	m, err := fuzz.RunMatrixContext(ctx, p, fuzz.MatrixOptions{
+		Machines:        machines,
+		SkipAdversarial: req.SkipAdversarial,
+		MaxInstrs:       s.cfg.MaxSteps,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return errf(http.StatusUnprocessableEntity, "matrix: %v", err)
+	}
+	resp := MatrixResponse{
+		Label:                 p.Label,
+		Source:                p.Source,
+		Want:                  p.Want,
+		Treatments:            len(m.Results),
+		Violations:            []string{},
+		UnsafeFailures:        len(m.UnsafeFailures),
+		PrematureReclamations: m.PrematureReclamations(),
+	}
+	for _, v := range m.Violations {
+		resp.Violations = append(resp.Violations, v.Name()+": "+describeOutcome(v))
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func describeOutcome(r fuzz.TreatmentResult) string {
+	if r.Err != nil {
+		return r.Err.Error()
+	}
+	return "output diverged"
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcsafety/internal/artifact"
+	"gcsafety/internal/gc"
+)
+
+// latencyBucketsMs are the upper bounds (inclusive, in milliseconds) of
+// the request-latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMs = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	counts [len(latencyBucketsMs) + 1]atomic.Uint64
+	sumNs  atomic.Uint64
+	n      atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for ; i < len(latencyBucketsMs); i++ {
+		if ms <= latencyBucketsMs[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(uint64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the JSON form of one latency histogram.
+type HistogramSnapshot struct {
+	// Buckets maps "le_<bound>" / "le_inf" to observation counts.
+	Buckets map[string]uint64 `json:"buckets"`
+	Count   uint64            `json:"count"`
+	SumMs   float64           `json:"sum_ms"`
+	MeanMs  float64           `json:"mean_ms"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: map[string]uint64{}}
+	for i, b := range latencyBucketsMs {
+		s.Buckets[bucketLabel(b)] = h.counts[i].Load()
+	}
+	s.Buckets["le_inf"] = h.counts[len(latencyBucketsMs)].Load()
+	s.Count = h.n.Load()
+	s.SumMs = float64(h.sumNs.Load()) / float64(time.Millisecond)
+	if s.Count > 0 {
+		s.MeanMs = s.SumMs / float64(s.Count)
+	}
+	return s
+}
+
+func bucketLabel(b float64) string {
+	return "le_" + strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// endpointMetrics aggregates one route's traffic.
+type endpointMetrics struct {
+	requests atomic.Uint64 // all completed requests
+	errors   atomic.Uint64 // 4xx/5xx responses
+	latency  histogram
+}
+
+// EndpointSnapshot is the JSON form of one route's counters.
+type EndpointSnapshot struct {
+	Requests  uint64            `json:"requests"`
+	Errors    uint64            `json:"errors"`
+	LatencyMs HistogramSnapshot `json:"latency_ms"`
+}
+
+// runMetrics accumulates interpreter activity across /v1/run and
+// /v1/matrix requests — the service-level view of collector behavior.
+type runMetrics struct {
+	programs    atomic.Uint64
+	faults      atomic.Uint64
+	instrs      atomic.Uint64
+	cycles      atomic.Uint64
+	collections atomic.Uint64
+	objects     atomic.Uint64
+	bytesAlloc  atomic.Uint64
+}
+
+func (r *runMetrics) record(instrs, cycles uint64, st gc.Stats, faulted bool) {
+	r.programs.Add(1)
+	if faulted {
+		r.faults.Add(1)
+	}
+	r.instrs.Add(instrs)
+	r.cycles.Add(cycles)
+	r.collections.Add(st.Collections)
+	r.objects.Add(st.ObjectsAlloced)
+	r.bytesAlloc.Add(st.BytesAllocated)
+}
+
+// RunSnapshot is the JSON form of accumulated interpreter activity.
+type RunSnapshot struct {
+	Programs       uint64 `json:"programs"`
+	Faults         uint64 `json:"faults"`
+	Instrs         uint64 `json:"instrs"`
+	Cycles         uint64 `json:"cycles"`
+	Collections    uint64 `json:"gc_collections"`
+	ObjectsAlloced uint64 `json:"gc_objects_allocated"`
+	BytesAllocated uint64 `json:"gc_bytes_allocated"`
+}
+
+// metrics is the server-wide registry.
+type metrics struct {
+	start     time.Time
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	shed      atomic.Uint64
+	inflight  atomic.Int64
+	runs      runMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[name]
+	if !ok {
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// Snapshot is the full /metrics document.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Shed          uint64                      `json:"shed"`
+	InFlight      int64                       `json:"in_flight"`
+	Cache         artifact.Stats              `json:"cache"`
+	Compiles      uint64                      `json:"compiles"`
+	Annotations   uint64                      `json:"annotations"`
+	Runs          RunSnapshot                 `json:"runs"`
+}
+
+func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Endpoints:     map[string]EndpointSnapshot{},
+		Shed:          m.shed.Load(),
+		InFlight:      m.inflight.Load(),
+		Cache:         cache,
+		Compiles:      compiles,
+		Annotations:   annotations,
+		Runs: RunSnapshot{
+			Programs:       m.runs.programs.Load(),
+			Faults:         m.runs.faults.Load(),
+			Instrs:         m.runs.instrs.Load(),
+			Cycles:         m.runs.cycles.Load(),
+			Collections:    m.runs.collections.Load(),
+			ObjectsAlloced: m.runs.objects.Load(),
+			BytesAllocated: m.runs.bytesAlloc.Load(),
+		},
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, em := range m.endpoints {
+		s.Endpoints[name] = EndpointSnapshot{
+			Requests:  em.requests.Load(),
+			Errors:    em.errors.Load(),
+			LatencyMs: em.latency.snapshot(),
+		}
+	}
+	return s
+}

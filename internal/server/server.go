@@ -1,0 +1,283 @@
+// Package server implements gcsafed: a long-running HTTP/JSON daemon that
+// exposes the whole reproduction pipeline — annotate, check, compile,
+// peephole, run, and the differential treatment matrix — as a service.
+//
+// Three mechanisms make it safe to point heavy or adversarial traffic at:
+//
+//   - every request runs under a context deadline and an interpreter
+//     instruction budget, threaded through the public pipeline down into
+//     internal/interp, so no input can hang a worker;
+//   - requests flow through a bounded worker pool (sized to GOMAXPROCS)
+//     with a queue-depth limit that sheds excess load with 429s instead of
+//     letting latency collapse;
+//   - annotation and compilation results land in a content-addressed
+//     artifact cache (internal/artifact) keyed by SHA-256 of (source,
+//     annotation options, machine, opt level, peephole flag), so identical
+//     sources are annotated/compiled exactly once under arbitrary
+//     concurrency and repeated safe-mode builds are near-free.
+//
+// Observability is JSON counters at /metrics: per-endpoint request counts
+// and latency histograms, cache hits/misses/evictions, shed requests, and
+// accumulated GC statistics from every program the service ran.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gcsafety/internal/artifact"
+	"gcsafety/internal/machine"
+)
+
+// Config sizes the daemon. The zero value of any field selects the
+// documented default.
+type Config struct {
+	// Workers bounds concurrently executing pipeline requests
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; beyond it the
+	// server sheds load with 429 (default 64).
+	QueueDepth int
+	// CacheBytes is the artifact cache's LRU byte budget (default 256 MiB).
+	CacheBytes int64
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RunTimeout is the per-request processing ceiling; requests may ask
+	// for less, never more (default 30s).
+	RunTimeout time.Duration
+	// MaxSteps is the per-run interpreter instruction ceiling; requests
+	// may ask for less, never more (default 200M).
+	MaxSteps uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RunTimeout == 0 {
+		c.RunTimeout = 30 * time.Second
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000_000
+	}
+	return c
+}
+
+// Server is the gcsafed daemon: an http.Handler plus its worker pool,
+// artifact cache and metrics registry.
+type Server struct {
+	cfg     Config
+	cache   *artifact.Cache
+	pool    *pool
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// compiles and annotations count actual pipeline executions (cache
+	// misses that ran codegen / the annotator) — the counters the
+	// stampede guarantee is stated in terms of.
+	compiles    atomic.Uint64
+	annotations atomic.Uint64
+}
+
+// New builds a daemon with its own cache and counters.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   artifact.New(cfg.CacheBytes),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("/v1/annotate", s.handle("/v1/annotate", http.MethodPost, s.handleAnnotate))
+	s.mux.Handle("/v1/check", s.handle("/v1/check", http.MethodPost, s.handleCheck))
+	s.mux.Handle("/v1/compile", s.handle("/v1/compile", http.MethodPost, s.handleCompile))
+	s.mux.Handle("/v1/run", s.handle("/v1/run", http.MethodPost, s.handleRun))
+	s.mux.Handle("/v1/matrix", s.handle("/v1/matrix", http.MethodPost, s.handleMatrix))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes cache counters (tests, metrics).
+func (s *Server) CacheStats() artifact.Stats { return s.cache.Stats() }
+
+// Compiles reports how many times the server actually ran the compiler
+// (cache hits excluded).
+func (s *Server) Compiles() uint64 { return s.compiles.Load() }
+
+// pool is the bounded worker pool with load shedding: at most workers
+// requests execute, at most queue more wait, and everything beyond that is
+// rejected immediately.
+type pool struct {
+	tokens  chan struct{}
+	queued  atomic.Int64
+	maxWait int64
+}
+
+func newPool(workers, queue int) *pool {
+	return &pool{tokens: make(chan struct{}, workers), maxWait: int64(queue)}
+}
+
+var errBusy = errors.New("server at capacity")
+
+// acquire claims a worker slot, waiting in the bounded queue if all
+// workers are busy. It fails fast with errBusy once the queue is full and
+// with ctx.Err() if the caller gives up while queued.
+func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	if p.queued.Add(1) > p.maxWait {
+		p.queued.Add(-1)
+		return errBusy
+	}
+	defer p.queued.Add(-1)
+	select {
+	case p.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *pool) release() { <-p.tokens }
+
+// apiError is a handler failure with its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// handle wraps an endpoint with method filtering, body limiting, the
+// worker pool, and metrics accounting.
+func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	em := s.metrics.endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := http.StatusOK
+		finish := func() {
+			em.requests.Add(1)
+			if status >= 400 {
+				em.errors.Add(1)
+			}
+			em.latency.observe(time.Since(start))
+		}
+		defer finish()
+		if r.Method != method {
+			status = http.StatusMethodNotAllowed
+			writeError(w, status, "method not allowed")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if err := s.pool.acquire(r.Context()); err != nil {
+			if errors.Is(err, errBusy) {
+				s.metrics.shed.Add(1)
+				status = http.StatusTooManyRequests
+			} else {
+				status = statusForContextErr(err)
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		defer s.pool.release()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		if err := fn(w, r); err != nil {
+			status = statusFor(err)
+			writeError(w, status, err.Error())
+		}
+	})
+}
+
+func statusFor(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status
+	case isMaxBytesError(err):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return statusForContextErr(err)
+	}
+}
+
+func statusForContextErr(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return httpStatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// httpStatusClientClosedRequest is nginx's conventional status for a
+// client that went away mid-request; net/http has no name for it.
+const httpStatusClientClosedRequest = 499
+
+func isMaxBytesError(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK,
+		s.metrics.snapshot(s.cache.Stats(), s.compiles.Load(), s.annotations.Load()))
+}
+
+// machineByName maps the wire names to machine configurations.
+func machineByName(name string) (machine.Config, error) {
+	switch name {
+	case "", "ss10":
+		return machine.SPARCstation10(), nil
+	case "ss2":
+		return machine.SPARCstation2(), nil
+	case "p90":
+		return machine.Pentium90(), nil
+	}
+	return machine.Config{}, errf(http.StatusBadRequest, "unknown machine %q (want ss2, ss10 or p90)", name)
+}
