@@ -3,21 +3,24 @@
 #   make check        the full pre-merge gate: gofmt, vet, build, tests under
 #                     the race detector, the full (non-short) test suite, a
 #                     10-second native-fuzzing smoke run per fuzz target, and
-#                     the gcsafed serve-smoke run
+#                     the gcsafed serve-smoke and chaos-smoke runs
 #   make test         tier-1: exactly what CI runs (see ROADMAP.md)
 #   make fuzz-smoke   just the fuzzing smoke runs
 #   make fuzz         a longer local fuzzing session (5 minutes per target)
 #   make serve-smoke  build the real gcsafed binary, start it on a random
 #                     port, hit every endpoint, assert /metrics advanced
+#   make chaos-smoke  the fault-injection gate: the daemon's -chaos mode
+#                     plus the kill -9 warm-cache-recovery test
+#   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
-FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip
+FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke serve
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve
 
-check: fmt-check vet build race test fuzz-smoke serve-smoke
+check: fmt-check vet build race test fuzz-smoke serve-smoke chaos-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -54,6 +57,16 @@ fuzz:
 # counters advanced. Run under the race detector, as check requires.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/gcsafed
+
+# The fault-injection gate: replay the request mix against a real daemon
+# under injected errors/panics/latency (TestChaosSmoke wraps the binary's
+# -chaos mode) and prove kill -9 cannot lose or corrupt the artifact
+# cache (TestKillRestartWarmCache).
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestKillRestartWarmCache' ./cmd/gcsafed
+
+chaos:
+	$(GO) run ./cmd/gcsafed -chaos -chaos-requests 512
 
 serve:
 	$(GO) run ./cmd/gcsafed

@@ -20,6 +20,11 @@
 //	-max-steps n       abort the run after n executed instructions (0 = default 2e9)
 //	-S                 print the assembly listing instead of running
 //	-stats             print cycle/GC statistics after the run
+//	-faults spec       inject faults into the run (see internal/faultinject;
+//	                   e.g. gc.alloc=error,after=100 simulates allocation
+//	                   failure, gc.collect.force=error,p=0.1 a hostile
+//	                   collection schedule)
+//	-fault-seed n      seed for -faults firing schedules (default 1)
 package main
 
 import (
@@ -30,25 +35,28 @@ import (
 	"os"
 
 	"gcsafety"
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 )
 
 func main() {
 	var (
-		optimize = flag.Bool("O", true, "optimize")
-		safe     = flag.Bool("safe", false, "annotate for GC-safety")
-		check    = flag.Bool("check", false, "annotate for pointer-arithmetic checking")
-		post     = flag.Bool("post", false, "run the peephole postprocessor")
-		machname = flag.String("machine", "ss10", "machine model: ss2, ss10 or p90")
-		inFile   = flag.String("in", "", "program input file")
-		gcEvery  = flag.Uint64("gc-every", 0, "collect every n instructions")
-		validate = flag.Bool("validate", false, "detect accesses to reclaimed objects")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget for build+run (0 = none)")
-		maxSteps = flag.Uint64("max-steps", 0, "instruction budget for the run (0 = default)")
-		baseOnly = flag.Bool("base-only", false, "collector recognizes heap-stored interior pointers only at object bases (Extensions mode)")
-		asm      = flag.Bool("S", false, "print assembly instead of running")
-		stats    = flag.Bool("stats", false, "print statistics")
+		optimize  = flag.Bool("O", true, "optimize")
+		safe      = flag.Bool("safe", false, "annotate for GC-safety")
+		check     = flag.Bool("check", false, "annotate for pointer-arithmetic checking")
+		post      = flag.Bool("post", false, "run the peephole postprocessor")
+		machname  = flag.String("machine", "ss10", "machine model: ss2, ss10 or p90")
+		inFile    = flag.String("in", "", "program input file")
+		gcEvery   = flag.Uint64("gc-every", 0, "collect every n instructions")
+		validate  = flag.Bool("validate", false, "detect accesses to reclaimed objects")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for build+run (0 = none)")
+		maxSteps  = flag.Uint64("max-steps", 0, "instruction budget for the run (0 = default)")
+		baseOnly  = flag.Bool("base-only", false, "collector recognizes heap-stored interior pointers only at object bases (Extensions mode)")
+		asm       = flag.Bool("S", false, "print assembly instead of running")
+		stats     = flag.Bool("stats", false, "print statistics")
+		faults    = flag.String("faults", "", "fault injection spec (empty = off)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults firing schedules")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,6 +86,14 @@ func main() {
 		}
 		input = string(b)
 	}
+	var faultSet *faultinject.Set
+	if *faults != "" {
+		faultSet, err = faultinject.Parse(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccrun: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	p := gcsafety.Pipeline{
 		Annotate:    *safe || *check,
 		Optimize:    *optimize,
@@ -89,6 +105,7 @@ func main() {
 			Validate:      *validate,
 			BaseOnlyHeap:  *baseOnly,
 			MaxInstrs:     *maxSteps,
+			Faults:        faultSet,
 		},
 	}
 	if *check {

@@ -96,3 +96,58 @@ func TestCCRunTimeoutAndStepLimit(t *testing.T) {
 		t.Fatalf("-max-steps stderr: %q", stderr.String())
 	}
 }
+
+const allocProg = `int main() {
+    int i;
+    for (i = 0; i < 50; i = i + 1) {
+        char *p = (char *)GC_malloc(32);
+        *p = 'a';
+    }
+    print_str("done\n");
+    return 0;
+}
+`
+
+// -faults wires the fault-injection registry into the run: a simulated
+// allocation failure must abort the program deterministically, and the
+// same flags must reproduce the same outcome.
+func TestCCRunFaultInjection(t *testing.T) {
+	bin := buildCCRun(t)
+	src := filepath.Join(t.TempDir(), "alloc.c")
+	if err := os.WriteFile(src, []byte(allocProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: without -faults the program completes.
+	out, err := exec.Command(bin, src).Output()
+	if err != nil || string(out) != "done\n" {
+		t.Fatalf("control run: %v %q", err, out)
+	}
+
+	run := func() (int, string) {
+		cmd := exec.Command(bin, "-faults", "gc.alloc=error,after=10,msg=flag-oom", "-fault-seed", "7", src)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("err = %v, want exit error; stderr: %s", err, stderr.String())
+		}
+		return ee.ExitCode(), stderr.String()
+	}
+	code1, msg1 := run()
+	code2, msg2 := run()
+	if code1 != 1 || !strings.Contains(msg1, "flag-oom") {
+		t.Fatalf("fault run: exit %d, stderr %q", code1, msg1)
+	}
+	if code1 != code2 || msg1 != msg2 {
+		t.Fatalf("same seed diverged:\n%q\nvs\n%q", msg1, msg2)
+	}
+
+	// A malformed spec is a usage error.
+	err = exec.Command(bin, "-faults", "nonsense", src).Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("bad spec: err = %v, want exit status 2", err)
+	}
+}

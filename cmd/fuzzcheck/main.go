@@ -24,6 +24,11 @@
 //	-reduce           minimize failing programs before reporting (default true)
 //	-unsafe           also show premature reclamations of the unannotated
 //	                  optimized build (the paper's expected failures)
+//	-faults spec      inject faults into every treatment run (see
+//	                  internal/faultinject); injected failures in
+//	                  must-agree treatments report as violations, turning
+//	                  a campaign into a deterministic error-path test
+//	-fault-seed n     seed for -faults firing schedules (default 1)
 //	-v                print one line per program
 //
 // Exit status is 1 if any must-agree treatment disagreed with the model.
@@ -37,6 +42,7 @@ import (
 	"os"
 	"strings"
 
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/fuzz"
 	"gcsafety/internal/machine"
 )
@@ -52,6 +58,8 @@ func main() {
 		stop       = flag.Bool("stop", false, "stop at first violation")
 		reduce     = flag.Bool("reduce", true, "minimize failing programs")
 		showUnsafe = flag.Bool("unsafe", false, "report unsafe-build reclamations too")
+		faults     = flag.String("faults", "", "fault injection spec for every treatment run (empty = off)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for -faults firing schedules")
 		verbose    = flag.Bool("v", false, "per-program progress")
 	)
 	flag.Parse()
@@ -61,7 +69,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fuzzcheck:", err)
 		os.Exit(2)
 	}
-	opt := fuzz.MatrixOptions{Machines: machines, StopOnViolation: *stop, MaxInstrs: *maxSteps}
+	var faultSet *faultinject.Set
+	if *faults != "" {
+		faultSet, err = faultinject.Parse(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzzcheck: -faults:", err)
+			os.Exit(2)
+		}
+	}
+	opt := fuzz.MatrixOptions{Machines: machines, StopOnViolation: *stop, MaxInstrs: *maxSteps, Faults: faultSet}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -45,3 +45,40 @@ func TestFuzzcheckSmoke(t *testing.T) {
 		t.Fatalf("unexpected -max-steps summary:\n%s", out)
 	}
 }
+
+// -faults turns a campaign into a deterministic error-path test: with an
+// always-failing allocator every must-agree treatment faults, so the
+// campaign must report violations and exit 1 — identically every run.
+func TestFuzzcheckFaultInjection(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "fuzzcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	run := func() (int, string) {
+		cmd := exec.Command(bin, "-n", "1", "-steps", "4", "-machines", "ss10",
+			"-faults", "gc.alloc=error,msg=campaign-oom", "-fault-seed", "5", "-reduce=false")
+		var stdout strings.Builder
+		cmd.Stdout = &stdout
+		err := cmd.Run()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("err = %v, want exit error; stdout: %s", err, stdout.String())
+		}
+		return ee.ExitCode(), stdout.String()
+	}
+	code1, out1 := run()
+	code2, out2 := run()
+	if code1 != 1 || !strings.Contains(out1, "campaign-oom") {
+		t.Fatalf("fault campaign: exit %d\n%s", code1, out1)
+	}
+	if code1 != code2 || out1 != out2 {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", out1, out2)
+	}
+
+	// A malformed spec is a usage error.
+	err := exec.Command(bin, "-faults", "nonsense").Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("bad spec: err = %v, want exit status 2", err)
+	}
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gcsafety/internal/client"
+	"gcsafety/internal/server"
+)
+
+// The chaos smoke suite: start a real daemon in-process, replay the
+// serve-smoke request mix through the resilient client while every
+// request carries a fault-injection header drawn from a fixed rotation,
+// and demand that chaos degrades service, never crashes it:
+//
+//   - every request ends in a clean HTTP outcome — some 2xx/4xx/5xx
+//     response (possibly after retries). Transport-level failures
+//     (connection reset, EOF mid-body) mean a handler escaped the
+//     recovery middleware and fail the run;
+//   - the daemon is still live and ready afterwards: /healthz and
+//     /readyz return 200 and /metrics parses;
+//   - every panic the rotation injected was absorbed and counted.
+//
+// The rotation is deterministic — request i always carries spec
+// chaosSpecs[i % len] with seed seed+i — so a chaos failure reproduces
+// with the same flags.
+
+// chaosSpecs is the fault rotation. Each entry exercises a different
+// fault point (or the control path); probabilities keep the mix from
+// failing every single request so cache/retry paths run too.
+var chaosSpecs = []string{
+	"", // control: no fault header at all
+	"server.handler=error,p=0.6,msg=chaos-500",
+	// times=1, not a probability: every rotation through this entry must
+	// panic exactly once (the retry then succeeds), so a chaos run always
+	// exercises the recovery middleware.
+	"server.handler=panic,times=1,msg=chaos-panic",
+	"server.handler=sleep,ms=3",
+	"gc.alloc=error,p=0.02,msg=chaos-oom",
+	"gc.alloc=error,after=40,msg=chaos-oom-late",
+	"gc.collect.force=error,p=0.25",
+	"interp.step=error,p=0.5,msg=chaos-abort",
+	"interp.step=sleep,p=0.5,ms=2",
+	"artifact.disk.read=error,p=0.7,msg=chaos-disk",
+	"artifact.disk.write=error,p=0.7,msg=chaos-disk",
+	"server.handler=error,p=0.3;gc.alloc=error,p=0.05;interp.step=sleep,p=0.2,ms=1",
+}
+
+// chaosBodies is the request mix, mirroring the serve-smoke suite plus a
+// malformed request so 4xx outcomes appear under fault load too.
+var chaosBodies = []struct {
+	path string
+	body any
+}{
+	{"/v1/annotate", map[string]any{"name": "c.c", "source": chaosSrc}},
+	{"/v1/check", map[string]any{"name": "c.c", "source": chaosSrc}},
+	{"/v1/compile", map[string]any{"name": "c.c", "source": chaosSrc, "optimize": true, "annotate": "safe"}},
+	{"/v1/run", map[string]any{"name": "c.c", "source": chaosSrc, "optimize": true, "annotate": "safe", "validate": true}},
+	{"/v1/run", map[string]any{"name": "a.c", "source": chaosAllocSrc, "annotate": "safe"}},
+	{"/v1/matrix", map[string]any{"seed": 11, "steps": 3, "machines": []string{"ss10"}}},
+	{"/v1/run", map[string]any{"source": "int main( {"}}, // parse error: a 4xx
+}
+
+const chaosSrc = `
+int main() {
+    print_str("chaos\n");
+    return 0;
+}
+`
+
+const chaosAllocSrc = `
+int main() {
+    int i;
+    char *keep = (char *)GC_malloc(8);
+    for (i = 0; i < 200; i = i + 1) {
+        char *p = (char *)GC_malloc(48);
+        *p = 'x';
+    }
+    *keep = 'k';
+    return 0;
+}
+`
+
+// runChaos executes the suite and returns the process exit code.
+func runChaos(cfg server.Config, seed uint64, requests int) int {
+	if requests <= 0 {
+		requests = 64
+	}
+	// Chaos wants the disk fault points reachable: give the daemon a
+	// scratch disk tier when the operator did not supply one.
+	if cfg.CacheDir == "" {
+		dir, err := os.MkdirTemp("", "gcsafed-chaos-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcsafed: chaos: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		cfg.CacheDir = dir
+	}
+
+	s := server.New(cfg)
+	if err := s.DiskErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "gcsafed: chaos: disk tier: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcsafed: chaos: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("gcsafed: chaos: daemon on %s, %d requests, seed %d\n", base, requests, seed)
+
+	// Retries stay cheap (the suite injects a lot of 500s) and the
+	// breaker stays on: tripping it is fine, fast-fails count as clean.
+	cl := client.New(base, client.Config{
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		JitterSeed:  seed,
+	})
+
+	var (
+		unclean     int
+		okResp      int
+		errResp     int
+		fastFails   int
+		panicsAsked uint64
+	)
+	ctx := context.Background()
+	for i := 0; i < requests; i++ {
+		req := chaosBodies[i%len(chaosBodies)]
+		spec := chaosSpecs[i%len(chaosSpecs)]
+		var hdr map[string]string
+		if spec != "" {
+			hdr = map[string]string{
+				"X-Fault-Inject": spec,
+				"X-Fault-Seed":   fmt.Sprint(seed + uint64(i)),
+			}
+		}
+		status, err := cl.PostJSON(ctx, req.path, hdr, req.body, nil)
+		switch {
+		case err == nil:
+			okResp++
+		case errors.Is(err, client.ErrCircuitOpen):
+			// The client protecting itself is correct behavior, not a
+			// daemon failure.
+			fastFails++
+		default:
+			var se *client.StatusError
+			if errors.As(err, &se) {
+				errResp++
+			} else {
+				unclean++
+				fmt.Fprintf(os.Stderr, "gcsafed: chaos: UNCLEAN %s (spec %q): %v\n", req.path, spec, err)
+			}
+		}
+		_ = status
+	}
+
+	// The daemon must have survived: live, ready, and still serving.
+	var health map[string]string
+	if _, err := cl.GetJSON(ctx, "/healthz", &health); err != nil || health["status"] != "ok" {
+		fmt.Fprintf(os.Stderr, "gcsafed: chaos: daemon unhealthy after run: %v %v\n", health, err)
+		return 1
+	}
+	var ready map[string]string
+	if _, err := cl.GetJSON(ctx, "/readyz", &ready); err != nil || ready["status"] != "ready" {
+		fmt.Fprintf(os.Stderr, "gcsafed: chaos: daemon not ready after run: %v %v\n", ready, err)
+		return 1
+	}
+	var snap server.Snapshot
+	if _, err := cl.GetJSON(ctx, "/metrics", &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "gcsafed: chaos: /metrics: %v\n", err)
+		return 1
+	}
+	panicsAsked = snap.Panics
+
+	st := cl.Stats()
+	fmt.Printf("gcsafed: chaos: %d requests: %d ok, %d error-status, %d fast-fail, %d unclean; "+
+		"%d retries, %d breaker trips; daemon absorbed %d panics\n",
+		requests, okResp, errResp, fastFails, unclean, st.Retries, st.BreakerTrips, panicsAsked)
+
+	if unclean > 0 {
+		fmt.Fprintln(os.Stderr, "gcsafed: chaos: FAIL: transport-level failures escaped the recovery middleware")
+		return 1
+	}
+	if okResp == 0 {
+		fmt.Fprintln(os.Stderr, "gcsafed: chaos: FAIL: no request ever succeeded")
+		return 1
+	}
+	if requests > len(chaosSpecs) && panicsAsked == 0 {
+		fmt.Fprintln(os.Stderr, "gcsafed: chaos: FAIL: injected panics never reached the recovery middleware")
+		return 1
+	}
+	fmt.Println("gcsafed: chaos: PASS")
+	return 0
+}

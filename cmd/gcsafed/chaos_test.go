@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcsafety/internal/server"
+)
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gcsafed")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary and scans stdout until the "listening
+// on" line (startup may print disk-recovery and fault lines first),
+// returning the base URL. The daemon is killed at test cleanup.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = &bytes.Buffer{}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.LastIndex(line, " "); i >= 0 && strings.Contains(line, "listening on") {
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return cmd, "http://" + line[i+1:]
+		}
+	}
+	t.Fatalf("no startup line; stderr: %s", cmd.Stderr)
+	return nil, ""
+}
+
+func daemonPost(t *testing.T, base, path string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func daemonMetrics(t *testing.T, base string) server.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestChaosSmoke is the `make chaos-smoke` gate: the binary's -chaos mode
+// must replay the request mix under injected faults and report PASS.
+func TestChaosSmoke(t *testing.T) {
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin, "-chaos", "-chaos-requests", "48", "-fault-seed", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("chaos: PASS")) {
+		t.Fatalf("no PASS line:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("absorbed")) || bytes.Contains(out, []byte("absorbed 0 panics")) {
+		t.Fatalf("panic recovery not exercised:\n%s", out)
+	}
+}
+
+// TestKillRestartWarmCache is the crash-safety gate: artifacts written by
+// a daemon that dies with SIGKILL (no shutdown path at all) must be
+// served warm by the next daemon on the same -cache-dir, and a corrupted
+// entry must be quarantined rather than served.
+func TestKillRestartWarmCache(t *testing.T) {
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	body := map[string]any{
+		"name": "w.c", "source": `int main() { print_str("warm\n"); return 0; }`,
+		"optimize": true, "annotate": "safe",
+	}
+
+	cmd, base := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-cache-dir", dir)
+	code, data := daemonPost(t, base, "/v1/run", body)
+	if code != http.StatusOK {
+		t.Fatalf("first run: %d %s", code, data)
+	}
+	if bytes.Contains(data, []byte(`"cache_hit": true`)) {
+		t.Fatalf("first run claimed a cache hit: %s", data)
+	}
+
+	// kill -9: no graceful path runs; the atomic write protocol alone
+	// must have made the entries durable.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	_, base2 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-cache-dir", dir)
+	code, data = daemonPost(t, base2, "/v1/run", body)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart run: %d %s", code, data)
+	}
+	if !bytes.Contains(data, []byte(`"cache_hit": true`)) {
+		t.Fatalf("kill -9 lost the warm cache: %s", data)
+	}
+	snap := daemonMetrics(t, base2)
+	if snap.Compiles != 0 {
+		t.Fatalf("restarted daemon recompiled %d times", snap.Compiles)
+	}
+	if snap.DiskRecovery == nil || snap.DiskRecovery.Verified == 0 {
+		t.Fatalf("recovery stats missing: %+v", snap.DiskRecovery)
+	}
+
+	// Corrupt every entry on disk (flip a payload byte past the header);
+	// the next daemon must quarantine them at startup and recompute.
+	entries, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, p := range entries {
+		fi, err := os.Stat(p)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 0xFF
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("no disk entries found to corrupt")
+	}
+
+	_, base3 := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-cache-dir", dir)
+	snap = daemonMetrics(t, base3)
+	if snap.DiskRecovery == nil || snap.DiskRecovery.Quarantined != corrupted {
+		t.Fatalf("quarantined = %+v, want %d", snap.DiskRecovery, corrupted)
+	}
+	code, data = daemonPost(t, base3, "/v1/run", body)
+	if code != http.StatusOK {
+		t.Fatalf("run after quarantine: %d %s", code, data)
+	}
+	if bytes.Contains(data, []byte(`"cache_hit": true`)) {
+		t.Fatalf("corrupt entry served as a cache hit: %s", data)
+	}
+	// The quarantine directory now holds the corrupt bytes for forensics.
+	q, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != corrupted {
+		t.Fatalf("quarantine holds %d files, want %d", len(q), corrupted)
+	}
+}
+
+// TestEnvFaultActivation: GCSAFETY_FAULTS wires the same registry with no
+// flags, and a bad spec is a startup error, not a silent no-op.
+func TestEnvFaultActivation(t *testing.T) {
+	bin := buildDaemon(t)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	cmd.Env = append(os.Environ(), "GCSAFETY_FAULTS=not-a-spec")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad env spec accepted:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("GCSAFETY_FAULTS")) {
+		t.Fatalf("error does not name the variable:\n%s", out)
+	}
+
+	cmd2 := exec.Command(bin, "-chaos", "-chaos-requests", "24")
+	cmd2.Env = append(os.Environ(), "GCSAFETY_FAULTS=server.handler=sleep,ms=1")
+	out2, err := cmd2.CombinedOutput()
+	if err != nil {
+		t.Fatalf("chaos under env faults: %v\n%s", err, out2)
+	}
+	if !bytes.Contains(out2, []byte("chaos: PASS")) {
+		t.Fatalf("chaos did not pass under env faults:\n%s", out2)
+	}
+}

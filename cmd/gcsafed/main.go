@@ -14,9 +14,21 @@
 //	-workers n         concurrent pipeline executions (default GOMAXPROCS)
 //	-queue n           waiting requests before load shedding (default 64)
 //	-cache-bytes n     artifact cache LRU budget (default 256 MiB)
+//	-cache-dir path    crash-safe disk tier for the artifact cache
+//	                   (default off: memory-only)
 //	-max-body n        request body cap in bytes (default 1 MiB)
 //	-timeout d         per-request processing ceiling (default 30s)
 //	-max-steps n       per-run interpreter instruction ceiling (default 200M)
+//	-faults spec       process-wide fault injection spec (see
+//	                   internal/faultinject); also settable via the
+//	                   GCSAFETY_FAULTS environment variable
+//	-fault-seed n      seed for -faults firing schedules (default 1)
+//	-chaos             run the chaos smoke suite against an in-process
+//	                   daemon instead of serving: replay the pipeline
+//	                   request mix under injected faults and exit 0 iff
+//	                   every request ended in a clean HTTP status and the
+//	                   daemon stayed healthy
+//	-chaos-requests n  requests per chaos run (default 64)
 //
 // Endpoints:
 //
@@ -26,7 +38,9 @@
 //	POST /v1/run       compile (cached) + execute under deadline and budget
 //	POST /v1/matrix    one generated program through the treatment matrix
 //	GET  /healthz      liveness
-//	GET  /metrics      JSON counters: traffic, latency, cache, GC stats
+//	GET  /readyz       readiness (503 while draining or saturated)
+//	GET  /metrics      JSON counters: traffic, latency, cache, GC stats,
+//	                   recovered panics, disk-tier recovery
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/server"
 )
 
@@ -49,9 +64,14 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent pipeline executions (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "queued requests before load shedding (0 = default 64)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "artifact cache byte budget (0 = default 256 MiB)")
+		cacheDir   = flag.String("cache-dir", "", "crash-safe disk tier directory (empty = memory-only)")
 		maxBody    = flag.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
 		timeout    = flag.Duration("timeout", 0, "per-request processing ceiling (0 = default 30s)")
 		maxSteps   = flag.Uint64("max-steps", 0, "per-run instruction ceiling (0 = default 200M)")
+		faults     = flag.String("faults", "", "process-wide fault injection spec (empty = env/off)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for -faults firing schedules")
+		chaos      = flag.Bool("chaos", false, "run the chaos smoke suite and exit")
+		chaosReqs  = flag.Int("chaos-requests", 64, "requests per chaos run")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -59,14 +79,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := server.New(server.Config{
+	if *faults != "" {
+		set, err := faultinject.Parse(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcsafed: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.SetGlobal(set)
+	} else if _, err := faultinject.FromEnv(os.Getenv); err != nil {
+		fmt.Fprintf(os.Stderr, "gcsafed: %s: %v\n", faultinject.EnvVar, err)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheBytes:   *cacheBytes,
 		MaxBodyBytes: *maxBody,
 		RunTimeout:   *timeout,
 		MaxSteps:     *maxSteps,
-	})
+		CacheDir:     *cacheDir,
+	}
+
+	if *chaos {
+		os.Exit(runChaos(cfg, *faultSeed, *chaosReqs))
+	}
+
+	s := server.New(cfg)
+	if err := s.DiskErr(); err != nil {
+		// Not fatal by design: the daemon serves memory-only, but the
+		// operator asked for a disk tier, so say loudly that it is absent.
+		fmt.Fprintf(os.Stderr, "gcsafed: disk cache disabled: %v\n", err)
+	} else if *cacheDir != "" {
+		rs := s.DiskRecovery()
+		fmt.Printf("gcsafed: disk cache: %d entries verified, %d quarantined, %d tmp removed\n",
+			rs.Verified, rs.Quarantined, rs.TempRemoved)
+	}
+	if faultinject.Enabled() {
+		fmt.Printf("gcsafed: fault injection active (seed %d)\n", *faultSeed)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -91,6 +142,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gcsafed: %v\n", err)
 		os.Exit(1)
 	case got := <-sig:
+		// Flip readiness first so load balancers stop sending traffic,
+		// then let in-flight work finish.
+		s.StartDrain()
 		fmt.Printf("gcsafed: %v, draining\n", got)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

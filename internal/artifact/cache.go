@@ -30,9 +30,41 @@ type Cache struct {
 	entries  map[Key]*list.Element
 	inflight map[Key]*call
 
+	// disk, when attached, is the persistent tier: a memory miss probes
+	// it before computing, and every successful computation of an
+	// encodable artifact is written through. Immutable after AttachDisk.
+	disk  *Disk
+	codec DiskCodec
+
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	diskHits  uint64
+}
+
+// DiskCodec translates cached values to and from the disk tier's byte
+// representation. Encode reports ok=false for values that cannot (or
+// should not) be persisted; they simply stay memory-only. Decode gets
+// back the kind string Encode returned and must reproduce the value and
+// its accounted size.
+type DiskCodec struct {
+	Encode func(key Key, v any) (kind string, data []byte, ok bool)
+	Decode func(kind string, data []byte) (v any, size int64, err error)
+}
+
+// AttachDisk installs the persistent tier. Call before serving traffic;
+// the tier and codec are not swappable under concurrency.
+func (c *Cache) AttachDisk(d *Disk, codec DiskCodec) {
+	c.disk = d
+	c.codec = codec
+}
+
+// DiskStats snapshots the attached tier (zero value when none).
+func (c *Cache) DiskStats() DiskStats {
+	if c.disk == nil {
+		return DiskStats{}
+	}
+	return c.disk.Stats()
 }
 
 type entry struct {
@@ -68,21 +100,31 @@ type Stats struct {
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes"`
+	// DiskHits counts memory misses satisfied by the disk tier; Disk is
+	// the tier's own counters (nil when no tier is attached).
+	DiskHits uint64     `json:"disk_hits,omitempty"`
+	Disk     *DiskStats `json:"disk,omitempty"`
 }
 
 // Stats reports current counters. A request that waited on another
 // request's in-flight computation counts as a hit: it did not compute.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   c.lru.Len(),
 		Bytes:     c.bytes,
 		MaxBytes:  c.maxBytes,
+		DiskHits:  c.diskHits,
 	}
+	c.mu.Unlock()
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		s.Disk = &ds
+	}
+	return s
 }
 
 // Get returns the cached value for key, if present, and marks it recently
@@ -128,21 +170,74 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() (any, 
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
-	c.misses++
 	c.mu.Unlock()
 
-	cl.val, _, cl.err = func() (any, int64, error) {
+	// Leader path: probe the disk tier before computing. A verified disk
+	// entry promotes into memory and counts as a hit — the artifact
+	// survived a restart and nobody recomputed it.
+	if c.disk != nil {
+		if v, size, ok := c.diskLoad(key); ok {
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.insertLocked(key, v, size)
+			c.diskHits++
+			c.mu.Unlock()
+			cl.val = v
+			close(cl.done)
+			return v, true, nil
+		}
+	}
+
+	cl.val, cl.err = func() (any, error) {
 		v, size, err := compute()
 		c.mu.Lock()
+		c.misses++
 		delete(c.inflight, key)
 		if err == nil {
 			c.insertLocked(key, v, size)
 		}
 		c.mu.Unlock()
-		return v, size, err
+		return v, err
 	}()
 	close(cl.done)
+	if cl.err == nil && c.disk != nil {
+		c.diskStore(key, cl.val)
+	}
 	return cl.val, false, cl.err
+}
+
+// diskLoad reads, verifies and decodes the disk entry for key. Every
+// failure mode — absent, corrupt (quarantined by the tier), undecodable
+// (quarantined here), tier disabled — degrades to "not found".
+func (c *Cache) diskLoad(key Key) (any, int64, bool) {
+	kind, data, err := c.disk.Get(key)
+	if err != nil {
+		return nil, 0, false
+	}
+	if c.codec.Decode == nil {
+		return nil, 0, false
+	}
+	v, size, err := c.codec.Decode(kind, data)
+	if err != nil {
+		// Verified bytes that no longer decode (format drift, partial
+		// upgrade) are as unservable as corrupt ones.
+		c.disk.Quarantine(key)
+		return nil, 0, false
+	}
+	return v, size, true
+}
+
+// diskStore writes a computed artifact through to the disk tier,
+// best-effort: errors only count against the tier's health.
+func (c *Cache) diskStore(key Key, v any) {
+	if c.codec.Encode == nil {
+		return
+	}
+	kind, data, ok := c.codec.Encode(key, v)
+	if !ok {
+		return
+	}
+	_ = c.disk.Put(key, kind, data)
 }
 
 // insertLocked stores an entry and evicts LRU entries past the budget.

@@ -1,0 +1,325 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"gcsafety/internal/faultinject"
+)
+
+// Disk is the crash-safe disk tier behind the in-memory cache: a
+// directory of content-addressed entries that survives restarts.
+//
+// Durability and integrity discipline:
+//
+//   - writes go to a temp file in the same directory, are fsynced, then
+//     renamed into place — a crash (even kill -9) leaves either the old
+//     entry, the new entry, or a stray .tmp file that startup recovery
+//     deletes, never a torn entry under the real name;
+//   - every entry embeds a SHA-256 digest of its payload, verified on
+//     every read; a mismatch (bit rot, truncation, tampering) quarantines
+//     the entry rather than serving it;
+//   - startup recovery (OpenDisk) re-verifies every entry, quarantines
+//     the corrupt ones and deletes temp-file debris, so a restarted
+//     daemon trusts everything left in the directory;
+//   - the tier degrades gracefully: after diskDisableThreshold
+//     consecutive I/O failures it disables itself and the cache runs
+//     memory-only (every operation is already best-effort for callers).
+//
+// Fault points "artifact.disk.read" and "artifact.disk.write"
+// (internal/faultinject, global set) fire before the corresponding I/O.
+type Disk struct {
+	dir        string
+	quarantine string
+
+	entries     atomic.Int64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+	readErrors  atomic.Uint64
+	writeErrors atomic.Uint64
+	quarantined atomic.Uint64
+	recovered   atomic.Uint64
+
+	consecutiveErrs atomic.Int64
+	disabled        atomic.Bool
+}
+
+// diskDisableThreshold is how many consecutive I/O failures the tier
+// tolerates before bypassing itself for the rest of the process.
+const diskDisableThreshold = 8
+
+// diskMagic heads every entry file; bump the suffix on format changes so
+// old entries are quarantined, not misparsed.
+var diskMagic = []byte("gcsafeA1")
+
+// ErrCorrupt reports an entry that failed integrity verification (and
+// has been quarantined).
+var ErrCorrupt = errors.New("artifact: corrupt disk entry")
+
+// errDiskMiss distinguishes "not stored" from real failures internally.
+var errDiskMiss = errors.New("artifact: disk miss")
+
+// DiskStats is a point-in-time snapshot of the disk tier.
+type DiskStats struct {
+	Dir         string `json:"dir"`
+	Entries     int64  `json:"entries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	ReadErrors  uint64 `json:"read_errors"`
+	WriteErrors uint64 `json:"write_errors"`
+	Quarantined uint64 `json:"quarantined"`
+	Recovered   uint64 `json:"recovered"`
+	Disabled    bool   `json:"disabled"`
+}
+
+// RecoverStats summarizes startup recovery.
+type RecoverStats struct {
+	Verified    int `json:"verified"`
+	Quarantined int `json:"quarantined"`
+	TempRemoved int `json:"temp_removed"`
+}
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir and runs
+// startup recovery: stray temp files are deleted and every entry is
+// verified, with corrupt entries moved into dir/quarantine.
+func OpenDisk(dir string) (*Disk, RecoverStats, error) {
+	var rs RecoverStats
+	d := &Disk{dir: dir, quarantine: filepath.Join(dir, "quarantine")}
+	if err := os.MkdirAll(d.quarantine, 0o755); err != nil {
+		return nil, rs, fmt.Errorf("artifact: open disk tier: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, rs, fmt.Errorf("artifact: open disk tier: %w", err)
+	}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		path := filepath.Join(dir, name)
+		if strings.Contains(name, ".tmp") {
+			_ = os.Remove(path)
+			rs.TempRemoved++
+			continue
+		}
+		if _, _, err := readEntry(path); err != nil {
+			d.moveToQuarantine(path, name)
+			rs.Quarantined++
+			continue
+		}
+		rs.Verified++
+	}
+	d.entries.Store(int64(rs.Verified))
+	d.recovered.Store(uint64(rs.Verified))
+	d.quarantined.Store(uint64(rs.Quarantined))
+	return d, rs, nil
+}
+
+// Stats snapshots the tier's counters.
+func (d *Disk) Stats() DiskStats {
+	return DiskStats{
+		Dir:         d.dir,
+		Entries:     d.entries.Load(),
+		Hits:        d.hits.Load(),
+		Misses:      d.misses.Load(),
+		Writes:      d.writes.Load(),
+		ReadErrors:  d.readErrors.Load(),
+		WriteErrors: d.writeErrors.Load(),
+		Quarantined: d.quarantined.Load(),
+		Recovered:   d.recovered.Load(),
+		Disabled:    d.disabled.Load(),
+	}
+}
+
+// Len reports the number of resident entries (tests).
+func (d *Disk) Len() int { return int(d.entries.Load()) }
+
+func (d *Disk) path(key Key) string { return filepath.Join(d.dir, string(key)) }
+
+func (d *Disk) noteErr() {
+	if d.consecutiveErrs.Add(1) >= diskDisableThreshold {
+		d.disabled.Store(true)
+	}
+}
+
+func (d *Disk) noteOK() { d.consecutiveErrs.Store(0) }
+
+// Get reads and verifies the entry for key. It returns errDiskMiss-
+// compatible (os.ErrNotExist wrapped) errors for absent keys, ErrCorrupt
+// after quarantining a damaged entry, and the underlying error for I/O
+// failures.
+func (d *Disk) Get(key Key) (kind string, payload []byte, err error) {
+	if d.disabled.Load() {
+		return "", nil, errDiskMiss
+	}
+	if err := faultinject.Fire(faultinject.PointDiskRead); err != nil {
+		d.readErrors.Add(1)
+		d.noteErr()
+		return "", nil, err
+	}
+	kind, payload, err = readEntry(d.path(key))
+	switch {
+	case err == nil:
+		d.hits.Add(1)
+		d.noteOK()
+		return kind, payload, nil
+	case errors.Is(err, os.ErrNotExist):
+		d.misses.Add(1)
+		return "", nil, errDiskMiss
+	case errors.Is(err, ErrCorrupt):
+		d.Quarantine(key)
+		return "", nil, err
+	default:
+		d.readErrors.Add(1)
+		d.noteErr()
+		return "", nil, err
+	}
+}
+
+// Put atomically stores (kind, payload) under key: temp file, fsync,
+// rename. Best-effort for callers; failures only count against the tier.
+func (d *Disk) Put(key Key, kind string, payload []byte) error {
+	if d.disabled.Load() {
+		return errors.New("artifact: disk tier disabled")
+	}
+	if err := faultinject.Fire(faultinject.PointDiskWrite); err != nil {
+		d.writeErrors.Add(1)
+		d.noteErr()
+		return err
+	}
+	err := d.put(key, kind, payload)
+	if err != nil {
+		d.writeErrors.Add(1)
+		d.noteErr()
+		return err
+	}
+	d.writes.Add(1)
+	d.noteOK()
+	return nil
+}
+
+func (d *Disk) put(key Key, kind string, payload []byte) error {
+	f, err := os.CreateTemp(d.dir, string(key)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+	sum := sha256.Sum256(payload)
+	var hdr bytes.Buffer
+	hdr.Write(diskMagic)
+	var n [8]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(kind)))
+	hdr.Write(n[:4])
+	hdr.WriteString(kind)
+	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
+	hdr.Write(n[:])
+	hdr.Write(sum[:])
+	if _, err := f.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fresh := true
+	if _, serr := os.Lstat(d.path(key)); serr == nil {
+		fresh = false
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		_ = os.Remove(tmp)
+		tmp = ""
+		return err
+	}
+	tmp = ""
+	if fresh {
+		d.entries.Add(1)
+	}
+	return nil
+}
+
+// Quarantine moves the entry for key out of the live directory so it can
+// never be served again, preserving the bytes for post-mortem.
+func (d *Disk) Quarantine(key Key) {
+	if d.moveToQuarantine(d.path(key), string(key)) {
+		d.quarantined.Add(1)
+		d.entries.Add(-1)
+	}
+}
+
+func (d *Disk) moveToQuarantine(path, name string) bool {
+	for i := 0; ; i++ {
+		dst := filepath.Join(d.quarantine, fmt.Sprintf("%s.%d", name, i))
+		if _, err := os.Lstat(dst); err == nil {
+			continue
+		}
+		if err := os.Rename(path, dst); err != nil {
+			_ = os.Remove(path)
+			return !errors.Is(err, os.ErrNotExist)
+		}
+		return true
+	}
+}
+
+// readEntry parses and verifies one entry file.
+func readEntry(path string) (kind string, payload []byte, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	r := bytes.NewReader(raw)
+	magic := make([]byte, len(diskMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, diskMagic) {
+		return "", nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	var n4 [4]byte
+	if _, err := io.ReadFull(r, n4[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	kindLen := binary.LittleEndian.Uint32(n4[:])
+	if kindLen > 256 {
+		return "", nil, fmt.Errorf("%w: implausible kind length %d", ErrCorrupt, kindLen)
+	}
+	kb := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated kind", ErrCorrupt)
+	}
+	var n8 [8]byte
+	if _, err := io.ReadFull(r, n8[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(n8[:])
+	var want [sha256.Size]byte
+	if _, err := io.ReadFull(r, want[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated digest", ErrCorrupt)
+	}
+	if uint64(r.Len()) != payloadLen {
+		return "", nil, fmt.Errorf("%w: payload length %d, header says %d", ErrCorrupt, r.Len(), payloadLen)
+	}
+	payload = raw[len(raw)-r.Len():]
+	if sha256.Sum256(payload) != want {
+		return "", nil, fmt.Errorf("%w: digest mismatch", ErrCorrupt)
+	}
+	return string(kb), payload, nil
+}

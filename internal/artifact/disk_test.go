@@ -1,0 +1,329 @@
+package artifact
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gcsafety/internal/faultinject"
+)
+
+// jsonCodec is a test codec: values are JSON-encoded strings.
+func jsonCodec() DiskCodec {
+	return DiskCodec{
+		Encode: func(key Key, v any) (string, []byte, bool) {
+			b, err := json.Marshal(v)
+			if err != nil {
+				return "", nil, false
+			}
+			return "json", b, true
+		},
+		Decode: func(kind string, data []byte) (any, int64, error) {
+			if kind != "json" {
+				return nil, 0, errors.New("unknown kind")
+			}
+			var v string
+			if err := json.Unmarshal(data, &v); err != nil {
+				return nil, 0, err
+			}
+			return v, int64(len(v)), nil
+		},
+	}
+}
+
+func TestDiskPutGetRoundtrip(t *testing.T) {
+	d, rs, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Verified != 0 || rs.Quarantined != 0 {
+		t.Fatalf("fresh dir recovery: %+v", rs)
+	}
+	key := NewKey("test").Str("a").Sum()
+	if err := d.Put(key, "blob", []byte("payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	kind, data, err := d.Get(key)
+	if err != nil || kind != "blob" || string(data) != "payload bytes" {
+		t.Fatalf("Get = %q %q %v", kind, data, err)
+	}
+	// Overwriting the same key must not double-count entries.
+	if err := d.Put(key, "blob", []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", d.Len())
+	}
+	if _, _, err := d.Get(NewKey("test").Str("absent").Sum()); err == nil {
+		t.Fatal("absent key served")
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDiskCorruptionQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test").Str("x").Sum()
+	if err := d.Put(key, "blob", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte behind the tier's back.
+	path := filepath.Join(dir, string(key))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt read returned %v, want ErrCorrupt", err)
+	}
+	if _, err := os.Lstat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry still live")
+	}
+	qs, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(qs), err)
+	}
+	if d.Stats().Quarantined != 1 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+	// The key now misses cleanly.
+	if _, _, err := d.Get(key); !errors.Is(err, errDiskMiss) {
+		t.Fatalf("after quarantine: %v", err)
+	}
+}
+
+func TestDiskStartupRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NewKey("test").Str("good").Sum()
+	bad := NewKey("test").Str("bad").Sum()
+	if err := d.Put(good, "blob", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(bad, "blob", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: truncate one entry mid-write under its real name
+	// (cannot happen through Put, which renames; this models bit rot or a
+	// meddling operator) and leave a stray temp file.
+	if err := os.Truncate(filepath.Join(dir, string(bad)), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, string(good)+".tmp123"), []byte("debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, rs, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Verified != 1 || rs.Quarantined != 1 || rs.TempRemoved != 1 {
+		t.Fatalf("recovery: %+v", rs)
+	}
+	if kind, data, err := d2.Get(good); err != nil || kind != "blob" || string(data) != "fine" {
+		t.Fatalf("good entry after recovery: %q %q %v", kind, data, err)
+	}
+	if _, _, err := d2.Get(bad); !errors.Is(err, errDiskMiss) {
+		t.Fatalf("bad entry after recovery: %v", err)
+	}
+}
+
+func TestDiskDisablesAfterConsecutiveErrors(t *testing.T) {
+	defer faultinject.SetGlobal(nil)
+	set, err := faultinject.Parse("artifact.disk.write=error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.SetGlobal(set)
+	d, _, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test").Str("k").Sum()
+	for i := 0; i < diskDisableThreshold; i++ {
+		if err := d.Put(key, "blob", []byte("x")); err == nil {
+			t.Fatal("injected write error did not surface")
+		}
+	}
+	if !d.Stats().Disabled {
+		t.Fatalf("tier not disabled after %d consecutive errors: %+v", diskDisableThreshold, d.Stats())
+	}
+	// Disabled tier bypasses I/O entirely — even with the fault still armed.
+	faultinject.SetGlobal(nil)
+	if err := d.Put(key, "blob", []byte("x")); err == nil {
+		t.Fatal("disabled tier accepted a write")
+	}
+	if _, _, err := d.Get(key); !errors.Is(err, errDiskMiss) {
+		t.Fatalf("disabled tier read: %v", err)
+	}
+}
+
+func TestCacheDiskTierPromotionAndWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 20)
+	c.AttachDisk(d, jsonCodec())
+	key := NewKey("test").Str("v").Sum()
+	computes := 0
+	compute := func() (any, int64, error) {
+		computes++
+		return "computed", 8, nil
+	}
+	if v, hit, err := c.GetOrCompute(context.Background(), key, compute); err != nil || hit || v != "computed" {
+		t.Fatalf("first: %v %v %v", v, hit, err)
+	}
+	if d.Len() != 1 {
+		t.Fatal("computation not written through to disk")
+	}
+
+	// A fresh cache over the same directory restores the artifact from
+	// disk without recomputing — the restart scenario.
+	d2, rs, err := OpenDisk(dir)
+	if err != nil || rs.Verified != 1 {
+		t.Fatalf("reopen: %+v %v", rs, err)
+	}
+	c2 := New(1 << 20)
+	c2.AttachDisk(d2, jsonCodec())
+	v, hit, err := c2.GetOrCompute(context.Background(), key, compute)
+	if err != nil || v != "computed" {
+		t.Fatalf("restored: %v %v", v, err)
+	}
+	if !hit {
+		t.Fatal("disk restoration did not count as a hit")
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Disk == nil || st.Disk.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Promotion: now resident in memory, no second disk read.
+	if _, hit, _ := c2.GetOrCompute(context.Background(), key, compute); !hit {
+		t.Fatal("promoted entry missed")
+	}
+	if c2.Stats().Disk.Hits != 1 {
+		t.Fatal("memory hit went to disk")
+	}
+}
+
+func TestCacheBypassesFailingDiskTier(t *testing.T) {
+	defer faultinject.SetGlobal(nil)
+	set, err := faultinject.Parse("artifact.disk.read=error;artifact.disk.write=error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.SetGlobal(set)
+	d, _, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 20)
+	c.AttachDisk(d, jsonCodec())
+	for i := 0; i < 20; i++ {
+		key := NewKey("test").Int(int64(i)).Sum()
+		v, _, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+			return fmt.Sprintf("v%d", i), 4, nil
+		})
+		if err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("i=%d: cache failed under a broken disk tier: %v %v", i, v, err)
+		}
+	}
+	if !c.Stats().Disk.Disabled {
+		t.Fatalf("tier should have self-disabled: %+v", c.Stats().Disk)
+	}
+}
+
+func TestCacheQuarantinesUndecodableEntry(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test").Str("w").Sum()
+	// A verified entry whose kind the codec does not understand: integrity
+	// passes, decoding fails, the cache must quarantine and recompute.
+	if err := d.Put(key, "ancient-format", []byte(`"old"`)); err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 20)
+	c.AttachDisk(d, jsonCodec())
+	v, hit, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+		return "fresh", 5, nil
+	})
+	if err != nil || hit || v != "fresh" {
+		t.Fatalf("undecodable entry: %v %v %v", v, hit, err)
+	}
+	if d.Stats().Quarantined != 1 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+}
+
+// TestEvictionRacingGetAndPut drives concurrent Get/Put/GetOrCompute of
+// overlapping keys through a cache small enough to evict constantly —
+// run under -race this pins down the eviction/lookup locking discipline
+// (satellite: eviction racing concurrent Get/Put of the same key).
+func TestEvictionRacingGetAndPut(t *testing.T) {
+	c := New(512) // tiny budget: half the working set fits, so inserts evict
+	const keys = 16
+	key := func(i int) Key { return NewKey("race").Int(int64(i % keys)).Sum() }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i + g)
+				switch i % 3 {
+				case 0:
+					c.Put(k, strings.Repeat("x", 64), 64)
+				case 1:
+					if v, ok := c.Get(k); ok {
+						if s, good := v.(string); !good || len(s) != 64 {
+							t.Errorf("corrupt value under race: %v", v)
+							return
+						}
+					}
+				default:
+					v, _, err := c.GetOrCompute(context.Background(), k, func() (any, int64, error) {
+						return strings.Repeat("x", 64), 64, nil
+					})
+					if err != nil || len(v.(string)) != 64 {
+						t.Errorf("GetOrCompute under race: %v %v", v, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("budget never forced an eviction; the race never happened")
+	}
+	if st.Bytes > 512 {
+		t.Fatalf("bytes %d exceed budget after racing evictions", st.Bytes)
+	}
+}

@@ -1,0 +1,395 @@
+// Package client is a resilient HTTP/JSON client for gcsafed. It wraps
+// net/http with the three standard defenses a caller needs against a
+// flaky or overloaded daemon:
+//
+//   - bounded retries with exponential backoff and deterministic,
+//     seeded jitter, so transient 5xx/transport failures are absorbed
+//     without synchronized retry storms (and chaos tests replay the
+//     same retry schedule every run);
+//   - Retry-After awareness: a 429 or 503 carrying the header waits the
+//     server-requested interval instead of the computed backoff;
+//   - a circuit breaker that opens after a run of consecutive failures,
+//     fails calls fast during a cooldown, then lets a single half-open
+//     probe decide whether to close again — so a dead daemon costs
+//     microseconds per call, not a full retry ladder.
+//
+// Retries are attempted only for idempotent outcomes: transport errors,
+// 429, 503, and 5xx responses. 2xx and 4xx (other than 429) are final.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config tunes retry and breaker behavior. The zero value of any field
+// selects the documented default.
+type Config struct {
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; it doubles per
+	// subsequent failure (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-attempt delay, Retry-After included
+	// (default 2s).
+	MaxBackoff time.Duration
+	// JitterSeed makes the jitter sequence deterministic. Zero selects
+	// seed 1; two clients with the same seed sleep identically.
+	JitterSeed uint64
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// allowing a half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Sleep is the clock used between attempts; tests substitute a fake
+	// (default respects ctx cancellation around time.Sleep).
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Now is the clock the breaker reads (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ErrCircuitOpen is returned (wrapped) when the breaker rejects a call
+// without attempting it.
+var ErrCircuitOpen = errors.New("circuit open")
+
+// StatusError reports a final non-2xx response, with as much of the body
+// as was readable.
+type StatusError struct {
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, e.Body)
+}
+
+// breaker is a consecutive-failure circuit breaker with half-open probing.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool
+}
+
+// allow reports whether a call may proceed. In the open state it admits
+// exactly one probe per cooldown expiry; the probe's outcome decides
+// whether the circuit closes.
+func (b *breaker) allow() bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) success() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.failures, b.open, b.probing = 0, false, false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold {
+		b.open = true
+		b.probing = false
+		b.openedAt = b.now()
+	}
+}
+
+// Stats is a point-in-time view of client activity.
+type Stats struct {
+	Calls        uint64 `json:"calls"`
+	Retries      uint64 `json:"retries"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	FastFails    uint64 `json:"fast_fails"` // calls rejected by an open circuit
+}
+
+// Client is a resilient caller for one gcsafed base URL. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	cfg  Config
+	brk  breaker
+
+	mu    sync.Mutex
+	rng   uint64
+	stats Stats
+}
+
+// New builds a Client for a base URL like "http://127.0.0.1:8440".
+func New(base string, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		base: base,
+		cfg:  cfg,
+		rng:  cfg.JitterSeed,
+		brk: breaker{
+			threshold: cfg.BreakerThreshold,
+			cooldown:  cfg.BreakerCooldown,
+			now:       cfg.Now,
+		},
+	}
+	return c
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// nextJitter draws the next value from the seeded splitmix64 stream as a
+// fraction in [0, 1).
+func (c *Client) nextJitter() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// backoff computes the sleep before retry number n (1-based): full
+// jitter over an exponentially growing window, capped at MaxBackoff.
+func (c *Client) backoff(n int) time.Duration {
+	window := c.cfg.BaseBackoff << (n - 1)
+	if window > c.cfg.MaxBackoff || window <= 0 {
+		window = c.cfg.MaxBackoff
+	}
+	return time.Duration(c.nextJitter() * float64(window))
+}
+
+// retryAfter extracts a usable Retry-After delay, capped at MaxBackoff.
+func (c *Client) retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	return d, true
+}
+
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// do runs one request with retries and the breaker. headers may be nil.
+func (c *Client) do(ctx context.Context, method, path string, headers map[string]string, body []byte) (*http.Response, []byte, error) {
+	if !c.brk.allow() {
+		c.mu.Lock()
+		c.stats.FastFails++
+		c.mu.Unlock()
+		return nil, nil, fmt.Errorf("%s %s: %w", method, path, ErrCircuitOpen)
+	}
+	c.mu.Lock()
+	c.stats.Calls++
+	c.mu.Unlock()
+
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, data, err := c.once(ctx, method, path, headers, body)
+		switch {
+		case err == nil && !retryableStatus(resp.StatusCode):
+			// Final answer. Any complete HTTP exchange — including a 4xx —
+			// proves the daemon is functioning, so it closes the breaker.
+			c.brk.success()
+			if resp.StatusCode >= 400 {
+				return resp, data, &StatusError{Status: resp.StatusCode, Body: string(data)}
+			}
+			return resp, data, nil
+		case err != nil:
+			lastErr = err
+		default:
+			lastErr = &StatusError{Status: resp.StatusCode, Body: string(data)}
+		}
+
+		if attempt >= c.cfg.MaxAttempts {
+			c.trip()
+			return nil, nil, fmt.Errorf("%s %s: %d attempts exhausted: %w", method, path, attempt, lastErr)
+		}
+		delay := c.backoff(attempt)
+		if err == nil {
+			if ra, ok := c.retryAfter(resp); ok {
+				delay = ra
+			}
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		if serr := c.cfg.Sleep(ctx, delay); serr != nil {
+			c.trip()
+			return nil, nil, fmt.Errorf("%s %s: %w (last error: %v)", method, path, serr, lastErr)
+		}
+	}
+}
+
+// trip records a failed call with the breaker and counts the trip if it
+// opened the circuit.
+func (c *Client) trip() {
+	wasOpen := c.brk.isOpen()
+	c.brk.failure()
+	if !wasOpen && c.brk.isOpen() {
+		c.mu.Lock()
+		c.stats.BreakerTrips++
+		c.mu.Unlock()
+	}
+}
+
+func (b *breaker) isOpen() bool {
+	if b.threshold < 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// once performs a single HTTP exchange, fully draining the body.
+func (c *Client) once(ctx context.Context, method, path string, headers map[string]string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// PostJSON marshals in, POSTs it to path with optional extra headers,
+// and unmarshals the response into out (skipped when out is nil). The
+// returned status is the final response's code, 0 when no response was
+// obtained.
+func (c *Client) PostJSON(ctx context.Context, path string, headers map[string]string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, data, err := c.do(ctx, http.MethodPost, path, headers, body)
+	return finishJSON(resp, data, err, out)
+}
+
+// GetJSON GETs path and unmarshals the response into out (skipped when
+// out is nil).
+func (c *Client) GetJSON(ctx context.Context, path string, out any) (int, error) {
+	resp, data, err := c.do(ctx, http.MethodGet, path, nil, nil)
+	return finishJSON(resp, data, err, out)
+}
+
+func finishJSON(resp *http.Response, data []byte, err error, out any) (int, error) {
+	status := 0
+	if resp != nil {
+		status = resp.StatusCode
+	}
+	if err != nil {
+		return status, err
+	}
+	if out != nil {
+		if uerr := json.Unmarshal(data, out); uerr != nil {
+			return status, fmt.Errorf("decoding response: %w", uerr)
+		}
+	}
+	return status, nil
+}

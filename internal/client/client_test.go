@@ -1,0 +1,295 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested delays without actually sleeping.
+func fakeSleep(log *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*log = append(*log, d)
+		return nil
+	}
+}
+
+// flakyHandler fails the first n requests with status, then succeeds.
+func flakyHandler(n int64, status int) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			http.Error(w, "transient", status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok": true}`))
+	}, &calls
+}
+
+func TestRetriesTransient500(t *testing.T) {
+	h, calls := flakyHandler(2, http.StatusInternalServerError)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{Sleep: fakeSleep(&sleeps)})
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.GetJSON(context.Background(), "/x", &out)
+	if err != nil || status != http.StatusOK || !out.OK {
+		t.Fatalf("got status=%d err=%v out=%+v", status, err, out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sleeps))
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Calls != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Config{})
+	status, err := c.PostJSON(context.Background(), "/x", nil, map[string]any{}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError{400}", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+}
+
+func TestAttemptsExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{MaxAttempts: 3, Sleep: fakeSleep(&sleeps)})
+	_, err := c.GetJSON(context.Background(), "/x", nil)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped StatusError{503}", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	h, _ := flakyHandler(1, http.StatusServiceUnavailable)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		h(w, r)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{Sleep: fakeSleep(&sleeps)})
+	if _, err := c.GetJSON(context.Background(), "/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != 1 || sleeps[0] != time.Second {
+		t.Fatalf("sleeps = %v, want exactly [1s] from Retry-After", sleeps)
+	}
+}
+
+func TestJitterIsDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		var sleeps []time.Duration
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, "down", http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		c := New(ts.URL, Config{MaxAttempts: 4, JitterSeed: seed, Sleep: fakeSleep(&sleeps)})
+		c.GetJSON(context.Background(), "/x", nil)
+		return sleeps
+	}
+	a, b := schedule(7), schedule(7)
+	if len(a) != 3 {
+		t.Fatalf("schedule length %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	other := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical jitter: %v", a)
+	}
+	// Backoff windows double: sleep n is bounded by base<<n.
+	base := 50 * time.Millisecond
+	for i, d := range a {
+		if limit := base << i; d >= limit {
+			t.Fatalf("sleep %d = %v exceeds window %v", i, d, limit)
+		}
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	broken := atomic.Bool{}
+	broken.Store(true)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if broken.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	now := time.Unix(1000, 0)
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{
+		MaxAttempts:      2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		Sleep:            fakeSleep(&sleeps),
+		Now:              func() time.Time { return now },
+	})
+	ctx := context.Background()
+
+	// Two failed calls (2 attempts each) open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetJSON(ctx, "/x", nil); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if st := c.Stats(); st.BreakerTrips != 1 {
+		t.Fatalf("trips = %d, want 1", st.BreakerTrips)
+	}
+	seen := calls.Load()
+
+	// Open circuit: calls fail fast without touching the network.
+	if _, err := c.GetJSON(ctx, "/x", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != seen {
+		t.Fatal("open circuit still hit the server")
+	}
+	if st := c.Stats(); st.FastFails != 1 {
+		t.Fatalf("fast fails = %d, want 1", st.FastFails)
+	}
+
+	// Cooldown passes but the server is still down: the half-open probe
+	// fails and the circuit re-opens immediately.
+	now = now.Add(2 * time.Second)
+	if _, err := c.GetJSON(ctx, "/x", nil); errors.Is(err, ErrCircuitOpen) || err == nil {
+		t.Fatalf("probe outcome: %v", err)
+	}
+	if _, err := c.GetJSON(ctx, "/x", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("circuit did not re-open after failed probe: %v", err)
+	}
+
+	// Server recovers; after another cooldown the probe closes the circuit.
+	broken.Store(false)
+	now = now.Add(2 * time.Second)
+	if _, err := c.GetJSON(ctx, "/x", nil); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if _, err := c.GetJSON(ctx, "/x", nil); err != nil {
+		t.Fatalf("closed circuit: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{MaxAttempts: 1, BreakerThreshold: -1, Sleep: fakeSleep(&sleeps)})
+	for i := 0; i < 10; i++ {
+		c.GetJSON(context.Background(), "/x", nil)
+	}
+	if calls.Load() != 10 {
+		t.Fatalf("breaker engaged while disabled: %d calls", calls.Load())
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, Config{
+		MaxAttempts: 10,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	})
+	_, err := c.GetJSON(ctx, "/x", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFourXXClosesBreaker(t *testing.T) {
+	// A 4xx proves the daemon is alive: it must reset the consecutive
+	// failure count.
+	mode := atomic.Int64{} // 0: 500, 1: 400
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if mode.Load() == 0 {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{MaxAttempts: 1, BreakerThreshold: 3, Sleep: fakeSleep(&sleeps)})
+	ctx := context.Background()
+	c.GetJSON(ctx, "/x", nil) // failure 1
+	c.GetJSON(ctx, "/x", nil) // failure 2
+	mode.Store(1)
+	c.GetJSON(ctx, "/x", nil) // 400: resets
+	mode.Store(0)
+	c.GetJSON(ctx, "/x", nil) // failure 1 again
+	if c.brk.isOpen() {
+		t.Fatal("breaker opened despite 4xx reset")
+	}
+}

@@ -1,0 +1,229 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilAndEmptySetsAreInert(t *testing.T) {
+	var s *Set
+	if err := s.Fire("gc.alloc"); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	empty, err := Parse("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Fire("gc.alloc"); err != nil {
+		t.Fatalf("empty set fired: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"noequals",
+		"p=explode",
+		"x=error,p=2",
+		"x=error,after=minus",
+		"x=error,bogus=1",
+		"x=error,p",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestErrorActionAndSentinel(t *testing.T) {
+	s, err := Parse("gc.alloc=error,msg=boom", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := s.Fire("gc.alloc")
+	if ferr == nil {
+		t.Fatal("p=1 rule did not fire")
+	}
+	if !errors.Is(ferr, ErrInjected) {
+		t.Fatalf("errors.Is(%v, ErrInjected) = false", ferr)
+	}
+	var ie *InjectedError
+	if !errors.As(ferr, &ie) || ie.Point != "gc.alloc" || ie.Msg != "boom" {
+		t.Fatalf("unexpected error: %#v", ferr)
+	}
+	if err := s.Fire("other.point"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	s, err := Parse("x=error,after=3,times=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if s.Fire("x") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired at hits %v, want [3 4]", fired)
+	}
+	if got := s.Fired("x"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestProbabilityIsDeterministicAndRoughlyCalibrated(t *testing.T) {
+	run := func(seed uint64) []bool {
+		s, err := Parse("x=error,p=0.3", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = s.Fire("x") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	count := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			count++
+		}
+	}
+	if count < 200 || count > 400 {
+		t.Fatalf("p=0.3 fired %d/1000 times", count)
+	}
+	c := run(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	s, err := Parse("x=panic,msg=kapow", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic")
+		}
+		if msg, ok := p.(string); !ok || !strings.Contains(msg, "kapow") {
+			t.Fatalf("panic value %v", p)
+		}
+	}()
+	_ = s.Fire("x")
+}
+
+func TestSleepAction(t *testing.T) {
+	s, err := Parse("x=sleep,ms=30,times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Fire("x"); err != nil {
+		t.Fatalf("sleep returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+}
+
+func TestConcurrentFiringCountsEveryHit(t *testing.T) {
+	s, err := Parse("x=error,p=0.5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, hits = 8, 250
+	var wg sync.WaitGroup
+	fired := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < hits; i++ {
+				if s.Fire("x") != nil {
+					fired[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	// The multiset of per-hit-index decisions is fixed by the seed; only
+	// which goroutine observes each index varies.
+	want := 0
+	for n := uint64(0); n < goroutines*hits; n++ {
+		if decide(7, "x", n, 0.5) {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("total fired %d, want %d", total, want)
+	}
+}
+
+func TestGlobalAndEnv(t *testing.T) {
+	defer SetGlobal(nil)
+	if Enabled() {
+		t.Fatal("global set leaked in")
+	}
+	if err := Fire("x"); err != nil {
+		t.Fatalf("inert global fired: %v", err)
+	}
+	env := map[string]string{EnvVar: "x=error", EnvSeedVar: "9"}
+	s, err := FromEnv(func(k string) string { return env[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || !Enabled() || Global() != s || s.Seed() != 9 {
+		t.Fatal("FromEnv did not install the set")
+	}
+	if Fire("x") == nil {
+		t.Fatal("global rule did not fire")
+	}
+	SetGlobal(nil)
+	if s, err := FromEnv(func(string) string { return "" }); s != nil || err != nil {
+		t.Fatalf("empty env: %v, %v", s, err)
+	}
+	if _, err := FromEnv(func(k string) string {
+		if k == EnvVar {
+			return "x=error"
+		}
+		return "NaN"
+	}); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context carries a set")
+	}
+	s := NewSet(1, Rule{Point: "x", Action: ActError})
+	ctx := WithContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("set not carried")
+	}
+}

@@ -1,11 +1,14 @@
 package fuzz
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	"gcsafety/internal/cc/ast"
 	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/faultinject"
+	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 )
 
@@ -112,6 +115,73 @@ func FuzzParserRoundtrip(f *testing.F) {
 		if const1 != const2 || (const1 && v1 != v2) {
 			t.Fatalf("constant value drifted across round trip: %s: (%d,%v) vs (%d,%v)",
 				text, v1, const1, v2, const2)
+		}
+	})
+}
+
+// faultFuzzSpecs is the rotation of injection specs the fault fuzzer
+// draws from — one entry per fault-point-reachable error path in the
+// interpreter/collector stack.
+var faultFuzzSpecs = []string{
+	"gc.alloc=error,p=0.3,msg=fuzz-oom",
+	"gc.alloc=error,after=10,msg=fuzz-oom-late",
+	"gc.collect.force=error,p=0.5",
+	"interp.step=error,msg=fuzz-abort",
+	"gc.alloc=error,p=0.1;gc.collect.force=error,p=0.3;interp.step=error,p=0.2",
+}
+
+// FuzzFaultInjection fuzzes the treatment matrix under injected faults:
+// the generator bytes shape the program as in FuzzDifferential, and
+// (sel, seed) pick a fault schedule. The property is that chaos in the
+// simulated program never breaks the harness:
+//
+//   - RunMatrix classifies every outcome (no harness-level error);
+//   - every faulting must-agree treatment traces back to the injection
+//     (errors.Is ErrInjected) — a fault that does NOT is a genuine
+//     collector or interpreter bug surfaced by the hostile schedule;
+//   - a must-agree treatment that silently diverges (no error) under
+//     error/latency-free state injection is likewise a genuine bug.
+//
+// Run with:
+//
+//	go test -fuzz=FuzzFaultInjection -fuzztime=30s ./internal/fuzz
+func FuzzFaultInjection(f *testing.F) {
+	// One seed per rotation entry, over allocation-heavy generator bytes
+	// so gc.alloc and gc.collect.force are genuinely reachable.
+	f.Add([]byte{6, 6, 6, 6}, byte(0), uint64(1))
+	f.Add([]byte{3, 7, 200, 41, 0, 0, 99, 5}, byte(1), uint64(2))
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 13}, byte(2), uint64(3))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), byte(3), uint64(4))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, byte(4), uint64(5))
+	f.Fuzz(func(t *testing.T, data []byte, sel byte, seed uint64) {
+		if len(data) > 48 {
+			data = data[:48]
+		}
+		spec := faultFuzzSpecs[int(sel)%len(faultFuzzSpecs)]
+		set, err := faultinject.Parse(spec, seed)
+		if err != nil {
+			t.Fatalf("rotation spec %q does not parse: %v", spec, err)
+		}
+		p := GenerateBytes(data)
+		m, err := RunMatrix(p, MatrixOptions{
+			Machines: []machine.Config{machine.SPARCstation10()},
+			Faults:   set,
+			// Bound each treatment so fuzzer-grown programs (whose forced
+			// collections are quadratic in live data) cannot stall a run.
+			MaxInstrs: 300_000,
+		})
+		if err != nil {
+			t.Fatalf("harness failure under %q: %v\n%s", spec, err, p.Source)
+		}
+		for _, r := range m.Violations {
+			if r.Err == nil {
+				t.Fatalf("silent divergence under %q (not traceable to injection):\n%s\n%s",
+					spec, Describe(p, []TreatmentResult{r}), p.Source)
+			}
+			if !errors.Is(r.Err, faultinject.ErrInjected) && !errors.Is(r.Err, interp.ErrInstrLimit) {
+				t.Fatalf("organic fault under %q [%s]: %v\n%s",
+					spec, r.Name(), r.Err, p.Source)
+			}
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/codegen"
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/gc"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
@@ -120,6 +121,14 @@ type MatrixOptions struct {
 	// interpreter default). With RunMatrixContext's deadline support this
 	// is what keeps runaway generated programs from hanging a campaign.
 	MaxInstrs uint64
+	// Faults, when non-nil, is injected into every treatment run's
+	// interpreter (see internal/faultinject): the campaign then measures
+	// whether the harness classifies injected failures cleanly rather
+	// than whether treatments agree. A must-agree treatment that faults
+	// under injection surfaces as an ordinary violation, which is exactly
+	// what makes fault campaigns deterministic regression tests for the
+	// error paths.
+	Faults *faultinject.Set
 }
 
 // MatrixResult aggregates all treatment runs of one program.
@@ -206,6 +215,10 @@ func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
 // budget (0 = interpreter default). Context expiry is a harness-level
 // outcome — the treatment was not measured — never a violation.
 func RunTreatmentContext(ctx context.Context, p *Program, t Treatment, maxInstrs uint64) (TreatmentResult, error) {
+	return runTreatment(ctx, p, t, maxInstrs, nil)
+}
+
+func runTreatment(ctx context.Context, p *Program, t Treatment, maxInstrs uint64, faults *faultinject.Set) (TreatmentResult, error) {
 	r := TreatmentResult{Treatment: t}
 	if err := ctx.Err(); err != nil {
 		return r, fmt.Errorf("matrix: %w", err)
@@ -230,7 +243,7 @@ func RunTreatmentContext(ctx context.Context, p *Program, t Treatment, maxInstrs
 	if t.Post {
 		peephole.Optimize(prog, t.Machine)
 	}
-	exec := interp.Options{Config: t.Machine, Validate: true, MaxInstrs: maxInstrs}
+	exec := interp.Options{Config: t.Machine, Validate: true, MaxInstrs: maxInstrs, Faults: faults}
 	if t.Adversarial {
 		exec.GCEveryInstrs = 1
 		exec.CollectAtEveryAlloc = true
@@ -263,7 +276,7 @@ func RunMatrix(p *Program, opt MatrixOptions) (*MatrixResult, error) {
 func RunMatrixContext(ctx context.Context, p *Program, opt MatrixOptions) (*MatrixResult, error) {
 	m := &MatrixResult{Program: p}
 	for _, t := range Treatments(opt) {
-		r, err := RunTreatmentContext(ctx, p, t, opt.MaxInstrs)
+		r, err := runTreatment(ctx, p, t, opt.MaxInstrs, opt.Faults)
 		if err != nil {
 			return m, fmt.Errorf("%s [%s]: %w", p.Label, t.Name(), err)
 		}

@@ -58,6 +58,10 @@ func (h *Heap) Collect() {
 	}
 	h.collecting = true
 	defer func() { h.collecting = false }()
+	if h.cfg.Inject != nil {
+		// A collection cannot fail; the point exists for latency injection.
+		_ = h.cfg.Inject("gc.collect")
+	}
 
 	for _, ph := range h.pages {
 		ph.clearMarks()

@@ -1,0 +1,105 @@
+package gc
+
+import (
+	"errors"
+	"testing"
+)
+
+// countingInject is a hand-rolled Config.Inject hook (the heap is
+// deliberately decoupled from internal/faultinject; the hook contract is
+// what these tests pin down).
+type countingInject struct {
+	failAllocAfter int // -1 = never
+	forceCollect   bool
+	allocs         int
+	collects       int
+}
+
+var errInjectedAlloc = errors.New("injected alloc failure")
+
+func (c *countingInject) inject(point string) error {
+	switch point {
+	case "gc.alloc":
+		c.allocs++
+		if c.failAllocAfter >= 0 && c.allocs > c.failAllocAfter {
+			return errInjectedAlloc
+		}
+	case "gc.collect.force":
+		if c.forceCollect {
+			return errors.New("force")
+		}
+	case "gc.collect":
+		c.collects++
+	}
+	return nil
+}
+
+func TestInjectedAllocFailure(t *testing.T) {
+	ci := &countingInject{failAllocAfter: 2}
+	h := NewHeap(Config{Inject: ci.inject})
+	h.SetRoots(RootFunc(func(func(Addr)) {}))
+	for i := 0; i < 2; i++ {
+		if _, err := h.Alloc(16); err != nil {
+			t.Fatalf("alloc %d failed before the injected threshold: %v", i, err)
+		}
+	}
+	_, err := h.Alloc(16)
+	if err == nil {
+		t.Fatal("third alloc succeeded past the injected failure")
+	}
+	if !errors.Is(err, errInjectedAlloc) {
+		t.Fatalf("cause not preserved through gc.Error: %v", err)
+	}
+	var ge *Error
+	if !errors.As(err, &ge) || ge.Op != "alloc" {
+		t.Fatalf("want a gc.Error with Op=alloc, got %#v", err)
+	}
+	// The failed allocation must not be accounted.
+	if got := h.Stats().ObjectsAlloced; got != 2 {
+		t.Fatalf("ObjectsAlloced = %d, want 2", got)
+	}
+}
+
+func TestInjectedForcedCollectionSchedule(t *testing.T) {
+	ci := &countingInject{failAllocAfter: -1, forceCollect: true}
+	h := NewHeap(Config{Inject: ci.inject})
+	var keep []Addr
+	h.SetRoots(RootFunc(func(visit func(Addr)) {
+		for _, a := range keep {
+			visit(a)
+		}
+	}))
+	for i := 0; i < 10; i++ {
+		a, err := h.Alloc(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, a)
+	}
+	st := h.Stats()
+	// Every allocation forced a collection, far more than the byte trigger
+	// (default 256 KiB over 10*24 bytes = zero collections) would run.
+	if st.Collections != 10 {
+		t.Fatalf("Collections = %d, want 10 (one forced per alloc)", st.Collections)
+	}
+	if ci.collects != 10 {
+		t.Fatalf("gc.collect fired %d times, want 10", ci.collects)
+	}
+	// Nothing live may have been reclaimed by the perturbed schedule.
+	if st.ObjectsFreed != 0 {
+		t.Fatalf("forced collections reclaimed %d live objects", st.ObjectsFreed)
+	}
+	for _, a := range keep {
+		if h.ObjectBase(a) != a {
+			t.Fatalf("object %#x lost under forced-collection schedule", a)
+		}
+	}
+}
+
+func TestInjectHookAbsentIsInert(t *testing.T) {
+	h := NewHeap(Config{})
+	h.SetRoots(RootFunc(func(func(Addr)) {}))
+	if _, err := h.Alloc(8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -69,6 +69,17 @@ type Config struct {
 	// recognized as references only when they point exactly at an object's
 	// base. See extension.go.
 	BaseOnlyHeapPointers bool
+	// Inject, when non-nil, is consulted at the collector's fault points
+	// (internal/faultinject wires it; the heap itself stays dependency-
+	// free). The heap fires three points:
+	//
+	//	"gc.alloc"          a non-nil return fails the allocation
+	//	"gc.collect.force"  a non-nil return forces a collection at this
+	//	                    allocation (schedule perturbation)
+	//	"gc.collect"        fired at the start of every collection; the
+	//	                    return value is ignored (collections cannot
+	//	                    fail; use it for injected latency)
+	Inject func(point string) error
 }
 
 // PoisonByte fills reclaimed objects when Config.Poison is set.
@@ -106,11 +117,17 @@ type Error struct {
 	Op   string
 	Addr Addr
 	Msg  string
+	// Err carries an underlying cause when one exists (e.g. an injected
+	// fault), preserving errors.Is/As matching through the heap boundary.
+	Err error
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("gc: %s at %#x: %s", e.Op, e.Addr, e.Msg)
 }
+
+// Unwrap exposes the underlying cause, if any.
+func (e *Error) Unwrap() error { return e.Err }
 
 func errf(op string, a Addr, format string, args ...any) error {
 	return &Error{Op: op, Addr: a, Msg: fmt.Sprintf(format, args...)}

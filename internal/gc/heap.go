@@ -150,6 +150,14 @@ func (h *Heap) Alloc(n uint32) (Addr, error) {
 		return 0, errf("alloc", 0, "request of %d bytes exceeds heap capacity", n)
 	}
 	size := roundUp(n+1, Granule)
+	if h.cfg.Inject != nil {
+		if err := h.cfg.Inject("gc.alloc"); err != nil {
+			return 0, &Error{Op: "alloc", Msg: err.Error(), Err: err}
+		}
+		if h.cfg.Inject("gc.collect.force") != nil {
+			h.Collect()
+		}
+	}
 	if h.sinceGC >= h.trigger && h.roots != nil {
 		h.Collect()
 	}

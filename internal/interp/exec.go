@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/machine"
 )
 
@@ -27,6 +28,13 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 		if m.instrs%ctxCheckInterval == 0 {
 			if err := m.ctx.Err(); err != nil {
 				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+			}
+			// Fault injection shares the poll stride so an inert run pays
+			// nothing beyond the existing branch.
+			if m.opts.Faults != nil {
+				if err := m.opts.Faults.Fire(faultinject.PointInterpStep); err != nil {
+					return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+				}
 			}
 		}
 		m.instrs++

@@ -1,0 +1,90 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"gcsafety/internal/faultinject"
+	"gcsafety/internal/machine"
+)
+
+const allocLoop = `
+int main() {
+    int i;
+    for (i = 0; i < 50; i = i + 1) {
+        int *p = (int *)GC_malloc(32);
+        *p = i;
+    }
+    print_str("done\n");
+    return 0;
+}
+`
+
+func TestInjectedStepFaultAbortsRun(t *testing.T) {
+	prog := compileSrc(t, infiniteLoop)
+	faults, err := faultinject.Parse("interp.step=error,after=3,msg=step-down", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := Run(prog, Options{Config: machine.SPARCstation10(), Faults: faults})
+	if runErr == nil {
+		t.Fatal("infinite loop terminated without the injected fault")
+	}
+	if !errors.Is(runErr, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", runErr)
+	}
+	var fe *FaultError
+	if !errors.As(runErr, &fe) {
+		t.Fatalf("injected fault not wrapped in a FaultError: %v", runErr)
+	}
+}
+
+func TestInjectedAllocFaultReachesProgram(t *testing.T) {
+	prog := compileSrc(t, allocLoop)
+	faults, err := faultinject.Parse("gc.alloc=error,after=10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := Run(prog, Options{Config: machine.SPARCstation10(), Faults: faults})
+	if runErr == nil {
+		t.Fatal("run survived an allocator that fails every alloc past 10")
+	}
+	if !errors.Is(runErr, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want an injected fault", runErr)
+	}
+}
+
+func TestForcedCollectionScheduleIsSafeForWellBehavedPrograms(t *testing.T) {
+	prog := compileSrc(t, allocLoop)
+	faults, err := faultinject.Parse("gc.collect.force=error,p=0.5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := Run(prog, Options{Config: machine.SPARCstation10(), Faults: faults, Validate: true})
+	if runErr != nil {
+		t.Fatalf("well-behaved program faulted under a perturbed collection schedule: %v", runErr)
+	}
+	if res.Output != "done\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.GCStats.Collections == 0 {
+		t.Fatal("schedule perturbation never forced a collection")
+	}
+	// Same program, no faults: far fewer (likely zero) collections.
+	base, err2 := Run(compileSrc(t, allocLoop), Options{Config: machine.SPARCstation10()})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if base.GCStats.Collections >= res.GCStats.Collections {
+		t.Fatalf("forced schedule ran %d collections, baseline %d",
+			res.GCStats.Collections, base.GCStats.Collections)
+	}
+}
+
+func TestNilFaultsIsInert(t *testing.T) {
+	prog := compileSrc(t, allocLoop)
+	res, err := Run(prog, Options{Config: machine.SPARCstation10()})
+	if err != nil || res.Output != "done\n" {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

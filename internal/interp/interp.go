@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/gc"
 	"gcsafety/internal/machine"
 )
@@ -69,6 +70,11 @@ type Options struct {
 	Input string
 	// Entry is the function to run (default "main").
 	Entry string
+	// Faults, when non-nil, arms the run's fault points: "interp.step"
+	// (fired at the context-poll stride; an error aborts the run with a
+	// machine fault) and, via the heap's Config.Inject hook, "gc.alloc",
+	// "gc.collect.force" and "gc.collect". Nil is fully inert.
+	Faults *faultinject.Set
 }
 
 // Result reports one execution.
@@ -164,12 +170,16 @@ func New(prog *machine.Program, opts Options) *Machine {
 		byID:   map[int32]*machine.Func{},
 		rng:    0x9E3779B9,
 	}
-	m.heap = gc.NewHeap(gc.Config{
+	hcfg := gc.Config{
 		MaxBytes:             opts.HeapBytes,
 		TriggerBytes:         opts.TriggerBytes,
 		Poison:               true,
 		BaseOnlyHeapPointers: opts.BaseOnlyHeap,
-	})
+	}
+	if opts.Faults != nil {
+		hcfg.Inject = opts.Faults.Fire
+	}
+	m.heap = gc.NewHeap(hcfg)
 	m.heap.SetRoots(gc.RootFunc(m.scanRoots))
 	for name, f := range prog.Funcs {
 		lm := map[int32]int{}

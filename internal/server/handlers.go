@@ -10,6 +10,7 @@ import (
 	"gcsafety/internal/artifact"
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/codegen"
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/fuzz"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
@@ -94,13 +95,16 @@ func annotateKey(src string, opts gcsafe.Options) artifact.Key {
 		Sum()
 }
 
-// annotated is the cached product of one annotator execution.
+// annotated is the cached product of one annotator execution. size is
+// the accounted cache size, carried so the disk tier restores an entry
+// with the same LRU charge it was computed with.
 type annotated struct {
 	output     string
 	warnings   []string
 	inserted   int
 	suppressed int
 	temps      int
+	size       int64
 }
 
 // annotate runs the preprocessor through the artifact cache.
@@ -119,11 +123,12 @@ func (s *Server) annotate(ctx context.Context, name, src string, opts gcsafe.Opt
 			inserted:   res.Inserted,
 			suppressed: res.Suppressed,
 			temps:      res.Temps,
+			size:       int64(len(src) + len(res.Output) + 256),
 		}
 		for _, w := range res.Warnings {
 			a.warnings = append(a.warnings, w.String())
 		}
-		return a, int64(len(src) + len(res.Output) + 256), nil
+		return a, a.size, nil
 	})
 	if err != nil {
 		return nil, false, err
@@ -215,10 +220,12 @@ type CompileResponse struct {
 }
 
 // compiled is the cached product of one compiler execution. The Program
-// is immutable after the peephole pass and shared by every subsequent run.
+// is immutable after the peephole pass and shared by every subsequent
+// run. accounted is the cache size charge, carried for the disk tier.
 type compiled struct {
-	prog *machine.Program
-	size int
+	prog      *machine.Program
+	size      int
+	accounted int64
 }
 
 func compileKey(src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) artifact.Key {
@@ -276,7 +283,8 @@ func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotat
 		c := &compiled{prog: prog, size: prog.Size()}
 		// Accounted size: instruction words plus the static segment, with
 		// a per-function overhead allowance.
-		return c, int64(c.size)*16 + int64(len(prog.Data)) + int64(len(prog.Funcs))*64 + 256, nil
+		c.accounted = int64(c.size)*16 + int64(len(prog.Data)) + int64(len(prog.Funcs))*64 + 256
+		return c, c.accounted, nil
 	})
 	if err != nil {
 		return nil, false, err
@@ -377,6 +385,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 		Validate:            req.Validate,
 		BaseOnlyHeap:        req.BaseOnly,
 		MaxInstrs:           steps,
+		Faults:              faultinject.FromContext(r.Context()),
 	})
 	if runErr != nil && (errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)) {
 		return runErr

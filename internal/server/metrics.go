@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -110,14 +111,47 @@ type RunSnapshot struct {
 	BytesAllocated uint64 `json:"gc_bytes_allocated"`
 }
 
+// PanicSnapshot describes the most recent recovered handler panic: the
+// observability half of the recovery middleware, so a fleet operator can
+// see *what* crashed without shelling into the box.
+type PanicSnapshot struct {
+	Endpoint string `json:"endpoint"`
+	Value    string `json:"value"`
+	Stack    string `json:"stack"`
+	At       string `json:"at"` // RFC3339
+}
+
+// panicStackLimit bounds the captured stack so /metrics stays readable.
+const panicStackLimit = 8 << 10
+
 // metrics is the server-wide registry.
 type metrics struct {
 	start     time.Time
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	lastPanic *PanicSnapshot // guarded by mu
 	shed      atomic.Uint64
+	drained   atomic.Uint64
+	panics    atomic.Uint64
 	inflight  atomic.Int64
 	runs      runMetrics
+}
+
+// recordPanic captures a recovered handler panic into the registry.
+func (m *metrics) recordPanic(endpoint string, value any, stack []byte) {
+	m.panics.Add(1)
+	if len(stack) > panicStackLimit {
+		stack = stack[:panicStackLimit]
+	}
+	snap := &PanicSnapshot{
+		Endpoint: endpoint,
+		Value:    fmt.Sprint(value),
+		Stack:    string(stack),
+		At:       time.Now().UTC().Format(time.RFC3339),
+	}
+	m.mu.Lock()
+	m.lastPanic = snap
+	m.mu.Unlock()
 }
 
 func newMetrics() *metrics {
@@ -140,11 +174,22 @@ type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Shed          uint64                      `json:"shed"`
-	InFlight      int64                       `json:"in_flight"`
-	Cache         artifact.Stats              `json:"cache"`
-	Compiles      uint64                      `json:"compiles"`
-	Annotations   uint64                      `json:"annotations"`
-	Runs          RunSnapshot                 `json:"runs"`
+	// Drained counts requests refused with 503 because shutdown had begun.
+	Drained  uint64 `json:"drained"`
+	Draining bool   `json:"draining"`
+	// Panics counts handler panics absorbed by the recovery middleware;
+	// LastPanic carries the most recent one's stack.
+	Panics    uint64         `json:"panics"`
+	LastPanic *PanicSnapshot `json:"last_panic,omitempty"`
+	InFlight  int64          `json:"in_flight"`
+	Cache     artifact.Stats `json:"cache"`
+	// DiskRecovery reports the disk tier's startup verification when one
+	// is configured; DiskError explains a tier that failed to open.
+	DiskRecovery *artifact.RecoverStats `json:"disk_recovery,omitempty"`
+	DiskError    string                 `json:"disk_error,omitempty"`
+	Compiles     uint64                 `json:"compiles"`
+	Annotations  uint64                 `json:"annotations"`
+	Runs         RunSnapshot            `json:"runs"`
 }
 
 func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) Snapshot {
@@ -152,6 +197,8 @@ func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) S
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     map[string]EndpointSnapshot{},
 		Shed:          m.shed.Load(),
+		Drained:       m.drained.Load(),
+		Panics:        m.panics.Load(),
 		InFlight:      m.inflight.Load(),
 		Cache:         cache,
 		Compiles:      compiles,
@@ -168,6 +215,7 @@ func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) S
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	s.LastPanic = m.lastPanic
 	for name, em := range m.endpoints {
 		s.Endpoints[name] = EndpointSnapshot{
 			Requests:  em.requests.Load(),

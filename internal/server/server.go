@@ -28,10 +28,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"gcsafety/internal/artifact"
+	"gcsafety/internal/faultinject"
 	"gcsafety/internal/machine"
 )
 
@@ -54,6 +57,11 @@ type Config struct {
 	// MaxSteps is the per-run interpreter instruction ceiling; requests
 	// may ask for less, never more (default 200M).
 	MaxSteps uint64
+	// CacheDir, when non-empty, attaches a crash-safe disk tier to the
+	// artifact cache: artifacts survive restarts (even kill -9), entries
+	// are SHA-256-verified on read, and corrupt entries are quarantined
+	// at startup. Empty means memory-only (the default).
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +95,16 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 
+	// draining flips once graceful shutdown begins: /readyz fails and new
+	// pipeline requests are refused with 503 + Retry-After so load
+	// balancers route around the instance while in-flight work finishes.
+	draining atomic.Bool
+
+	// diskRecover / diskErr record the disk tier's startup recovery (or
+	// why the tier is absent); the daemon runs memory-only on diskErr.
+	diskRecover artifact.RecoverStats
+	diskErr     error
+
 	// compiles and annotations count actual pipeline executions (cache
 	// misses that ran codegen / the annotator) — the counters the
 	// stampede guarantee is stated in terms of.
@@ -94,7 +112,9 @@ type Server struct {
 	annotations atomic.Uint64
 }
 
-// New builds a daemon with its own cache and counters.
+// New builds a daemon with its own cache and counters. A Config.CacheDir
+// that cannot be opened is not fatal: the daemon degrades to memory-only
+// caching and reports the failure via DiskErr and /metrics.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -104,15 +124,38 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.CacheDir != "" {
+		disk, rs, err := artifact.OpenDisk(cfg.CacheDir)
+		s.diskRecover, s.diskErr = rs, err
+		if err == nil {
+			s.cache.AttachDisk(disk, artifactCodec())
+		}
+	}
 	s.mux.Handle("/v1/annotate", s.handle("/v1/annotate", http.MethodPost, s.handleAnnotate))
 	s.mux.Handle("/v1/check", s.handle("/v1/check", http.MethodPost, s.handleCheck))
 	s.mux.Handle("/v1/compile", s.handle("/v1/compile", http.MethodPost, s.handleCompile))
 	s.mux.Handle("/v1/run", s.handle("/v1/run", http.MethodPost, s.handleRun))
 	s.mux.Handle("/v1/matrix", s.handle("/v1/matrix", http.MethodPost, s.handleMatrix))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
+
+// StartDrain marks the daemon as draining: /readyz starts failing and
+// new pipeline requests get 503 + Retry-After while in-flight requests
+// run to completion. Call it before http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DiskErr reports why the disk tier is absent (nil when attached or
+// never requested).
+func (s *Server) DiskErr() error { return s.diskErr }
+
+// DiskRecovery reports the disk tier's startup recovery outcome.
+func (s *Server) DiskRecovery() artifact.RecoverStats { return s.diskRecover }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -163,6 +206,10 @@ func (p *pool) acquire(ctx context.Context) error {
 
 func (p *pool) release() { <-p.tokens }
 
+// saturated reports whether the waiting queue is full — the point where
+// the next arrival would be shed.
+func (p *pool) saturated() bool { return p.queued.Load() >= p.maxWait }
+
 // apiError is a handler failure with its HTTP status.
 type apiError struct {
 	status int
@@ -175,8 +222,9 @@ func errf(status int, format string, args ...any) error {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// handle wraps an endpoint with method filtering, body limiting, the
-// worker pool, and metrics accounting.
+// handle wraps an endpoint with method filtering, body limiting, drain
+// refusal, panic-to-500 recovery, fault-injection activation, the worker
+// pool, and metrics accounting.
 func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
 	em := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -190,10 +238,44 @@ func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *h
 			em.latency.observe(time.Since(start))
 		}
 		defer finish()
+		// The recovery barrier: a panicking handler (or an injected panic)
+		// must cost the daemon nothing but this one request. Declared after
+		// finish so the 500 is recorded in the endpoint counters.
+		defer func() {
+			if p := recover(); p != nil {
+				status = http.StatusInternalServerError
+				s.metrics.recordPanic(name, p, debug.Stack())
+				writeError(w, status, "internal error (panic recovered)")
+			}
+		}()
 		if r.Method != method {
 			status = http.StatusMethodNotAllowed
 			writeError(w, status, "method not allowed")
 			return
+		}
+		if s.draining.Load() {
+			// Drain is not overload: 503 + Retry-After tells a load
+			// balancer to take the instance out of rotation and come back,
+			// where the queue-full 429 below means "slow down".
+			s.metrics.drained.Add(1)
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+			writeError(w, status, "draining for shutdown")
+			return
+		}
+		faults, err := s.requestFaults(r)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, err.Error())
+			return
+		}
+		if faults != nil {
+			r = r.WithContext(faultinject.WithContext(r.Context(), faults))
+			if err := faults.Fire(faultinject.PointServerHandler); err != nil {
+				status = http.StatusInternalServerError
+				writeError(w, status, err.Error())
+				return
+			}
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		if err := s.pool.acquire(r.Context()); err != nil {
@@ -214,6 +296,37 @@ func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *h
 			writeError(w, status, err.Error())
 		}
 	})
+}
+
+// faultHeader and faultSeedHeader activate request-scoped fault
+// injection: the header value is a faultinject spec (and optional seed)
+// compiled into a Set that lives for this request only.
+const (
+	faultHeader     = "X-Fault-Inject"
+	faultSeedHeader = "X-Fault-Seed"
+)
+
+// requestFaults resolves the fault Set for a request: a per-request Set
+// parsed from X-Fault-Inject when present, else the process-wide Set
+// (nil when fault injection is entirely off).
+func (s *Server) requestFaults(r *http.Request) (*faultinject.Set, error) {
+	spec := r.Header.Get(faultHeader)
+	if spec == "" {
+		return faultinject.Global(), nil
+	}
+	seed := uint64(1)
+	if v := r.Header.Get(faultSeedHeader); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s header: %q", faultSeedHeader, v)
+		}
+		seed = n
+	}
+	set, err := faultinject.Parse(spec, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bad %s header: %v", faultHeader, err)
+	}
+	return set, nil
 }
 
 func statusFor(err error) int {
@@ -264,9 +377,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the readiness probe, distinct from liveness: a live
+// daemon is not ready while it is draining for shutdown or while its
+// request queue is saturated (load would only be shed). Load balancers
+// poll this to take the instance out of rotation without killing it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.pool.saturated():
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.cache.Stats(), s.compiles.Load(), s.annotations.Load()))
+	snap := s.metrics.snapshot(s.cache.Stats(), s.compiles.Load(), s.annotations.Load())
+	snap.Draining = s.draining.Load()
+	if s.cfg.CacheDir != "" {
+		if s.diskErr != nil {
+			snap.DiskError = s.diskErr.Error()
+		} else {
+			rs := s.diskRecover
+			snap.DiskRecovery = &rs
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // machineByName maps the wire names to machine configurations.

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gcsafety/internal/artifact"
+	"gcsafety/internal/machine"
+)
+
+// Wire forms of the cached artifacts for the disk tier. The in-memory
+// types (annotated, compiled) keep unexported fields; these exported
+// mirrors exist so encoding/gob can see them, and they carry the
+// accounted cache size so a restored entry charges the LRU budget
+// exactly like a freshly computed one.
+
+const (
+	kindAnnotate = "annotate/v1"
+	kindCompile  = "compile/v1"
+)
+
+type wireAnnotated struct {
+	Output     string
+	Warnings   []string
+	Inserted   int
+	Suppressed int
+	Temps      int
+	Size       int64
+}
+
+type wireCompiled struct {
+	Prog *machine.Program
+	Size int64
+}
+
+// artifactCodec translates the server's cached artifact types to and
+// from disk bytes. Values of unknown dynamic type (none today) simply
+// stay memory-only.
+func artifactCodec() artifact.DiskCodec {
+	return artifact.DiskCodec{
+		Encode: encodeArtifact,
+		Decode: decodeArtifact,
+	}
+}
+
+func encodeArtifact(key artifact.Key, v any) (string, []byte, bool) {
+	var (
+		kind string
+		wire any
+	)
+	switch a := v.(type) {
+	case *annotated:
+		kind = kindAnnotate
+		wire = &wireAnnotated{
+			Output:     a.output,
+			Warnings:   a.warnings,
+			Inserted:   a.inserted,
+			Suppressed: a.suppressed,
+			Temps:      a.temps,
+			Size:       a.size,
+		}
+	case *compiled:
+		kind = kindCompile
+		wire = &wireCompiled{Prog: a.prog, Size: a.accounted}
+	default:
+		return "", nil, false
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return "", nil, false
+	}
+	return kind, buf.Bytes(), true
+}
+
+func decodeArtifact(kind string, data []byte) (any, int64, error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	switch kind {
+	case kindAnnotate:
+		var w wireAnnotated
+		if err := dec.Decode(&w); err != nil {
+			return nil, 0, err
+		}
+		return &annotated{
+			output:     w.Output,
+			warnings:   w.Warnings,
+			inserted:   w.Inserted,
+			suppressed: w.Suppressed,
+			temps:      w.Temps,
+			size:       w.Size,
+		}, w.Size, nil
+	case kindCompile:
+		var w wireCompiled
+		if err := dec.Decode(&w); err != nil {
+			return nil, 0, err
+		}
+		if w.Prog == nil || len(w.Prog.Funcs) == 0 {
+			return nil, 0, fmt.Errorf("compile artifact with no code")
+		}
+		return &compiled{prog: w.Prog, size: w.Prog.Size(), accounted: w.Size}, w.Size, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown artifact kind %q", kind)
+	}
+}
