@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"gcsafety/internal/client"
@@ -55,7 +56,7 @@ var chaosSpecs = []string{
 // malformed request so 4xx outcomes appear under fault load too.
 var chaosBodies = []struct {
 	path string
-	body any
+	body map[string]any
 }{
 	{"/v1/annotate", map[string]any{"name": "c.c", "source": chaosSrc}},
 	{"/v1/check", map[string]any{"name": "c.c", "source": chaosSrc}},
@@ -86,11 +87,35 @@ int main() {
 }
 `
 
+// chaosBody returns the body for request i. Rotation entries that
+// inject disk faults get a key-unique body: the artifact cache touches
+// the disk tier only on a memory miss, so without a fresh cache key
+// those requests would be absorbed by the memory tier and the injected
+// disk faults would be unreachable.
+func chaosBody(i int, spec string, body map[string]any) map[string]any {
+	if !strings.Contains(spec, "artifact.disk") {
+		return body
+	}
+	out := make(map[string]any, len(body))
+	for k, v := range body {
+		out[k] = v
+	}
+	if src, ok := out["source"].(string); ok {
+		out["source"] = fmt.Sprintf("%s// chaos %d\n", src, i)
+	} else if seed, ok := out["seed"].(int); ok {
+		out["seed"] = seed + i
+	}
+	return out
+}
+
 // runChaos executes the suite and returns the process exit code.
 func runChaos(cfg server.Config, seed uint64, requests int) int {
 	if requests <= 0 {
 		requests = 64
 	}
+	// The rotation is delivered via X-Fault-Inject, so the in-process
+	// daemon must opt in (the listening daemon still defaults to off).
+	cfg.AllowFaultHeaders = true
 	// Chaos wants the disk fault points reachable: give the daemon a
 	// scratch disk tier when the operator did not supply one.
 	if cfg.CacheDir == "" {
@@ -146,7 +171,7 @@ func runChaos(cfg server.Config, seed uint64, requests int) int {
 				"X-Fault-Seed":   fmt.Sprint(seed + uint64(i)),
 			}
 		}
-		status, err := cl.PostJSON(ctx, req.path, hdr, req.body, nil)
+		status, err := cl.PostJSON(ctx, req.path, hdr, chaosBody(i, spec, req.body), nil)
 		switch {
 		case err == nil:
 			okResp++
@@ -184,10 +209,14 @@ func runChaos(cfg server.Config, seed uint64, requests int) int {
 	}
 	panicsAsked = snap.Panics
 
+	var diskFaults uint64
+	if snap.Cache.Disk != nil {
+		diskFaults = snap.Cache.Disk.ReadErrors + snap.Cache.Disk.WriteErrors
+	}
 	st := cl.Stats()
 	fmt.Printf("gcsafed: chaos: %d requests: %d ok, %d error-status, %d fast-fail, %d unclean; "+
-		"%d retries, %d breaker trips; daemon absorbed %d panics\n",
-		requests, okResp, errResp, fastFails, unclean, st.Retries, st.BreakerTrips, panicsAsked)
+		"%d retries, %d breaker trips; daemon absorbed %d panics, %d disk faults\n",
+		requests, okResp, errResp, fastFails, unclean, st.Retries, st.BreakerTrips, panicsAsked, diskFaults)
 
 	if unclean > 0 {
 		fmt.Fprintln(os.Stderr, "gcsafed: chaos: FAIL: transport-level failures escaped the recovery middleware")
@@ -199,6 +228,13 @@ func runChaos(cfg server.Config, seed uint64, requests int) int {
 	}
 	if requests > len(chaosSpecs) && panicsAsked == 0 {
 		fmt.Fprintln(os.Stderr, "gcsafed: chaos: FAIL: injected panics never reached the recovery middleware")
+		return 1
+	}
+	// The rotation's artifact.disk specs must actually have reached the
+	// tier (they ride the request context down through the cache): a zero
+	// here means the suite silently stopped exercising disk failures.
+	if requests > len(chaosSpecs) && diskFaults == 0 {
+		fmt.Fprintln(os.Stderr, "gcsafed: chaos: FAIL: injected disk faults never reached the disk tier")
 		return 1
 	}
 	fmt.Println("gcsafed: chaos: PASS")

@@ -23,6 +23,12 @@
 //	                   internal/faultinject); also settable via the
 //	                   GCSAFETY_FAULTS environment variable
 //	-fault-seed n      seed for -faults firing schedules (default 1)
+//	-allow-fault-headers
+//	                   honor per-request X-Fault-Inject / X-Fault-Seed
+//	                   headers (default off: header-driven injection lets
+//	                   any reachable client fail or delay requests, so it
+//	                   must be an explicit opt-in; -chaos enables it for
+//	                   its in-process daemon)
 //	-chaos             run the chaos smoke suite against an in-process
 //	                   daemon instead of serving: replay the pipeline
 //	                   request mix under injected faults and exit 0 iff
@@ -70,6 +76,7 @@ func main() {
 		maxSteps   = flag.Uint64("max-steps", 0, "per-run instruction ceiling (0 = default 200M)")
 		faults     = flag.String("faults", "", "process-wide fault injection spec (empty = env/off)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for -faults firing schedules")
+		faultHdrs  = flag.Bool("allow-fault-headers", false, "honor per-request X-Fault-Inject headers (keep off on exposed addresses)")
 		chaos      = flag.Bool("chaos", false, "run the chaos smoke suite and exit")
 		chaosReqs  = flag.Int("chaos-requests", 64, "requests per chaos run")
 	)
@@ -92,13 +99,14 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheBytes:   *cacheBytes,
-		MaxBodyBytes: *maxBody,
-		RunTimeout:   *timeout,
-		MaxSteps:     *maxSteps,
-		CacheDir:     *cacheDir,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheBytes:        *cacheBytes,
+		MaxBodyBytes:      *maxBody,
+		RunTimeout:        *timeout,
+		MaxSteps:          *maxSteps,
+		CacheDir:          *cacheDir,
+		AllowFaultHeaders: *faultHdrs,
 	}
 
 	if *chaos {

@@ -176,7 +176,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() (any, 
 	// entry promotes into memory and counts as a hit — the artifact
 	// survived a restart and nobody recomputed it.
 	if c.disk != nil {
-		if v, size, ok := c.diskLoad(key); ok {
+		if v, size, ok := c.diskLoad(ctx, key); ok {
 			c.mu.Lock()
 			delete(c.inflight, key)
 			c.insertLocked(key, v, size)
@@ -201,7 +201,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() (any, 
 	}()
 	close(cl.done)
 	if cl.err == nil && c.disk != nil {
-		c.diskStore(key, cl.val)
+		c.diskStore(ctx, key, cl.val)
 	}
 	return cl.val, false, cl.err
 }
@@ -209,8 +209,8 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() (any, 
 // diskLoad reads, verifies and decodes the disk entry for key. Every
 // failure mode — absent, corrupt (quarantined by the tier), undecodable
 // (quarantined here), tier disabled — degrades to "not found".
-func (c *Cache) diskLoad(key Key) (any, int64, bool) {
-	kind, data, err := c.disk.Get(key)
+func (c *Cache) diskLoad(ctx context.Context, key Key) (any, int64, bool) {
+	kind, data, err := c.disk.Get(ctx, key)
 	if err != nil {
 		return nil, 0, false
 	}
@@ -229,7 +229,7 @@ func (c *Cache) diskLoad(key Key) (any, int64, bool) {
 
 // diskStore writes a computed artifact through to the disk tier,
 // best-effort: errors only count against the tier's health.
-func (c *Cache) diskStore(key Key, v any) {
+func (c *Cache) diskStore(ctx context.Context, key Key, v any) {
 	if c.codec.Encode == nil {
 		return
 	}
@@ -237,7 +237,7 @@ func (c *Cache) diskStore(key Key, v any) {
 	if !ok {
 		return
 	}
-	_ = c.disk.Put(key, kind, data)
+	_ = c.disk.Put(ctx, key, kind, data)
 }
 
 // insertLocked stores an entry and evicts LRU entries past the budget.

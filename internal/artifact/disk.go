@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"gcsafety/internal/faultinject"
@@ -35,10 +37,17 @@ import (
 //     memory-only (every operation is already best-effort for callers).
 //
 // Fault points "artifact.disk.read" and "artifact.disk.write"
-// (internal/faultinject, global set) fire before the corresponding I/O.
+// (internal/faultinject) fire before the corresponding I/O, resolving
+// against the request-scoped Set carried by the operation's context
+// when one is attached, else the global set.
 type Disk struct {
 	dir        string
 	quarantine string
+
+	// renameMu serializes the freshness probe + rename in put: without
+	// it, two concurrent first Puts of a key both observe "absent" and
+	// double-count entries.
+	renameMu sync.Mutex
 
 	entries     atomic.Int64
 	hits        atomic.Uint64
@@ -114,8 +123,9 @@ func OpenDisk(dir string) (*Disk, RecoverStats, error) {
 			continue
 		}
 		if _, _, err := readEntry(path); err != nil {
-			d.moveToQuarantine(path, name)
-			rs.Quarantined++
+			if d.moveToQuarantine(path, name) {
+				rs.Quarantined++
+			}
 			continue
 		}
 		rs.Verified++
@@ -159,11 +169,11 @@ func (d *Disk) noteOK() { d.consecutiveErrs.Store(0) }
 // compatible (os.ErrNotExist wrapped) errors for absent keys, ErrCorrupt
 // after quarantining a damaged entry, and the underlying error for I/O
 // failures.
-func (d *Disk) Get(key Key) (kind string, payload []byte, err error) {
+func (d *Disk) Get(ctx context.Context, key Key) (kind string, payload []byte, err error) {
 	if d.disabled.Load() {
 		return "", nil, errDiskMiss
 	}
-	if err := faultinject.Fire(faultinject.PointDiskRead); err != nil {
+	if err := faultinject.For(ctx).FireCtx(ctx, faultinject.PointDiskRead); err != nil {
 		d.readErrors.Add(1)
 		d.noteErr()
 		return "", nil, err
@@ -189,11 +199,11 @@ func (d *Disk) Get(key Key) (kind string, payload []byte, err error) {
 
 // Put atomically stores (kind, payload) under key: temp file, fsync,
 // rename. Best-effort for callers; failures only count against the tier.
-func (d *Disk) Put(key Key, kind string, payload []byte) error {
+func (d *Disk) Put(ctx context.Context, key Key, kind string, payload []byte) error {
 	if d.disabled.Load() {
 		return errors.New("artifact: disk tier disabled")
 	}
-	if err := faultinject.Fire(faultinject.PointDiskWrite); err != nil {
+	if err := faultinject.For(ctx).FireCtx(ctx, faultinject.PointDiskWrite); err != nil {
 		d.writeErrors.Add(1)
 		d.noteErr()
 		return err
@@ -243,24 +253,30 @@ func (d *Disk) put(key Key, kind string, payload []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fresh := true
-	if _, serr := os.Lstat(d.path(key)); serr == nil {
-		fresh = false
-	}
-	if err := os.Rename(tmp, d.path(key)); err != nil {
-		_ = os.Remove(tmp)
-		tmp = ""
-		return err
-	}
-	tmp = ""
-	if fresh {
+	// Freshness probe and rename are one atomic step under renameMu, so
+	// concurrent first Puts of a key count exactly one new entry.
+	d.renameMu.Lock()
+	_, serr := os.Lstat(d.path(key))
+	rerr := os.Rename(tmp, d.path(key))
+	if rerr == nil && serr != nil {
 		d.entries.Add(1)
 	}
+	d.renameMu.Unlock()
+	if rerr != nil {
+		_ = os.Remove(tmp)
+		tmp = ""
+		return rerr
+	}
+	tmp = ""
 	return nil
 }
 
-// Quarantine moves the entry for key out of the live directory so it can
-// never be served again, preserving the bytes for post-mortem.
+// Quarantine moves the entry for key out of the live directory,
+// preserving the bytes for post-mortem. Best-effort: when the move
+// itself fails (quarantine directory gone, cross-device rename) the
+// corrupt file is left in place rather than deleted — it still cannot
+// be served, because every read re-fails verification — and the
+// counters are untouched.
 func (d *Disk) Quarantine(key Key) {
 	if d.moveToQuarantine(d.path(key), string(key)) {
 		d.quarantined.Add(1)
@@ -274,11 +290,9 @@ func (d *Disk) moveToQuarantine(path, name string) bool {
 		if _, err := os.Lstat(dst); err == nil {
 			continue
 		}
-		if err := os.Rename(path, dst); err != nil {
-			_ = os.Remove(path)
-			return !errors.Is(err, os.ErrNotExist)
-		}
-		return true
+		// A failed rename must not delete the source: the whole point of
+		// quarantine is to keep the corrupt bytes for post-mortem.
+		return os.Rename(path, dst) == nil
 	}
 }
 

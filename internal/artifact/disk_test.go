@@ -46,21 +46,21 @@ func TestDiskPutGetRoundtrip(t *testing.T) {
 		t.Fatalf("fresh dir recovery: %+v", rs)
 	}
 	key := NewKey("test").Str("a").Sum()
-	if err := d.Put(key, "blob", []byte("payload bytes")); err != nil {
+	if err := d.Put(context.Background(), key, "blob", []byte("payload bytes")); err != nil {
 		t.Fatal(err)
 	}
-	kind, data, err := d.Get(key)
+	kind, data, err := d.Get(context.Background(), key)
 	if err != nil || kind != "blob" || string(data) != "payload bytes" {
 		t.Fatalf("Get = %q %q %v", kind, data, err)
 	}
 	// Overwriting the same key must not double-count entries.
-	if err := d.Put(key, "blob", []byte("other")); err != nil {
+	if err := d.Put(context.Background(), key, "blob", []byte("other")); err != nil {
 		t.Fatal(err)
 	}
 	if d.Len() != 1 {
 		t.Fatalf("entries = %d, want 1", d.Len())
 	}
-	if _, _, err := d.Get(NewKey("test").Str("absent").Sum()); err == nil {
+	if _, _, err := d.Get(context.Background(), NewKey("test").Str("absent").Sum()); err == nil {
 		t.Fatal("absent key served")
 	}
 	st := d.Stats()
@@ -76,7 +76,7 @@ func TestDiskCorruptionQuarantinedOnRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := NewKey("test").Str("x").Sum()
-	if err := d.Put(key, "blob", []byte("precious")); err != nil {
+	if err := d.Put(context.Background(), key, "blob", []byte("precious")); err != nil {
 		t.Fatal(err)
 	}
 	// Flip a payload byte behind the tier's back.
@@ -89,7 +89,7 @@ func TestDiskCorruptionQuarantinedOnRead(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := d.Get(key); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := d.Get(context.Background(), key); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupt read returned %v, want ErrCorrupt", err)
 	}
 	if _, err := os.Lstat(path); !errors.Is(err, os.ErrNotExist) {
@@ -103,7 +103,7 @@ func TestDiskCorruptionQuarantinedOnRead(t *testing.T) {
 		t.Fatalf("stats: %+v", d.Stats())
 	}
 	// The key now misses cleanly.
-	if _, _, err := d.Get(key); !errors.Is(err, errDiskMiss) {
+	if _, _, err := d.Get(context.Background(), key); !errors.Is(err, errDiskMiss) {
 		t.Fatalf("after quarantine: %v", err)
 	}
 }
@@ -116,10 +116,10 @@ func TestDiskStartupRecovery(t *testing.T) {
 	}
 	good := NewKey("test").Str("good").Sum()
 	bad := NewKey("test").Str("bad").Sum()
-	if err := d.Put(good, "blob", []byte("fine")); err != nil {
+	if err := d.Put(context.Background(), good, "blob", []byte("fine")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Put(bad, "blob", []byte("doomed")); err != nil {
+	if err := d.Put(context.Background(), bad, "blob", []byte("doomed")); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash: truncate one entry mid-write under its real name
@@ -139,10 +139,10 @@ func TestDiskStartupRecovery(t *testing.T) {
 	if rs.Verified != 1 || rs.Quarantined != 1 || rs.TempRemoved != 1 {
 		t.Fatalf("recovery: %+v", rs)
 	}
-	if kind, data, err := d2.Get(good); err != nil || kind != "blob" || string(data) != "fine" {
+	if kind, data, err := d2.Get(context.Background(), good); err != nil || kind != "blob" || string(data) != "fine" {
 		t.Fatalf("good entry after recovery: %q %q %v", kind, data, err)
 	}
-	if _, _, err := d2.Get(bad); !errors.Is(err, errDiskMiss) {
+	if _, _, err := d2.Get(context.Background(), bad); !errors.Is(err, errDiskMiss) {
 		t.Fatalf("bad entry after recovery: %v", err)
 	}
 }
@@ -160,7 +160,7 @@ func TestDiskDisablesAfterConsecutiveErrors(t *testing.T) {
 	}
 	key := NewKey("test").Str("k").Sum()
 	for i := 0; i < diskDisableThreshold; i++ {
-		if err := d.Put(key, "blob", []byte("x")); err == nil {
+		if err := d.Put(context.Background(), key, "blob", []byte("x")); err == nil {
 			t.Fatal("injected write error did not surface")
 		}
 	}
@@ -169,10 +169,10 @@ func TestDiskDisablesAfterConsecutiveErrors(t *testing.T) {
 	}
 	// Disabled tier bypasses I/O entirely — even with the fault still armed.
 	faultinject.SetGlobal(nil)
-	if err := d.Put(key, "blob", []byte("x")); err == nil {
+	if err := d.Put(context.Background(), key, "blob", []byte("x")); err == nil {
 		t.Fatal("disabled tier accepted a write")
 	}
-	if _, _, err := d.Get(key); !errors.Is(err, errDiskMiss) {
+	if _, _, err := d.Get(context.Background(), key); !errors.Is(err, errDiskMiss) {
 		t.Fatalf("disabled tier read: %v", err)
 	}
 }
@@ -265,7 +265,7 @@ func TestCacheQuarantinesUndecodableEntry(t *testing.T) {
 	key := NewKey("test").Str("w").Sum()
 	// A verified entry whose kind the codec does not understand: integrity
 	// passes, decoding fails, the cache must quarantine and recompute.
-	if err := d.Put(key, "ancient-format", []byte(`"old"`)); err != nil {
+	if err := d.Put(context.Background(), key, "ancient-format", []byte(`"old"`)); err != nil {
 		t.Fatal(err)
 	}
 	c := New(1 << 20)
@@ -325,5 +325,117 @@ func TestEvictionRacingGetAndPut(t *testing.T) {
 	}
 	if st.Bytes > 512 {
 		t.Fatalf("bytes %d exceed budget after racing evictions", st.Bytes)
+	}
+}
+
+// TestQuarantineFailurePreservesBytes: when the move into quarantine
+// cannot happen (here: the quarantine directory has been replaced by a
+// file), the corrupt entry must stay on disk for post-mortem — never be
+// deleted — and must not be counted as quarantined.
+func TestQuarantineFailurePreservesBytes(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test").Str("evidence").Sum()
+	if err := d.Put(context.Background(), key, "blob", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, string(key))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(dir, "quarantine")
+	if err := os.RemoveAll(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(q, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get(context.Background(), key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt read returned %v, want ErrCorrupt", err)
+	}
+	if _, err := os.Lstat(path); err != nil {
+		t.Fatalf("failed quarantine destroyed the corrupt bytes: %v", err)
+	}
+	if st := d.Stats(); st.Quarantined != 0 || st.Entries != 1 {
+		t.Fatalf("failed quarantine still counted: %+v", st)
+	}
+	// The entry is still unservable: every read re-fails verification.
+	if _, _, err := d.Get(context.Background(), key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt entry served after failed quarantine: %v", err)
+	}
+}
+
+// TestConcurrentFirstPutCountsOnce: racing first Puts of the same absent
+// key must settle on exactly one counted entry (the freshness probe and
+// rename are one atomic step).
+func TestConcurrentFirstPutCountsOnce(t *testing.T) {
+	d, _, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test").Str("raced").Sum()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := d.Put(context.Background(), key, "blob", []byte("same")); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Len() != 1 {
+		t.Fatalf("entries = %d after racing Puts of one key, want 1", d.Len())
+	}
+	if _, _, err := d.Get(context.Background(), key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContextScopedDiskFaults: a faultinject Set carried by the
+// operation's context reaches the disk tier — the path gcsafed's
+// X-Fault-Inject header rides — while context-free operations stay
+// untouched.
+func TestContextScopedDiskFaults(t *testing.T) {
+	set, err := faultinject.Parse("artifact.disk.read=error;artifact.disk.write=error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := faultinject.WithContext(context.Background(), set)
+	d, _, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewKey("test").Str("ctx").Sum()
+	if err := d.Put(faulted, key, "blob", []byte("x")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("context-scoped write fault not injected: %v", err)
+	}
+	if err := d.Put(context.Background(), key, "blob", []byte("x")); err != nil {
+		t.Fatalf("fault leaked outside its context: %v", err)
+	}
+	if _, _, err := d.Get(faulted, key); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("context-scoped read fault not injected: %v", err)
+	}
+	if _, _, err := d.Get(context.Background(), key); err != nil {
+		t.Fatalf("fault leaked outside its context: %v", err)
+	}
+	if set.Fired(faultinject.PointDiskRead) != 1 || set.Fired(faultinject.PointDiskWrite) != 1 {
+		t.Fatalf("fired counts: read=%d write=%d, want 1/1",
+			set.Fired(faultinject.PointDiskRead), set.Fired(faultinject.PointDiskWrite))
+	}
+	if st := d.Stats(); st.ReadErrors != 1 || st.WriteErrors != 1 {
+		t.Fatalf("tier error counters: %+v", st)
 	}
 }

@@ -284,6 +284,13 @@ func (c *Client) do(ctx context.Context, method, path string, headers map[string
 			}
 			return resp, data, nil
 		case err != nil:
+			if isCallerCancel(err) {
+				// The caller gave up, the daemon did not misbehave: report
+				// the cancellation without feeding the breaker — otherwise a
+				// handful of cancelled calls would open the circuit and
+				// fast-fail healthy traffic.
+				return nil, nil, fmt.Errorf("%s %s: %w", method, path, err)
+			}
 			lastErr = err
 		default:
 			lastErr = &StatusError{Status: resp.StatusCode, Body: string(data)}
@@ -303,10 +310,17 @@ func (c *Client) do(ctx context.Context, method, path string, headers map[string
 		c.stats.Retries++
 		c.mu.Unlock()
 		if serr := c.cfg.Sleep(ctx, delay); serr != nil {
-			c.trip()
+			// A cancelled backoff is caller-initiated too: neutral for the
+			// breaker.
 			return nil, nil, fmt.Errorf("%s %s: %w (last error: %v)", method, path, serr, lastErr)
 		}
 	}
+}
+
+// isCallerCancel reports whether err is the caller's own context being
+// cancelled or timing out (possibly wrapped by the HTTP transport).
+func isCallerCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // trip records a failed call with the breaker and counts the trip if it

@@ -293,3 +293,41 @@ func TestFourXXClosesBreaker(t *testing.T) {
 		t.Fatal("breaker opened despite 4xx reset")
 	}
 }
+
+// TestCallerCancelDoesNotTripBreaker: context cancellation — mid-backoff
+// or at the transport — is the caller's doing, not the daemon's, so it
+// must never feed the circuit breaker.
+func TestCallerCancelDoesNotTripBreaker(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, Config{
+		MaxAttempts:      5,
+		BreakerThreshold: 2,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the caller gives up during the first backoff
+			return ctx.Err()
+		},
+	})
+	// First call: 500 → backoff cancelled. Subsequent calls fail at the
+	// transport with context.Canceled. Well past the threshold of 2,
+	// the breaker must still be closed.
+	for i := 0; i < 5; i++ {
+		if _, err := c.GetJSON(ctx, "/x", nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("call %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	if c.brk.isOpen() {
+		t.Fatal("caller cancellations opened the circuit")
+	}
+	if st := c.Stats(); st.BreakerTrips != 0 {
+		t.Fatalf("breaker trips = %d, want 0", st.BreakerTrips)
+	}
+	// A fresh context reaches the daemon again immediately — no fast-fail.
+	if _, err := c.GetJSON(context.Background(), "/x", nil); errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("healthy traffic fast-failed after cancellations: %v", err)
+	}
+}

@@ -20,7 +20,7 @@
 //	p=F       probability per hit in [0,1] (default 1: every hit fires)
 //	after=N   the first N hits never fire (default 0)
 //	times=N   fire at most N times (default 0: unlimited)
-//	ms=N      sleep duration for the sleep action (default 10)
+//	ms=N      sleep duration for the sleep action (default 10, max 5000)
 //	msg=text  error / panic message (default "injected fault")
 //
 // Firing is deterministic: whether hit number n of a point fires depends
@@ -101,6 +101,12 @@ func (a Action) String() string {
 // error, so callers can distinguish injected failures from organic ones.
 var ErrInjected = errors.New("injected fault")
 
+// MaxSleep bounds the sleep action: Parse rejects a larger ms value and
+// NewSet clamps, so an injected latency can park a goroutine for a few
+// seconds at most — never long enough to be a resource-exhaustion vector
+// in its own right.
+const MaxSleep = 5 * time.Second
+
 // InjectedError is the error returned by a fired error-action rule.
 type InjectedError struct {
 	Point string
@@ -154,6 +160,9 @@ func NewSet(seed uint64, rules ...Rule) *Set {
 		}
 		if r.Action == ActSleep && r.Sleep <= 0 {
 			r.Sleep = 10 * time.Millisecond
+		}
+		if r.Sleep > MaxSleep {
+			r.Sleep = MaxSleep
 		}
 		s.points[r.Point] = append(s.points[r.Point], &rule{Rule: r})
 	}
@@ -211,8 +220,8 @@ func Parse(spec string, seed uint64) (*Set, error) {
 				r.Times = n
 			case "ms":
 				n, err := strconv.ParseUint(v, 10, 32)
-				if err != nil {
-					return nil, fmt.Errorf("faultinject: %q: bad ms=%q", clause, v)
+				if err != nil || time.Duration(n)*time.Millisecond > MaxSleep {
+					return nil, fmt.Errorf("faultinject: %q: bad ms=%q (max %d)", clause, v, MaxSleep/time.Millisecond)
 				}
 				r.Sleep = time.Duration(n) * time.Millisecond
 			case "msg":
@@ -249,6 +258,13 @@ func (s *Set) Seed() uint64 {
 // fires, sleeps (then returns nil) when a sleep rule fires, and returns
 // nil otherwise. A nil Set is inert.
 func (s *Set) Fire(point string) error {
+	return s.FireCtx(context.Background(), point)
+}
+
+// FireCtx is Fire with a context: a firing sleep rule waits on the
+// context too, so a cancelled request is released from an injected
+// latency immediately (FireCtx then returns ctx.Err()).
+func (s *Set) FireCtx(ctx context.Context, point string) error {
 	if s == nil {
 		return nil
 	}
@@ -272,12 +288,29 @@ func (s *Set) Fire(point string) error {
 		case ActPanic:
 			panic(fmt.Sprintf("injected panic at %s: %s", point, r.Msg))
 		case ActSleep:
-			time.Sleep(r.Sleep)
+			if err := sleepCtx(ctx, r.Sleep); err != nil {
+				return err
+			}
 		default:
 			return &InjectedError{Point: point, Msg: r.Msg}
 		}
 	}
 	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Fired reports how many times any rule for point has fired (tests,
@@ -377,4 +410,15 @@ func WithContext(ctx context.Context, s *Set) context.Context {
 func FromContext(ctx context.Context) *Set {
 	s, _ := ctx.Value(ctxKey{}).(*Set)
 	return s
+}
+
+// For resolves the Set in effect for ctx: the request-scoped Set when
+// one is attached, else the process-wide Set, else nil (inert). Sites
+// reached only through a context — the artifact disk tier — fire on
+// this so both activation paths cover them.
+func For(ctx context.Context) *Set {
+	if s := FromContext(ctx); s != nil {
+		return s
+	}
+	return Global()
 }

@@ -227,3 +227,55 @@ func TestContextCarriage(t *testing.T) {
 		t.Fatal("set not carried")
 	}
 }
+
+func TestSleepIsCapped(t *testing.T) {
+	// Parse rejects an ms beyond MaxSleep (a uint32 ms would otherwise
+	// allow a ~49-day park).
+	if _, err := Parse("x=sleep,ms=4294967295", 1); err == nil {
+		t.Fatal("49-day sleep accepted")
+	}
+	if _, err := Parse("x=sleep,ms=5001", 1); err == nil {
+		t.Fatal("ms just past the cap accepted")
+	}
+	if _, err := Parse("x=sleep,ms=5000", 1); err != nil {
+		t.Fatalf("ms at the cap rejected: %v", err)
+	}
+	// NewSet clamps rather than erroring (programmatic construction).
+	s := NewSet(1, Rule{Point: "x", Action: ActSleep, Sleep: time.Hour})
+	if got := s.points["x"][0].Sleep; got != MaxSleep {
+		t.Fatalf("NewSet sleep = %v, want clamped to %v", got, MaxSleep)
+	}
+}
+
+func TestFireCtxCancelsSleep(t *testing.T) {
+	s := NewSet(1, Rule{Point: "x", Action: ActSleep, Sleep: MaxSleep})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.FireCtx(ctx, "x") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("injected sleep ignored context cancellation")
+	}
+}
+
+func TestForPrefersContextOverGlobal(t *testing.T) {
+	defer SetGlobal(nil)
+	g, _ := Parse("x=error,msg=global", 1)
+	SetGlobal(g)
+	if For(context.Background()) != g {
+		t.Fatal("For without a context set did not fall back to global")
+	}
+	r, _ := Parse("x=error,msg=request", 1)
+	if For(WithContext(context.Background(), r)) != r {
+		t.Fatal("For did not prefer the request-scoped set")
+	}
+	SetGlobal(nil)
+	if For(context.Background()) != nil {
+		t.Fatal("For invented a set")
+	}
+}

@@ -61,7 +61,7 @@ func metricsSnapshot(t *testing.T, base string) Snapshot {
 // panicking handler must produce a 500 (not a dropped connection), bump
 // the panic counter, and leave a stack in /metrics.
 func TestHandlerPanicBecomes500(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{AllowFaultHeaders: true})
 	resp, data := postFaulted(t, ts.URL+"/v1/annotate", "server.handler=panic,msg=test-panic", "",
 		map[string]any{"source": helloC})
 	if resp.StatusCode != http.StatusInternalServerError {
@@ -90,7 +90,7 @@ func TestHandlerPanicBecomes500(t *testing.T) {
 }
 
 func TestInjectedHandlerError(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{AllowFaultHeaders: true})
 	resp, data := postFaulted(t, ts.URL+"/v1/check", "server.handler=error,msg=synthetic", "7",
 		map[string]any{"source": helloC})
 	if resp.StatusCode != http.StatusInternalServerError {
@@ -102,7 +102,7 @@ func TestInjectedHandlerError(t *testing.T) {
 }
 
 func TestBadFaultHeaderIs400(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{AllowFaultHeaders: true})
 	resp, _ := postFaulted(t, ts.URL+"/v1/check", "not-a-spec", "", map[string]any{"source": helloC})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad spec: status = %d, want 400", resp.StatusCode)
@@ -111,13 +111,38 @@ func TestBadFaultHeaderIs400(t *testing.T) {
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad seed: status = %d, want 400", resp2.StatusCode)
 	}
+	// A 49-day sleep must not parse: ms is capped.
+	resp3, _ := postFaulted(t, ts.URL+"/v1/check", "server.handler=sleep,ms=4294967295", "", map[string]any{"source": helloC})
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized ms: status = %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestFaultHeaderRequiresOptIn: without Config.AllowFaultHeaders the
+// header is refused outright — any reachable client being able to
+// panic, 500 or stall the daemon is not an acceptable default.
+func TestFaultHeaderRequiresOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postFaulted(t, ts.URL+"/v1/check", "server.handler=error,msg=forbidden", "",
+		map[string]any{"source": helloC})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403; body %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("allow-fault-headers")) {
+		t.Fatalf("refusal does not name the opt-in flag: %s", data)
+	}
+	// The same request without the header is served normally.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/check", map[string]any{"source": helloC})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("clean request: %d %s", resp2.StatusCode, data2)
+	}
 }
 
 // TestInjectedRunFaultIsData: a gc.alloc fault inside a /v1/run program
 // is a simulated-program failure — HTTP 200 with the fault reported in
 // the body, exactly like an organic memory fault.
 func TestInjectedRunFaultIsData(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{AllowFaultHeaders: true})
 	src := `
 int main() {
     int i;

@@ -62,6 +62,14 @@ type Config struct {
 	// are SHA-256-verified on read, and corrupt entries are quarantined
 	// at startup. Empty means memory-only (the default).
 	CacheDir string
+	// AllowFaultHeaders opts in to per-request fault injection via the
+	// X-Fault-Inject / X-Fault-Seed headers. Off by default: the headers
+	// let any client that can reach the daemon fail, delay or panic its
+	// own requests, so they are an attack surface unless the operator
+	// asks for them (gcsafed -allow-fault-headers; -chaos enables them
+	// itself). While disabled, a request carrying the header is refused
+	// with 403 rather than silently ignored.
+	AllowFaultHeaders bool
 }
 
 func (c Config) withDefaults() Config {
@@ -223,8 +231,8 @@ func errf(status int, format string, args ...any) error {
 }
 
 // handle wraps an endpoint with method filtering, body limiting, drain
-// refusal, panic-to-500 recovery, fault-injection activation, the worker
-// pool, and metrics accounting.
+// refusal, panic-to-500 recovery, the worker pool, fault-injection
+// activation, and metrics accounting.
 func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
 	em := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -263,20 +271,6 @@ func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *h
 			writeError(w, status, "draining for shutdown")
 			return
 		}
-		faults, err := s.requestFaults(r)
-		if err != nil {
-			status = http.StatusBadRequest
-			writeError(w, status, err.Error())
-			return
-		}
-		if faults != nil {
-			r = r.WithContext(faultinject.WithContext(r.Context(), faults))
-			if err := faults.Fire(faultinject.PointServerHandler); err != nil {
-				status = http.StatusInternalServerError
-				writeError(w, status, err.Error())
-				return
-			}
-		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		if err := s.pool.acquire(r.Context()); err != nil {
 			if errors.Is(err, errBusy) {
@@ -291,6 +285,27 @@ func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *h
 		defer s.pool.release()
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
+		// Fault activation runs inside the worker slot: an injected sleep
+		// or error consumes bounded pool capacity like any other work, so
+		// header-driven faults cannot grow goroutines past the queue limit.
+		faults, err := s.requestFaults(r)
+		if err != nil {
+			status = statusFor(err)
+			writeError(w, status, err.Error())
+			return
+		}
+		if faults != nil {
+			r = r.WithContext(faultinject.WithContext(r.Context(), faults))
+			if err := faults.FireCtx(r.Context(), faultinject.PointServerHandler); err != nil {
+				if errors.Is(err, faultinject.ErrInjected) {
+					status = http.StatusInternalServerError
+				} else {
+					status = statusForContextErr(err)
+				}
+				writeError(w, status, err.Error())
+				return
+			}
+		}
 		if err := fn(w, r); err != nil {
 			status = statusFor(err)
 			writeError(w, status, err.Error())
@@ -300,31 +315,36 @@ func (s *Server) handle(name, method string, fn func(w http.ResponseWriter, r *h
 
 // faultHeader and faultSeedHeader activate request-scoped fault
 // injection: the header value is a faultinject spec (and optional seed)
-// compiled into a Set that lives for this request only.
+// compiled into a Set that lives for this request only. Honored only
+// under Config.AllowFaultHeaders.
 const (
 	faultHeader     = "X-Fault-Inject"
 	faultSeedHeader = "X-Fault-Seed"
 )
 
 // requestFaults resolves the fault Set for a request: a per-request Set
-// parsed from X-Fault-Inject when present, else the process-wide Set
-// (nil when fault injection is entirely off).
+// parsed from X-Fault-Inject when present (and the operator opted in),
+// else the process-wide Set (nil when fault injection is entirely off).
 func (s *Server) requestFaults(r *http.Request) (*faultinject.Set, error) {
 	spec := r.Header.Get(faultHeader)
 	if spec == "" {
 		return faultinject.Global(), nil
 	}
+	if !s.cfg.AllowFaultHeaders {
+		return nil, errf(http.StatusForbidden,
+			"%s refused: header-driven fault injection is not enabled (-allow-fault-headers)", faultHeader)
+	}
 	seed := uint64(1)
 	if v := r.Header.Get(faultSeedHeader); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad %s header: %q", faultSeedHeader, v)
+			return nil, errf(http.StatusBadRequest, "bad %s header: %q", faultSeedHeader, v)
 		}
 		seed = n
 	}
 	set, err := faultinject.Parse(spec, seed)
 	if err != nil {
-		return nil, fmt.Errorf("bad %s header: %v", faultHeader, err)
+		return nil, errf(http.StatusBadRequest, "bad %s header: %v", faultHeader, err)
 	}
 	return set, nil
 }
