@@ -13,14 +13,20 @@
 #                     plus the kill -9 warm-cache-recovery test
 #   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
+#   make bench        run the full benchmark suite and record it as
+#                     BENCH_PR4.json at the repo root (benchdiff JSON; gate
+#                     future changes with `benchdiff BENCH_PR4.json new.json`)
+#   make bench-smoke  one-iteration benchmark pass piped through benchdiff
+#                     -parse and compared against itself: proves the
+#                     benchmarks run and the JSON round-trips
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-smoke
 
-check: fmt-check vet build race test fuzz-smoke serve-smoke chaos-smoke
+check: fmt-check vet build race test bench-smoke fuzz-smoke serve-smoke chaos-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -67,6 +73,22 @@ chaos-smoke:
 
 chaos:
 	$(GO) run ./cmd/gcsafed -chaos -chaos-requests 512
+
+# The benchmark record: every benchmark at its default benchtime, captured
+# as benchdiff JSON at the repo root. Compare a working tree against it
+# with: make bench BENCHOUT=new.json && $(GO) run ./cmd/benchdiff BENCH_PR4.json new.json
+BENCHOUT ?= BENCH_PR4.json
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
+	@echo "wrote $(BENCHOUT)"
+
+# bench-smoke keeps the benchmark suite and the benchdiff pipeline honest
+# without paying for a real measurement: one iteration of everything, parsed
+# to JSON, diffed against itself (identity must pass the regression gate).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 . | $(GO) run ./cmd/benchdiff -parse > /tmp/bench-smoke.json
+	$(GO) run ./cmd/benchdiff /tmp/bench-smoke.json /tmp/bench-smoke.json
+	@rm -f /tmp/bench-smoke.json
 
 serve:
 	$(GO) run ./cmd/gcsafed

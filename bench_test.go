@@ -207,6 +207,74 @@ func BenchmarkAblationTriggerPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkInterpThroughput measures raw interpreter speed — simulated
+// megacycles per host second — on the two heaviest workloads. This is the
+// number the dispatch fast path in internal/interp/exec.go is tuned
+// against; EXPERIMENTS.md records its history.
+func BenchmarkInterpThroughput(b *testing.B) {
+	cfg := machine.SPARCstation10()
+	for _, name := range []string{"gawk", "gs"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			b.Fatalf("no workload %q", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			prog, _, err := Build(w.Name+".c", w.Source, Pipeline{Optimize: true, Machine: &cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := interp.Run(prog, interp.Options{Config: cfg, Input: w.Input})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(cycles)*float64(b.N)/sec/1e6, "Mcycles/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAllTables regenerates every table of the evaluation from a cold
+// cache, sequentially (width 1) and with the parallel cell fan-out
+// (default width). The two variants produce byte-identical tables — see
+// TestTablesParallelDeterministic — so this benchmark is purely about
+// wall clock.
+func BenchmarkAllTables(b *testing.B) {
+	all := func() error {
+		for _, cfg := range machine.Configs() {
+			if _, err := bench.SlowdownTable(cfg); err != nil {
+				return err
+			}
+		}
+		cfg := machine.SPARCstation10()
+		if _, err := bench.CodeSizeTable(cfg); err != nil {
+			return err
+		}
+		_, err := bench.PostprocessorTable(cfg)
+		return err
+	}
+	for _, mode := range []struct {
+		name  string
+		width int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			bench.SetParallelism(mode.width)
+			defer bench.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				bench.ResetCache()
+				if err := all(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWorkloads reports the raw simulated cycle counts of each
 // workload at -O, the denominators of every table.
 func BenchmarkWorkloads(b *testing.B) {

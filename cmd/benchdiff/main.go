@@ -1,0 +1,196 @@
+// Command benchdiff turns `go test -bench` output into JSON and gates
+// regressions between two such snapshots. It is the tooling behind `make
+// bench` (which records BENCH_PR4.json at the repo root) and the
+// bench-smoke gate in `make check`.
+//
+// Usage:
+//
+//	go test -bench . -run '^$' | benchdiff -parse > new.json
+//	benchdiff [-metric ns/op] [-threshold 10] old.json new.json
+//
+// Parse mode reads benchmark text on stdin and writes one JSON document on
+// stdout: every benchmark line's iteration count and all its value/unit
+// metric pairs (ns/op, B/op, and any b.ReportMetric custom units).
+//
+// Compare mode reads two such documents and prints a per-benchmark delta
+// of the chosen metric for every benchmark present in both. It exits 1 if
+// any benchmark regressed by more than the threshold percentage — for
+// ns/op and other smaller-is-better metrics a regression is an increase.
+// Benchmarks present in only one file are listed but never fail the gate:
+// adding or retiring a benchmark is not a performance regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the JSON document benchdiff reads and writes.
+type File struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		parse     = flag.Bool("parse", false, "read `go test -bench` text on stdin, write JSON on stdout")
+		metric    = flag.String("metric", "ns/op", "metric compared in diff mode")
+		threshold = flag.Float64("threshold", 10, "max allowed regression percentage before exiting 1")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if flag.NArg() != 0 {
+			usage()
+		}
+		f, err := Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f); err != nil {
+			fatal(err)
+		}
+	case flag.NArg() == 2:
+		old, err := load(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		nw, err := load(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		report, regressed := Compare(old, nw, *metric, *threshold)
+		fmt.Print(report)
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff -parse < bench.txt > out.json")
+	fmt.Fprintln(os.Stderr, "       benchdiff [-metric ns/op] [-threshold pct] old.json new.json")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Parse extracts benchmark result lines from `go test -bench` text. A
+// result line is "BenchmarkName-N  <iters>  <value> <unit> [<value>
+// <unit>...]"; everything else (pkg headers, PASS, b.Log output) is
+// ignored.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." in prose, not a result line
+		}
+		b := Benchmark{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad metric value %q", b.Name, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Compare renders a delta table of metric between two files and reports
+// whether any benchmark regressed past threshold percent. Smaller is
+// better: a positive delta is a slowdown.
+func Compare(old, nw *File, metric string, threshold float64) (string, bool) {
+	index := func(f *File) map[string]Benchmark {
+		m := make(map[string]Benchmark, len(f.Benchmarks))
+		for _, b := range f.Benchmarks {
+			m[b.Name] = b
+		}
+		return m
+	}
+	om, nm := index(old), index(nw)
+	names := make([]string, 0, len(om))
+	for name := range om {
+		names = append(names, name)
+	}
+	for name := range nm {
+		if _, ok := om[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	regressed := false
+	fmt.Fprintf(&sb, "%-40s %14s %14s %9s\n", "benchmark ("+metric+")", "old", "new", "delta")
+	for _, name := range names {
+		ob, inOld := om[name]
+		nb, inNew := nm[name]
+		ov, hasOld := ob.Metrics[metric]
+		nv, hasNew := nb.Metrics[metric]
+		switch {
+		case !inOld:
+			fmt.Fprintf(&sb, "%-40s %14s %14.1f %9s\n", name, "-", nv, "new")
+		case !inNew:
+			fmt.Fprintf(&sb, "%-40s %14.1f %14s %9s\n", name, ov, "-", "gone")
+		case !hasOld || !hasNew || ov == 0:
+			fmt.Fprintf(&sb, "%-40s %14s %14s %9s\n", name, "?", "?", "n/a")
+		default:
+			delta := (nv/ov - 1) * 100
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(&sb, "%-40s %14.1f %14.1f %+8.1f%%%s\n", name, ov, nv, delta, mark)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(&sb, "FAIL: at least one benchmark regressed more than %.0f%% on %s\n", threshold, metric)
+	}
+	return sb.String(), regressed
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gcsafety
+BenchmarkTableSS2-8   	      10	 123456789 ns/op	  42.0 %safe/gawk
+BenchmarkInterpThroughput/gawk-8 	     200	   5432100 ns/op	 120.5 Mcycles/sec
+--- BENCH: BenchmarkTableSS2-8
+    bench_test.go:53: log output that mentions Benchmark text
+PASS
+ok  	gcsafety	3.210s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkTableSS2-8" || b.Iters != 10 {
+		t.Fatalf("bad first benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 123456789 || b.Metrics["%safe/gawk"] != 42.0 {
+		t.Fatalf("bad metrics: %+v", b.Metrics)
+	}
+	if f.Benchmarks[1].Metrics["Mcycles/sec"] != 120.5 {
+		t.Fatalf("bad custom metric: %+v", f.Benchmarks[1].Metrics)
+	}
+}
+
+func bf(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iters: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompare(t *testing.T) {
+	old := &File{Benchmarks: []Benchmark{bf("A", 100), bf("B", 100), bf("C", 100)}}
+	nw := &File{Benchmarks: []Benchmark{bf("A", 105), bf("B", 150), bf("D", 70)}}
+
+	report, regressed := Compare(old, nw, "ns/op", 10)
+	if !regressed {
+		t.Fatalf("B regressed 50%%, want failure; report:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") || !strings.Contains(report, "FAIL") {
+		t.Fatalf("report missing regression markers:\n%s", report)
+	}
+	// A (+5%) is inside the threshold; C is gone and D is new — neither
+	// fails the gate.
+	report, regressed = Compare(old, &File{Benchmarks: []Benchmark{bf("A", 105), bf("D", 70)}}, "ns/op", 10)
+	if regressed {
+		t.Fatalf("no benchmark over threshold, want pass; report:\n%s", report)
+	}
+	if !strings.Contains(report, "gone") || !strings.Contains(report, "new") {
+		t.Fatalf("report missing added/removed rows:\n%s", report)
+	}
+}
+
+func TestCompareIdentity(t *testing.T) {
+	f := &File{Benchmarks: []Benchmark{bf("A", 100)}}
+	if report, regressed := Compare(f, f, "ns/op", 10); regressed {
+		t.Fatalf("file vs itself regressed:\n%s", report)
+	}
+}

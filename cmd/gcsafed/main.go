@@ -11,7 +11,11 @@
 //
 //	-addr host:port    listen address (default 127.0.0.1:7996; :0 picks a
 //	                   free port, printed on startup)
-//	-workers n         concurrent pipeline executions (default GOMAXPROCS)
+//	-workers n         concurrent pipeline executions (default: the shared
+//	                   parallelism degree)
+//	-parallel n        shared parallelism degree: sizes the worker pool's
+//	                   default and the per-request /v1/matrix treatment
+//	                   fan-out (default: GCSAFETY_PARALLEL, else GOMAXPROCS)
 //	-queue n           waiting requests before load shedding (default 64)
 //	-cache-bytes n     artifact cache LRU budget (default 256 MiB)
 //	-cache-dir path    crash-safe disk tier for the artifact cache
@@ -35,6 +39,9 @@
 //	                   every request ended in a clean HTTP status and the
 //	                   daemon stayed healthy
 //	-chaos-requests n  requests per chaos run (default 64)
+//	-pprof host:port   serve net/http/pprof on a second listener (default
+//	                   off; keep it on a loopback address — profiles expose
+//	                   internals)
 //
 // Endpoints:
 //
@@ -55,6 +62,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,7 +75,8 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7996", "listen address")
-		workers    = flag.Int("workers", 0, "concurrent pipeline executions (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "concurrent pipeline executions (0 = the shared parallelism degree)")
+		parallel   = flag.Int("parallel", 0, "shared parallelism degree for the worker pool and matrix fan-out (0 = GCSAFETY_PARALLEL, else GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "queued requests before load shedding (0 = default 64)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "artifact cache byte budget (0 = default 256 MiB)")
 		cacheDir   = flag.String("cache-dir", "", "crash-safe disk tier directory (empty = memory-only)")
@@ -79,6 +88,7 @@ func main() {
 		faultHdrs  = flag.Bool("allow-fault-headers", false, "honor per-request X-Fault-Inject headers (keep off on exposed addresses)")
 		chaos      = flag.Bool("chaos", false, "run the chaos smoke suite and exit")
 		chaosReqs  = flag.Int("chaos-requests", 64, "requests per chaos run")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -100,6 +110,7 @@ func main() {
 
 	cfg := server.Config{
 		Workers:           *workers,
+		Parallel:          *parallel,
 		QueueDepth:        *queue,
 		CacheBytes:        *cacheBytes,
 		MaxBodyBytes:      *maxBody,
@@ -125,6 +136,24 @@ func main() {
 	}
 	if faultinject.Enabled() {
 		fmt.Printf("gcsafed: fault injection active (seed %d)\n", *faultSeed)
+	}
+
+	if *pprofAddr != "" {
+		// A second listener keeps profiling off the service port: the
+		// pipeline mux stays exactly what handlers_test exercises, and the
+		// operator can firewall the two addresses independently.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcsafed: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gcsafed: pprof listening on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof registrations.
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "gcsafed: pprof: %v\n", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

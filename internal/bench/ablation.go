@@ -19,6 +19,28 @@ func AblationCallVsAsm(cfg machine.Config) (*Table, error) {
 		Title:   "KEEP_LIVE implementation: empty asm vs. opaque call (" + cfg.Name + "):",
 		Columns: []string{"asm (safe)", "call"},
 	}
+	// The call variant measures a derived workload (the annotated source
+	// re-parsed, so KEEP_LIVE is a genuine call); derive them up front so
+	// all three cells per workload prefetch in one parallel batch.
+	derived := make(map[string]workloads.Workload, len(workloads.All()))
+	var reqs []CellRequest
+	for _, w := range workloads.All() {
+		res, err := gcsafe.AnnotateSource(w.Name+".c", w.Source, gcsafe.Options{})
+		if err != nil {
+			return nil, err
+		}
+		w2 := w
+		w2.Source = res.Output
+		w2.Want = "" // output text identical, but skip double-checking
+		derived[w.Name] = w2
+		reqs = append(reqs,
+			CellRequest{Workload: w, Treatment: Opt, Machine: cfg},
+			CellRequest{Workload: w, Treatment: OptSafe, Machine: cfg},
+			CellRequest{Workload: w2, Treatment: Opt, Machine: cfg})
+	}
+	if _, err := MeasureAll(reqs); err != nil {
+		return nil, err
+	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
@@ -28,15 +50,7 @@ func AblationCallVsAsm(cfg machine.Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Re-parse the annotated text: KEEP_LIVE becomes a real call.
-		res, err := gcsafe.AnnotateSource(w.Name+".c", w.Source, gcsafe.Options{})
-		if err != nil {
-			return nil, err
-		}
-		w2 := w
-		w2.Source = res.Output
-		w2.Want = "" // output text identical, but skip double-checking
-		call, err := Measure(w2, Opt, cfg)
+		call, err := Measure(derived[w.Name], Opt, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -61,6 +75,11 @@ func AblationCopySuppression(cfg machine.Config) (*Table, error) {
 	off := OptSafe
 	off.Name = "-O, safe, no-opt1"
 	off.Gcsafe = &gcsafe.Options{NoCopySuppression: true}
+	if err := prefetch(cfg, func(workloads.Workload) []Treatment {
+		return []Treatment{Opt, OptSafe, off}
+	}); err != nil {
+		return nil, err
+	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
@@ -96,6 +115,11 @@ func AblationIncDecExpansion(cfg machine.Config) (*Table, error) {
 	off := OptSafe
 	off.Name = "-O, safe, no-opt2"
 	off.Gcsafe = &gcsafe.Options{NoIncDecExpansion: true}
+	if err := prefetch(cfg, func(workloads.Workload) []Treatment {
+		return []Treatment{Opt, OptSafe, off}
+	}); err != nil {
+		return nil, err
+	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
@@ -130,6 +154,11 @@ func AblationBaseHeuristic(cfg machine.Config) (*Table, error) {
 	heur := OptSafe
 	heur.Name = "-O, safe, heuristic"
 	heur.Gcsafe = &gcsafe.Options{BaseHeuristic: true}
+	if err := prefetch(cfg, func(workloads.Workload) []Treatment {
+		return []Treatment{Opt, OptSafe, heur}
+	}); err != nil {
+		return nil, err
+	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
@@ -167,6 +196,11 @@ func AblationCallSiteOnly(cfg machine.Config) (*Table, error) {
 	callsite := OptSafe
 	callsite.Name = "-O, safe, call-site"
 	callsite.Gcsafe = &gcsafe.Options{CallSiteOnly: true}
+	if err := prefetch(cfg, func(workloads.Workload) []Treatment {
+		return []Treatment{Opt, OptSafe, callsite}
+	}); err != nil {
+		return nil, err
+	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {

@@ -233,6 +233,16 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// slowdownTreatments is the cell set of the slowdown and code-size tables:
+// every workload needs the optimized baseline and the safe build, and all
+// but the debug-unavailable ones (cfrac) need the two debug builds too.
+func slowdownTreatments(w workloads.Workload) []Treatment {
+	if w.DebugUnavailable {
+		return []Treatment{Opt, OptSafe}
+	}
+	return []Treatment{Opt, OptSafe, Debug, DebugChecked}
+}
+
 func pct(mode, base uint64) float64 {
 	if base == 0 {
 		return math.NaN()
@@ -248,6 +258,9 @@ func SlowdownTable(cfg machine.Config) (*Table, error) {
 	t := &Table{
 		Title:   cfg.Name + ":",
 		Columns: []string{"-O, safe", "-g", "-g, checked"},
+	}
+	if err := prefetch(cfg, slowdownTreatments); err != nil {
+		return nil, err
 	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
@@ -292,6 +305,9 @@ func CodeSizeTable(cfg machine.Config) (*Table, error) {
 		Title:   "Object code size expansion (" + cfg.Name + "):",
 		Columns: []string{"-O, safe", "-g", "-g, checked"},
 	}
+	if err := prefetch(cfg, slowdownTreatments); err != nil {
+		return nil, err
+	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
@@ -330,6 +346,11 @@ func PostprocessorTable(cfg machine.Config) (*Table, error) {
 	t := &Table{
 		Title:   "After the postprocessor (" + cfg.Name + "):",
 		Columns: []string{"running time", "code size"},
+	}
+	if err := prefetch(cfg, func(workloads.Workload) []Treatment {
+		return []Treatment{Opt, OptSafePost}
+	}); err != nil {
+		return nil, err
 	}
 	for _, w := range workloads.All() {
 		base, err := Measure(w, Opt, cfg)

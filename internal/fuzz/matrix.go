@@ -13,6 +13,7 @@ import (
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
+	"gcsafety/internal/par"
 	"gcsafety/internal/peephole"
 )
 
@@ -129,6 +130,12 @@ type MatrixOptions struct {
 	// what makes fault campaigns deterministic regression tests for the
 	// error paths.
 	Faults *faultinject.Set
+	// Parallel is how many treatments run concurrently (0 = the shared
+	// default: GCSAFETY_PARALLEL, else GOMAXPROCS). Treatments are
+	// shared-nothing — each compiles its own program and owns its machine
+	// and heap — and results are classified in treatment order afterwards,
+	// so the MatrixResult is identical at any width.
+	Parallel int
 }
 
 // MatrixResult aggregates all treatment runs of one program.
@@ -273,13 +280,29 @@ func RunMatrix(p *Program, opt MatrixOptions) (*MatrixResult, error) {
 
 // RunMatrixContext is RunMatrix under a context: the deadline bounds the
 // whole matrix, including each treatment's interpreter run.
+//
+// Treatments execute concurrently (MatrixOptions.Parallel wide) into a
+// positional slice, and classification then walks that slice in treatment
+// order — so Results ordering, the first-reported harness error, and
+// StopOnViolation truncation are all exactly what a sequential run
+// produces. A width of 1 runs fully inline.
 func RunMatrixContext(ctx context.Context, p *Program, opt MatrixOptions) (*MatrixResult, error) {
 	m := &MatrixResult{Program: p}
-	for _, t := range Treatments(opt) {
-		r, err := runTreatment(ctx, p, t, opt.MaxInstrs, opt.Faults)
-		if err != nil {
+	ts := Treatments(opt)
+	results := make([]TreatmentResult, len(ts))
+	errs := make([]error, len(ts))
+	width := opt.Parallel
+	if width <= 0 {
+		width = par.Default()
+	}
+	par.ForEach(width, len(ts), func(i int) {
+		results[i], errs[i] = runTreatment(ctx, p, ts[i], opt.MaxInstrs, opt.Faults)
+	})
+	for i, t := range ts {
+		if err := errs[i]; err != nil {
 			return m, fmt.Errorf("%s [%s]: %w", p.Label, t.Name(), err)
 		}
+		r := results[i]
 		m.Results = append(m.Results, r)
 		if r.Agreed(p.Want) {
 			continue

@@ -1,0 +1,48 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// TestMatrixParallelDeterministic pins RunMatrix's width-independence: the
+// classified result of a matrix run — result order, outputs, fault texts,
+// violation and unsafe-failure partitions — is identical whether
+// treatments run inline or eight wide. Run under -race (make race) this
+// also exercises the fan-out for data races.
+func TestMatrixParallelDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1991} {
+		p := Generate(seed, 8)
+		seq, err := RunMatrix(p, MatrixOptions{Parallel: 1})
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		par, err := RunMatrix(p, MatrixOptions{Parallel: 8})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		compareResults(t, seed, "Results", seq.Results, par.Results)
+		compareResults(t, seed, "Violations", seq.Violations, par.Violations)
+		compareResults(t, seed, "UnsafeFailures", seq.UnsafeFailures, par.UnsafeFailures)
+	}
+}
+
+func compareResults(t *testing.T, seed int64, what string, a, b []TreatmentResult) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("seed %d: %s length %d sequential vs %d parallel", seed, what, len(a), len(b))
+	}
+	errText := func(err error) string {
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() || a[i].Output != b[i].Output || errText(a[i].Err) != errText(b[i].Err) {
+			t.Fatalf("seed %d: %s[%d] diverges:\nsequential: %s %q %q\nparallel:   %s %q %q",
+				seed, what, i,
+				a[i].Name(), a[i].Output, errText(a[i].Err),
+				b[i].Name(), b[i].Output, errText(b[i].Err))
+		}
+	}
+}

@@ -48,6 +48,20 @@ func (h *Heap) ObjectSize(base Addr) uint32 {
 	return ph.objSize
 }
 
+// markItem is one pending entry of the mark stack: the object's base
+// address together with its page header, so draining never re-walks the
+// page tree to rediscover what the push already resolved.
+type markItem struct {
+	base Addr
+	ph   *pageHeader
+}
+
+// markStackMaxCap bounds the mark-stack backing array retained across
+// collections: the array is reused collection to collection (no steady-state
+// allocation), but one pathologically deep object graph must not pin a huge
+// buffer for the rest of the heap's life.
+const markStackMaxCap = 1 << 15
+
 // Collect performs a full stop-the-world mark-sweep collection, scanning the
 // roots supplied by the installed RootScanner and then, transitively, every
 // word of every reached object (the heap is untyped, so scanning is fully
@@ -64,6 +78,13 @@ func (h *Heap) Collect() {
 	}
 
 	for _, ph := range h.pages {
+		// Pages with no allocated objects, and pages whose mark bitmap is
+		// already clean (freshly carved or first-ever collection), have
+		// nothing to clear.
+		if ph.allocated == 0 || !ph.anyMarked {
+			h.stats.MarkClearsSkipped++
+			continue
+		}
 		ph.clearMarks()
 	}
 	h.markStack = h.markStack[:0]
@@ -72,6 +93,9 @@ func (h *Heap) Collect() {
 	h.sweep()
 	h.sinceGC = 0
 	h.stats.Collections++
+	if cap(h.markStack) > markStackMaxCap {
+		h.markStack = nil
+	}
 }
 
 // markAddr treats w conservatively as a potential pointer: if it resolves to
@@ -98,20 +122,26 @@ func (h *Heap) markAddr(w Addr) {
 		return
 	}
 	ph.setMark(idx)
-	h.markStack = append(h.markStack, ph.base+idx*ph.objSize)
+	h.markStack = append(h.markStack, markItem{base: ph.base + idx*ph.objSize, ph: ph})
 }
 
 func (h *Heap) drainMarkStack() {
+	baseOnly := h.cfg.BaseOnlyHeapPointers
 	for len(h.markStack) > 0 {
-		base := h.markStack[len(h.markStack)-1]
+		it := h.markStack[len(h.markStack)-1]
 		h.markStack = h.markStack[:len(h.markStack)-1]
-		size := h.ObjectSize(base)
-		for off := uint32(0); off+WordSize <= size; off += WordSize {
-			w, err := h.rawWord(base + off)
-			if err != nil {
-				break
-			}
-			if h.cfg.BaseOnlyHeapPointers {
+		// The popped item carries its page header, so the object's size is
+		// one field read — no page-tree walk, no ObjectSize re-resolution.
+		size := it.ph.objSize
+		off := it.base - HeapBase
+		if int(off)+int(size) > len(h.arena) {
+			// Cannot happen for a live object; guard rather than panic.
+			continue
+		}
+		obj := h.arena[off : off+size]
+		for i := 0; i+WordSize <= len(obj); i += WordSize {
+			w := Addr(obj[i]) | Addr(obj[i+1])<<8 | Addr(obj[i+2])<<16 | Addr(obj[i+3])<<24
+			if baseOnly {
 				h.markBaseOnly(w)
 			} else {
 				h.markAddr(w)

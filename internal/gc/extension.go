@@ -44,7 +44,7 @@ func (h *Heap) markBaseOnly(w Addr) {
 		return
 	}
 	ph.setMark(idx)
-	h.markStack = append(h.markStack, ph.base+idx*ph.objSize)
+	h.markStack = append(h.markStack, markItem{base: ph.base + idx*ph.objSize, ph: ph})
 }
 
 // CheckBaseStore validates a pointer store under the base-only discipline:

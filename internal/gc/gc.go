@@ -110,6 +110,10 @@ type Stats struct {
 	LiveObjects    uint64 // objects live after the most recent collection
 	LiveBytes      uint64 // bytes live after the most recent collection
 	HeapBytes      uint64 // bytes of address space claimed from the arena
+	// MarkClearsSkipped counts pages whose mark bitmap did not need
+	// clearing at the start of a collection (no allocated objects, or no
+	// mark bit set since the last clear) — the all-free-page fast path.
+	MarkClearsSkipped uint64
 }
 
 // An Error wraps heap failures with the faulting address.

@@ -12,16 +12,39 @@ type pageHeader struct {
 	spanLen uint32 // span length in bytes (large objects only)
 	mark    []uint64
 	alloc   []uint64
+	// allocated counts set alloc bits, so the sweep and mark phases can
+	// dismiss all-free pages without scanning the bitmap.
+	allocated uint32
+	// anyMarked records whether any mark bit has been set since the last
+	// clearMarks: a page whose bitmap is already clean (freshly carved, or
+	// populated only since the previous collection) skips the clear.
+	anyMarked bool
 }
 
 func bitmapWords(n uint32) int { return int((n + 63) / 64) }
 
-func (p *pageHeader) markBit(i uint32) bool  { return p.mark[i/64]&(1<<(i%64)) != 0 }
-func (p *pageHeader) setMark(i uint32)       { p.mark[i/64] |= 1 << (i % 64) }
-func (p *pageHeader) clearMarks()            { clear(p.mark) }
+func (p *pageHeader) markBit(i uint32) bool { return p.mark[i/64]&(1<<(i%64)) != 0 }
+func (p *pageHeader) setMark(i uint32) {
+	p.mark[i/64] |= 1 << (i % 64)
+	p.anyMarked = true
+}
+func (p *pageHeader) clearMarks() {
+	clear(p.mark)
+	p.anyMarked = false
+}
 func (p *pageHeader) allocBit(i uint32) bool { return p.alloc[i/64]&(1<<(i%64)) != 0 }
-func (p *pageHeader) setAlloc(i uint32)      { p.alloc[i/64] |= 1 << (i % 64) }
-func (p *pageHeader) clearAlloc(i uint32)    { p.alloc[i/64] &^= 1 << (i % 64) }
+func (p *pageHeader) setAlloc(i uint32) {
+	if p.alloc[i/64]&(1<<(i%64)) == 0 {
+		p.alloc[i/64] |= 1 << (i % 64)
+		p.allocated++
+	}
+}
+func (p *pageHeader) clearAlloc(i uint32) {
+	if p.alloc[i/64]&(1<<(i%64)) != 0 {
+		p.alloc[i/64] &^= 1 << (i % 64)
+		p.allocated--
+	}
+}
 
 // bottomBits is the log2 of the number of pages covered by one bottom-level
 // index block of the two-level page tree.
@@ -52,8 +75,17 @@ type Heap struct {
 	roots      RootScanner
 	sinceGC    uint32
 	stats      Stats
-	markStack  []Addr
+	markStack  []markItem
 	collecting bool
+
+	// cachePage/cacheHdr are a one-entry cache over the page-tree walk in
+	// header. Conservative scanning resolves long runs of addresses on the
+	// same page (sequential object words, adjacent small objects), so
+	// remembering the last hit turns the two-level tree walk into one
+	// compare for the overwhelmingly common case. cachePage holds the page
+	// index plus one; zero means empty. setHeader invalidates it.
+	cachePage uint32
+	cacheHdr  *pageHeader
 }
 
 // NewHeap returns an empty heap with the given configuration.
@@ -94,14 +126,22 @@ func (h *Heap) header(a Addr) *pageHeader {
 		return nil
 	}
 	page := (a - HeapBase) / PageSize
+	if page+1 == h.cachePage {
+		return h.cacheHdr
+	}
 	bottom := h.tree[page>>bottomBits]
 	if bottom == nil {
 		return nil
 	}
-	return bottom[page&(1<<bottomBits-1)]
+	ph := bottom[page&(1<<bottomBits-1)]
+	if ph != nil {
+		h.cachePage, h.cacheHdr = page+1, ph
+	}
+	return ph
 }
 
 func (h *Heap) setHeader(page uint32, ph *pageHeader) {
+	h.cachePage, h.cacheHdr = 0, nil
 	top := page >> bottomBits
 	if h.tree[top] == nil {
 		h.tree[top] = new([1 << bottomBits]*pageHeader)

@@ -9,58 +9,211 @@ import (
 
 // call runs fn to completion (including nested calls) using an explicit
 // frame stack, so a collection can fire between any two instructions.
+//
+// The loop is the interpreter's hottest code: the common opcodes (ALU,
+// loads/stores, branches, call/ret) are dispatched inline here, with the
+// program counter, code slice and per-function metadata (resolved branch
+// targets and direct-call targets) held in locals for the duration of a
+// frame activation; everything else falls back to step. Per-instruction
+// bookkeeping is kept to the instruction budget check, a poll countdown
+// (replacing the old modulo), one table-indexed cycle charge, and — only
+// when the asynchronous regime is armed — the GC tick. The cycle and
+// instruction accounting, the poll schedule and the collection schedule
+// are bit-identical to the pre-fast-path interpreter: those numbers are
+// the reproduction's data.
 func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
-	stack := []*frame{{fn: entry, pc: 0, savedSP: m.sp, retReg: retReg}}
+	stack := make([]frame, 1, 16)
+	stack[0] = frame{fn: entry, pc: 0, savedSP: m.sp, retReg: retReg}
+	var (
+		maxInstrs = m.opts.MaxInstrs
+		gcEvery   = m.opts.GCEveryInstrs
+		faults    = m.opts.Faults
+		costs     = &m.costs
+		// pollCd counts down to the next context poll so the hot loop pays
+		// one decrement instead of a modulo. It reproduces the schedule
+		// "poll when instrs%ctxCheckInterval == 0" exactly.
+		pollCd = m.instrs % ctxCheckInterval
+	)
+	if pollCd != 0 {
+		pollCd = ctxCheckInterval - pollCd
+	}
 	for len(stack) > 0 && !m.exited {
-		fr := stack[len(stack)-1]
-		if fr.pc >= len(fr.fn.Code) {
-			// fall off the end: return 0
-			m.sp = fr.savedSP
-			m.setReg(fr.retReg, 0)
-			stack = stack[:len(stack)-1]
-			continue
+		fr := &stack[len(stack)-1]
+		fn := fr.fn
+		code := fn.Code
+		meta := fr.meta
+		if meta == nil {
+			meta = m.meta[fn]
+			fr.meta = meta
 		}
-		in := fr.fn.Code[fr.pc]
-		if m.instrs >= m.opts.MaxInstrs {
-			return &FaultError{Fn: fr.fn.Name, PC: fr.pc,
-				Err: fmt.Errorf("%w (%d)", ErrInstrLimit, m.opts.MaxInstrs)}
-		}
-		if m.instrs%ctxCheckInterval == 0 {
-			if err := m.ctx.Err(); err != nil {
-				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+		pc := fr.pc
+	frame:
+		for {
+			if pc >= len(code) {
+				// fall off the end: return 0
+				m.sp = fr.savedSP
+				m.setReg(fr.retReg, 0)
+				stack = stack[:len(stack)-1]
+				break frame
 			}
-			// Fault injection shares the poll stride so an inert run pays
-			// nothing beyond the existing branch.
-			if m.opts.Faults != nil {
-				if err := m.opts.Faults.Fire(faultinject.PointInterpStep); err != nil {
-					return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+			in := &code[pc]
+			if m.instrs >= maxInstrs {
+				fr.pc = pc
+				return &FaultError{Fn: fn.Name, PC: pc,
+					Err: fmt.Errorf("%w (%d)", ErrInstrLimit, maxInstrs)}
+			}
+			if pollCd == 0 {
+				if err := m.ctx.Err(); err != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc, Err: err}
+				}
+				// Fault injection shares the poll stride so an inert run pays
+				// nothing beyond the existing branch.
+				if faults != nil {
+					if err := faults.Fire(faultinject.PointInterpStep); err != nil {
+						fr.pc = pc
+						return &FaultError{Fn: fn.Name, PC: pc, Err: err}
+					}
+				}
+				pollCd = ctxCheckInterval
+			}
+			pollCd--
+			m.instrs++
+			m.cycles += costs[in.Op]
+			// Asynchronous collection regime: a GC may fire between any two
+			// instructions.
+			if gcEvery > 0 {
+				m.sinceGC++
+				if m.sinceGC >= gcEvery {
+					m.sinceGC = 0
+					m.heap.Collect()
 				}
 			}
-		}
-		m.instrs++
-		m.cycles += m.cfg.CostOf(in.Op)
-		// Asynchronous collection regime: a GC may fire between any two
-		// instructions.
-		if m.opts.GCEveryInstrs > 0 {
-			m.sinceGC++
-			if m.sinceGC >= m.opts.GCEveryInstrs {
-				m.sinceGC = 0
-				m.heap.Collect()
+			pc++
+			switch in.Op {
+			case machine.Add:
+				m.setReg(in.Rd, m.reg(in.Rs1)+m.src2(in))
+			case machine.Sub:
+				m.setReg(in.Rd, m.reg(in.Rs1)-m.src2(in))
+			case machine.Mov:
+				m.setReg(in.Rd, m.src2first(in))
+			case machine.Ld:
+				v, e := m.read32(m.reg(in.Rs1) + m.src2(in))
+				if e != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: e}
+				}
+				m.setReg(in.Rd, v)
+			case machine.St:
+				if e := m.write32(m.reg(in.Rs1)+m.src2(in), m.reg(in.Rd)); e != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: e}
+				}
+			case machine.LdSP:
+				v, e := m.read32(m.sp + uint32(in.Imm))
+				if e != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: e}
+				}
+				m.setReg(in.Rd, v)
+			case machine.StSP, machine.Arg:
+				if e := m.write32(m.sp+uint32(in.Imm), m.reg(in.Rd)); e != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: e}
+				}
+			case machine.LeaSP:
+				m.setReg(in.Rd, m.sp+uint32(in.Imm))
+			case machine.Jmp:
+				pc = meta.targets[pc-1]
+			case machine.Bz:
+				if m.reg(in.Rs1) == 0 {
+					pc = meta.targets[pc-1]
+				}
+			case machine.Bnz:
+				if m.reg(in.Rs1) != 0 {
+					pc = meta.targets[pc-1]
+				}
+			case machine.CmpEq:
+				m.setReg(in.Rd, b2u(m.reg(in.Rs1) == m.src2(in)))
+			case machine.CmpNe:
+				m.setReg(in.Rd, b2u(m.reg(in.Rs1) != m.src2(in)))
+			case machine.CmpLt:
+				m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) < int32(m.src2(in))))
+			case machine.CmpLe:
+				m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) <= int32(m.src2(in))))
+			case machine.CmpGt:
+				m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) > int32(m.src2(in))))
+			case machine.CmpGe:
+				m.setReg(in.Rd, b2u(int32(m.reg(in.Rs1)) >= int32(m.src2(in))))
+			case machine.CmpLtu:
+				m.setReg(in.Rd, b2u(m.reg(in.Rs1) < m.src2(in)))
+			case machine.CmpLeu:
+				m.setReg(in.Rd, b2u(m.reg(in.Rs1) <= m.src2(in)))
+			case machine.CmpGtu:
+				m.setReg(in.Rd, b2u(m.reg(in.Rs1) > m.src2(in)))
+			case machine.CmpGeu:
+				m.setReg(in.Rd, b2u(m.reg(in.Rs1) >= m.src2(in)))
+			case machine.Nop, machine.Label:
+			case machine.KeepLive:
+				// The empty asm: value flows through unchanged; the base
+				// operand is merely kept live by its presence here.
+				m.setReg(in.Rd, m.reg(in.Rs1))
+			case machine.AdjSP:
+				ns := m.sp + uint32(in.Imm)
+				if ns < machine.StackLimit || ns > machine.StackTop {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc - 1,
+						Err: fmt.Errorf("stack overflow (sp=%#x)", ns)}
+				}
+				m.sp = ns
+			case machine.Ret:
+				if in.Rs1 != machine.NoReg {
+					m.pendingRet = m.reg(in.Rs1)
+				} else {
+					m.pendingRet = 0
+				}
+				m.sp = fr.savedSP
+				m.setReg(fr.retReg, m.pendingRet)
+				stack = stack[:len(stack)-1]
+				break frame
+			case machine.Call:
+				if callee := meta.callees[pc-1]; callee != nil {
+					fr.pc = pc
+					stack = append(stack, frame{fn: callee, pc: 0, savedSP: m.sp,
+						retReg: in.Rd, meta: meta.calleeMeta[pc-1]})
+					break frame
+				}
+				v, err := m.runtimeCall(in.Sym, int(in.Imm))
+				if err != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: err}
+				}
+				m.setReg(in.Rd, v)
+				if m.exited {
+					fr.pc = pc
+					break frame
+				}
+			default:
+				fr.pc = pc
+				ret, push, err := m.step(fr, in)
+				if err != nil {
+					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: err}
+				}
+				if push != nil {
+					stack = append(stack, *push)
+					break frame
+				}
+				if ret {
+					m.sp = fr.savedSP
+					m.setReg(fr.retReg, m.pendingRet)
+					stack = stack[:len(stack)-1]
+					break frame
+				}
+				if m.exited {
+					break frame
+				}
+				pc = fr.pc // step may have redirected control flow
 			}
-		}
-		fr.pc++
-		ret, push, err := m.step(fr, in)
-		if err != nil {
-			return &FaultError{Fn: fr.fn.Name, PC: fr.pc - 1, Err: err}
-		}
-		if push != nil {
-			stack = append(stack, push)
-			continue
-		}
-		if ret {
-			m.sp = fr.savedSP
-			m.setReg(fr.retReg, m.pendingRet)
-			stack = stack[:len(stack)-1]
 		}
 	}
 	return nil
@@ -81,16 +234,17 @@ func (m *Machine) setReg(r machine.Reg, v uint32) {
 }
 
 // src2 resolves the second operand (register or immediate).
-func (m *Machine) src2(in machine.Instr) uint32 {
+func (m *Machine) src2(in *machine.Instr) uint32 {
 	if in.HasImm {
 		return uint32(in.Imm)
 	}
 	return m.reg(in.Rs2)
 }
 
-// step executes one instruction. It returns ret=true when the current
-// frame finished, or a new frame to push for calls.
-func (m *Machine) step(fr *frame, in machine.Instr) (ret bool, push *frame, err error) {
+// step executes one cold-path instruction (anything the hot loop in call
+// does not dispatch inline). It returns ret=true when the current frame
+// finished, or a new frame to push for calls.
+func (m *Machine) step(fr *frame, in *machine.Instr) (ret bool, push *frame, err error) {
 	switch in.Op {
 	case machine.Nop, machine.Label:
 	case machine.KeepLive:
@@ -253,7 +407,7 @@ func (m *Machine) step(fr *frame, in machine.Instr) (ret bool, push *frame, err 
 	return false, nil, nil
 }
 
-func (m *Machine) src2first(in machine.Instr) uint32 {
+func (m *Machine) src2first(in *machine.Instr) uint32 {
 	if in.HasImm {
 		return uint32(in.Imm)
 	}

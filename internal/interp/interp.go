@@ -111,6 +111,21 @@ type frame struct {
 	pc      int
 	savedSP uint32
 	retReg  machine.Reg
+	// meta caches m.meta[fn]; frames pushed by the cold path leave it nil
+	// and the dispatch loop fills it in on first activation.
+	meta *funcMeta
+}
+
+// funcMeta is per-function metadata precomputed at machine construction so
+// the hot dispatch loop never consults a map per instruction: targets holds
+// the resolved destination pc for every Jmp/Bz/Bnz (aligned with Code),
+// callees the resolved *Func for every direct Call into program code (nil
+// for runtime builtins, which dispatch by name), and calleeMeta the callee's
+// own funcMeta, so pushing a frame needs no map lookup either.
+type funcMeta struct {
+	targets    []int
+	callees    []*machine.Func
+	calleeMeta []*funcMeta
 }
 
 // Machine is the execution engine.
@@ -126,6 +141,10 @@ type Machine struct {
 	stack  []byte
 	labels map[string]map[int32]int
 	byID   map[int32]*machine.Func
+	meta   map[*machine.Func]*funcMeta
+	// costs caches Config.CostOf per opcode: one slice index in the hot
+	// loop instead of a switch.
+	costs  [machine.NumOps]uint64
 	out    strings.Builder
 	in     int
 	cycles uint64
@@ -138,6 +157,10 @@ type Machine struct {
 	pendingRet uint32
 	// sinceGC counts instructions since the last async collection.
 	sinceGC uint64
+	// argbuf backs runtimeCall's argument slice so runtime dispatch —
+	// including every checked-mode GC_same_obj/GC_pre_incr call — stays
+	// allocation-free on the host.
+	argbuf [8]uint32
 }
 
 // New prepares a machine for the program.
@@ -181,6 +204,7 @@ func New(prog *machine.Program, opts Options) *Machine {
 	}
 	m.heap = gc.NewHeap(hcfg)
 	m.heap.SetRoots(gc.RootFunc(m.scanRoots))
+	m.meta = make(map[*machine.Func]*funcMeta, len(prog.Funcs))
 	for name, f := range prog.Funcs {
 		lm := map[int32]int{}
 		for pc, in := range f.Code {
@@ -190,6 +214,34 @@ func New(prog *machine.Program, opts Options) *Machine {
 		}
 		m.labels[name] = lm
 		m.byID[f.ID] = f
+	}
+	// Second pass: resolve branch targets and direct-call targets now that
+	// every label and function is known. An unknown label resolves to pc 0,
+	// matching the zero value the label-map lookup used to produce.
+	for _, f := range prog.Funcs {
+		m.meta[f] = &funcMeta{
+			targets:    make([]int, len(f.Code)),
+			callees:    make([]*machine.Func, len(f.Code)),
+			calleeMeta: make([]*funcMeta, len(f.Code)),
+		}
+	}
+	for _, f := range prog.Funcs {
+		fm := m.meta[f]
+		lm := m.labels[f.Name]
+		for pc, in := range f.Code {
+			switch in.Op {
+			case machine.Jmp, machine.Bz, machine.Bnz:
+				fm.targets[pc] = lm[in.Imm]
+			case machine.Call:
+				if callee := prog.Funcs[in.Sym]; callee != nil {
+					fm.callees[pc] = callee
+					fm.calleeMeta[pc] = m.meta[callee]
+				}
+			}
+		}
+	}
+	for op := 0; op < machine.NumOps; op++ {
+		m.costs[op] = m.cfg.CostOf(machine.Op(op))
 	}
 	return m
 }

@@ -30,17 +30,19 @@ func (m *Machine) validate(a uint32, size uint32) error {
 }
 
 func (m *Machine) read32raw(a uint32) (uint32, error) {
+	// The stack is checked first: frame traffic (locals, spills, arguments)
+	// dominates the access mix of every workload.
 	switch {
+	case m.inStack(a):
+		off := a - machine.StackLimit
+		s := m.stack[off:]
+		return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24, nil
 	case m.inStatic(a):
 		off := a - machine.DataBase
 		if int(off)+4 > len(m.static) {
 			return 0, fmt.Errorf("static read past segment at %#x", a)
 		}
 		s := m.static[off:]
-		return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24, nil
-	case m.inStack(a):
-		off := a - machine.StackLimit
-		s := m.stack[off:]
 		return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24, nil
 	case m.heap.Contains(a):
 		return m.heap.ReadWord(a)
@@ -56,6 +58,7 @@ func (m *Machine) read32(a uint32) (uint32, error) {
 		if err := m.validate(a, 4); err != nil {
 			return 0, err
 		}
+		return m.heap.ReadWord(a)
 	}
 	return m.read32raw(a)
 }
@@ -65,6 +68,13 @@ func (m *Machine) write32(a, v uint32) error {
 		return fmt.Errorf("misaligned word write at %#x", a)
 	}
 	switch {
+	case m.inStack(a):
+		off := a - machine.StackLimit
+		m.stack[off] = byte(v)
+		m.stack[off+1] = byte(v >> 8)
+		m.stack[off+2] = byte(v >> 16)
+		m.stack[off+3] = byte(v >> 24)
+		return nil
 	case m.inStatic(a):
 		off := a - machine.DataBase
 		if int(off)+4 > len(m.static) {
@@ -74,13 +84,6 @@ func (m *Machine) write32(a, v uint32) error {
 		m.static[off+1] = byte(v >> 8)
 		m.static[off+2] = byte(v >> 16)
 		m.static[off+3] = byte(v >> 24)
-		return nil
-	case m.inStack(a):
-		off := a - machine.StackLimit
-		m.stack[off] = byte(v)
-		m.stack[off+1] = byte(v >> 8)
-		m.stack[off+2] = byte(v >> 16)
-		m.stack[off+3] = byte(v >> 24)
 		return nil
 	case m.heap.Contains(a):
 		if err := m.validate(a, 4); err != nil {

@@ -25,7 +25,12 @@ func (m *Machine) arg(i int) (uint32, error) {
 }
 
 func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
-	args := make([]uint32, nargs)
+	var args []uint32
+	if nargs > len(m.argbuf) {
+		args = make([]uint32, nargs)
+	} else {
+		args = m.argbuf[:nargs]
+	}
 	for i := range args {
 		v, err := m.arg(i)
 		if err != nil {

@@ -101,6 +101,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes. Interpreters index
+// per-opcode tables (e.g. precomputed cycle costs) with it.
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div", Divu: "divu",
 	Rem: "rem", Remu: "remu", And: "and", Or: "or", Xor: "xor",

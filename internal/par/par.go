@@ -1,0 +1,67 @@
+// Package par centralizes the process's parallelism policy: every
+// subsystem that fans work out over goroutines — the bench harness's
+// table-cell measurement, the differential matrix runner, and the gcsafed
+// worker pool — sizes itself from the same default so one knob
+// (GCSAFETY_PARALLEL, or gcsafed -parallel) tunes them all. See DESIGN.md
+// "Parallelism policy".
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// EnvVar overrides the default parallelism degree process-wide.
+const EnvVar = "GCSAFETY_PARALLEL"
+
+// Default returns the shared parallelism degree: GCSAFETY_PARALLEL when it
+// is set to a positive integer, else GOMAXPROCS. Malformed or nonpositive
+// values are ignored rather than fatal: a misconfigured environment should
+// degrade to the hardware default, not take the daemon down.
+func Default() int {
+	if v := os.Getenv(EnvVar); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs f(i) for every i in [0, n) on at most width goroutines.
+// Iterations are claimed in index order but complete in any order; callers
+// needing deterministic output must write results into index i of a
+// preallocated slice and assemble sequentially afterwards. width < 1 is
+// treated as 1; width or n of 1 runs inline with no goroutines at all, so
+// the sequential path stays allocation- and scheduler-free.
+func ForEach(width, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < width; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < width; w++ {
+		<-done
+	}
+}

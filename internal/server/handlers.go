@@ -476,6 +476,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) error {
 		Machines:        machines,
 		SkipAdversarial: req.SkipAdversarial,
 		MaxInstrs:       s.cfg.MaxSteps,
+		Parallel:        s.cfg.Parallel,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

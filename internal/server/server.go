@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync/atomic"
@@ -36,14 +35,22 @@ import (
 	"gcsafety/internal/artifact"
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/machine"
+	"gcsafety/internal/par"
 )
 
 // Config sizes the daemon. The zero value of any field selects the
 // documented default.
 type Config struct {
-	// Workers bounds concurrently executing pipeline requests
-	// (default GOMAXPROCS).
+	// Workers bounds concurrently executing pipeline requests (default:
+	// the shared parallelism degree — GCSAFETY_PARALLEL, else GOMAXPROCS).
 	Workers int
+	// Parallel is how many treatments a single /v1/matrix request runs
+	// concurrently (default: the shared parallelism degree). The matrix
+	// fan-out happens inside one worker slot, so total interpreter
+	// concurrency is bounded by Workers x Parallel; operators pinning the
+	// daemon down tune both with one knob (gcsafed -parallel, or
+	// GCSAFETY_PARALLEL).
+	Parallel int
 	// QueueDepth bounds requests waiting for a worker; beyond it the
 	// server sheds load with 429 (default 64).
 	QueueDepth int
@@ -73,8 +80,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Parallel <= 0 {
+		c.Parallel = par.Default()
+	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = c.Parallel
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
