@@ -14,19 +14,23 @@
 #   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
 #   make bench        run the full benchmark suite and record it as
-#                     BENCH_PR4.json at the repo root (benchdiff JSON; gate
-#                     future changes with `benchdiff BENCH_PR4.json new.json`)
+#                     BENCH_PR5.json at the repo root (benchdiff JSON; gate
+#                     future changes with `make bench-compare`)
+#   make bench-compare  diff the newest BENCH_*.json against the previous
+#                     one with benchdiff (exits 1 on a >10% regression)
 #   make bench-smoke  one-iteration benchmark pass piped through benchdiff
 #                     -parse and compared against itself: proves the
 #                     benchmarks run and the JSON round-trips
+#   make pipeline-smoke  build one workload through the stage graph twice
+#                     and assert the second build is 100% stage-cache hits
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke
 
-check: fmt-check vet build race test bench-smoke fuzz-smoke serve-smoke chaos-smoke
+check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke serve-smoke chaos-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -75,12 +79,25 @@ chaos:
 	$(GO) run ./cmd/gcsafed -chaos -chaos-requests 512
 
 # The benchmark record: every benchmark at its default benchtime, captured
-# as benchdiff JSON at the repo root. Compare a working tree against it
-# with: make bench BENCHOUT=new.json && $(GO) run ./cmd/benchdiff BENCH_PR4.json new.json
-BENCHOUT ?= BENCH_PR4.json
+# as benchdiff JSON at the repo root. Compare a working tree against the
+# previous record with: make bench && make bench-compare
+BENCHOUT ?= BENCH_PR5.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
+
+# bench-compare gates the newest benchmark record against the one before
+# it: the two most recent BENCH_*.json by modification time. Needs at
+# least two records (run `make bench` after a change to produce the new
+# one).
+bench-compare:
+	@set -- $$(ls -t BENCH_*.json 2>/dev/null); \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-compare: need two BENCH_*.json records, have $$#"; exit 1; \
+	fi; \
+	new=$$1; old=$$2; \
+	echo "benchdiff $$old $$new"; \
+	$(GO) run ./cmd/benchdiff $$old $$new
 
 # bench-smoke keeps the benchmark suite and the benchdiff pipeline honest
 # without paying for a real measurement: one iteration of everything, parsed
@@ -89,6 +106,12 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 . | $(GO) run ./cmd/benchdiff -parse > /tmp/bench-smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/bench-smoke.json /tmp/bench-smoke.json
 	@rm -f /tmp/bench-smoke.json
+
+# The stage-graph gate: a warm rebuild of a workload must be served
+# entirely from the per-stage artifact cache (TestPipelineSmokeWarmBuild
+# asserts 7/7 cache hits on the second build), under the race detector.
+pipeline-smoke:
+	$(GO) test -race -count=1 -run 'TestPipelineSmokeWarmBuild' ./internal/pipeline
 
 serve:
 	$(GO) run ./cmd/gcsafed

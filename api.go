@@ -17,16 +17,17 @@ package gcsafety
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"gcsafety/internal/artifact"
 	"gcsafety/internal/cc/ast"
 	"gcsafety/internal/cc/parser"
-	"gcsafety/internal/codegen"
 	"gcsafety/internal/fuzz"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
-	"gcsafety/internal/peephole"
+	"gcsafety/internal/pipeline"
 )
 
 // Mode selects the annotation mode of the preprocessor.
@@ -49,6 +50,14 @@ func Safe() AnnotateOptions { return AnnotateOptions{Mode: ModeSafe} }
 // result is validated at run time through GC_same_obj.
 func Checked() AnnotateOptions { return AnnotateOptions{Mode: ModeChecked} }
 
+// defaultRunner executes every package-level Annotate/Build/Run call on
+// the stage-graph pipeline (internal/pipeline) over a shared bounded
+// artifact cache, so repeated builds of the same source — or of
+// treatments sharing a front end — reuse per-stage artifacts. Results
+// may therefore be shared between calls: treat returned programs, ASTs
+// and annotation results as immutable.
+var defaultRunner = pipeline.NewRunner(artifact.New(64 << 20))
+
 // Annotate runs the C-to-C preprocessor and returns the rewritten source
 // plus diagnostics.
 func Annotate(name, src string, opts AnnotateOptions) (*gcsafe.Result, error) {
@@ -61,7 +70,17 @@ func AnnotateContext(ctx context.Context, name, src string, opts AnnotateOptions
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("annotate: %w", err)
 	}
-	return gcsafe.AnnotateSource(name, src, opts)
+	res, _, err := defaultRunner.Annotate(ctx, name, src, opts)
+	if err != nil {
+		// Surface the parser's or annotator's own error, exactly as the
+		// pre-pipeline path did.
+		var se *pipeline.StageError
+		if errors.As(err, &se) {
+			return nil, se.Err
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 // Pipeline configures a full compile-and-execute run.
@@ -81,11 +100,20 @@ type Pipeline struct {
 	Exec interp.Options
 }
 
+// BuildReport re-exports the pipeline's per-build stage report: which
+// stages ran, which were served from the artifact cache, and how long
+// each took.
+type BuildReport = pipeline.BuildReport
+
+// StageReport is one stage execution within a BuildReport.
+type StageReport = pipeline.StageReport
+
 // Result of a full pipeline run.
 type Result struct {
 	Exec     *interp.Result
 	Program  *machine.Program
 	Annotate *gcsafe.Result // nil when annotation was disabled
+	Report   *BuildReport   // the build's stage-graph walk
 }
 
 // Build parses, optionally annotates, compiles and optionally postprocesses
@@ -95,41 +123,61 @@ func Build(name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, erro
 }
 
 // BuildContext is Build under a context, checked between pipeline stages:
-// a canceled or expired ctx aborts before the next of parse, annotate,
-// compile and postprocess begins.
+// a canceled or expired ctx aborts before the next stage begins.
 func BuildContext(ctx context.Context, name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, error) {
+	prog, ares, _, err := BuildWithReportContext(ctx, name, src, p)
+	return prog, ares, err
+}
+
+// BuildWithReport is Build plus the stage report of the walk that
+// produced the program.
+func BuildWithReport(name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, *BuildReport, error) {
+	return BuildWithReportContext(context.Background(), name, src, p)
+}
+
+// BuildWithReportContext runs the staged build. The returned program and
+// annotation result may be shared with other builds via the artifact
+// cache and must not be mutated.
+func BuildWithReportContext(ctx context.Context, name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, *BuildReport, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, nil, fmt.Errorf("build: %w", err)
-	}
-	file, err := parser.Parse(name, src)
-	if err != nil {
-		return nil, nil, fmt.Errorf("parse: %w", err)
-	}
-	var ares *gcsafe.Result
-	if p.Annotate {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("build: %w", err)
-		}
-		ares, err = gcsafe.Annotate(file, p.AnnotateOptions)
-		if err != nil {
-			return nil, nil, fmt.Errorf("annotate: %w", err)
-		}
+		return nil, nil, nil, fmt.Errorf("build: %w", err)
 	}
 	cfg := machine.SPARCstation10()
 	if p.Machine != nil {
 		cfg = *p.Machine
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, fmt.Errorf("build: %w", err)
-	}
-	prog, err := codegen.Compile(file, codegen.Options{Optimize: p.Optimize, Machine: cfg})
+	res, err := defaultRunner.Build(ctx, name, src, pipeline.Options{
+		Annotate:        p.Annotate,
+		AnnotateOptions: p.AnnotateOptions,
+		Optimize:        p.Optimize,
+		Post:            p.Postprocess,
+		Machine:         cfg,
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("compile: %w", err)
+		return nil, nil, nil, wrapBuildError(err)
 	}
-	if p.Postprocess {
-		peephole.Optimize(prog, cfg)
+	return res.Prog, res.Annotate, res.Report, nil
+}
+
+// wrapBuildError converts a pipeline StageError into the phase-prefixed
+// errors this API has always returned: "parse:", "annotate:", "compile:"
+// for stage failures, "build:" for context expiry between stages.
+func wrapBuildError(err error) error {
+	var se *pipeline.StageError
+	if !errors.As(err, &se) {
+		return err
 	}
-	return prog, ares, nil
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("build: %w", se.Err)
+	}
+	switch se.Stage {
+	case pipeline.StageLex, pipeline.StageParse, pipeline.StageTypecheck:
+		return fmt.Errorf("parse: %w", se.Err)
+	case pipeline.StageAnnotate:
+		return fmt.Errorf("annotate: %w", se.Err)
+	default:
+		return fmt.Errorf("compile: %w", se.Err)
+	}
 }
 
 // Run executes the full pipeline on one C translation unit.
@@ -142,7 +190,7 @@ func Run(name, src string, p Pipeline) (*Result, error) {
 // deadline or cancellation bounds the whole pipeline — the robustness
 // contract the gcsafed daemon depends on to survive adversarial inputs.
 func RunContext(ctx context.Context, name, src string, p Pipeline) (*Result, error) {
-	prog, ares, err := BuildContext(ctx, name, src, p)
+	prog, ares, rep, err := BuildWithReportContext(ctx, name, src, p)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +201,13 @@ func RunContext(ctx context.Context, name, src string, p Pipeline) (*Result, err
 	ex := p.Exec
 	ex.Config = cfg
 	res, err := interp.RunContext(ctx, prog, ex)
-	return &Result{Exec: res, Program: prog, Annotate: ares}, err
+	return &Result{Exec: res, Program: prog, Annotate: ares, Report: rep}, err
+}
+
+// PipelineStats snapshots the default build pipeline's per-stage
+// counters: calls, cache hits/misses, errors, cumulative duration.
+func PipelineStats() []pipeline.StageStat {
+	return defaultRunner.Stats()
 }
 
 // Parse exposes the front end for tools that want the AST.

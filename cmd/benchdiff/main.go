@@ -18,6 +18,12 @@
 // ns/op and other smaller-is-better metrics a regression is an increase.
 // Benchmarks present in only one file are listed but never fail the gate:
 // adding or retiring a benchmark is not a performance regression.
+//
+// Alongside the chosen metric, compare mode always gates the allocation
+// metrics B/op and allocs/op for benchmarks where both files carry them
+// (i.e. both snapshots ran with -benchmem): a memory regression can hide
+// behind a flat ns/op. Benchmarks carrying the metrics in only one file
+// never fail the gate.
 package main
 
 import (
@@ -141,8 +147,13 @@ func Parse(r io.Reader) (*File, error) {
 	return f, nil
 }
 
+// allocMetrics are gated alongside the primary metric whenever both
+// snapshots carry them: smaller-is-better, like ns/op.
+var allocMetrics = []string{"B/op", "allocs/op"}
+
 // Compare renders a delta table of metric between two files and reports
-// whether any benchmark regressed past threshold percent. Smaller is
+// whether any benchmark regressed past threshold percent — on the chosen
+// metric, or on an allocation metric both files carry. Smaller is
 // better: a positive delta is a slowdown.
 func Compare(old, nw *File, metric string, threshold float64) (string, bool) {
 	index := func(f *File) map[string]Benchmark {
@@ -189,8 +200,34 @@ func Compare(old, nw *File, metric string, threshold float64) (string, bool) {
 			fmt.Fprintf(&sb, "%-40s %14.1f %14.1f %+8.1f%%%s\n", name, ov, nv, delta, mark)
 		}
 	}
+	for _, am := range allocMetrics {
+		if am == metric {
+			continue // already the primary table
+		}
+		header := false
+		for _, name := range names {
+			ob, inOld := om[name]
+			nb, inNew := nm[name]
+			if !inOld || !inNew {
+				continue
+			}
+			ov, hasOld := ob.Metrics[am]
+			nv, hasNew := nb.Metrics[am]
+			if !hasOld || !hasNew || ov == 0 {
+				continue // one-sided metric: never gates
+			}
+			if delta := (nv/ov - 1) * 100; delta > threshold {
+				if !header {
+					fmt.Fprintf(&sb, "allocation regressions (%s):\n", am)
+					header = true
+				}
+				fmt.Fprintf(&sb, "%-40s %14.1f %14.1f %+8.1f%%  REGRESSION\n", name, ov, nv, delta)
+				regressed = true
+			}
+		}
+	}
 	if regressed {
-		fmt.Fprintf(&sb, "FAIL: at least one benchmark regressed more than %.0f%% on %s\n", threshold, metric)
+		fmt.Fprintf(&sb, "FAIL: at least one benchmark regressed more than %.0f%%\n", threshold)
 	}
 	return sb.String(), regressed
 }

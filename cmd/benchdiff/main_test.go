@@ -62,6 +62,82 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// bm builds a benchmark whose metric map is given inline.
+func bm(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iters: 1, Metrics: metrics}
+}
+
+// TestCompareAllocGating pins the memory gate: B/op and allocs/op
+// regressions past the threshold fail the compare even when the primary
+// metric is flat, but only for benchmarks where both snapshots carry the
+// allocation metrics.
+func TestCompareAllocGating(t *testing.T) {
+	tests := []struct {
+		name      string
+		old, nw   Benchmark
+		regressed bool
+		marker    string // substring the report must contain when regressed
+	}{
+		{
+			name:      "flat ns/op hides B/op regression",
+			old:       bm("A", map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 10}),
+			nw:        bm("A", map[string]float64{"ns/op": 100, "B/op": 1500, "allocs/op": 10}),
+			regressed: true,
+			marker:    "allocation regressions (B/op):",
+		},
+		{
+			name:      "flat ns/op hides allocs/op regression",
+			old:       bm("A", map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 10}),
+			nw:        bm("A", map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 20}),
+			regressed: true,
+			marker:    "allocation regressions (allocs/op):",
+		},
+		{
+			name:      "within threshold on all metrics",
+			old:       bm("A", map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 10}),
+			nw:        bm("A", map[string]float64{"ns/op": 105, "B/op": 1050, "allocs/op": 10}),
+			regressed: false,
+		},
+		{
+			name:      "alloc metrics only in the new file never gate",
+			old:       bm("A", map[string]float64{"ns/op": 100}),
+			nw:        bm("A", map[string]float64{"ns/op": 100, "B/op": 9999, "allocs/op": 99}),
+			regressed: false,
+		},
+		{
+			name:      "alloc metrics only in the old file never gate",
+			old:       bm("A", map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 10}),
+			nw:        bm("A", map[string]float64{"ns/op": 100}),
+			regressed: false,
+		},
+		{
+			name:      "alloc improvement passes",
+			old:       bm("A", map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 10}),
+			nw:        bm("A", map[string]float64{"ns/op": 100, "B/op": 500, "allocs/op": 5}),
+			regressed: false,
+		},
+		{
+			name:      "zero old B/op never gates",
+			old:       bm("A", map[string]float64{"ns/op": 100, "B/op": 0, "allocs/op": 0}),
+			nw:        bm("A", map[string]float64{"ns/op": 100, "B/op": 64, "allocs/op": 1}),
+			regressed: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			old := &File{Benchmarks: []Benchmark{tt.old}}
+			nw := &File{Benchmarks: []Benchmark{tt.nw}}
+			report, regressed := Compare(old, nw, "ns/op", 10)
+			if regressed != tt.regressed {
+				t.Fatalf("regressed = %v, want %v; report:\n%s", regressed, tt.regressed, report)
+			}
+			if tt.marker != "" && !strings.Contains(report, tt.marker) {
+				t.Fatalf("report missing %q:\n%s", tt.marker, report)
+			}
+		})
+	}
+}
+
 func TestCompareIdentity(t *testing.T) {
 	f := &File{Benchmarks: []Benchmark{bf("A", 100)}}
 	if report, regressed := Compare(f, f, "ns/op", 10); regressed {

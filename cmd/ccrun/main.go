@@ -20,6 +20,8 @@
 //	-max-steps n       abort the run after n executed instructions (0 = default 2e9)
 //	-S                 print the assembly listing instead of running
 //	-stats             print cycle/GC statistics after the run
+//	-stage-report      print the build's per-stage report (stage, cache
+//	                   hit or computed, duration) to stderr
 //	-faults spec       inject faults into the run (see internal/faultinject;
 //	                   e.g. gc.alloc=error,after=100 simulates allocation
 //	                   failure, gc.collect.force=error,p=0.1 a hostile
@@ -55,6 +57,7 @@ func main() {
 		baseOnly  = flag.Bool("base-only", false, "collector recognizes heap-stored interior pointers only at object bases (Extensions mode)")
 		asm       = flag.Bool("S", false, "print assembly instead of running")
 		stats     = flag.Bool("stats", false, "print statistics")
+		stageRep  = flag.Bool("stage-report", false, "print the per-stage build report")
 		faults    = flag.String("faults", "", "fault injection spec (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults firing schedules")
 	)
@@ -117,15 +120,27 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if faultSet != nil {
+		// The build stages (internal/pipeline) read their fault set from
+		// the context; the interpreter gets it via Exec.Faults above. Same
+		// set both ways, so -faults covers pipeline.<stage> points too.
+		ctx = faultinject.WithContext(ctx, faultSet)
+	}
 	if *asm {
-		prog, _, err := gcsafety.BuildContext(ctx, flag.Arg(0), string(src), p)
+		prog, _, rep, err := gcsafety.BuildWithReportContext(ctx, flag.Arg(0), string(src), p)
 		if err != nil {
 			fatal(err)
+		}
+		if *stageRep {
+			printStageReport(rep)
 		}
 		fmt.Print(prog.Listing())
 		return
 	}
 	res, err := gcsafety.RunContext(ctx, flag.Arg(0), string(src), p)
+	if *stageRep && res != nil {
+		printStageReport(res.Report)
+	}
 	if res != nil && res.Exec != nil {
 		fmt.Print(res.Exec.Output)
 	}
@@ -147,4 +162,20 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "ccrun: %v\n", err)
 	os.Exit(1)
+}
+
+// printStageReport renders the stage-graph walk of the build: one line
+// per executed stage with its cache disposition and duration.
+func printStageReport(rep *gcsafety.BuildReport) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "ccrun: build stages:")
+	for _, st := range rep.Stages {
+		disposition := "computed"
+		if st.CacheHit {
+			disposition = "cached"
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %-9s %9.3f ms\n", st.Stage, disposition, st.DurationMs)
+	}
 }

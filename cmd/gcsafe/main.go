@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"gcsafety"
 	"gcsafety/internal/gcsafe"
 )
 
@@ -85,7 +86,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := gcsafe.AnnotateSource(name, string(src), opts)
+	// Annotation runs through the root API's stage-graph pipeline, sharing
+	// the lex/parse/typecheck artifacts with any other build of the same
+	// source in this process.
+	res, err := gcsafety.Annotate(name, string(src), opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gcsafe: %v\n", err)
 		os.Exit(1)

@@ -7,18 +7,17 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync/atomic"
 
 	"gcsafety/internal/artifact"
-	"gcsafety/internal/cc/parser"
-	"gcsafety/internal/codegen"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
-	"gcsafety/internal/peephole"
+	"gcsafety/internal/pipeline"
 	"gcsafety/internal/workloads"
 )
 
@@ -61,6 +60,13 @@ type Measurement struct {
 // effect. Unbounded: the cell space is the small finite treatment matrix.
 var cells = artifact.New(0)
 
+// pipe is the stage-graph pipeline behind every cell build. Cells cache
+// whole Measurements; the pipeline underneath additionally shares the
+// per-stage artifacts between cells, so the 3 tables x 4 treatments x 3
+// machines of a full MeasureAll lex, parse and typecheck each workload
+// exactly once.
+var pipe = pipeline.NewRunner(artifact.New(0))
+
 // cellCompiles counts the cells actually built and run (cache misses).
 var cellCompiles atomic.Uint64
 
@@ -71,22 +77,30 @@ func CellCompiles() uint64 { return cellCompiles.Load() }
 // CacheStats exposes the cell cache's counters.
 func CacheStats() artifact.Stats { return cells.Stats() }
 
-// ResetCache drops every cached cell (benchmarks that want to time the
-// cold path).
+// PipelineStats exposes the per-stage counters of the pipeline under the
+// cell cache (tests assert front-end sharing on these).
+func PipelineStats() []pipeline.StageStat { return pipe.Stats() }
+
+// ResetCache drops every cached cell and stage artifact (benchmarks that
+// want to time the cold path).
 func ResetCache() {
 	cells = artifact.New(0)
+	pipe = pipeline.NewRunner(artifact.New(0))
 	cellCompiles.Store(0)
 }
 
 // cellKey digests everything that influences a cell: the workload's
 // source, input and expected output, the full treatment configuration
-// including annotator ablation options, and the machine.
+// including annotator ablation options, the machine, and the version
+// fingerprint of every pipeline stage — so shipping a changed stage
+// recomputes every cell built through it.
 func cellKey(w workloads.Workload, tr Treatment, cfg machine.Config) artifact.Key {
 	opts := gcsafe.Options{}
 	if tr.Gcsafe != nil {
 		opts = *tr.Gcsafe
 	}
 	return artifact.NewKey("bench-cell").
+		Str(pipeline.VersionFingerprint()).
 		Str(w.Name).
 		Str(w.Source).
 		Str(w.Input).
@@ -124,31 +138,40 @@ func Measure(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measureme
 	return v.(*Measurement), nil
 }
 
-// measureCell builds and runs one cell from scratch.
+// measureCell builds one cell on the stage-graph pipeline and runs it.
+// The compiled program is shared through the pipeline's artifact cache
+// (the interpreter never mutates it), so cells differing only in input
+// or expected output reuse the whole build.
 func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measurement, error) {
-	file, err := parser.Parse(w.Name+".c", w.Source)
+	opts := gcsafe.Options{}
+	if tr.Gcsafe != nil {
+		opts = *tr.Gcsafe
+	}
+	if tr.Checked {
+		opts.Mode = gcsafe.ModeChecked
+	}
+	b, err := pipe.Build(context.Background(), w.Name+".c", w.Source, pipeline.Options{
+		Annotate:        tr.Annotate,
+		AnnotateOptions: opts,
+		Optimize:        tr.Optimize,
+		Post:            tr.Post,
+		Machine:         cfg,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)
-	}
-	if tr.Annotate {
-		opts := gcsafe.Options{}
-		if tr.Gcsafe != nil {
-			opts = *tr.Gcsafe
+		var se *pipeline.StageError
+		if errors.As(err, &se) {
+			switch se.Stage {
+			case pipeline.StageLex, pipeline.StageParse, pipeline.StageTypecheck:
+				return nil, fmt.Errorf("%s: parse: %w", w.Name, se.Err)
+			case pipeline.StageAnnotate:
+				return nil, fmt.Errorf("%s: annotate: %w", w.Name, se.Err)
+			default:
+				return nil, fmt.Errorf("%s: compile: %w", w.Name, se.Err)
+			}
 		}
-		if tr.Checked {
-			opts.Mode = gcsafe.ModeChecked
-		}
-		if _, err := gcsafe.Annotate(file, opts); err != nil {
-			return nil, fmt.Errorf("%s: annotate: %w", w.Name, err)
-		}
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	prog, err := codegen.Compile(file, codegen.Options{Optimize: tr.Optimize, Machine: cfg})
-	if err != nil {
-		return nil, fmt.Errorf("%s: compile: %w", w.Name, err)
-	}
-	if tr.Post {
-		peephole.Optimize(prog, cfg)
-	}
+	prog := b.Prog
 	m := &Measurement{Size: prog.Size()}
 	res, err := interp.Run(prog, interp.Options{Config: cfg, Input: w.Input})
 	if err != nil {

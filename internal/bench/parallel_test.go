@@ -124,4 +124,11 @@ func TestMeasureStampede(t *testing.T) {
 	if n := CellCompiles(); n != 1 {
 		t.Fatalf("%d concurrent Measure calls compiled the cell %d times, want 1", callers, n)
 	}
+	// The stampede coalesced above the cell cache, so the pipeline below it
+	// saw one build: every stage executed at most once.
+	for _, st := range PipelineStats() {
+		if st.Misses > 1 {
+			t.Fatalf("stage %s executed %d times under the stampede, want at most 1", st.Stage, st.Misses)
+		}
+	}
 }

@@ -1,0 +1,246 @@
+package ast
+
+// Clone returns a deep copy of the file: every node and every Object is
+// duplicated, with Object identity preserved (all references to one Object
+// in f map to one Object in the copy), so passes that mutate the tree or
+// its objects in place — the gcsafe annotator sets Object.AddrTaken,
+// appends FuncDecl.Temps and rewrites expressions — can run on the copy
+// while f stays frozen. This is what lets a content-addressed cache hand
+// the same parsed AST to many downstream stages.
+//
+// Types (types.Type, *types.Field, *types.Func) are shared, not copied:
+// after parsing they are immutable — only the parser itself completes them
+// (inferred array lengths) before Parse returns.
+func (f *File) Clone() *File {
+	c := &cloner{objs: map[*Object]*Object{}}
+	out := &File{Name: f.Name, Source: f.Source}
+	for _, d := range f.Decls {
+		out.Decls = append(out.Decls, c.decl(d))
+	}
+	return out
+}
+
+// cloner maps original Objects to their copies so shared references (a
+// VarDecl and every Ident naming it) stay shared in the clone.
+type cloner struct {
+	objs map[*Object]*Object
+}
+
+func (c *cloner) obj(o *Object) *Object {
+	if o == nil {
+		return nil
+	}
+	if n, ok := c.objs[o]; ok {
+		return n
+	}
+	n := *o
+	c.objs[o] = &n
+	return &n
+}
+
+func (c *cloner) objs_(os []*Object) []*Object {
+	if os == nil {
+		return nil
+	}
+	out := make([]*Object, len(os))
+	for i, o := range os {
+		out[i] = c.obj(o)
+	}
+	return out
+}
+
+func (c *cloner) decl(d Decl) Decl {
+	switch d := d.(type) {
+	case *VarDecl:
+		return c.varDecl(d)
+	case *FuncDecl:
+		n := *d
+		n.Obj = c.obj(d.Obj)
+		n.Params = c.objs_(d.Params)
+		n.Temps = c.objs_(d.Temps)
+		if d.Body != nil {
+			n.Body = c.stmt(d.Body).(*Block)
+		}
+		return &n
+	}
+	return d
+}
+
+func (c *cloner) varDecl(d *VarDecl) *VarDecl {
+	if d == nil {
+		return nil
+	}
+	n := *d
+	n.Obj = c.obj(d.Obj)
+	n.Init = c.expr(d.Init)
+	n.InitList = c.exprs(d.InitList)
+	return &n
+}
+
+func (c *cloner) exprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = c.expr(e)
+	}
+	return out
+}
+
+func (c *cloner) expr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		n := *e
+		n.Obj = c.obj(e.Obj)
+		return &n
+	case *IntLit:
+		n := *e
+		return &n
+	case *CharLit:
+		n := *e
+		return &n
+	case *StrLit:
+		n := *e
+		return &n
+	case *Unary:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *Binary:
+		n := *e
+		n.X, n.Y = c.expr(e.X), c.expr(e.Y)
+		return &n
+	case *Assign:
+		n := *e
+		n.L, n.R = c.expr(e.L), c.expr(e.R)
+		return &n
+	case *Cond:
+		n := *e
+		n.C, n.T, n.F = c.expr(e.C), c.expr(e.T), c.expr(e.F)
+		return &n
+	case *Call:
+		n := *e
+		n.Fun = c.expr(e.Fun)
+		n.Args = c.exprs(e.Args)
+		return &n
+	case *Index:
+		n := *e
+		n.X, n.I = c.expr(e.X), c.expr(e.I)
+		return &n
+	case *Member:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *Cast:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *SizeofExpr:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *SizeofType:
+		n := *e
+		return &n
+	case *Comma:
+		n := *e
+		n.X, n.Y = c.expr(e.X), c.expr(e.Y)
+		return &n
+	case *Paren:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *KeepLive:
+		n := *e
+		n.X = c.expr(e.X)
+		if e.Base != nil {
+			n.Base = c.expr(e.Base).(*Ident)
+		}
+		return &n
+	}
+	return e
+}
+
+func (c *cloner) stmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = c.stmt(s)
+	}
+	return out
+}
+
+func (c *cloner) stmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *ExprStmt:
+		n := *s
+		n.X = c.expr(s.X)
+		return &n
+	case *DeclStmt:
+		n := *s
+		n.Decls = make([]*VarDecl, len(s.Decls))
+		for i, d := range s.Decls {
+			n.Decls[i] = c.varDecl(d)
+		}
+		return &n
+	case *Block:
+		n := *s
+		n.Stmts = c.stmts(s.Stmts)
+		return &n
+	case *If:
+		n := *s
+		n.Cond = c.expr(s.Cond)
+		n.Then = c.stmt(s.Then)
+		n.Else = c.stmt(s.Else)
+		return &n
+	case *While:
+		n := *s
+		n.Cond = c.expr(s.Cond)
+		n.Body = c.stmt(s.Body)
+		return &n
+	case *DoWhile:
+		n := *s
+		n.Body = c.stmt(s.Body)
+		n.Cond = c.expr(s.Cond)
+		return &n
+	case *For:
+		n := *s
+		n.Init = c.stmt(s.Init)
+		n.Cond = c.expr(s.Cond)
+		n.Post = c.expr(s.Post)
+		n.Body = c.stmt(s.Body)
+		return &n
+	case *Return:
+		n := *s
+		n.X = c.expr(s.X)
+		return &n
+	case *Break:
+		n := *s
+		return &n
+	case *Continue:
+		n := *s
+		return &n
+	case *Switch:
+		n := *s
+		n.X = c.expr(s.X)
+		n.Cases = make([]*CaseClause, len(s.Cases))
+		for i, cc := range s.Cases {
+			nc := *cc
+			nc.Vals = c.exprs(cc.Vals)
+			nc.Stmts = c.stmts(cc.Stmts)
+			n.Cases[i] = &nc
+		}
+		return &n
+	case *Empty:
+		n := *s
+		return &n
+	}
+	return s
+}

@@ -14,12 +14,31 @@ import (
 	"gcsafety/internal/cc/types"
 )
 
+// TokenSource is the parser's view of its token supply. *lexer.Lexer is
+// the live implementation; *lexer.Replay re-delivers a cached lexer.Scan so
+// a content-addressed pipeline can share one scan across many parses.
+// DefineType/IsType carry the typedef feedback channel C parsing requires.
+type TokenSource interface {
+	Next() token.Token
+	DefineType(name string)
+	IsType(name string) bool
+	Errs() []error
+}
+
 // Parse parses a complete translation unit. name is used in diagnostics.
 // The returned file is fully resolved and type-checked; err aggregates all
 // diagnostics encountered.
 func Parse(name, src string) (*ast.File, error) {
+	return ParseTokens(name, src, lexer.New(src))
+}
+
+// ParseTokens parses a translation unit from an explicit token source.
+// Behavior is identical to Parse when ts is a fresh lexer over src; the
+// pipeline's Parse stage passes a lexer.Replay instead, so identical text
+// is scanned once no matter how many treatment cells parse it.
+func ParseTokens(name, src string, ts TokenSource) (*ast.File, error) {
 	p := &Parser{
-		lex:  lexer.New(src),
+		lex:  ts,
 		file: &ast.File{Name: name, Source: src},
 	}
 	p.pushScope()
@@ -56,7 +75,7 @@ type scope struct {
 
 // Parser holds the parse state.
 type Parser struct {
-	lex    *lexer.Lexer
+	lex    TokenSource
 	tok    token.Token
 	ahead  []token.Token // pushback queue for lookahead
 	file   *ast.File

@@ -38,27 +38,17 @@ type Options struct {
 	DisableLoadFolding bool
 }
 
-// Compile translates a type-checked translation unit.
+// Compile translates a type-checked translation unit: Gen (global layout
+// and virtual-register code) followed by Backend (optimization, register
+// allocation, lowering). The two halves are exposed separately so the
+// stage pipeline can cache the machine-independent IR; Compile is their
+// composition.
 func Compile(file *ast.File, opts Options) (*machine.Program, error) {
-	c := &compiler{
-		opts: opts,
-		prog: &machine.Program{
-			Funcs:   map[string]*machine.Func{},
-			Globals: map[string]uint32{},
-		},
-		strings: map[string]uint32{},
-		funcIDs: map[string]int32{},
+	ir, err := Gen(file, opts)
+	if err != nil {
+		return nil, err
 	}
-	c.layoutGlobals(file)
-	for _, d := range file.Decls {
-		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-			c.compileFunc(fd)
-		}
-	}
-	if len(c.errs) > 0 {
-		return nil, &Error{Errs: c.errs}
-	}
-	return c.prog, nil
+	return Backend(ir), nil
 }
 
 // Error aggregates code generation diagnostics.

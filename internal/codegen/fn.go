@@ -26,7 +26,10 @@ type fn struct {
 	conts  []int32
 }
 
-func (c *compiler) compileFunc(fd *ast.FuncDecl) {
+// genFunc generates one function's virtual-register code: the gen half of
+// the per-function pipeline. The backend passes (optimize, allocate,
+// lower) run later, in Backend, over a copy of the returned code.
+func (c *compiler) genFunc(fd *ast.FuncDecl) *IRFunc {
 	f := &fn{
 		c:     c,
 		fd:    fd,
@@ -34,11 +37,10 @@ func (c *compiler) compileFunc(fd *ast.FuncDecl) {
 		slots: map[*ast.Object]int32{},
 		vregs: map[*ast.Object]machine.Reg{},
 	}
-	mf := &machine.Func{
-		Name:      fd.Obj.Name,
-		NumParams: len(fd.Params),
-		ID:        c.funcRefID(fd.Obj.Name),
-	}
+	// The function's id is assigned before its body generates so indirect
+	// references to later functions number identically to the fused
+	// single-pass compiler this replaced.
+	id := c.funcRefID(fd.Obj.Name)
 	// Parameter and local variable placement. In the optimized pipeline,
 	// scalar locals whose address is never taken live in virtual
 	// registers; in the debuggable pipeline every variable has a memory
@@ -61,23 +63,13 @@ func (c *compiler) compileFunc(fd *ast.FuncDecl) {
 	// Fall-through return (for void functions and main's implicit return).
 	f.emit(machine.Instr{Op: machine.Ret, Rs1: machine.NoReg})
 
-	code := f.code
-	if DebugHook != nil {
-		DebugHook("gen:"+mf.Name, code)
+	return &IRFunc{
+		Name:      fd.Obj.Name,
+		ID:        id,
+		NumParams: len(fd.Params),
+		SpillBase: f.frame,
+		Code:      f.code,
 	}
-	if c.opts.Optimize {
-		code = optimize(code, c.opts)
-		if DebugHook != nil {
-			DebugHook("opt:"+mf.Name, code)
-		}
-	}
-	var spillBase int32 = f.frame
-	code, frame := allocate(code, c.opts.Machine, spillBase)
-	code = lower(code, c.opts, frame, len(fd.Params))
-	mf.Code = code
-	mf.FrameSize = frame
-	c.prog.Funcs[mf.Name] = mf
-	c.prog.Order = append(c.prog.Order, mf.Name)
 }
 
 func (f *fn) emit(in machine.Instr) int {

@@ -1,0 +1,99 @@
+package codegen
+
+import (
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/machine"
+)
+
+// IR is the machine-independent half of a compilation: the static data
+// image and every function's virtual-register code, before optimization,
+// register allocation and lowering. It is what the pipeline's Codegen
+// stage caches — Backend turns one IR into a *machine.Program without
+// touching the AST again.
+//
+// An IR is immutable once Gen returns; Backend copies each function's
+// code before the (in-place) backend passes run.
+type IR struct {
+	// Opts are the options Gen ran under. The gen phase itself consults
+	// only Optimize (register-eligibility of locals), but the options
+	// travel with the IR so Backend applies the matching backend pipeline.
+	Opts    Options
+	Data    []byte
+	Globals map[string]uint32
+	Fns     []*IRFunc // definition order
+}
+
+// IRFunc is one function's generated (unoptimized, unallocated) code.
+type IRFunc struct {
+	Name      string
+	ID        int32
+	NumParams int
+	// SpillBase is the frame size consumed by memory-resident locals; the
+	// register allocator places spill slots above it.
+	SpillBase int32
+	Code      []machine.Instr
+}
+
+// Gen runs the front half of the compiler: global layout, string
+// interning and per-function virtual-register code generation. All
+// diagnostics are gen-phase, so a nil error here guarantees Backend
+// succeeds.
+func Gen(file *ast.File, opts Options) (*IR, error) {
+	c := &compiler{
+		opts: opts,
+		prog: &machine.Program{
+			Funcs:   map[string]*machine.Func{},
+			Globals: map[string]uint32{},
+		},
+		strings: map[string]uint32{},
+		funcIDs: map[string]int32{},
+	}
+	c.layoutGlobals(file)
+	ir := &IR{Opts: opts}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			ir.Fns = append(ir.Fns, c.genFunc(fd))
+		}
+	}
+	if len(c.errs) > 0 {
+		return nil, &Error{Errs: c.errs}
+	}
+	ir.Data = c.prog.Data
+	ir.Globals = c.prog.Globals
+	return ir, nil
+}
+
+// Backend runs the back half: per-function optimization (under -O),
+// register allocation and lowering. It never fails — every diagnostic
+// belongs to Gen — and never mutates ir, so one cached IR can be lowered
+// any number of times.
+func Backend(ir *IR) *machine.Program {
+	prog := &machine.Program{
+		Funcs:   map[string]*machine.Func{},
+		Globals: ir.Globals,
+		Data:    ir.Data,
+	}
+	for _, fi := range ir.Fns {
+		code := append([]machine.Instr(nil), fi.Code...)
+		if DebugHook != nil {
+			DebugHook("gen:"+fi.Name, code)
+		}
+		if ir.Opts.Optimize {
+			code = optimize(code, ir.Opts)
+			if DebugHook != nil {
+				DebugHook("opt:"+fi.Name, code)
+			}
+		}
+		code, frame := allocate(code, ir.Opts.Machine, fi.SpillBase)
+		code = lower(code, ir.Opts, frame, fi.NumParams)
+		prog.Funcs[fi.Name] = &machine.Func{
+			Name:      fi.Name,
+			Code:      code,
+			FrameSize: frame,
+			NumParams: fi.NumParams,
+			ID:        fi.ID,
+		}
+		prog.Order = append(prog.Order, fi.Name)
+	}
+	return prog
+}

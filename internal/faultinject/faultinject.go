@@ -71,6 +71,19 @@ const (
 	// handler: error becomes a 500, panic exercises the recovery
 	// middleware, sleep delays the response.
 	PointServerHandler = "server.handler"
+	// PointPipeline* fire inside the corresponding compilation stage of
+	// internal/pipeline, before the stage's real work: error fails the
+	// build at exactly that stage boundary (never corrupting a cached
+	// artifact — stage errors are not cached), sleep delays it. One point
+	// per stage of the Lex → Parse → Typecheck → Annotate → Codegen →
+	// Optimize → Peephole graph.
+	PointPipelineLex       = "pipeline.lex"
+	PointPipelineParse     = "pipeline.parse"
+	PointPipelineTypecheck = "pipeline.typecheck"
+	PointPipelineAnnotate  = "pipeline.annotate"
+	PointPipelineCodegen   = "pipeline.codegen"
+	PointPipelineOptimize  = "pipeline.optimize"
+	PointPipelinePeephole  = "pipeline.peephole"
 )
 
 // Action is what a rule does when it fires.

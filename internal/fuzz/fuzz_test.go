@@ -128,6 +128,16 @@ var faultFuzzSpecs = []string{
 	"gc.collect.force=error,p=0.5",
 	"interp.step=error,msg=fuzz-abort",
 	"gc.alloc=error,p=0.1;gc.collect.force=error,p=0.3;interp.step=error,p=0.2",
+	// Stage-graph build points (internal/pipeline): a firing rule fails
+	// the treatment's build at that stage boundary, which must classify
+	// exactly like an injected run-time fault. Error actions only — sleeps
+	// would slow the fuzzer without adding coverage, and panics are the
+	// chaos suite's job.
+	"pipeline.parse=error,p=0.5,msg=fuzz-parse",
+	"pipeline.annotate=error,p=0.5,msg=fuzz-annotate",
+	"pipeline.codegen=error,p=0.4;pipeline.optimize=error,p=0.4",
+	"pipeline.lex=error,p=0.3;pipeline.typecheck=error,p=0.3;pipeline.peephole=error,p=0.5",
+	"pipeline.codegen=error,p=0.2;gc.alloc=error,p=0.2;interp.step=error,p=0.2",
 }
 
 // FuzzFaultInjection fuzzes the treatment matrix under injected faults:
@@ -153,6 +163,11 @@ func FuzzFaultInjection(f *testing.F) {
 	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 13}, byte(2), uint64(3))
 	f.Add([]byte("the quick brown fox jumps over the lazy dog"), byte(3), uint64(4))
 	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, byte(4), uint64(5))
+	f.Add([]byte{6, 6, 6, 6}, byte(5), uint64(6))
+	f.Add([]byte{3, 7, 200, 41, 0, 0, 99, 5}, byte(6), uint64(7))
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 13}, byte(7), uint64(8))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), byte(8), uint64(9))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, byte(9), uint64(10))
 	f.Fuzz(func(t *testing.T, data []byte, sel byte, seed uint64) {
 		if len(data) > 48 {
 			data = data[:48]

@@ -6,15 +6,14 @@ import (
 	"fmt"
 	"strings"
 
-	"gcsafety/internal/cc/parser"
-	"gcsafety/internal/codegen"
+	"gcsafety/internal/artifact"
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/gc"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/par"
-	"gcsafety/internal/peephole"
+	"gcsafety/internal/pipeline"
 )
 
 // Annotation selects the preprocessing treatment of a program.
@@ -222,34 +221,58 @@ func RunTreatment(p *Program, t Treatment) (TreatmentResult, error) {
 // budget (0 = interpreter default). Context expiry is a harness-level
 // outcome — the treatment was not measured — never a violation.
 func RunTreatmentContext(ctx context.Context, p *Program, t Treatment, maxInstrs uint64) (TreatmentResult, error) {
-	return runTreatment(ctx, p, t, maxInstrs, nil)
+	return runTreatment(ctx, pipeline.NewRunner(artifact.New(0)), p, t, maxInstrs, nil)
 }
 
-func runTreatment(ctx context.Context, p *Program, t Treatment, maxInstrs uint64, faults *faultinject.Set) (TreatmentResult, error) {
+// runTreatment builds one treatment on the matrix's shared stage-graph
+// pipeline — treatments differing only in execution regime (or only in
+// back-end options) reuse cached front-end stages — and executes it.
+// Injected faults reach both the pipeline stages (via the build context)
+// and the interpreter (via exec.Faults); an injected build failure is a
+// treatment outcome, not a harness error, exactly like an injected
+// run-time fault.
+func runTreatment(ctx context.Context, runner *pipeline.Runner, p *Program, t Treatment, maxInstrs uint64, faults *faultinject.Set) (TreatmentResult, error) {
 	r := TreatmentResult{Treatment: t}
 	if err := ctx.Err(); err != nil {
 		return r, fmt.Errorf("matrix: %w", err)
 	}
-	file, err := parser.Parse("fuzz.c", p.Source)
+	opts := gcsafe.Options{}
+	if t.Annotate == AnnotateChecked {
+		opts.Mode = gcsafe.ModeChecked
+	}
+	bctx := ctx
+	if faults != nil {
+		bctx = faultinject.WithContext(ctx, faults)
+	}
+	b, err := runner.Build(bctx, "fuzz.c", p.Source, pipeline.Options{
+		Annotate:        t.Annotate != AnnotateNone,
+		AnnotateOptions: opts,
+		Optimize:        t.Optimize,
+		Post:            t.Post,
+		Machine:         t.Machine,
+	})
 	if err != nil {
-		return r, fmt.Errorf("parse: %w", err)
-	}
-	if t.Annotate != AnnotateNone {
-		opts := gcsafe.Options{}
-		if t.Annotate == AnnotateChecked {
-			opts.Mode = gcsafe.ModeChecked
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return r, fmt.Errorf("matrix: %w", err)
 		}
-		if _, err := gcsafe.Annotate(file, opts); err != nil {
-			return r, fmt.Errorf("annotate: %w", err)
+		if errors.Is(err, faultinject.ErrInjected) {
+			r.Err = err
+			return r, nil
 		}
+		var se *pipeline.StageError
+		if errors.As(err, &se) {
+			switch se.Stage {
+			case pipeline.StageAnnotate:
+				return r, fmt.Errorf("annotate: %w", se.Err)
+			case pipeline.StageCodegen, pipeline.StageOptimize, pipeline.StagePeephole:
+				return r, fmt.Errorf("compile: %w", se.Err)
+			default:
+				return r, fmt.Errorf("parse: %w", se.Err)
+			}
+		}
+		return r, err
 	}
-	prog, err := codegen.Compile(file, codegen.Options{Optimize: t.Optimize, Machine: t.Machine})
-	if err != nil {
-		return r, fmt.Errorf("compile: %w", err)
-	}
-	if t.Post {
-		peephole.Optimize(prog, t.Machine)
-	}
+	prog := b.Prog
 	exec := interp.Options{Config: t.Machine, Validate: true, MaxInstrs: maxInstrs, Faults: faults}
 	if t.Adversarial {
 		exec.GCEveryInstrs = 1
@@ -295,8 +318,12 @@ func RunMatrixContext(ctx context.Context, p *Program, opt MatrixOptions) (*Matr
 	if width <= 0 {
 		width = par.Default()
 	}
+	// One pipeline per matrix: the ~30 treatments of one program share a
+	// front end (and often whole compiled programs) through the stage
+	// cache; concurrent treatments coalesce per stage via singleflight.
+	runner := pipeline.NewRunner(artifact.New(0))
 	par.ForEach(width, len(ts), func(i int) {
-		results[i], errs[i] = runTreatment(ctx, p, ts[i], opt.MaxInstrs, opt.Faults)
+		results[i], errs[i] = runTreatment(ctx, runner, p, ts[i], opt.MaxInstrs, opt.Faults)
 	})
 	for i, t := range ts {
 		if err := errs[i]; err != nil {

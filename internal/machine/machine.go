@@ -242,6 +242,26 @@ type Program struct {
 	Globals map[string]uint32 // symbol -> absolute address
 }
 
+// Clone returns a copy of the program whose functions and code slices are
+// independent of p: in-place rewrites (the peephole postprocessor) can run
+// on the copy while p stays frozen — the contract cached compile artifacts
+// rely on. The static data image and symbol table are immutable after
+// compilation and are shared, not copied.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Funcs:   make(map[string]*Func, len(p.Funcs)),
+		Order:   append([]string(nil), p.Order...),
+		Data:    p.Data,
+		Globals: p.Globals,
+	}
+	for name, f := range p.Funcs {
+		nf := *f
+		nf.Code = append([]Instr(nil), f.Code...)
+		q.Funcs[name] = &nf
+	}
+	return q
+}
+
 // DataBase is the absolute address of the static data segment.
 const DataBase uint32 = 0x0000_2000
 

@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"gcsafety/internal/cc/ast"
+)
+
+// checked is the Typecheck stage's artifact: the verified AST (shared
+// with the Parse artifact — the verifier does not mutate) plus the
+// counts the walk gathered.
+type checked struct {
+	file  *ast.File
+	funcs int
+	exprs int
+	typed int
+}
+
+// verify is the Typecheck stage: the front end types and resolves during
+// parsing, so this stage re-walks the checked tree and asserts the
+// invariants every downstream stage assumes — declarations carry
+// objects, and identifiers are resolved. It exists as its own stage (and
+// cache entry) so the invariant is checked once per distinct source, not
+// once per treatment, and so front-end changes can be versioned
+// independently of parsing.
+func verify(f *ast.File) (*checked, error) {
+	ck := &checked{file: f}
+	var bad []error
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Obj == nil {
+				bad = append(bad, fmt.Errorf("function declaration without object"))
+				continue
+			}
+			ck.funcs++
+		case *ast.VarDecl:
+			if d.Obj == nil {
+				bad = append(bad, fmt.Errorf("variable declaration without object"))
+			} else if d.Obj.Type == nil {
+				bad = append(bad, fmt.Errorf("variable %s without type", d.Obj.Name))
+			}
+		}
+	}
+	ast.Inspect(f, func(e ast.Expr) bool {
+		ck.exprs++
+		if e.Type() != nil {
+			ck.typed++
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Obj == nil {
+			bad = append(bad, fmt.Errorf("unresolved identifier %s", id.Name))
+			return false
+		}
+		return true
+	})
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("typecheck: %d invariant violations, first: %w", len(bad), bad[0])
+	}
+	return ck, nil
+}

@@ -8,14 +8,12 @@ import (
 	"time"
 
 	"gcsafety/internal/artifact"
-	"gcsafety/internal/cc/parser"
-	"gcsafety/internal/codegen"
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/fuzz"
 	"gcsafety/internal/gcsafe"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
-	"gcsafety/internal/peephole"
+	"gcsafety/internal/pipeline"
 )
 
 // decode parses a JSON request body into v, translating the failure modes
@@ -107,16 +105,58 @@ type annotated struct {
 	size       int64
 }
 
-// annotate runs the preprocessor through the artifact cache.
+// stageBuildError translates a pipeline build failure into the handler
+// error vocabulary: context errors pass through raw (so the middleware
+// maps them to 504/499), injected faults surface as 500s like every
+// other injection, and genuine stage failures become 422s prefixed the
+// way the pre-pipeline monolithic path spelled them.
+func stageBuildError(err error) error {
+	var se *pipeline.StageError
+	if !errors.As(err, &se) {
+		return err
+	}
+	if errors.Is(se.Err, context.Canceled) || errors.Is(se.Err, context.DeadlineExceeded) {
+		return se.Err
+	}
+	if errors.Is(se.Err, faultinject.ErrInjected) {
+		return errf(http.StatusInternalServerError, "%v", se.Err)
+	}
+	switch se.Stage {
+	case pipeline.StageLex, pipeline.StageParse, pipeline.StageTypecheck:
+		return errf(http.StatusUnprocessableEntity, "parse: %v", se.Err)
+	case pipeline.StageAnnotate:
+		return errf(http.StatusUnprocessableEntity, "annotate: %v", se.Err)
+	default:
+		return errf(http.StatusUnprocessableEntity, "compile: %v", se.Err)
+	}
+}
+
+// annotate runs the preprocessor through the artifact cache. The outer
+// whole-product entry keyed by annotateKey is what the disk tier
+// persists and the stampede guarantee counts; beneath it the stage
+// runner shares Lex/Parse/Typecheck with every other endpoint that saw
+// the same source.
 func (s *Server) annotate(ctx context.Context, name, src string, opts gcsafe.Options) (*annotated, bool, error) {
 	if name == "" {
 		name = "input.c"
 	}
 	v, hit, err := s.cache.GetOrCompute(ctx, annotateKey(src, opts), func() (any, int64, error) {
 		s.annotations.Add(1)
-		res, err := gcsafe.AnnotateSource(name, src, opts)
+		res, _, err := s.pipeline.Annotate(ctx, name, src, opts)
 		if err != nil {
-			return nil, 0, errf(http.StatusUnprocessableEntity, "%v", err)
+			var se *pipeline.StageError
+			if errors.As(err, &se) {
+				// The monolithic path reported annotator/parser errors
+				// bare, with no stage prefix; keep that wire format.
+				if errors.Is(se.Err, context.Canceled) || errors.Is(se.Err, context.DeadlineExceeded) {
+					return nil, 0, se.Err
+				}
+				if errors.Is(se.Err, faultinject.ErrInjected) {
+					return nil, 0, errf(http.StatusInternalServerError, "%v", se.Err)
+				}
+				return nil, 0, errf(http.StatusUnprocessableEntity, "%v", se.Err)
+			}
+			return nil, 0, err
 		}
 		a := &annotated{
 			output:     res.Output,
@@ -250,36 +290,32 @@ func annotationByName(name string) (fuzz.Annotation, error) {
 	return 0, errf(http.StatusBadRequest, "unknown annotate %q (want none, safe or checked)", name)
 }
 
-// compile builds one treatment cell through the artifact cache: parse,
-// optionally annotate, compile, optionally postprocess — exactly once per
-// distinct (source, annotation, machine, opt level, peephole flag) under
-// arbitrary concurrency.
+// compile builds one treatment cell through the artifact cache: the
+// whole-product entry keyed by compileKey preserves the pre-pipeline
+// stampede guarantee (one compile per distinct cell under arbitrary
+// concurrency) and the disk-tier restart story, while the stage runner
+// beneath it shares the front end and intermediate artifacts across
+// cells that differ only in annotation, machine, opt level or peephole
+// flag.
 func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) (*compiled, bool, error) {
 	if name == "" {
 		name = "input.c"
 	}
 	v, hit, err := s.cache.GetOrCompute(ctx, compileKey(src, ann, optimize, post, cfg), func() (any, int64, error) {
 		s.compiles.Add(1)
-		file, err := parser.Parse(name, src)
+		opts := pipeline.Options{Optimize: optimize, Post: post, Machine: cfg}
+		switch ann {
+		case fuzz.AnnotateSafe:
+			opts.Annotate = true
+		case fuzz.AnnotateChecked:
+			opts.Annotate = true
+			opts.AnnotateOptions.Mode = gcsafe.ModeChecked
+		}
+		res, err := s.pipeline.Build(ctx, name, src, opts)
 		if err != nil {
-			return nil, 0, errf(http.StatusUnprocessableEntity, "parse: %v", err)
+			return nil, 0, stageBuildError(err)
 		}
-		if ann != fuzz.AnnotateNone {
-			opts := gcsafe.Options{}
-			if ann == fuzz.AnnotateChecked {
-				opts.Mode = gcsafe.ModeChecked
-			}
-			if _, err := gcsafe.Annotate(file, opts); err != nil {
-				return nil, 0, errf(http.StatusUnprocessableEntity, "annotate: %v", err)
-			}
-		}
-		prog, err := codegen.Compile(file, codegen.Options{Optimize: optimize, Machine: cfg})
-		if err != nil {
-			return nil, 0, errf(http.StatusUnprocessableEntity, "compile: %v", err)
-		}
-		if post {
-			peephole.Optimize(prog, cfg)
-		}
+		prog := res.Prog
 		c := &compiled{prog: prog, size: prog.Size()}
 		// Accounted size: instruction words plus the static segment, with
 		// a per-function overhead allowance.

@@ -9,6 +9,7 @@ import (
 
 	"gcsafety/internal/artifact"
 	"gcsafety/internal/gc"
+	"gcsafety/internal/pipeline"
 )
 
 // latencyBucketsMs are the upper bounds (inclusive, in milliseconds) of
@@ -189,7 +190,11 @@ type Snapshot struct {
 	DiskError    string                 `json:"disk_error,omitempty"`
 	Compiles     uint64                 `json:"compiles"`
 	Annotations  uint64                 `json:"annotations"`
-	Runs         RunSnapshot            `json:"runs"`
+	// Pipeline reports per-stage execution counters from the stage-graph
+	// runner: calls, cache hits/misses, errors and cumulative duration for
+	// each of lex/parse/typecheck/annotate/codegen/optimize/peephole.
+	Pipeline []pipeline.StageStat `json:"pipeline,omitempty"`
+	Runs     RunSnapshot          `json:"runs"`
 }
 
 func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) Snapshot {

@@ -36,6 +36,7 @@ import (
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/par"
+	"gcsafety/internal/pipeline"
 )
 
 // Config sizes the daemon. The zero value of any field selects the
@@ -107,11 +108,17 @@ func (c Config) withDefaults() Config {
 // Server is the gcsafed daemon: an http.Handler plus its worker pool,
 // artifact cache and metrics registry.
 type Server struct {
-	cfg     Config
-	cache   *artifact.Cache
-	pool    *pool
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg   Config
+	cache *artifact.Cache
+	// pipeline is the stage-graph runner behind /v1/annotate, /v1/check,
+	// /v1/compile and /v1/run. It shares the server's artifact cache (and
+	// therefore its LRU budget and disk tier), so the whole-product
+	// annotate/compile entries and the per-stage artifacts beneath them
+	// compete for the same bytes and survive restarts together.
+	pipeline *pipeline.Runner
+	pool     *pool
+	metrics  *metrics
+	mux      *http.ServeMux
 
 	// draining flips once graceful shutdown begins: /readyz fails and new
 	// pipeline requests are refused with 503 + Retry-After so load
@@ -142,6 +149,7 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	s.pipeline = pipeline.NewRunner(s.cache)
 	if cfg.CacheDir != "" {
 		disk, rs, err := artifact.OpenDisk(cfg.CacheDir)
 		s.diskRecover, s.diskErr = rs, err
@@ -184,6 +192,9 @@ func (s *Server) CacheStats() artifact.Stats { return s.cache.Stats() }
 // Compiles reports how many times the server actually ran the compiler
 // (cache hits excluded).
 func (s *Server) Compiles() uint64 { return s.compiles.Load() }
+
+// PipelineStats exposes the per-stage execution counters (tests, metrics).
+func (s *Server) PipelineStats() []pipeline.StageStat { return s.pipeline.Stats() }
 
 // pool is the bounded worker pool with load shedding: at most workers
 // requests execute, at most queue more wait, and everything beyond that is
@@ -426,6 +437,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.cache.Stats(), s.compiles.Load(), s.annotations.Load())
+	snap.Pipeline = s.pipeline.Stats()
 	snap.Draining = s.draining.Load()
 	if s.cfg.CacheDir != "" {
 		if s.diskErr != nil {

@@ -312,9 +312,17 @@ func TestCompileStampede(t *testing.T) {
 	if got := s.Compiles(); got != 1 {
 		t.Fatalf("compile counter = %d, want exactly 1", got)
 	}
+	// The one compile that ran executed all seven pipeline stages cold, so
+	// the shared cache records 1 outer miss + 7 stage misses; the other 99
+	// requests coalesced on the outer whole-product entry.
 	st := s.CacheStats()
-	if st.Hits != n-1 || st.Misses != 1 {
-		t.Fatalf("cache stats: %+v, want %d hits / 1 miss", st, n-1)
+	if st.Hits != n-1 || st.Misses != 8 {
+		t.Fatalf("cache stats: %+v, want %d hits / 8 misses", st, n-1)
+	}
+	for _, ps := range s.PipelineStats() {
+		if ps.Misses > 1 {
+			t.Fatalf("stage %s executed %d times under the stampede, want at most 1", ps.Stage, ps.Misses)
+		}
 	}
 }
 
@@ -410,8 +418,21 @@ func TestMetricsAdvance(t *testing.T) {
 	if after.Runs.Programs != before.Runs.Programs+2 || after.Runs.Cycles == 0 {
 		t.Fatalf("run metrics did not advance: %+v", after.Runs)
 	}
-	if after.Cache.Hits != 1 || after.Cache.Misses != 1 || after.Compiles != 1 {
+	// One cold compile = 1 outer miss + 5 stage misses (lex, parse,
+	// typecheck, codegen, optimize — no annotation, no peephole); the
+	// second identical run hits the outer whole-product entry.
+	if after.Cache.Hits != 1 || after.Cache.Misses != 6 || after.Compiles != 1 {
 		t.Fatalf("cache counters: %+v compiles=%d", after.Cache, after.Compiles)
+	}
+	if len(after.Pipeline) == 0 {
+		t.Fatal("/metrics snapshot carries no pipeline stage counters")
+	}
+	var executed uint64
+	for _, ps := range after.Pipeline {
+		executed += ps.Misses
+	}
+	if executed != 5 {
+		t.Fatalf("pipeline stages executed %d times, want 5: %+v", executed, after.Pipeline)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"gcsafety/internal/artifact"
 	"gcsafety/internal/machine"
+	"gcsafety/internal/pipeline"
 )
 
 // Wire forms of the cached artifacts for the disk tier. The in-memory
@@ -34,71 +35,75 @@ type wireCompiled struct {
 	Size int64
 }
 
-// artifactCodec translates the server's cached artifact types to and
-// from disk bytes. Values of unknown dynamic type (none today) simply
-// stay memory-only.
+// artifactCodec composes the disk codec for the shared artifact cache:
+// the server's whole-product annotate/compile kinds plus the pipeline's
+// per-stage compiled-program kinds, registered against one registry so a
+// single disk directory persists both families across restarts.
 func artifactCodec() artifact.DiskCodec {
-	return artifact.DiskCodec{
-		Encode: encodeArtifact,
-		Decode: decodeArtifact,
-	}
+	reg := artifact.NewCodecRegistry()
+	reg.Register(kindAnnotate, artifact.Codec{Encode: encodeAnnotated, Decode: decodeAnnotated})
+	reg.Register(kindCompile, artifact.Codec{Encode: encodeCompiled, Decode: decodeCompiled})
+	pipeline.RegisterWire(reg)
+	return reg.DiskCodec()
 }
 
-func encodeArtifact(key artifact.Key, v any) (string, []byte, bool) {
-	var (
-		kind string
-		wire any
-	)
-	switch a := v.(type) {
-	case *annotated:
-		kind = kindAnnotate
-		wire = &wireAnnotated{
-			Output:     a.output,
-			Warnings:   a.warnings,
-			Inserted:   a.inserted,
-			Suppressed: a.suppressed,
-			Temps:      a.temps,
-			Size:       a.size,
-		}
-	case *compiled:
-		kind = kindCompile
-		wire = &wireCompiled{Prog: a.prog, Size: a.accounted}
-	default:
-		return "", nil, false
+func encodeAnnotated(key artifact.Key, v any) ([]byte, bool) {
+	a, ok := v.(*annotated)
+	if !ok {
+		return nil, false
 	}
+	return gobBytes(&wireAnnotated{
+		Output:     a.output,
+		Warnings:   a.warnings,
+		Inserted:   a.inserted,
+		Suppressed: a.suppressed,
+		Temps:      a.temps,
+		Size:       a.size,
+	})
+}
+
+func decodeAnnotated(data []byte) (any, int64, error) {
+	var w wireAnnotated
+	if err := gobDecode(data, &w); err != nil {
+		return nil, 0, err
+	}
+	return &annotated{
+		output:     w.Output,
+		warnings:   w.Warnings,
+		inserted:   w.Inserted,
+		suppressed: w.Suppressed,
+		temps:      w.Temps,
+		size:       w.Size,
+	}, w.Size, nil
+}
+
+func encodeCompiled(key artifact.Key, v any) ([]byte, bool) {
+	c, ok := v.(*compiled)
+	if !ok {
+		return nil, false
+	}
+	return gobBytes(&wireCompiled{Prog: c.prog, Size: c.accounted})
+}
+
+func decodeCompiled(data []byte) (any, int64, error) {
+	var w wireCompiled
+	if err := gobDecode(data, &w); err != nil {
+		return nil, 0, err
+	}
+	if w.Prog == nil || len(w.Prog.Funcs) == 0 {
+		return nil, 0, fmt.Errorf("compile artifact with no code")
+	}
+	return &compiled{prog: w.Prog, size: w.Prog.Size(), accounted: w.Size}, w.Size, nil
+}
+
+func gobBytes(v any) ([]byte, bool) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
-		return "", nil, false
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, false
 	}
-	return kind, buf.Bytes(), true
+	return buf.Bytes(), true
 }
 
-func decodeArtifact(kind string, data []byte) (any, int64, error) {
-	dec := gob.NewDecoder(bytes.NewReader(data))
-	switch kind {
-	case kindAnnotate:
-		var w wireAnnotated
-		if err := dec.Decode(&w); err != nil {
-			return nil, 0, err
-		}
-		return &annotated{
-			output:     w.Output,
-			warnings:   w.Warnings,
-			inserted:   w.Inserted,
-			suppressed: w.Suppressed,
-			temps:      w.Temps,
-			size:       w.Size,
-		}, w.Size, nil
-	case kindCompile:
-		var w wireCompiled
-		if err := dec.Decode(&w); err != nil {
-			return nil, 0, err
-		}
-		if w.Prog == nil || len(w.Prog.Funcs) == 0 {
-			return nil, 0, fmt.Errorf("compile artifact with no code")
-		}
-		return &compiled{prog: w.Prog, size: w.Prog.Size(), accounted: w.Size}, w.Size, nil
-	default:
-		return nil, 0, fmt.Errorf("unknown artifact kind %q", kind)
-	}
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }
