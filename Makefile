@@ -14,7 +14,7 @@
 #   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
 #   make bench        run the full benchmark suite and record it as
-#                     BENCH_PR5.json at the repo root (benchdiff JSON; gate
+#                     BENCH_PR6.json at the repo root (benchdiff JSON; gate
 #                     future changes with `make bench-compare`)
 #   make bench-compare  diff the newest BENCH_*.json against the previous
 #                     one with benchdiff (exits 1 on a >10% regression)
@@ -26,7 +26,7 @@
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
-FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection
+FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection FuzzTemporalDifferential
 
 .PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke
 
@@ -81,7 +81,7 @@ chaos:
 # The benchmark record: every benchmark at its default benchtime, captured
 # as benchdiff JSON at the repo root. Compare a working tree against the
 # previous record with: make bench && make bench-compare
-BENCHOUT ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"

@@ -35,8 +35,9 @@ type Mode = gcsafe.Mode
 
 // Annotation modes.
 const (
-	ModeSafe    = gcsafe.ModeSafe
-	ModeChecked = gcsafe.ModeChecked
+	ModeSafe     = gcsafe.ModeSafe
+	ModeChecked  = gcsafe.ModeChecked
+	ModeTemporal = gcsafe.ModeTemporal
 )
 
 // AnnotateOptions re-exports the annotator configuration.
@@ -49,6 +50,12 @@ func Safe() AnnotateOptions { return AnnotateOptions{Mode: ModeSafe} }
 // Checked returns the debugging-mode options: every pointer-arithmetic
 // result is validated at run time through GC_same_obj.
 func Checked() AnnotateOptions { return AnnotateOptions{Mode: ModeChecked} }
+
+// Temporal returns the temporal-checking options: checked-mode pointer
+// validation plus free→GC_free rewriting, so that (with the interpreter's
+// Temporal option on) use-after-free and double-free become deterministic
+// checker violations instead of silent corruption.
+func Temporal() AnnotateOptions { return AnnotateOptions{Mode: ModeTemporal} }
 
 // defaultRunner executes every package-level Annotate/Build/Run call on
 // the stage-graph pipeline (internal/pipeline) over a shared bounded

@@ -113,6 +113,23 @@ func BenchmarkTablePostprocessor(b *testing.B) {
 	}
 }
 
+// BenchmarkTableHazards regenerates the temporal/concurrency extension's
+// hazard table: the catalogue of promoted hazard workloads under the safe,
+// temporal and concurrent-mutator treatments. Detected bugs ("<fails>")
+// carry no metric; the surviving cells report their slowdowns.
+func BenchmarkTableHazards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.HazardTable(machine.SPARCstation10())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			reportTable(b, t)
+		}
+	}
+}
+
 // BenchmarkAblationCallVsAsm compares the two KEEP_LIVE implementations
 // (the paper's "terribly inefficient" opaque call vs. the empty asm).
 func BenchmarkAblationCallVsAsm(b *testing.B) {

@@ -11,6 +11,13 @@
 //	-O                 optimize (default true; -O=false is the -g pipeline)
 //	-safe              run the GC-safety annotator first
 //	-check             run the annotator in checking mode (debugging)
+//	-temporal          run the annotator in temporal mode and arm the
+//	                   allocation-epoch checker (use-after-free, double
+//	                   free and recycled-address reads become violations)
+//	-threads n         execute on the concurrent-mutator simulation with
+//	                   n deterministic threads (main + thread1..threadN-1)
+//	-sched-seed n      interleaving schedule seed (0 = fixed default)
+//	-collect-at-switch force a collection at every context switch
 //	-post              run the peephole postprocessor
 //	-machine name      ss2 | ss10 | p90 (default ss10)
 //	-in file           program input (getchar stream)
@@ -47,6 +54,10 @@ func main() {
 		optimize  = flag.Bool("O", true, "optimize")
 		safe      = flag.Bool("safe", false, "annotate for GC-safety")
 		check     = flag.Bool("check", false, "annotate for pointer-arithmetic checking")
+		temporal  = flag.Bool("temporal", false, "annotate in temporal mode and arm the epoch checker")
+		threads   = flag.Int("threads", 0, "concurrent-mutator thread count (0 or 1 = single-thread)")
+		schedSeed = flag.Uint64("sched-seed", 0, "interleaving schedule seed (0 = default)")
+		collectSw = flag.Bool("collect-at-switch", false, "collect at every context switch")
 		post      = flag.Bool("post", false, "run the peephole postprocessor")
 		machname  = flag.String("machine", "ss10", "machine model: ss2, ss10 or p90")
 		inFile    = flag.String("in", "", "program input file")
@@ -98,20 +109,26 @@ func main() {
 		}
 	}
 	p := gcsafety.Pipeline{
-		Annotate:    *safe || *check,
+		Annotate:    *safe || *check || *temporal,
 		Optimize:    *optimize,
 		Postprocess: *post,
 		Machine:     &cfg,
 		Exec: interp.Options{
-			Input:         input,
-			GCEveryInstrs: *gcEvery,
-			Validate:      *validate,
-			BaseOnlyHeap:  *baseOnly,
-			MaxInstrs:     *maxSteps,
-			Faults:        faultSet,
+			Input:           input,
+			GCEveryInstrs:   *gcEvery,
+			Validate:        *validate,
+			Temporal:        *temporal,
+			Threads:         *threads,
+			SchedSeed:       *schedSeed,
+			CollectAtSwitch: *collectSw,
+			BaseOnlyHeap:    *baseOnly,
+			MaxInstrs:       *maxSteps,
+			Faults:          faultSet,
 		},
 	}
-	if *check {
+	if *temporal {
+		p.AnnotateOptions = gcsafety.Temporal()
+	} else if *check {
 		p.AnnotateOptions = gcsafety.Checked()
 	}
 	ctx := context.Background()

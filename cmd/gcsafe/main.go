@@ -13,7 +13,7 @@
 //
 // Flags:
 //
-//	-mode safe|check   annotation mode (default safe)
+//	-mode safe|check|temporal   annotation mode (default safe)
 //	-style macro|asm   KEEP_LIVE expansion style (default macro)
 //	-o file            output file
 //	-no-opt1           disable copy suppression (paper optimization 1)
@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "safe", "annotation mode: safe or check")
+		mode      = flag.String("mode", "safe", "annotation mode: safe, check or temporal")
 		style     = flag.String("style", "macro", "KEEP_LIVE expansion style: macro or asm")
 		out       = flag.String("o", "", "output file (default stdout)")
 		noOpt1    = flag.Bool("no-opt1", false, "disable copy suppression")
@@ -58,6 +58,8 @@ func main() {
 		opts.Mode = gcsafe.ModeSafe
 	case "check", "checked":
 		opts.Mode = gcsafe.ModeChecked
+	case "temporal":
+		opts.Mode = gcsafe.ModeTemporal
 	default:
 		fmt.Fprintf(os.Stderr, "gcsafe: unknown -mode %q\n", *mode)
 		os.Exit(2)

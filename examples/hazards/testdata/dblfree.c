@@ -1,0 +1,24 @@
+/* dblfree: pair churn, then the same object freed twice. Both frees are
+ * no-ops outside temporal mode; in temporal mode the second GC_free finds
+ * no live object at the address and reports the double free. */
+struct pair { int a; int b; };
+int main() {
+    int i;
+    int s = 0;
+    struct pair *t;
+    struct pair *d;
+    for (i = 0; i < 40; i++) {
+        t = (struct pair *)GC_malloc(sizeof(struct pair));
+        t->a = i;
+        t->b = i + 1;
+        s = s + t->a + t->b;
+    }
+    print_int(s); print_str("|");
+    d = (struct pair *)GC_malloc(sizeof(struct pair));
+    d->a = 7;
+    print_int(d->a); print_str("|");
+    free(d);
+    free(d);
+    print_str("ok|");
+    return 0;
+}

@@ -1,0 +1,31 @@
+/* escape: the paper's displacement hazard on a worker thread. The final
+ * reference p[i - 300] reassociates under -O into a far-displaced pointer
+ * that the conservative collector cannot recognize; main's allocation churn
+ * gives a concurrent collector every opportunity to reclaim p's object
+ * while the worker spins. getchar() at EOF is the optimizer-opaque zero. */
+int thread1() {
+    int t = getchar() + 1;
+    int i = t + 420;
+    int k = t + 120;
+    char *p = (char *)GC_malloc(512);
+    int j;
+    int s = 0;
+    p[k] = 77;
+    for (j = 0; j < 4000; j++) s = s + 1;
+    assert_true(s == 4000);
+    assert_true(p[i - 300] == 77);
+    return 0;
+}
+int main() {
+    int i;
+    int s = 0;
+    int *t;
+    for (i = 0; i < 200; i++) {
+        t = (int *)GC_malloc(16);
+        t[0] = i;
+        s = s + t[0];
+    }
+    join_threads();
+    print_int(s); print_str("|");
+    return 0;
+}

@@ -1,0 +1,25 @@
+/* uaf: allocation churn, then a read through a freed-and-recycled
+ * pointer. free is a no-op outside temporal mode, so the stale read still
+ * sees 41 there; temporal mode retires u's allocation epoch at free and
+ * faults on the read. */
+int main() {
+    int i;
+    int s = 0;
+    int *t;
+    int *u;
+    int *w;
+    for (i = 0; i < 50; i++) {
+        t = (int *)GC_malloc(16);
+        t[0] = i;
+        s = s + t[0];
+    }
+    print_int(s); print_str("|");
+    u = (int *)GC_malloc(12);
+    u[0] = 41;
+    free(u);
+    w = (int *)GC_malloc(12);
+    w[0] = 17;
+    print_int(u[0]); print_str("|");
+    print_int(w[0]); print_str("|");
+    return 0;
+}

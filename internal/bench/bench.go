@@ -28,6 +28,15 @@ type Treatment struct {
 	Checked  bool
 	Optimize bool
 	Post     bool
+	// Temporal selects the temporal annotation mode (free→GC_free plus
+	// checked-mode pointer validation) and the interpreter's epoch checker.
+	Temporal bool
+	// Threads runs the cell on a concurrent-mutator simulation with this
+	// many threads (0 or 1 = the single-thread interpreter).
+	Threads int
+	// SchedSeed selects the interleaving of a concurrent cell
+	// (0 = the interpreter's fixed default schedule).
+	SchedSeed uint64
 	// Gcsafe overrides the default annotator options (ablations).
 	Gcsafe *gcsafe.Options
 }
@@ -39,6 +48,16 @@ var (
 	Debug        = Treatment{Name: "-g"}
 	DebugChecked = Treatment{Name: "-g, checked", Annotate: true, Checked: true}
 	OptSafePost  = Treatment{Name: "-O, safe+post", Optimize: true, Annotate: true, Post: true}
+)
+
+// Treatments of the temporal/concurrency extension (the hazard table).
+var (
+	// OptTemporal is the temporal checker build: optimized, annotated in
+	// temporal mode, executed with allocation-epoch checking on.
+	OptTemporal = Treatment{Name: "-O, temporal", Optimize: true, Annotate: true, Temporal: true}
+	// OptSafeConcurrent runs the safe production build on the
+	// four-thread concurrent-mutator simulation at the default schedule.
+	OptSafeConcurrent = Treatment{Name: "-O, safe, mt4", Optimize: true, Annotate: true, Threads: 4}
 )
 
 // Measurement is the result of one (workload, treatment, machine) cell.
@@ -99,7 +118,7 @@ func cellKey(w workloads.Workload, tr Treatment, cfg machine.Config) artifact.Ke
 	if tr.Gcsafe != nil {
 		opts = *tr.Gcsafe
 	}
-	return artifact.NewKey("bench-cell").
+	k := artifact.NewKey("bench-cell").
 		Str(pipeline.VersionFingerprint()).
 		Str(w.Name).
 		Str(w.Source).
@@ -116,8 +135,16 @@ func cellKey(w workloads.Workload, tr Treatment, cfg machine.Config) artifact.Ke
 		Bool(opts.CallSiteOnly).
 		Bool(opts.StrictCastWarnings).
 		Int(int64(opts.Style)).
-		Str(cfg.Name).
-		Sum()
+		Str(cfg.Name)
+	// The temporal/concurrent fields fold in only when set, so every
+	// pre-existing treatment's key stays byte-stable across this extension
+	// (no spurious cache invalidation of the classic tables).
+	if tr.Temporal || tr.Threads > 1 {
+		k = k.Bool(tr.Temporal).
+			Int(int64(tr.Threads)).
+			Int(int64(tr.SchedSeed))
+	}
+	return k.Sum()
 }
 
 // Measure returns one cell's measurement, computing it at most once per
@@ -147,7 +174,9 @@ func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measu
 	if tr.Gcsafe != nil {
 		opts = *tr.Gcsafe
 	}
-	if tr.Checked {
+	if tr.Temporal {
+		opts.Mode = gcsafe.ModeTemporal
+	} else if tr.Checked {
 		opts.Mode = gcsafe.ModeChecked
 	}
 	b, err := pipe.Build(context.Background(), w.Name+".c", w.Source, pipeline.Options{
@@ -173,7 +202,13 @@ func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measu
 	}
 	prog := b.Prog
 	m := &Measurement{Size: prog.Size()}
-	res, err := interp.Run(prog, interp.Options{Config: cfg, Input: w.Input})
+	res, err := interp.Run(prog, interp.Options{
+		Config:    cfg,
+		Input:     w.Input,
+		Temporal:  tr.Temporal,
+		Threads:   tr.Threads,
+		SchedSeed: tr.SchedSeed,
+	})
 	if err != nil {
 		if _, ok := findCheckError(err); ok {
 			m.CheckFailed = true
@@ -391,6 +426,54 @@ func PostprocessorTable(cfg machine.Config) (*Table, error) {
 				{Pct: pct(uint64(post.Size), uint64(base.Size))},
 			},
 		})
+	}
+	return t, nil
+}
+
+// hazardTreatments is the cell set of the hazard table: the optimized
+// baseline, the safe production build, the temporal checker build, and the
+// safe build on the concurrent-mutator simulation.
+var hazardTreatments = []Treatment{Opt, OptSafe, OptTemporal, OptSafeConcurrent}
+
+// HazardTable measures the temporal/concurrency hazard catalogue
+// (internal/workloads.Hazards()) under the extension's treatment columns.
+// A "<fails>" cell is the desired outcome: the temporal checker caught the
+// workload's seeded use-after-free or double-free as a deterministic
+// violation. The remaining cells are slowdowns relative to the optimized
+// baseline, as in the paper's tables (the mt4 column's cost includes the
+// worker threads the single-thread baseline never runs).
+func HazardTable(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Temporal/concurrent hazard workloads (" + cfg.Name + "):",
+		Columns: []string{"-O, safe", "-O, temporal", "-O, safe, mt4"},
+	}
+	var reqs []CellRequest
+	for _, w := range workloads.Hazards() {
+		for _, tr := range hazardTreatments {
+			reqs = append(reqs, CellRequest{Workload: w, Treatment: tr, Machine: cfg})
+		}
+	}
+	if _, err := MeasureAll(reqs); err != nil {
+		return nil, err
+	}
+	for _, w := range workloads.Hazards() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Workload: w.Name}
+		for _, tr := range hazardTreatments[1:] {
+			m, err := Measure(w, tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if m.CheckFailed {
+				row.Cells = append(row.Cells, Cell{Fails: true})
+				continue
+			}
+			row.Cells = append(row.Cells, Cell{Pct: pct(m.Cycles, base.Cycles)})
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -216,6 +216,62 @@ func TestAblationTables(t *testing.T) {
 	})
 }
 
+// TestHazardTableShape pins the hazard table's contract: the temporal
+// column reports "<fails>" exactly for the workloads that seed a temporal
+// bug (the checker caught it), and every other cell is a finite slowdown —
+// in particular the concurrent column reproduces the golden output rather
+// than crashing or silently diverging.
+func TestHazardTableShape(t *testing.T) {
+	tbl, err := HazardTable(machine.SPARCstation10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	hs := workloads.Hazards()
+	if len(tbl.Rows) != len(hs) {
+		t.Fatalf("want %d hazard rows, got %d", len(hs), len(tbl.Rows))
+	}
+	for i, r := range tbl.Rows {
+		w := hs[i]
+		safe, temporal, conc := r.Cells[0], r.Cells[1], r.Cells[2]
+		if temporal.Fails != w.TemporalFails {
+			t.Errorf("%s: temporal column Fails=%v, want %v", r.Workload, temporal.Fails, w.TemporalFails)
+		}
+		if safe.Fails || safe.Pct < -2 || math.IsNaN(safe.Pct) {
+			t.Errorf("%s: bad safe cell %v", r.Workload, safe)
+		}
+		if conc.Fails || math.IsNaN(conc.Pct) {
+			t.Errorf("%s: bad concurrent cell %v", r.Workload, conc)
+		}
+	}
+}
+
+// TestCellKeyStableForClassicTreatments pins the cache-compatibility rule
+// of the temporal/concurrent extension: the new Treatment fields fold into
+// the cell key only when actually set, so every pre-existing treatment
+// digests to exactly the key it had before the fields existed — warm
+// caches and recorded measurements of the classic tables stay valid.
+func TestCellKeyStableForClassicTreatments(t *testing.T) {
+	w := workloads.All()[0]
+	cfg := machine.SPARCstation10()
+	for _, tr := range []Treatment{Opt, OptSafe, Debug, DebugChecked, OptSafePost} {
+		zeroed := tr
+		zeroed.Temporal = false
+		zeroed.Threads = 0
+		zeroed.SchedSeed = 0x5bd1e995 // must be ignored off the concurrent path
+		if cellKey(w, tr, cfg) != cellKey(w, zeroed, cfg) {
+			t.Errorf("%s: temporal/concurrent zero fields perturb the classic cell key", tr.Name)
+		}
+	}
+	// The new treatments must not collide with their classic counterparts.
+	if cellKey(w, OptTemporal, cfg) == cellKey(w, OptSafe, cfg) {
+		t.Error("temporal treatment collides with the safe treatment")
+	}
+	if cellKey(w, OptSafeConcurrent, cfg) == cellKey(w, OptSafe, cfg) {
+		t.Error("concurrent treatment collides with the single-thread treatment")
+	}
+}
+
 // TestCellCacheDedupes pins the artifact-cache contract: a repeated cell
 // is served from cache (same Measurement, no recompilation), including
 // under concurrency.

@@ -21,6 +21,10 @@ func buildTables(t *testing.T) string {
 		out += tbl.String()
 	}
 	add(SlowdownTable(machine.SPARCstation10()))
+	// The hazard table exercises the temporal and concurrent-mutator
+	// treatments; keeping it in the -short set means the -race gate proves
+	// the concurrent cells are deterministic at every fan-out width.
+	add(HazardTable(machine.SPARCstation10()))
 	if !testing.Short() {
 		add(SlowdownTable(machine.SPARCstation2()))
 		add(SlowdownTable(machine.Pentium90()))

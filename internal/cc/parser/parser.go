@@ -233,7 +233,11 @@ func (p *Parser) declareBuiltins() {
 	decl("GC_base", voidPtr, pp(voidPtr), false)
 	decl("GC_pre_incr", voidPtr, pp(types.PointerTo(voidPtr), int_), false)
 	decl("GC_post_incr", voidPtr, pp(types.PointerTo(voidPtr), int_), false)
+	decl("GC_free", types.VoidType, pp(voidPtr), false)
 	decl("GC_gcollect", types.VoidType, nil, false)
+	// join_threads blocks until every worker thread has finished (a no-op
+	// in single-thread execution).
+	decl("join_threads", types.VoidType, nil, false)
 	// string.h / stdio.h subset, implemented natively by the runtime.
 	decl("strlen", uint_, pp(charPtr), false)
 	decl("strcpy", charPtr, pp(charPtr, charPtr), false)

@@ -22,6 +22,16 @@ type Program struct {
 	// catalogue (the ones an unannotated optimizer may miscompile into
 	// GC-unsafe code).
 	Hazards int
+	// TemporalHazards counts operations that access storage after freeing
+	// it (use-after-free, double-free). free is a no-op outside temporal
+	// mode, so Want stays valid there; temporal treatments are required to
+	// fault on these programs instead of reproducing Want.
+	TemporalHazards int
+	// RaceHazards counts hazard operations placed in worker-thread entry
+	// functions: they only execute under concurrent-mutator treatments,
+	// where an unannotated optimizer lets a collector running on another
+	// thread's schedule point reclaim the object mid-use.
+	RaceHazards int
 }
 
 // gen accumulates one program: C text on one side, the model on the other.
@@ -35,8 +45,11 @@ type gen struct {
 	slots [8][]int
 	// rng mirrors the simulated runtime's rand_next (xorshift32 starting
 	// at 0x9E3779B9), so the model can predict dynamic values.
-	rng     uint32
-	hazards int
+	rng         uint32
+	hazards     int
+	tempHazards int
+	raceHazards int
+	nthreads    int // 1 + worker functions emitted so far
 }
 
 // randNext mirrors interp's rand_next builtin.
@@ -100,9 +113,14 @@ func GenerateBytes(data []byte) *Program {
 }
 
 func generate(src source, steps int) *Program {
-	g := &gen{src: src, rng: 0x9E3779B9}
+	g := &gen{src: src, rng: 0x9E3779B9, nthreads: 1}
 	for i := 0; i < steps; i++ {
 		g.step()
+	}
+	// Programs with worker threads wait for them before the summary, so the
+	// workers' heap traffic is fully ordered before the final observation.
+	if g.nthreads > 1 {
+		g.main.WriteString("    join_threads();\n")
 	}
 	// Final summary: the sums of all slot lists, so every program ends by
 	// observing the whole reachable linked structure.
@@ -117,10 +135,12 @@ func generate(src source, steps int) *Program {
 	b.WriteString(g.main.String())
 	b.WriteString("    return 0;\n}\n")
 	return &Program{
-		Source:  b.String(),
-		Want:    g.out.String(),
-		Ops:     g.ops,
-		Hazards: g.hazards,
+		Source:          b.String(),
+		Want:            g.out.String(),
+		Ops:             g.ops,
+		Hazards:         g.hazards,
+		TemporalHazards: g.tempHazards,
+		RaceHazards:     g.raceHazards,
 	}
 }
 
@@ -157,6 +177,10 @@ func (g *gen) step() {
 		{"interior-only", 1, g.opInteriorOnly},
 		{"struct-array", 1, g.opStructArray},
 		{"buf-sum", 1, g.opBufSum},
+		{"uaf", 1, g.opUAF},
+		{"double-free", 1, g.opDoubleFree},
+		{"free", 1, g.opBenignFree},
+		{"thread-escape", 1, g.opThreadEscape},
 	}
 	total := 0
 	for _, o := range ops {
@@ -388,4 +412,103 @@ func (g *gen) opBufSum() {
 `, n, f, n, pressure)
 	done()
 	fmt.Fprintf(&g.out, "%d ", n*f)
+}
+
+// --- temporal-hazard and concurrent-mutator operations ---
+
+// opUAF is the classic use-after-free: free an object, reallocate its size
+// class (LIFO free lists recycle the address), then read through the stale
+// pointer. Outside temporal mode free is a no-op, so the read still sees
+// the first value and Want stays exact; temporal mode turns the read into a
+// deterministic epoch violation — either "freed storage" (the slot is still
+// dead) or "storage recycled" (the slot was reissued with a newer epoch).
+func (g *gen) opUAF() {
+	g.tempHazards++
+	v1 := 1 + g.src.intn(500)
+	v2 := 1 + g.src.intn(500)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    int *q = (int *)malloc(16);
+    int *r;
+    q[0] = %d;
+    free(q);
+    r = (int *)malloc(16);
+    r[0] = %d;
+    print_int(q[0]); print_str(" ");
+`, v1, v2)
+	done()
+	fmt.Fprintf(&g.out, "%d ", v1)
+}
+
+// opDoubleFree frees the same object twice. The second free is invisible
+// outside temporal mode (both are no-ops); in temporal mode GC_free finds
+// no live object at the address and reports a double free.
+func (g *gen) opDoubleFree() {
+	g.tempHazards++
+	x := g.src.intn(900)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    struct pair *d = (struct pair *)GC_malloc(sizeof(struct pair));
+    d->a = %d;
+    print_int(d->a); print_str(" ");
+    free(d);
+    free(d);
+`, x)
+	done()
+	fmt.Fprintf(&g.out, "%d ", x)
+}
+
+// opBenignFree frees a buffer strictly after its last use: legal in every
+// mode, so temporal treatments must reproduce Want exactly (the false-
+// positive guard for the epoch checker). Deliberately not counted in any
+// hazard tally.
+func (g *gen) opBenignFree() {
+	n := 8 + g.src.intn(33)
+	f := 1 + g.src.intn(5)
+	_, done := g.fn()
+	fmt.Fprintf(&g.funcs, `    char *b = mkbuf(%d, %d);
+    int j;
+    int s = 0;
+    for (j = 0; j < %d; j++) s = s + b[j];
+    print_int(s); print_str(" ");
+    free(b);
+`, n, f, n)
+	done()
+	fmt.Fprintf(&g.out, "%d ", n*f)
+}
+
+// opThreadEscape plants the paper's displacement hazard in a worker-thread
+// entry function: the worker writes through a fresh object, spins long
+// enough to guarantee scheduling points, and re-reads through a subscript
+// whose reassociated form holds only a far-displaced pointer. Under an
+// unannotated optimizer a collection on another thread's schedule point can
+// reclaim the object mid-loop; the worker's asserts turn that silent
+// corruption into a detected fault. Workers never print and never draw from
+// the shared rand_next stream, so Want is independent of the interleaving;
+// getchar() at EOF supplies the optimizer-opaque zero instead. Only the
+// first three workers can run under the matrix's 4-thread treatments, so
+// later ones are emitted (harmlessly dormant) but not counted as hazards.
+func (g *gen) opThreadEscape() {
+	k := g.nthreads
+	g.nthreads++
+	if k <= 3 {
+		g.raceHazards++
+	}
+	d := 100 + g.src.intn(400)
+	c := 200 + g.src.intn(800)
+	size := d + 256 + 8 + g.src.intn(128)
+	v := 1 + g.src.intn(119)
+	loop := 3000 + g.src.intn(2000)
+	fmt.Fprintf(&g.funcs, `int thread%d() {
+    int t = getchar() + 1;
+    int i = t + %d;
+    int k = t + %d;
+    char *p = (char *)GC_malloc(%d);
+    int j;
+    int s = 0;
+    p[k] = %d;
+    for (j = 0; j < %d; j++) s = s + 1;
+    assert_true(s == %d);
+    assert_true(p[i - %d] == %d);
+    return 0;
+}
+`, k, c+d, d, size, v, loop, loop, c, v)
 }

@@ -58,7 +58,8 @@ func TestOpCoverage(t *testing.T) {
 	}
 	want := []string{"push", "pop", "sum", "move", "len", "const",
 		"disp", "walk-read", "walk-write", "walk-back",
-		"interior", "interior-only", "struct-array", "buf-sum"}
+		"interior", "interior-only", "struct-array", "buf-sum",
+		"uaf", "double-free", "free", "thread-escape"}
 	for _, op := range want {
 		if !seen[op] {
 			t.Errorf("op %q never generated in 300 seeds", op)
@@ -90,24 +91,46 @@ func TestConstExprMatchesParserEvaluator(t *testing.T) {
 }
 
 func TestHazardCounting(t *testing.T) {
-	total := 0
+	total, temporal, race := 0, 0, 0
 	for seed := int64(0); seed < 100; seed++ {
 		p := Generate(seed, 10)
-		n := 0
+		n, nt, nr := 0, 0, 0
 		for _, op := range p.Ops {
 			switch op {
 			case "disp", "walk-read", "walk-write", "walk-back",
 				"interior", "interior-only", "struct-array", "buf-sum":
 				n++
+			case "uaf", "double-free":
+				nt++
+			case "thread-escape":
+				nr++
 			}
 		}
 		if n != p.Hazards {
 			t.Fatalf("seed %d: Hazards=%d but %d hazard ops in %v", seed, p.Hazards, n, p.Ops)
 		}
+		if nt != p.TemporalHazards {
+			t.Fatalf("seed %d: TemporalHazards=%d but %d temporal ops in %v",
+				seed, p.TemporalHazards, nt, p.Ops)
+		}
+		// Only the first three workers can run under 4-thread treatments;
+		// extra thread-escape ops are emitted dormant and not counted.
+		if want := min(nr, 3); want != p.RaceHazards {
+			t.Fatalf("seed %d: RaceHazards=%d but %d runnable escape ops in %v",
+				seed, p.RaceHazards, want, p.Ops)
+		}
 		total += n
+		temporal += nt
+		race += nr
 	}
 	if total == 0 {
 		t.Fatalf("no hazard operations generated at all")
+	}
+	if temporal == 0 {
+		t.Fatalf("no temporal-hazard operations generated in 100 seeds")
+	}
+	if race == 0 {
+		t.Fatalf("no thread-escape operations generated in 100 seeds")
 	}
 }
 

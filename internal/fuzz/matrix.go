@@ -30,6 +30,11 @@ const (
 	// AnnotateChecked runs the annotator in pointer-checking mode (the
 	// paper's debugging mode).
 	AnnotateChecked
+	// AnnotateTemporal runs the annotator in temporal mode: checked-mode
+	// GC_same_obj insertion plus free→GC_free rewriting, executed with the
+	// interpreter's allocation-epoch tags armed, so use-after-free and
+	// double-free become deterministic checker violations.
+	AnnotateTemporal
 )
 
 func (a Annotation) String() string {
@@ -38,6 +43,8 @@ func (a Annotation) String() string {
 		return "safe"
 	case AnnotateChecked:
 		return "checked"
+	case AnnotateTemporal:
+		return "temporal"
 	}
 	return "none"
 }
@@ -51,9 +58,29 @@ type Treatment struct {
 	Post     bool // peephole postprocessor
 	// Adversarial runs under the maximally hostile collection schedule: a
 	// forced collection at every allocation and between every two
-	// instructions, with the premature-reclamation detector armed.
+	// instructions, with the premature-reclamation detector armed. For
+	// concurrent treatments (Threads > 1) the regime is a collection at
+	// every allocation and at every context switch instead — the same
+	// adversary generalized to adversarial interleavings.
 	Adversarial bool
+	// Threads, when > 1, runs the program as N concurrent mutator threads
+	// over one shared heap (thread 0 is main; thread i runs the program's
+	// threadN function if defined) under a deterministic seeded
+	// interleaving.
+	Threads int
+	// SchedSeed seeds the interleaving schedule for concurrent treatments.
+	SchedSeed uint64
 }
+
+// defaultSchedSeed is the fixed interleaving seed of the standard
+// concurrent treatments; differential fuzzing varies programs, not
+// schedules, so one fully deterministic schedule per seed keeps violations
+// reproducible.
+const defaultSchedSeed = 0x9E3779B97F4A7C15
+
+// concThreads is the thread count of the standard concurrent treatments:
+// main plus up to three generated worker threads.
+const concThreads = 4
 
 // Name is a compact human-readable treatment label.
 func (t Treatment) Name() string {
@@ -69,6 +96,9 @@ func (t Treatment) Name() string {
 	}
 	if t.Post {
 		b.WriteString(" post")
+	}
+	if t.Threads > 1 {
+		fmt.Fprintf(&b, " mt%d", t.Threads)
 	}
 	if t.Adversarial {
 		b.WriteString(" adv")
@@ -149,6 +179,13 @@ type MatrixResult struct {
 	// diverged. They demonstrate the paper's hazard and are expected, not
 	// findings; the premature-reclamation ones are the interesting kind.
 	UnsafeFailures []TreatmentResult
+	// TemporalDetections are temporal-mode treatments that correctly
+	// reported a seeded use-after-free/double-free as a TemporalError. For
+	// a program with TemporalHazards > 0 every temporal treatment must land
+	// here; a temporal treatment that instead agrees (silent pass) or fails
+	// some other way is a Violation — a missed detection is as much a
+	// finding as a wrong one.
+	TemporalDetections []TreatmentResult
 }
 
 // PrematureReclamations counts unsafe failures whose fault is the
@@ -172,12 +209,39 @@ func IsReclamationFault(err error) bool {
 	return errors.As(err, &ge) && strings.Contains(ge.Msg, "not inside any live object")
 }
 
+// IsTemporalFault reports whether err is the temporal checker firing (a
+// use-after-free, double-free or recycled-storage access detected through
+// allocation epochs).
+func IsTemporalFault(err error) bool {
+	var te *interp.TemporalError
+	return errors.As(err, &te)
+}
+
+// RaceDetections counts unsafe failures of concurrent treatments whose
+// fault is the premature-reclamation detector — a mutator that held a
+// derived pointer across a collection another thread's allocation (or a
+// schedule point) triggered: the cross-thread-escape hazard demonstrated.
+func (m *MatrixResult) RaceDetections() int {
+	n := 0
+	for _, r := range m.UnsafeFailures {
+		if r.Threads > 1 && IsReclamationFault(r.Err) {
+			n++
+		}
+	}
+	return n
+}
+
 // Treatments expands opt into the full treatment list: the cross-product
 // {none, safe, checked} x {-g, -O} x {peephole on/off} per machine under
 // the benign schedule, plus the adversarial-schedule runs — the annotated
 // optimized builds (with and without peephole) on every machine, the
 // debuggable and checked builds on the first machine, and the unannotated
-// optimized build on every machine (expected to fail; recorded).
+// optimized build on every machine (expected to fail; recorded) — plus the
+// two new checker columns: temporal-mode builds (optimized everywhere,
+// debuggable and adversarial on the first machine) and the concurrent-
+// mutator treatments on the first machine (safe/checked/temporal annotated,
+// and the unannotated optimized build, which is expected to fail when a
+// generated worker races a collection).
 func Treatments(opt MatrixOptions) []Treatment {
 	machines := opt.Machines
 	if len(machines) == 0 {
@@ -204,6 +268,28 @@ func Treatments(opt MatrixOptions) []Treatment {
 		ts = append(ts,
 			Treatment{Machine: machines[0], Annotate: AnnotateNone, Adversarial: true},
 			Treatment{Machine: machines[0], Annotate: AnnotateChecked, Optimize: true, Adversarial: true},
+		)
+	}
+	// Temporal-mode treatments: the optimized build on every machine, plus
+	// the debuggable build on the first.
+	for _, cfg := range machines {
+		ts = append(ts, Treatment{Machine: cfg, Annotate: AnnotateTemporal, Optimize: true})
+	}
+	ts = append(ts, Treatment{Machine: machines[0], Annotate: AnnotateTemporal})
+	// Concurrent-mutator treatments (first machine): N threads over one
+	// shared heap under the fixed deterministic interleaving.
+	ts = append(ts,
+		Treatment{Machine: machines[0], Annotate: AnnotateSafe, Optimize: true, Threads: concThreads, SchedSeed: defaultSchedSeed},
+		Treatment{Machine: machines[0], Annotate: AnnotateSafe, Threads: concThreads, SchedSeed: defaultSchedSeed},
+		Treatment{Machine: machines[0], Annotate: AnnotateChecked, Optimize: true, Threads: concThreads, SchedSeed: defaultSchedSeed},
+		Treatment{Machine: machines[0], Annotate: AnnotateTemporal, Optimize: true, Threads: concThreads, SchedSeed: defaultSchedSeed},
+		Treatment{Machine: machines[0], Annotate: AnnotateNone, Optimize: true, Threads: concThreads, SchedSeed: defaultSchedSeed},
+	)
+	if !opt.SkipAdversarial {
+		ts = append(ts,
+			Treatment{Machine: machines[0], Annotate: AnnotateTemporal, Optimize: true, Adversarial: true},
+			Treatment{Machine: machines[0], Annotate: AnnotateSafe, Optimize: true, Threads: concThreads, SchedSeed: defaultSchedSeed, Adversarial: true},
+			Treatment{Machine: machines[0], Annotate: AnnotateNone, Optimize: true, Threads: concThreads, SchedSeed: defaultSchedSeed, Adversarial: true},
 		)
 	}
 	return ts
@@ -237,8 +323,11 @@ func runTreatment(ctx context.Context, runner *pipeline.Runner, p *Program, t Tr
 		return r, fmt.Errorf("matrix: %w", err)
 	}
 	opts := gcsafe.Options{}
-	if t.Annotate == AnnotateChecked {
+	switch t.Annotate {
+	case AnnotateChecked:
 		opts.Mode = gcsafe.ModeChecked
+	case AnnotateTemporal:
+		opts.Mode = gcsafe.ModeTemporal
 	}
 	bctx := ctx
 	if faults != nil {
@@ -273,11 +362,24 @@ func runTreatment(ctx context.Context, runner *pipeline.Runner, p *Program, t Tr
 		return r, err
 	}
 	prog := b.Prog
-	exec := interp.Options{Config: t.Machine, Validate: true, MaxInstrs: maxInstrs, Faults: faults}
-	if t.Adversarial {
+	exec := interp.Options{
+		Config: t.Machine, Validate: true, MaxInstrs: maxInstrs, Faults: faults,
+		Temporal: t.Annotate == AnnotateTemporal,
+	}
+	if t.Threads > 1 {
+		exec.Threads = t.Threads
+		exec.SchedSeed = t.SchedSeed
+	}
+	switch {
+	case t.Adversarial && t.Threads > 1:
+		// Concurrent adversary: a full collection at every allocation and at
+		// every context switch, the hostile-interleaving regime.
+		exec.CollectAtEveryAlloc = true
+		exec.CollectAtSwitch = true
+	case t.Adversarial:
 		exec.GCEveryInstrs = 1
 		exec.CollectAtEveryAlloc = true
-	} else {
+	default:
 		// Benign but nontrivial schedule: allocation-triggered collections
 		// plus a mild asynchronous tick, so the collector genuinely runs.
 		exec.GCEveryInstrs = 211
@@ -331,6 +433,20 @@ func RunMatrixContext(ctx context.Context, p *Program, opt MatrixOptions) (*Matr
 		}
 		r := results[i]
 		m.Results = append(m.Results, r)
+		if t.Annotate == AnnotateTemporal && p.TemporalHazards > 0 {
+			// The program seeds a use-after-free or double-free: the
+			// temporal checker is required to fire. Anything else —
+			// agreement included — is a missed detection, hence a violation.
+			if IsTemporalFault(r.Err) {
+				m.TemporalDetections = append(m.TemporalDetections, r)
+				continue
+			}
+			m.Violations = append(m.Violations, r)
+			if opt.StopOnViolation {
+				return m, nil
+			}
+			continue
+		}
 		if r.Agreed(p.Want) {
 			continue
 		}

@@ -23,6 +23,42 @@ func TestMatrixParallelDeterministic(t *testing.T) {
 		compareResults(t, seed, "Results", seq.Results, par.Results)
 		compareResults(t, seed, "Violations", seq.Violations, par.Violations)
 		compareResults(t, seed, "UnsafeFailures", seq.UnsafeFailures, par.UnsafeFailures)
+		compareResults(t, seed, "TemporalDetections", seq.TemporalDetections, par.TemporalDetections)
+	}
+}
+
+// TestMatrixParallelDeterministicConcurrent pins the same width-independence
+// on a program that exercises both new checker columns at once: the matrix
+// of a program seeding temporal hazards AND a worker-thread escape must be
+// byte-identical inline and eight wide — concurrent-mutator interleaving is
+// a function of (program, seed) only, never of host scheduling.
+func TestMatrixParallelDeterministicConcurrent(t *testing.T) {
+	var seed int64 = -1
+	for s := int64(0); s < 500; s++ {
+		p := Generate(s, 8)
+		if p.TemporalHazards > 0 && p.RaceHazards > 0 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatalf("no program with both temporal and race hazards in 500 seeds")
+	}
+	p := Generate(seed, 8)
+	seq, err := RunMatrix(p, MatrixOptions{Parallel: 1})
+	if err != nil {
+		t.Fatalf("seed %d sequential: %v", seed, err)
+	}
+	par, err := RunMatrix(p, MatrixOptions{Parallel: 8})
+	if err != nil {
+		t.Fatalf("seed %d parallel: %v", seed, err)
+	}
+	compareResults(t, seed, "Results", seq.Results, par.Results)
+	compareResults(t, seed, "Violations", seq.Violations, par.Violations)
+	compareResults(t, seed, "UnsafeFailures", seq.UnsafeFailures, par.UnsafeFailures)
+	compareResults(t, seed, "TemporalDetections", seq.TemporalDetections, par.TemporalDetections)
+	if len(seq.TemporalDetections) == 0 {
+		t.Fatalf("seed %d: no temporal detections despite %d seeded hazards", seed, p.TemporalHazards)
 	}
 }
 

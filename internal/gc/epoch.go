@@ -1,0 +1,114 @@
+package gc
+
+// Allocation epochs: the temporal-safety extension. Every allocation is
+// stamped with a monotonically increasing epoch; a checked pointer carries
+// the epoch of the allocation it was derived from (the interpreter's shadow
+// tags), so storage that has been explicitly freed and recycled since the
+// pointer was derived is detectable — the object now at that address wears
+// a different epoch. This is the allocation-clock idea of fat-pointer
+// temporal-safety schemes, kept on the side: epochs change no layout, no
+// allocation order and no collector decision, so all non-temporal behavior
+// is bit-identical with or without them.
+
+// stamp issues the next epoch to object idx of page ph. Called on every
+// allocation; epoch 0 is never issued and means "no live object".
+func (h *Heap) stamp(ph *pageHeader, idx uint32) {
+	h.epoch++
+	ph.epochs[idx] = h.epoch
+}
+
+// Epoch returns the most recently issued allocation epoch (0 before the
+// first allocation).
+func (h *Heap) Epoch() uint32 { return h.epoch }
+
+// EpochOf returns the birth epoch of the live object whose base address is
+// base, or 0 when base is not the base address of a live object. Epochs are
+// compared for equality only: a mismatch between a pointer's remembered
+// epoch and the epoch of the object now at its target means the original
+// object was freed and its storage recycled.
+func (h *Heap) EpochOf(base Addr) uint32 {
+	ph := h.header(base)
+	if ph == nil {
+		return 0
+	}
+	if ph.large {
+		if base != ph.base || !ph.allocBit(0) {
+			return 0
+		}
+		return ph.epochs[0]
+	}
+	off := base - ph.base
+	if off%ph.objSize != 0 {
+		return 0
+	}
+	idx := off / ph.objSize
+	if idx >= ph.nobj || !ph.allocBit(idx) {
+		return 0
+	}
+	return ph.epochs[idx]
+}
+
+// Free explicitly deallocates the live object whose base address is base —
+// the GC_free of temporal mode. Unlike sweeping, which the collector
+// performs only on unreachable objects, Free retires an object the program
+// still holds pointers to: the epoch slot is cleared, the storage is
+// poisoned (under Config.Poison) and the slot rejoins its size-class free
+// list at the head, so the very next allocation of the class recycles the
+// address. base must be the exact base address of a live object.
+func (h *Heap) Free(base Addr) error {
+	ph := h.header(base)
+	if ph == nil {
+		return errf("free", base, "address is not inside any heap page")
+	}
+	if ph.large {
+		if base != ph.base || !ph.allocBit(0) {
+			return errf("free", base, "not the base of a live object")
+		}
+		h.stats.ObjectsFreed++
+		h.stats.BytesFreed += uint64(ph.objSize)
+		if h.cfg.Poison {
+			h.poison(ph.base, ph.objSize)
+		}
+		ph.clearAlloc(0)
+		ph.clearMark(0)
+		ph.epochs[0] = 0
+		h.releaseSpan(ph)
+		h.removePage(ph)
+		return nil
+	}
+	off := base - ph.base
+	if off%ph.objSize != 0 {
+		return errf("free", base, "not the base of an object (interior pointer)")
+	}
+	idx := off / ph.objSize
+	if idx >= ph.nobj || !ph.allocBit(idx) {
+		return errf("free", base, "not the base of a live object")
+	}
+	h.stats.ObjectsFreed++
+	h.stats.BytesFreed += uint64(ph.objSize)
+	if h.cfg.Poison {
+		h.poison(base, ph.objSize)
+	}
+	// Clear the mark bit too: sweep counts a marked slot as live even with
+	// the alloc bit down, so a stale mark would resurrect the slot's
+	// accounting at the next collection.
+	ph.clearAlloc(idx)
+	ph.clearMark(idx)
+	ph.epochs[idx] = 0
+	class := ph.objSize / Granule
+	h.setRawWord(base, h.freeLists[class])
+	h.freeLists[class] = base
+	return nil
+}
+
+// removePage drops a released header from the sweep list. Only explicit
+// large-object Free needs it: sweeping releases spans itself, and a header
+// left behind would be double-released at the next collection.
+func (h *Heap) removePage(ph *pageHeader) {
+	for i, p := range h.pages {
+		if p == ph {
+			h.pages = append(h.pages[:i], h.pages[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package gc
+
+import "testing"
+
+func TestEpochMonotonic(t *testing.T) {
+	h := newTestHeap(t)
+	var last uint32
+	for i := 0; i < 100; i++ {
+		a := mustAlloc(t, h, 16)
+		e := h.EpochOf(a)
+		if e == 0 {
+			t.Fatalf("alloc %d: epoch 0 for a live object", i)
+		}
+		if e <= last {
+			t.Fatalf("alloc %d: epoch %d not greater than previous %d", i, e, last)
+		}
+		last = e
+	}
+	if h.Epoch() != last {
+		t.Fatalf("Epoch() = %d, want %d", h.Epoch(), last)
+	}
+}
+
+func TestEpochOfNonBase(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 64)
+	if h.EpochOf(a+8) != 0 {
+		t.Error("interior pointer has a nonzero epoch")
+	}
+	if h.EpochOf(a-4) != 0 && a-4 < a {
+		t.Error("address before the object has a nonzero epoch")
+	}
+	if h.EpochOf(0) != 0 {
+		t.Error("null has a nonzero epoch")
+	}
+}
+
+// TestFreeReallocFlipsEpochOnce is the core recycling property: freeing an
+// object and immediately reallocating its size class lands on the same
+// address (LIFO free list), and the epoch at that address changes exactly
+// once — by exactly one step, since no other allocation intervened.
+func TestFreeReallocFlipsEpochOnce(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 16)
+	e1 := h.EpochOf(a)
+	if err := h.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if h.EpochOf(a) != 0 {
+		t.Fatalf("freed object still has epoch %d", h.EpochOf(a))
+	}
+	b := mustAlloc(t, h, 16)
+	if b != a {
+		t.Fatalf("realloc of the freed class landed at %#x, want recycled %#x", b, a)
+	}
+	e2 := h.EpochOf(b)
+	if e2 != e1+1 {
+		t.Fatalf("recycled address epoch = %d, want exactly %d+1", e2, e1)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 16)
+	if err := h.Free(a + 4); err == nil {
+		t.Error("Free(interior) succeeded")
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Error("double Free succeeded")
+	}
+	if err := h.Free(0x42); err == nil {
+		t.Error("Free outside the heap succeeded")
+	}
+}
+
+func TestFreePoisonsAndRecycles(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 32)
+	if err := h.WriteWord(a+8, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// All bytes past the free-list link word are poisoned.
+	off := a - HeapBase
+	for i := uint32(WordSize); i < 32; i++ {
+		if h.arena[off+i] != PoisonByte {
+			t.Fatalf("byte +%d after Free = %#x, want poison %#x", i, h.arena[off+i], PoisonByte)
+		}
+	}
+	if h.ObjectBase(a) != 0 {
+		t.Error("freed object still resolves to a base")
+	}
+}
+
+func TestFreeLargeObject(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 3*PageSize)
+	e1 := h.EpochOf(a)
+	if e1 == 0 {
+		t.Fatal("large object has epoch 0")
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatalf("Free(large): %v", err)
+	}
+	if h.ObjectBase(a) != 0 {
+		t.Error("freed large object still resolves")
+	}
+	// The span is reusable and a later collection must not double-release it
+	// (Free removes the header from the sweep list itself).
+	roots := rootList{}
+	h.SetRoots(roots)
+	h.Collect()
+	h.Collect()
+	b := mustAlloc(t, h, 3*PageSize)
+	if h.EpochOf(b) <= e1 {
+		t.Fatalf("page-reused large object epoch %d not past %d", h.EpochOf(b), e1)
+	}
+}
+
+// TestEpochAcrossPageReuse frees every object of a page so that the next
+// collection releases the whole page, then refills the class: the recycled
+// page's slots must come back with fresh epochs, not stale ones.
+func TestEpochAcrossPageReuse(t *testing.T) {
+	h := newTestHeap(t)
+	h.SetRoots(rootList{})
+	size := uint32(16) // rounds to 24; PageSize/24 objects per page
+	var addrs []Addr
+	nobj := PageSize / roundUp(size+1, Granule)
+	for i := uint32(0); i < nobj; i++ {
+		addrs = append(addrs, mustAlloc(t, h, size))
+	}
+	maxEpoch := h.Epoch()
+	for _, a := range addrs {
+		if err := h.Free(a); err != nil {
+			t.Fatalf("Free(%#x): %v", a, err)
+		}
+	}
+	h.Collect() // page has no live objects: released to the span pool
+	b := mustAlloc(t, h, size)
+	if e := h.EpochOf(b); e != maxEpoch+1 {
+		t.Fatalf("post-reuse epoch = %d, want %d", e, maxEpoch+1)
+	}
+	if h.EpochOf(b) == 0 {
+		t.Fatal("recycled page slot has epoch 0")
+	}
+}
+
+// TestEpochFlipAcrossCleanPageSkip covers the interaction with the PR 4
+// clearMarks skip: a page that was never marked (anyMarked false) skips its
+// bitmap clear during collection, and Free/realloc through such a page must
+// still flip the epoch exactly once.
+func TestEpochFlipAcrossCleanPageSkip(t *testing.T) {
+	h := newTestHeap(t)
+	keep := rootList{}
+	h.SetRoots(&keep)
+	a := mustAlloc(t, h, 16)
+	e1 := h.EpochOf(a)
+
+	// Collection with no roots referencing the page's objects... would free
+	// a. Keep it live so the page survives, then verify the skip fired at
+	// least once on some page (fresh pages are clean).
+	keep = rootList{a}
+	h.SetRoots(keep)
+	before := h.Stats().MarkClearsSkipped
+	h.Collect()
+	if h.Stats().MarkClearsSkipped == before {
+		t.Fatal("expected the clean-page clearMarks skip to fire")
+	}
+	if h.EpochOf(a) != e1 {
+		t.Fatalf("collection changed a live object's epoch: %d -> %d", e1, h.EpochOf(a))
+	}
+
+	// Now free and realloc: the page was marked last collection, and the
+	// epoch must flip exactly once regardless.
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b := mustAlloc(t, h, 16)
+	if b != a {
+		t.Fatalf("realloc landed at %#x, want %#x", b, a)
+	}
+	if e2 := h.EpochOf(b); e2 != e1+1 {
+		t.Fatalf("epoch after free+realloc = %d, want %d", e2, e1+1)
+	}
+}
+
+// TestFreeClearsMarkBit: an object marked by the previous collection and
+// then explicitly freed must not be resurrected by the next sweep (sweep
+// counts marked slots as live even with the alloc bit down).
+func TestFreeClearsMarkBit(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 16)
+	keep := rootList{a}
+	h.SetRoots(keep)
+	h.Collect() // marks a
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoots(rootList{}) // drop the root before the next collection
+	h.Collect()
+	if h.Stats().LiveObjects != 0 {
+		t.Fatalf("freed object survived sweep: %d live objects", h.Stats().LiveObjects)
+	}
+	b := mustAlloc(t, h, 16)
+	if h.EpochOf(b) == 0 {
+		t.Fatal("post-sweep allocation has epoch 0")
+	}
+}
+
+func TestCollectPreservesLiveEpochs(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 40)
+	b := mustAlloc(t, h, 40)
+	ea, eb := h.EpochOf(a), h.EpochOf(b)
+	h.SetRoots(rootList{a, b})
+	for i := 0; i < 3; i++ {
+		h.Collect()
+	}
+	if h.EpochOf(a) != ea || h.EpochOf(b) != eb {
+		t.Fatalf("collections disturbed live epochs: (%d,%d) -> (%d,%d)",
+			ea, eb, h.EpochOf(a), h.EpochOf(b))
+	}
+}

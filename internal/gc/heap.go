@@ -12,6 +12,9 @@ type pageHeader struct {
 	spanLen uint32 // span length in bytes (large objects only)
 	mark    []uint64
 	alloc   []uint64
+	// epochs holds the birth epoch of each object slot (see epoch.go);
+	// slot i is meaningful only while alloc bit i is set.
+	epochs []uint32
 	// allocated counts set alloc bits, so the sweep and mark phases can
 	// dismiss all-free pages without scanning the bitmap.
 	allocated uint32
@@ -32,6 +35,7 @@ func (p *pageHeader) clearMarks() {
 	clear(p.mark)
 	p.anyMarked = false
 }
+func (p *pageHeader) clearMark(i uint32)     { p.mark[i/64] &^= 1 << (i % 64) }
 func (p *pageHeader) allocBit(i uint32) bool { return p.alloc[i/64]&(1<<(i%64)) != 0 }
 func (p *pageHeader) setAlloc(i uint32) {
 	if p.alloc[i/64]&(1<<(i%64)) == 0 {
@@ -77,6 +81,9 @@ type Heap struct {
 	stats      Stats
 	markStack  []markItem
 	collecting bool
+	// epoch is the allocation clock: incremented on every allocation, so
+	// every object's birth is totally ordered (see epoch.go). Never reset.
+	epoch uint32
 
 	// cachePage/cacheHdr are a one-entry cache over the page-tree walk in
 	// header. Conservative scanning resolves long runs of addresses on the
@@ -239,6 +246,7 @@ func (h *Heap) allocSmall(size uint32) (Addr, error) {
 	ph := h.header(a)
 	idx := (a - ph.base) / ph.objSize
 	ph.setAlloc(idx)
+	h.stamp(ph, idx)
 	h.zero(a, size)
 	return a, nil
 }
@@ -257,6 +265,7 @@ func (h *Heap) refillClass(size uint32) error {
 		nobj:    nobj,
 		mark:    make([]uint64, bitmapWords(nobj)),
 		alloc:   make([]uint64, bitmapWords(nobj)),
+		epochs:  make([]uint32, nobj),
 	}
 	h.setHeader(page, ph)
 	h.pages = append(h.pages, ph)
@@ -290,12 +299,14 @@ func (h *Heap) allocLarge(size uint32) (Addr, error) {
 		spanLen: npages * PageSize,
 		mark:    make([]uint64, 1),
 		alloc:   make([]uint64, 1),
+		epochs:  make([]uint32, 1),
 	}
 	for p := page; p < page+npages; p++ {
 		h.setHeader(p, ph)
 	}
 	h.pages = append(h.pages, ph)
 	ph.setAlloc(0)
+	h.stamp(ph, 0)
 	h.zero(ph.base, size)
 	return ph.base, nil
 }

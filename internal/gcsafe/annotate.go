@@ -305,6 +305,9 @@ func (an *annotator) unary(s *slot, e *ast.Unary, wrap bool) {
 // call annotates a function call: every pointer-typed argument is a
 // KEEP_LIVE site ("or as a function argument").
 func (an *annotator) call(s *slot, e *ast.Call, wrap bool) {
+	if an.opts.Mode == ModeTemporal {
+		an.rewriteFree(e)
+	}
 	an.exprSlot(mkslot(func() ast.Expr { return e.Fun }, func(n ast.Expr) { e.Fun = n }), false)
 	an.memcpyWarn(e)
 	for i := range e.Args {
@@ -473,7 +476,7 @@ func (an *annotator) materializeBase(b baseInfo) *ast.Object {
 
 // newKeepLive builds an annotation node around x.
 func (an *annotator) newKeepLive(x ast.Expr, base *ast.Object) *ast.KeepLive {
-	kl := &ast.KeepLive{X: x, Checked: an.opts.Mode == ModeChecked}
+	kl := &ast.KeepLive{X: x, Checked: an.opts.Mode.Checked()}
 	if base != nil {
 		kl.Base = objIdent(base)
 	}

@@ -42,7 +42,7 @@ func (an *annotator) emitValueWrap(off, end int, t types.Type, base *ast.Object)
 	}
 	ct := typeCText(t)
 	switch {
-	case an.opts.Mode == ModeChecked:
+	case an.opts.Mode.Checked():
 		an.emitOpen(off, "(("+ct+")GC_same_obj((void *)(")
 		an.emitClose(end, "), (void *)("+bn+")))")
 	case an.opts.Style == EmitAsm:
@@ -67,7 +67,7 @@ func (an *annotator) emitAddrWrap(off, end int, t types.Type, base *ast.Object) 
 	}
 	ct := typeCText(t)
 	switch {
-	case an.opts.Mode == ModeChecked:
+	case an.opts.Mode.Checked():
 		an.emitOpen(off, "(*("+ct+" *)GC_same_obj((void *)&(")
 		an.emitClose(end, "), (void *)("+bn+")))")
 	case an.opts.Style == EmitAsm:

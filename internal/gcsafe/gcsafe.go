@@ -46,14 +46,28 @@ const (
 	// side effect, is also GC-safe, "though not in a performance-optimal
 	// fashion").
 	ModeChecked
+	// ModeTemporal inserts the same GC_same_obj checks as ModeChecked and
+	// additionally rewrites free(p) calls to the runtime's GC_free: freed
+	// storage is really retired and recycled, so — together with the
+	// interpreter's allocation-epoch tags — use-after-free and double-free
+	// become deterministic check failures instead of silent reads of
+	// recycled memory.
+	ModeTemporal
 )
 
 func (m Mode) String() string {
-	if m == ModeChecked {
+	switch m {
+	case ModeChecked:
 		return "checked"
+	case ModeTemporal:
+		return "temporal"
 	}
 	return "safe"
 }
+
+// Checked reports whether the mode emits run-time GC_same_obj checks
+// (both ModeChecked and ModeTemporal do; ModeTemporal adds free rewriting).
+func (m Mode) Checked() bool { return m == ModeChecked || m == ModeTemporal }
 
 // EmitStyle selects the textual expansion of KEEP_LIVE in the rewritten
 // source.

@@ -87,7 +87,7 @@ func (an *annotator) ptrIncDec(s *slot, e *ast.Unary) {
 	}
 	id, simple := isSimpleVar(e.X)
 
-	if an.opts.Mode == ModeChecked && simple {
+	if an.opts.Mode.Checked() && simple {
 		// The paper's debugging expansion:
 		//   ++p  =>  (char (*)) GC_pre_incr(&(p), sizeof(char)*(+(1)))
 		an.replaceStructural(s, func() ast.Expr {
@@ -265,6 +265,14 @@ func commaChain(t types.Type, exprs ...ast.Expr) ast.Expr {
 // runtimeCall builds a call to a named runtime function (GC_pre_incr etc.),
 // synthesizing the extern declaration object on demand.
 func (an *annotator) runtimeCall(name string, args ...ast.Expr) ast.Expr {
+	c := &ast.Call{Fun: objIdent(an.runtimeObj(name)), Args: args}
+	c.SetType(types.PointerTo(types.VoidType))
+	return c
+}
+
+// runtimeObj returns (synthesizing on first use) the extern object for a
+// named runtime function.
+func (an *annotator) runtimeObj(name string) *ast.Object {
 	obj := an.runtimeFns[name]
 	if obj == nil {
 		if an.runtimeFns == nil {
@@ -279,9 +287,7 @@ func (an *annotator) runtimeCall(name string, args ...ast.Expr) ast.Expr {
 		}
 		an.runtimeFns[name] = obj
 	}
-	c := &ast.Call{Fun: objIdent(obj), Args: args}
-	c.SetType(types.PointerTo(types.VoidType))
-	return c
+	return obj
 }
 
 func (an *annotator) castTo(t types.Type, e ast.Expr) ast.Expr {

@@ -1,0 +1,21 @@
+package gcsafe
+
+import (
+	"gcsafety/internal/cc/ast"
+)
+
+// rewriteFree redirects free(p) to the runtime's GC_free in temporal mode.
+// The paper's methodology neutralizes free ("calls to free were deleted or
+// turned into no-ops"); the temporal checker instead needs frees to really
+// retire storage, so that a pointer surviving one is observably stale. The
+// rewrite is textual and structural, like the other annotations, so both
+// the rewritten source and the compiled AST agree.
+func (an *annotator) rewriteFree(e *ast.Call) {
+	id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+	if !ok || id.Name != "free" || len(e.Args) != 1 {
+		return
+	}
+	an.emitReplace(id.Pos().Off, id.End(), "GC_free")
+	e.Fun = objIdent(an.runtimeObj("GC_free"))
+	an.res.Inserted++
+}

@@ -29,6 +29,9 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 		gcEvery   = m.opts.GCEveryInstrs
 		faults    = m.opts.Faults
 		costs     = &m.costs
+		// tt is nil outside temporal mode; holding it in a local keeps the
+		// per-instruction shadow-tag branch off a field load.
+		tt = m.tt
 		// pollCd counts down to the next context poll so the hot loop pays
 		// one decrement instead of a modulo. It reproduces the schedule
 		// "poll when instrs%ctxCheckInterval == 0" exactly.
@@ -53,6 +56,9 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 				// fall off the end: return 0
 				m.sp = fr.savedSP
 				m.setReg(fr.retReg, 0)
+				if tt != nil {
+					tt.setTag(fr.retReg, 0)
+				}
 				stack = stack[:len(stack)-1]
 				break frame
 			}
@@ -87,6 +93,12 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 				if m.sinceGC >= gcEvery {
 					m.sinceGC = 0
 					m.heap.Collect()
+				}
+			}
+			if tt != nil {
+				if err := m.track(in); err != nil {
+					fr.pc = pc
+					return &FaultError{Fn: fn.Name, PC: pc, Err: err}
 				}
 			}
 			pc++
@@ -160,7 +172,7 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 				m.setReg(in.Rd, m.reg(in.Rs1))
 			case machine.AdjSP:
 				ns := m.sp + uint32(in.Imm)
-				if ns < machine.StackLimit || ns > machine.StackTop {
+				if ns < m.stackLo || ns > m.stackHi {
 					fr.pc = pc
 					return &FaultError{Fn: fn.Name, PC: pc - 1,
 						Err: fmt.Errorf("stack overflow (sp=%#x)", ns)}
@@ -174,6 +186,9 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 				}
 				m.sp = fr.savedSP
 				m.setReg(fr.retReg, m.pendingRet)
+				if tt != nil {
+					tt.setTag(fr.retReg, tt.retTag)
+				}
 				stack = stack[:len(stack)-1]
 				break frame
 			case machine.Call:
@@ -189,6 +204,9 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: err}
 				}
 				m.setReg(in.Rd, v)
+				if tt != nil {
+					tt.setTag(in.Rd, tt.retTag)
+				}
 				if m.exited {
 					fr.pc = pc
 					break frame
@@ -206,6 +224,9 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 				if ret {
 					m.sp = fr.savedSP
 					m.setReg(fr.retReg, m.pendingRet)
+					if tt != nil {
+						tt.setTag(fr.retReg, tt.retTag)
+					}
 					stack = stack[:len(stack)-1]
 					break frame
 				}
@@ -369,7 +390,7 @@ func (m *Machine) step(fr *frame, in *machine.Instr) (ret bool, push *frame, err
 		}
 	case machine.AdjSP:
 		ns := m.sp + uint32(in.Imm)
-		if ns < machine.StackLimit || ns > machine.StackTop {
+		if ns < m.stackLo || ns > m.stackHi {
 			return false, nil, fmt.Errorf("stack overflow (sp=%#x)", ns)
 		}
 		m.sp = ns
@@ -431,5 +452,8 @@ func (m *Machine) doCall(sym string, rd machine.Reg, nargs int) (bool, *frame, e
 		return false, nil, err
 	}
 	m.setReg(rd, v)
+	if m.tt != nil {
+		m.tt.setTag(rd, m.tt.retTag)
+	}
 	return false, nil, nil
 }

@@ -66,6 +66,25 @@ type Options struct {
 	// mode: interior pointers stored in heap objects are not recognized as
 	// references (see internal/gc/extension.go).
 	BaseOnlyHeap bool
+	// Temporal arms the temporal-safety checker: allocation results carry
+	// their birth epoch through shadow tags on registers and memory words,
+	// and any access through a pointer whose epoch no longer matches the
+	// object at its target faults with a TemporalError (use-after-free /
+	// recycled-storage detection; see temporal.go). Like Validate, a harness
+	// feature: adds no cycles.
+	Temporal bool
+	// Threads, when > 1, executes the program as N concurrent mutator
+	// threads over one shared heap: thread 0 runs Entry and thread i
+	// (0 < i < N) runs the function named "thread<i>" when the program
+	// defines it. Scheduling is deterministic — round-robin over runnable
+	// threads with quantum lengths drawn from SchedSeed (see threads.go).
+	Threads int
+	// SchedSeed seeds the interleaving schedule (0 selects a fixed default).
+	SchedSeed uint64
+	// CollectAtSwitch forces a full collection at every context switch: the
+	// collect-at-every-alloc adversary generalized to adversarial
+	// interleavings.
+	CollectAtSwitch bool
 	// Input is the byte stream consumed by getchar().
 	Input string
 	// Entry is the function to run (default "main").
@@ -161,6 +180,16 @@ type Machine struct {
 	// including every checked-mode GC_same_obj/GC_pre_incr call — stays
 	// allocation-free on the host.
 	argbuf [8]uint32
+	// tt is the temporal-mode shadow-tag state; nil unless Options.Temporal
+	// (the hot loop pays one nil check).
+	tt *temporalState
+	// stackLo/stackHi bound the current thread's stack segment for AdjSP;
+	// they are the whole stack in single-thread mode.
+	stackLo, stackHi uint32
+	// Concurrent-mutator state (nil/zero in single-thread mode).
+	threads  []*mthread
+	cur      int
+	schedRng uint64
 }
 
 // New prepares a machine for the program.
@@ -192,6 +221,12 @@ func New(prog *machine.Program, opts Options) *Machine {
 		labels: map[string]map[int32]int{},
 		byID:   map[int32]*machine.Func{},
 		rng:    0x9E3779B9,
+
+		stackLo: machine.StackLimit,
+		stackHi: machine.StackTop,
+	}
+	if opts.Temporal {
+		m.tt = newTemporalState(int(opts.Config.NumRegs))
 	}
 	hcfg := gc.Config{
 		MaxBytes:             opts.HeapBytes,
@@ -280,6 +315,12 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return m.result(), fmt.Errorf("interp: %w", err)
 	}
+	if m.opts.Threads > 1 {
+		if err := m.runThreads(entry); err != nil {
+			return m.result(), err
+		}
+		return m.result(), nil
+	}
 	if err := m.call(entry, machine.NoReg); err != nil {
 		return m.result(), err
 	}
@@ -297,15 +338,38 @@ func (m *Machine) result() *Result {
 }
 
 // scanRoots feeds the collector every word in the register file, the live
-// stack, and the static data segment.
+// stack, and the static data segment. In concurrent mode every live
+// thread's register file and stack segment is a root set: a collection one
+// thread triggers must see the pointers every other thread still holds.
 func (m *Machine) scanRoots(visit func(gc.Addr)) {
-	for _, r := range m.regs {
-		visit(r)
-	}
-	for a := m.sp &^ 3; a < machine.StackTop; a += 4 {
-		w, err := m.read32raw(a)
-		if err == nil {
-			visit(w)
+	if m.threads != nil {
+		for i, t := range m.threads {
+			if t.done {
+				continue
+			}
+			sp := t.sp
+			if i == m.cur {
+				sp = m.sp // regs alias t.regs; only sp is cached in m
+			}
+			for _, r := range t.regs {
+				visit(r)
+			}
+			for a := sp &^ 3; a < t.hi; a += 4 {
+				w, err := m.read32raw(a)
+				if err == nil {
+					visit(w)
+				}
+			}
+		}
+	} else {
+		for _, r := range m.regs {
+			visit(r)
+		}
+		for a := m.sp &^ 3; a < machine.StackTop; a += 4 {
+			w, err := m.read32raw(a)
+			if err == nil {
+				visit(w)
+			}
 		}
 	}
 	base := machine.DataBase

@@ -45,27 +45,65 @@ func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
 		return 0
 	}
 	m.cycles += rtBase
+	if m.tt != nil {
+		// Runtime results are untagged unless a case below says otherwise.
+		m.tt.retTag = 0
+	}
 	switch sym {
 	case "malloc", "GC_malloc":
 		m.cycles += rtAlloc
-		return m.alloc(a(0))
+		p, err := m.alloc(a(0))
+		if err == nil && m.tt != nil {
+			m.noteAlloc(p)
+		}
+		return p, err
 	case "calloc":
 		m.cycles += rtAlloc
-		return m.alloc(a(0) * a(1))
+		p, err := m.alloc(a(0) * a(1))
+		if err == nil && m.tt != nil {
+			m.noteAlloc(p)
+		}
+		return p, err
 	case "realloc":
 		m.cycles += rtAlloc
-		return m.realloc(a(0), a(1))
+		p, err := m.realloc(a(0), a(1))
+		if err == nil && m.tt != nil {
+			m.noteAlloc(p)
+		}
+		return p, err
 	case "free":
-		// The paper's methodology: "remove all calls to free".
+		// The paper's methodology: "remove all calls to free". Temporal
+		// mode rewrites free to GC_free at annotation time instead.
+		return 0, nil
+	case "GC_free":
+		// The temporal mode's real deallocator (see temporal.go).
+		m.cycles += rtAlloc
+		return m.gcFree(a(0))
+	case "join_threads":
+		// Blocks (by scheduler retry) until every sibling thread finished;
+		// immediately returns 0 in single-thread mode.
+		if m.threadsRemaining() {
+			return 0, errJoinWait
+		}
 		return 0, nil
 	case "GC_gcollect":
 		m.heap.Collect()
 		return 0, nil
 	case "GC_base":
 		m.cycles += rtCheck
-		return m.heap.Base(a(0)), nil
+		b := m.heap.Base(a(0))
+		if m.tt != nil {
+			m.tt.retTag = m.heap.EpochOf(b)
+		}
+		return b, nil
 	case "GC_same_obj":
 		m.cycles += rtCheck
+		if m.tt != nil {
+			if err := m.temporalSameObj(a(0), a(1)); err != nil {
+				return 0, err
+			}
+			m.tt.retTag = m.argTag(0)
+		}
 		p, err := m.heap.SameObject(a(0), a(1))
 		if err != nil {
 			return 0, &CheckError{Err: err}
@@ -81,6 +119,9 @@ func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
 		// The paper's portable fallback: "a call to an external function
 		// whose implementation is unavailable to the compiler for
 		// analysis, but which actually just returns its first argument."
+		if m.tt != nil {
+			m.tt.retTag = m.argTag(0)
+		}
 		return a(0), nil
 	case "strlen":
 		s, err := m.cstring(a(0))
@@ -90,8 +131,14 @@ func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
 		m.cycles += uint64(len(s)) * rtPerByte
 		return uint32(len(s)), nil
 	case "strcpy":
+		if m.tt != nil {
+			m.tt.retTag = m.argTag(0)
+		}
 		return m.strcpy(a(0), a(1), 1<<30, true)
 	case "strncpy":
+		if m.tt != nil {
+			m.tt.retTag = m.argTag(0)
+		}
 		return m.strcpy(a(0), a(1), a(2), true)
 	case "strcat":
 		s, err := m.cstring(a(0))
@@ -101,6 +148,9 @@ func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
 		m.cycles += uint64(len(s)) * rtPerByte
 		if _, err := m.strcpy(a(0)+uint32(len(s)), a(1), 1<<30, true); err != nil {
 			return 0, err
+		}
+		if m.tt != nil {
+			m.tt.retTag = m.argTag(0)
 		}
 		return a(0), nil
 	case "strcmp":
@@ -119,13 +169,22 @@ func (m *Machine) runtimeCall(sym string, nargs int) (uint32, error) {
 				c = s[i]
 			}
 			if c == byte(a(1)) {
+				if m.tt != nil {
+					m.tt.retTag = m.argTag(0)
+				}
 				return a(0) + uint32(i), nil
 			}
 		}
 		return 0, nil
 	case "memcpy", "memmove":
+		if m.tt != nil {
+			m.tt.retTag = m.argTag(0)
+		}
 		return m.memmove(a(0), a(1), a(2))
 	case "memset":
+		if m.tt != nil {
+			m.tt.retTag = m.argTag(0)
+		}
 		m.cycles += uint64(a(2)) * rtPerByte
 		for i := uint32(0); i < a(2); i++ {
 			if err := m.write8(a(0)+i, byte(a(1))); err != nil {
@@ -238,6 +297,16 @@ func (m *Machine) gcIncr(slot uint32, delta int32, post bool) (uint32, error) {
 	nw := uint32(int64(old) + int64(delta))
 	if err := m.write32(slot, nw); err != nil {
 		return 0, err
+	}
+	if m.tt != nil {
+		// The pointer variable's stored tag survives the in-place update
+		// and checks the moved pointer against its birth epoch.
+		if tg := m.tt.memTag(slot); tg != 0 {
+			if err := m.epochCheck(old, tg); err != nil {
+				return 0, err
+			}
+		}
+		m.tt.retTag = m.tt.memTag(slot)
 	}
 	if _, err := m.heap.SameObject(nw, old); err != nil {
 		return 0, &CheckError{Err: err}

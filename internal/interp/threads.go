@@ -1,0 +1,243 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"gcsafety/internal/faultinject"
+	"gcsafety/internal/machine"
+)
+
+// Concurrent-mutator simulation. The machine stays single-threaded on the
+// host: N simulated mutator threads share one heap, one static segment and
+// one output stream, and are interleaved cooperatively — round-robin over
+// the runnable threads, with quantum lengths drawn from a seeded xorshift64
+// and bounded by the interpreter's existing poll stride. The schedule is a
+// pure function of (program, input, seed): every run of a treatment is
+// bit-identical, which is what lets concurrent treatments participate in
+// differential testing at all. Thread 0 executes the entry function; thread
+// i executes the program's "thread<i>" function when defined (absent
+// workers are skipped). The stack is carved into equal per-thread segments,
+// thread 0 topmost. A fault in any thread aborts the whole run; exit()
+// stops all threads.
+
+// errJoinWait is the internal sentinel the join_threads builtin returns
+// while sibling threads are still running: the scheduler rewinds the call
+// instruction and retries it on the thread's next quantum.
+var errJoinWait = errors.New("join_threads: siblings still running")
+
+// mthread is one simulated mutator thread: a frame stack plus the
+// per-thread machine state (registers, stack pointer, stack segment
+// bounds, temporal shadow tags for the register file).
+type mthread struct {
+	id      int
+	frames  []frame
+	regs    []uint32
+	regTags []uint32 // nil unless temporal mode
+	sp      uint32
+	lo, hi  uint32 // stack segment bounds
+	done    bool
+}
+
+// threadEntryName is the naming convention binding worker i to its entry
+// function.
+func threadEntryName(i int) string { return fmt.Sprintf("thread%d", i) }
+
+// runThreads executes entry as thread 0 alongside up to Threads-1 workers.
+func (m *Machine) runThreads(entry *machine.Func) error {
+	n := m.opts.Threads
+	total := uint32(machine.StackTop - machine.StackLimit)
+	seg := (total / uint32(n)) &^ 255
+	if seg < 4096 {
+		return fmt.Errorf("interp: %d threads leave only %d bytes of stack each", n, seg)
+	}
+	for i := 0; i < n; i++ {
+		fn := entry
+		if i > 0 {
+			fn = m.prog.Funcs[threadEntryName(i)]
+			if fn == nil {
+				continue
+			}
+		}
+		hi := uint32(machine.StackTop) - uint32(i)*seg
+		t := &mthread{
+			id:   i,
+			regs: make([]uint32, len(m.regs)),
+			sp:   hi,
+			lo:   hi - seg,
+			hi:   hi,
+		}
+		if m.tt != nil {
+			t.regTags = make([]uint32, len(m.regs))
+		}
+		t.frames = append(t.frames, frame{fn: fn, pc: 0, savedSP: hi, retReg: machine.NoReg})
+		m.threads = append(m.threads, t)
+	}
+	m.schedRng = m.opts.SchedSeed
+	if m.schedRng == 0 {
+		m.schedRng = 0x9E3779B97F4A7C15
+	}
+	m.cur = -1
+	for !m.exited {
+		next := m.pickThread()
+		if next < 0 {
+			break // every thread ran to completion
+		}
+		if next != m.cur {
+			m.switchTo(next)
+			if m.opts.CollectAtSwitch {
+				m.heap.Collect()
+			}
+		}
+		quantum := 1 + m.schedNext()%ctxCheckInterval
+		if err := m.execQuantum(m.threads[next], quantum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickThread selects the next runnable thread, round-robin from the one
+// after the current.
+func (m *Machine) pickThread() int {
+	n := len(m.threads)
+	if n == 0 {
+		return -1
+	}
+	start := (m.cur + 1 + n) % n
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if !m.threads[i].done {
+			return i
+		}
+	}
+	return -1
+}
+
+// schedNext advances the schedule's xorshift64 state.
+func (m *Machine) schedNext() uint64 {
+	x := m.schedRng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.schedRng = x
+	return x
+}
+
+// switchTo makes thread i current: the outgoing thread's stack pointer is
+// saved, and the machine's register file, stack bounds and temporal tags
+// are re-aimed at the incoming thread's. Register slices are aliased, not
+// copied, so the collector always sees every thread's live registers.
+func (m *Machine) switchTo(i int) {
+	if m.cur >= 0 {
+		m.threads[m.cur].sp = m.sp
+	}
+	t := m.threads[i]
+	m.cur = i
+	m.regs = t.regs
+	m.sp = t.sp
+	m.stackLo, m.stackHi = t.lo, t.hi
+	if m.tt != nil {
+		m.tt.regTags = t.regTags
+	}
+}
+
+// threadsRemaining reports whether any thread other than the current one is
+// still running (the join_threads condition).
+func (m *Machine) threadsRemaining() bool {
+	for i, t := range m.threads {
+		if i != m.cur && !t.done {
+			return true
+		}
+	}
+	return false
+}
+
+// execQuantum runs up to quantum instructions of thread t. It mirrors the
+// single-thread loop's per-instruction bookkeeping (instruction budget,
+// context poll, cycle accounting, asynchronous-GC tick) but dispatches
+// every opcode through the cold-path step: concurrent treatments are new
+// measurement columns, not cycle-compatible reruns of the single-thread
+// numbers, so the inline fast path is not duplicated here.
+func (m *Machine) execQuantum(t *mthread, quantum uint64) error {
+	var (
+		maxInstrs = m.opts.MaxInstrs
+		gcEvery   = m.opts.GCEveryInstrs
+		faults    = m.opts.Faults
+	)
+	for quantum > 0 && len(t.frames) > 0 && !m.exited {
+		fr := &t.frames[len(t.frames)-1]
+		if fr.pc >= len(fr.fn.Code) {
+			m.popFrame(t, 0, true) // fall off the end: return 0
+			continue
+		}
+		in := &fr.fn.Code[fr.pc]
+		if m.instrs >= maxInstrs {
+			return &FaultError{Fn: fr.fn.Name, PC: fr.pc,
+				Err: fmt.Errorf("%w (%d)", ErrInstrLimit, maxInstrs)}
+		}
+		if m.instrs%ctxCheckInterval == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+			}
+			if faults != nil {
+				if err := faults.Fire(faultinject.PointInterpStep); err != nil {
+					return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+				}
+			}
+		}
+		m.instrs++
+		m.cycles += m.costs[in.Op]
+		if gcEvery > 0 {
+			m.sinceGC++
+			if m.sinceGC >= gcEvery {
+				m.sinceGC = 0
+				m.heap.Collect()
+			}
+		}
+		quantum--
+		if m.tt != nil {
+			if err := m.track(in); err != nil {
+				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+			}
+		}
+		pc := fr.pc
+		fr.pc = pc + 1
+		ret, push, err := m.step(fr, in)
+		if err != nil {
+			if errors.Is(err, errJoinWait) {
+				fr.pc = pc // retry the join on the next quantum
+				return nil // yield
+			}
+			return &FaultError{Fn: fr.fn.Name, PC: pc, Err: err}
+		}
+		if push != nil {
+			t.frames = append(t.frames, *push)
+			continue
+		}
+		if ret {
+			m.popFrame(t, m.pendingRet, false)
+		}
+	}
+	if len(t.frames) == 0 {
+		t.done = true
+	}
+	return nil
+}
+
+// popFrame completes t's top frame, restoring the caller's stack pointer
+// and delivering val to the result register (with its temporal tag, unless
+// the frame fell off the end, which returns an untagged 0).
+func (m *Machine) popFrame(t *mthread, val uint32, fallOff bool) {
+	fr := &t.frames[len(t.frames)-1]
+	m.sp = fr.savedSP
+	m.setReg(fr.retReg, val)
+	if m.tt != nil {
+		if fallOff {
+			m.tt.setTag(fr.retReg, 0)
+		} else {
+			m.tt.setTag(fr.retReg, m.tt.retTag)
+		}
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+}

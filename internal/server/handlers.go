@@ -34,7 +34,7 @@ func decode(r *http.Request, v any) error {
 type AnnotateRequest struct {
 	Name   string `json:"name"`
 	Source string `json:"source"`
-	// Mode is "safe" (default) or "checked".
+	// Mode is "safe" (default), "checked" or "temporal".
 	Mode string `json:"mode"`
 	// Style is "macro" (default) or "asm".
 	Style             string `json:"style"`
@@ -67,8 +67,10 @@ func (req *AnnotateRequest) options() (gcsafe.Options, error) {
 	case "", "safe":
 	case "checked":
 		opts.Mode = gcsafe.ModeChecked
+	case "temporal":
+		opts.Mode = gcsafe.ModeTemporal
 	default:
-		return opts, errf(http.StatusBadRequest, "unknown mode %q (want safe or checked)", req.Mode)
+		return opts, errf(http.StatusBadRequest, "unknown mode %q (want safe, checked or temporal)", req.Mode)
 	}
 	switch req.Style {
 	case "", "macro":
@@ -241,7 +243,7 @@ type CompileRequest struct {
 	Source string `json:"source"`
 	// Machine is ss2, ss10 (default) or p90.
 	Machine string `json:"machine"`
-	// Annotate is "none" (default), "safe" or "checked".
+	// Annotate is "none" (default), "safe", "checked" or "temporal".
 	Annotate string `json:"annotate"`
 	Optimize bool   `json:"optimize"`
 	// Post runs the peephole postprocessor.
@@ -286,8 +288,10 @@ func annotationByName(name string) (fuzz.Annotation, error) {
 		return fuzz.AnnotateSafe, nil
 	case "checked":
 		return fuzz.AnnotateChecked, nil
+	case "temporal":
+		return fuzz.AnnotateTemporal, nil
 	}
-	return 0, errf(http.StatusBadRequest, "unknown annotate %q (want none, safe or checked)", name)
+	return 0, errf(http.StatusBadRequest, "unknown annotate %q (want none, safe, checked or temporal)", name)
 }
 
 // compile builds one treatment cell through the artifact cache: the
@@ -310,6 +314,9 @@ func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotat
 		case fuzz.AnnotateChecked:
 			opts.Annotate = true
 			opts.AnnotateOptions.Mode = gcsafe.ModeChecked
+		case fuzz.AnnotateTemporal:
+			opts.Annotate = true
+			opts.AnnotateOptions.Mode = gcsafe.ModeTemporal
 		}
 		res, err := s.pipeline.Build(ctx, name, src, opts)
 		if err != nil {
@@ -365,6 +372,16 @@ type RunRequest struct {
 	CollectAtEveryAlloc bool `json:"collect_at_every_alloc"`
 	// Validate arms the premature-reclamation detector.
 	Validate bool `json:"validate"`
+	// Temporal arms the allocation-epoch checker (use with annotate
+	// "temporal" so frees reach the runtime as GC_free).
+	Temporal bool `json:"temporal"`
+	// Threads > 1 runs the program on the concurrent-mutator simulation.
+	Threads int `json:"threads"`
+	// SchedSeed selects the deterministic interleaving (0 = default).
+	SchedSeed uint64 `json:"sched_seed"`
+	// CollectAtSwitch forces a collection at every context switch (the
+	// adversarial concurrent schedule).
+	CollectAtSwitch bool `json:"collect_at_switch"`
 	// BaseOnly selects the collector's Extensions-section operating mode.
 	BaseOnly bool `json:"base_only"`
 	// MaxSteps caps executed instructions; clamped to the server ceiling.
@@ -407,6 +424,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if req.Threads < 0 || req.Threads > maxRunThreads {
+		return errf(http.StatusBadRequest, "threads %d out of range (max %d)", req.Threads, maxRunThreads)
+	}
 	ctx, cancel := s.runContext(r.Context(), req.TimeoutMs)
 	defer cancel()
 	steps := s.cfg.MaxSteps
@@ -419,6 +439,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 		GCEveryInstrs:       req.GCEvery,
 		CollectAtEveryAlloc: req.CollectAtEveryAlloc,
 		Validate:            req.Validate,
+		Temporal:            req.Temporal,
+		Threads:             req.Threads,
+		SchedSeed:           req.SchedSeed,
+		CollectAtSwitch:     req.CollectAtSwitch,
 		BaseOnlyHeap:        req.BaseOnly,
 		MaxInstrs:           steps,
 		Faults:              faultinject.FromContext(r.Context()),
@@ -482,9 +506,20 @@ type MatrixResponse struct {
 	Violations            []string `json:"violations"`
 	UnsafeFailures        int      `json:"unsafe_failures"`
 	PrematureReclamations int      `json:"premature_reclamations"`
+	// TemporalDetections counts temporal-mode treatments that correctly
+	// flagged the program's seeded use-after-free or double-free.
+	TemporalDetections int `json:"temporal_detections"`
+	// RaceDetections counts unsafe concurrent treatments whose failure was
+	// a cross-thread premature reclamation.
+	RaceDetections int `json:"race_detections"`
 }
 
 const maxMatrixSteps = 64
+
+// maxRunThreads bounds the concurrent-mutator simulation per request: the
+// threads share one simulated stack region, and the interpreter rejects
+// segments that would be too small anyway.
+const maxRunThreads = 16
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) error {
 	var req MatrixRequest
@@ -528,6 +563,8 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) error {
 		Violations:            []string{},
 		UnsafeFailures:        len(m.UnsafeFailures),
 		PrematureReclamations: m.PrematureReclamations(),
+		TemporalDetections:    len(m.TemporalDetections),
+		RaceDetections:        m.RaceDetections(),
 	}
 	for _, v := range m.Violations {
 		resp.Violations = append(resp.Violations, v.Name()+": "+describeOutcome(v))

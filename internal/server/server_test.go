@@ -162,6 +162,79 @@ func TestRunEndpoint(t *testing.T) {
 	}
 }
 
+// TestRunTemporalEndpoint drives the temporal checker over the wire: an
+// annotate=temporal build with the epoch checker armed turns a
+// use-after-free into a CheckFailed response, not a silent pass.
+func TestRunTemporalEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const uafC = `int main() {
+    int *p = (int *)GC_malloc(16);
+    p[0] = 7;
+    free(p);
+    print_int(p[0]);
+    return 0;
+}
+`
+	resp, data := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		CompileRequest: CompileRequest{Name: "uaf.c", Source: uafC, Optimize: true, Annotate: "temporal"},
+		Temporal:       true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var rr RunResponse
+	unmarshalInto(t, data, &rr)
+	if !rr.CheckFailed || !strings.Contains(rr.Fault, "temporal") {
+		t.Fatalf("temporal run response: %+v", rr)
+	}
+	// The same program with the checker off must still run to completion
+	// (free is a no-op there) — the differential baseline.
+	resp, data = postJSON(t, ts.URL+"/v1/run", RunRequest{
+		CompileRequest: CompileRequest{Name: "uaf.c", Source: uafC, Optimize: true, Annotate: "safe"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var base RunResponse
+	unmarshalInto(t, data, &base)
+	if base.Fault != "" || base.Output != "7" {
+		t.Fatalf("baseline run response: %+v", base)
+	}
+}
+
+// TestRunConcurrentEndpoint runs a two-thread program on the deterministic
+// concurrent-mutator simulation and checks the thread bound.
+func TestRunConcurrentEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const mtC = `int thread1() { return 0; }
+int main() {
+    join_threads();
+    print_str("joined");
+    return 0;
+}
+`
+	resp, data := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		CompileRequest: CompileRequest{Name: "mt.c", Source: mtC, Optimize: true, Annotate: "safe"},
+		Threads:        2,
+		SchedSeed:      7,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var rr RunResponse
+	unmarshalInto(t, data, &rr)
+	if rr.Fault != "" || rr.Output != "joined" {
+		t.Fatalf("concurrent run response: %+v", rr)
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/run", RunRequest{
+		CompileRequest: CompileRequest{Name: "mt.c", Source: mtC, Optimize: true},
+		Threads:        1000,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("threads=1000: status = %d, want 400: %s", resp.StatusCode, data)
+	}
+}
+
 func TestRunStepLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, data := postJSON(t, ts.URL+"/v1/run", RunRequest{

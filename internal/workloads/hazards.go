@@ -1,0 +1,149 @@
+package workloads
+
+// The hazard catalogue: small named workloads promoted from the best
+// fuzz-generated hazard programs (internal/fuzz's uaf, double-free and
+// thread-escape operations), cleaned up by hand and given fixed golden
+// outputs. Each one seeds exactly one bug class:
+//
+//   - uaf reads through a pointer after freeing it and reallocating its
+//     size class — silent outside temporal mode (free is a no-op there),
+//     a deterministic epoch violation in temporal mode;
+//   - dblfree frees the same object twice — the second free is detected
+//     by temporal mode's GC_free against the retired allocation epoch;
+//   - escape plants the paper's displacement hazard in a worker thread:
+//     under an unannotated optimizer a collection triggered from another
+//     thread's schedule point reclaims the object mid-loop, while the
+//     annotated build survives any interleaving.
+//
+// They are benchmark columns (internal/bench's hazard table) and example
+// programs (examples/hazards) at once.
+
+// Hazards returns the temporal/concurrency hazard workloads.
+func Hazards() []Workload {
+	return []Workload{
+		UAF(),
+		DblFree(),
+		Escape(),
+	}
+}
+
+// UAF is the use-after-free workload.
+func UAF() Workload {
+	return Workload{
+		Name:          "uaf",
+		Source:        uafSrc,
+		Want:          "1225|41|17|",
+		TemporalFails: true,
+		Lines:         countLines(uafSrc),
+	}
+}
+
+const uafSrc = `/* uaf: allocation churn, then a read through a freed-and-recycled
+ * pointer. free is a no-op outside temporal mode, so the stale read still
+ * sees 41 there; temporal mode retires u's allocation epoch at free and
+ * faults on the read. */
+int main() {
+    int i;
+    int s = 0;
+    int *t;
+    int *u;
+    int *w;
+    for (i = 0; i < 50; i++) {
+        t = (int *)GC_malloc(16);
+        t[0] = i;
+        s = s + t[0];
+    }
+    print_int(s); print_str("|");
+    u = (int *)GC_malloc(12);
+    u[0] = 41;
+    free(u);
+    w = (int *)GC_malloc(12);
+    w[0] = 17;
+    print_int(u[0]); print_str("|");
+    print_int(w[0]); print_str("|");
+    return 0;
+}
+`
+
+// DblFree is the double-free workload.
+func DblFree() Workload {
+	return Workload{
+		Name:          "dblfree",
+		Source:        dblfreeSrc,
+		Want:          "1600|7|ok|",
+		TemporalFails: true,
+		Lines:         countLines(dblfreeSrc),
+	}
+}
+
+const dblfreeSrc = `/* dblfree: pair churn, then the same object freed twice. Both frees are
+ * no-ops outside temporal mode; in temporal mode the second GC_free finds
+ * no live object at the address and reports the double free. */
+struct pair { int a; int b; };
+int main() {
+    int i;
+    int s = 0;
+    struct pair *t;
+    struct pair *d;
+    for (i = 0; i < 40; i++) {
+        t = (struct pair *)GC_malloc(sizeof(struct pair));
+        t->a = i;
+        t->b = i + 1;
+        s = s + t->a + t->b;
+    }
+    print_int(s); print_str("|");
+    d = (struct pair *)GC_malloc(sizeof(struct pair));
+    d->a = 7;
+    print_int(d->a); print_str("|");
+    free(d);
+    free(d);
+    print_str("ok|");
+    return 0;
+}
+`
+
+// Escape is the cross-thread-escape workload. It only demonstrates the
+// hazard under a concurrent treatment (Threads > 1); single-thread builds
+// never run the worker.
+func Escape() Workload {
+	return Workload{
+		Name:    "escape",
+		Source:  escapeSrc,
+		Want:    "19900|",
+		Threads: 4,
+		Lines:   countLines(escapeSrc),
+	}
+}
+
+const escapeSrc = `/* escape: the paper's displacement hazard on a worker thread. The final
+ * reference p[i - 300] reassociates under -O into a far-displaced pointer
+ * that the conservative collector cannot recognize; main's allocation churn
+ * gives a concurrent collector every opportunity to reclaim p's object
+ * while the worker spins. getchar() at EOF is the optimizer-opaque zero. */
+int thread1() {
+    int t = getchar() + 1;
+    int i = t + 420;
+    int k = t + 120;
+    char *p = (char *)GC_malloc(512);
+    int j;
+    int s = 0;
+    p[k] = 77;
+    for (j = 0; j < 4000; j++) s = s + 1;
+    assert_true(s == 4000);
+    assert_true(p[i - 300] == 77);
+    return 0;
+}
+int main() {
+    int i;
+    int s = 0;
+    int *t;
+    for (i = 0; i < 200; i++) {
+        t = (int *)GC_malloc(16);
+        t[0] = i;
+        s = s + t[0];
+    }
+    join_threads();
+    print_int(s); print_str("|");
+    return 0;
+}
+`

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+)
+
+// runHazard builds and runs one hazard workload under a given annotation
+// mode, honoring the workload's thread count and an optional adversarial
+// collection schedule. schedSeed selects the interleaving for concurrent
+// workloads (0 = the interpreter's fixed default).
+func runHazard(t *testing.T, w Workload, annotate bool, mode gcsafe.Mode, optimize, adversarial bool, schedSeed uint64) (*interp.Result, error) {
+	t.Helper()
+	file, err := parser.Parse(w.Name+".c", w.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", w.Name, err)
+	}
+	if annotate {
+		if _, err := gcsafe.Annotate(file, gcsafe.Options{Mode: mode}); err != nil {
+			t.Fatalf("%s: annotate: %v", w.Name, err)
+		}
+	}
+	cfg := machine.SPARCstation10()
+	prog, err := codegen.Compile(file, codegen.Options{Optimize: optimize, Machine: cfg})
+	if err != nil {
+		t.Fatalf("%s: compile: %v", w.Name, err)
+	}
+	opts := interp.Options{
+		Config:    cfg,
+		Input:     w.Input,
+		Validate:  true,
+		Temporal:  mode == gcsafe.ModeTemporal && annotate,
+		Threads:   w.Threads,
+		SchedSeed: schedSeed,
+	}
+	if adversarial {
+		if w.Threads > 1 {
+			opts.CollectAtEveryAlloc = true
+			opts.CollectAtSwitch = true
+		} else {
+			opts.GCEveryInstrs = 1
+			opts.CollectAtEveryAlloc = true
+		}
+	} else {
+		opts.GCEveryInstrs = 211
+		opts.TriggerBytes = 8 << 10
+	}
+	return interp.Run(prog, opts)
+}
+
+// Every hazard workload's non-temporal builds must reproduce the golden
+// output — the seeded bugs are invisible where free is a no-op, which is
+// exactly what makes them differential test subjects.
+func TestHazardWorkloadsGoldenOutputs(t *testing.T) {
+	for _, w := range Hazards() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, bm := range []struct {
+				name     string
+				annotate bool
+				mode     gcsafe.Mode
+				optimize bool
+			}{
+				{name: "-g"},
+				{name: "-O safe", annotate: true, optimize: true},
+				{name: "-g checked", annotate: true, mode: gcsafe.ModeChecked},
+			} {
+				res, err := runHazard(t, w, bm.annotate, bm.mode, bm.optimize, false, 0)
+				if err != nil {
+					t.Fatalf("[%s] run failed: %v", bm.name, err)
+				}
+				if res.Output != w.Want {
+					t.Fatalf("[%s] output diverged:\ngot:  %q\nwant: %q", bm.name, res.Output, w.Want)
+				}
+			}
+		})
+	}
+}
+
+// The temporal contract on the catalogue: TemporalFails workloads must trip
+// the epoch checker in both the optimized and debuggable temporal builds;
+// the others must reproduce Want under temporal mode unchanged.
+func TestHazardWorkloadsTemporalDetection(t *testing.T) {
+	for _, w := range Hazards() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, optimize := range []bool{false, true} {
+				res, err := runHazard(t, w, true, gcsafe.ModeTemporal, optimize, false, 0)
+				if w.TemporalFails {
+					var te *interp.TemporalError
+					if err == nil {
+						t.Fatalf("temporal build (optimize=%v) missed the seeded bug; output %q", optimize, res.Output)
+					}
+					if !errors.As(err, &te) {
+						t.Fatalf("temporal build (optimize=%v) failed with a non-temporal error: %v", optimize, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("temporal build (optimize=%v) false positive: %v", optimize, err)
+				}
+				if res.Output != w.Want {
+					t.Fatalf("temporal build (optimize=%v) output diverged: got %q want %q", optimize, res.Output, w.Want)
+				}
+			}
+		})
+	}
+}
+
+// The escape workload's reason to exist: there is an interleaving under
+// which the unannotated optimized build loses the worker's object to a
+// collection from another thread's schedule point — the race is existential
+// over schedules, so the unsafe build scans interleaving seeds for the
+// losing one — while the safe build must survive every one of those same
+// interleavings with the golden output.
+func TestEscapeWorkloadCrossThreadDetection(t *testing.T) {
+	w := Escape()
+	// The safe build must survive every interleaving; spot-check a band.
+	for seed := uint64(1); seed <= 64; seed++ {
+		res, err := runHazard(t, w, true, gcsafe.ModeSafe, true, true, seed)
+		if err != nil {
+			t.Fatalf("safe concurrent build failed under schedule %d: %v", seed, err)
+		}
+		if res.Output != w.Want {
+			t.Fatalf("safe concurrent build diverged under schedule %d: got %q want %q",
+				seed, res.Output, w.Want)
+		}
+	}
+	// The unsafe build needs only one losing interleaving, and the losing
+	// window (the two instructions between the displacement overwriting
+	// p's slot and the final load) is narrow — so scan: ~0.5% of schedules
+	// hit it, and the scan stops at the first one.
+	const seeds = 2048
+	for seed := uint64(1); seed <= seeds; seed++ {
+		_, err := runHazard(t, w, false, gcsafe.ModeSafe, true, true, seed)
+		if err == nil {
+			continue
+		}
+		var fe *interp.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("unexpected failure shape under schedule %d: %v", seed, err)
+		}
+		safe, err := runHazard(t, w, true, gcsafe.ModeSafe, true, true, seed)
+		if err != nil || safe.Output != w.Want {
+			t.Fatalf("safe build failed under the losing schedule %d: err=%v got=%q", seed, err, safe.Output)
+		}
+		t.Logf("cross-thread escape detected under schedule %d: %v", seed, fe)
+		return
+	}
+	t.Fatalf("unannotated optimized concurrent build survived all %d interleavings — the escape hazard has gone stale", seeds)
+}
+
+func TestHazardWorkloadMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range Hazards() {
+		if names[w.Name] {
+			t.Errorf("duplicate hazard workload %s", w.Name)
+		}
+		names[w.Name] = true
+		if got, ok := ByName(w.Name); !ok || got.Name != w.Name {
+			t.Errorf("ByName(%s) failed", w.Name)
+		}
+		if w.Want == "" {
+			t.Errorf("%s: no golden output", w.Name)
+		}
+	}
+}

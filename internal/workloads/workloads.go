@@ -28,6 +28,14 @@ type Workload struct {
 	// CheckedFails marks workloads whose checked build correctly detects a
 	// real pointer-arithmetic bug and aborts (the paper's gawk footnote).
 	CheckedFails bool
+	// TemporalFails marks workloads that seed a deliberate use-after-free
+	// or double-free: the temporal build is required to detect it and
+	// abort, while every other mode (where free is a no-op) reproduces
+	// Want.
+	TemporalFails bool
+	// Threads, when > 1, runs the workload as N concurrent mutator threads
+	// (thread 0 is main; thread i runs the workload's threadN function).
+	Threads int
 	// DebugUnavailable marks workloads without -g numbers (the paper's
 	// cfrac footnote: inlining kept it from compiling at -O0).
 	DebugUnavailable bool
@@ -45,9 +53,10 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload, searching the benchmark suite and the
+// hazard catalogue.
 func ByName(name string) (Workload, bool) {
-	for _, w := range All() {
+	for _, w := range append(All(), Hazards()...) {
 		if w.Name == name {
 			return w, true
 		}
