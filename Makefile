@@ -14,7 +14,7 @@
 #   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
 #   make bench        run the full benchmark suite and record it as
-#                     BENCH_PR6.json at the repo root (benchdiff JSON; gate
+#                     BENCH_PR7.json at the repo root (benchdiff JSON; gate
 #                     future changes with `make bench-compare`)
 #   make bench-compare  diff the newest BENCH_*.json against the previous
 #                     one with benchdiff (exits 1 on a >10% regression)
@@ -23,14 +23,18 @@
 #                     benchmarks run and the JSON round-trips
 #   make pipeline-smoke  build one workload through the stage graph twice
 #                     and assert the second build is 100% stage-cache hits
+#   make heapdump-smoke  profile the leak workload through both surfaces —
+#                     the real ccrun binary with -heap-dump and the daemon's
+#                     /v1/heapdump — and assert the two snapshots agree on
+#                     live-object count and live bytes
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection FuzzTemporalDifferential
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke heapdump-smoke
 
-check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke serve-smoke chaos-smoke
+check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke serve-smoke chaos-smoke heapdump-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -78,12 +82,18 @@ chaos-smoke:
 chaos:
 	$(GO) run ./cmd/gcsafed -chaos -chaos-requests 512
 
-# The benchmark record: every benchmark at its default benchtime, captured
-# as benchdiff JSON at the repo root. Compare a working tree against the
-# previous record with: make bench && make bench-compare
-BENCHOUT ?= BENCH_PR6.json
+# The benchmark record: every benchmark run 5 times at a 100ms budget,
+# captured as benchdiff JSON at the repo root. 100ms gives sub-millisecond
+# benchmarks hundreds of iterations (a single 1x observation of a 300µs
+# benchmark swings ±30% on identical code on this shared/steal-prone host)
+# while the ~1s table sweeps still run one iteration. benchdiff -parse then
+# collapses the -count repeats to the per-metric minimum — the fastest
+# repeat is the least disturbed one, and the cold-cache first pass (which
+# pays the workload compiles) is discarded with it. Compare a working tree
+# against the previous record with: make bench && make bench-compare
+BENCHOUT ?= BENCH_PR7.json
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
+	$(GO) test -run '^$$' -bench . -benchtime 100ms -count 5 -timeout 30m . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
 
 # bench-compare gates the newest benchmark record against the one before
@@ -112,6 +122,12 @@ bench-smoke:
 # asserts 7/7 cache hits on the second build), under the race detector.
 pipeline-smoke:
 	$(GO) test -race -count=1 -run 'TestPipelineSmokeWarmBuild' ./internal/pipeline
+
+# The heap-introspection agreement gate: TestHeapdumpSmoke runs the leak
+# workload through ccrun -heap-dump and through POST /v1/heapdump and
+# requires identical live-object counts and live bytes.
+heapdump-smoke:
+	$(GO) test -race -count=1 -run 'TestHeapdumpSmoke' ./cmd/gcsafed
 
 serve:
 	$(GO) run ./cmd/gcsafed

@@ -10,7 +10,12 @@
 //
 // Parse mode reads benchmark text on stdin and writes one JSON document on
 // stdout: every benchmark line's iteration count and all its value/unit
-// metric pairs (ns/op, B/op, and any b.ReportMetric custom units).
+// metric pairs (ns/op, B/op, and any b.ReportMetric custom units). A
+// benchmark appearing several times (`-count N`) collapses to one entry
+// holding each metric's minimum: on a shared/steal-prone host the fastest
+// observation is the least disturbed one, so min-of-N records make the
+// regression gate robust to scheduling noise that single runs cannot
+// distinguish from real slowdowns.
 //
 // Compare mode reads two such documents and prints a per-benchmark delta
 // of the chosen metric for every benchmark present in both. It exits 1 if
@@ -117,9 +122,11 @@ func load(path string) (*File, error) {
 // Parse extracts benchmark result lines from `go test -bench` text. A
 // result line is "BenchmarkName-N  <iters>  <value> <unit> [<value>
 // <unit>...]"; everything else (pkg headers, PASS, b.Log output) is
-// ignored.
+// ignored. Repeated names (`-count N`) collapse to one entry carrying the
+// per-metric minimum, in first-appearance order.
 func Parse(r io.Reader) (*File, error) {
 	f := &File{Benchmarks: []Benchmark{}}
+	seen := map[string]int{} // name → index in f.Benchmarks
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -139,6 +146,16 @@ func Parse(r io.Reader) (*File, error) {
 			}
 			b.Metrics[fields[i+1]] = v
 		}
+		if at, dup := seen[b.Name]; dup {
+			prev := &f.Benchmarks[at]
+			for unit, v := range b.Metrics {
+				if old, ok := prev.Metrics[unit]; !ok || v < old {
+					prev.Metrics[unit] = v
+				}
+			}
+			continue
+		}
+		seen[b.Name] = len(f.Benchmarks)
 		f.Benchmarks = append(f.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {

@@ -36,6 +36,30 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// A -count 3 run repeats every benchmark; the record must keep one entry
+// per name with each metric's minimum (the least-disturbed observation).
+func TestParseMinOfRepeatedRuns(t *testing.T) {
+	const repeated = `BenchmarkX-1   	      10	 300 ns/op	 50.0 Mcycles/sec
+BenchmarkY-1   	      10	 100 ns/op
+BenchmarkX-1   	      10	 100 ns/op	 40.0 Mcycles/sec
+BenchmarkX-1   	      10	 200 ns/op	 60.0 Mcycles/sec
+`
+	f, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (repeats collapsed): %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	x := f.Benchmarks[0]
+	if x.Name != "BenchmarkX-1" {
+		t.Fatalf("first-appearance order lost: %+v", f.Benchmarks)
+	}
+	if x.Metrics["ns/op"] != 100 || x.Metrics["Mcycles/sec"] != 40.0 {
+		t.Fatalf("want per-metric minimum (100 ns/op, 40.0 Mcycles/sec), got %+v", x.Metrics)
+	}
+}
+
 func bf(name string, ns float64) Benchmark {
 	return Benchmark{Name: name, Iters: 1, Metrics: map[string]float64{"ns/op": ns}}
 }

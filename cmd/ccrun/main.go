@@ -34,10 +34,19 @@
 //	                   failure, gc.collect.force=error,p=0.1 a hostile
 //	                   collection schedule)
 //	-fault-seed n      seed for -faults firing schedules (default 1)
+//	-heap-profile      record allocation sites and print a heap forensics
+//	                   report to stderr after the run: top retainers by
+//	                   retained size, each with its allocation site and
+//	                   shortest root path (captured at exit, or at the
+//	                   violation when a checker aborts the run)
+//	-heap-dump file    write the raw heap snapshot as JSON (implies
+//	                   -heap-profile's capture without the report)
+//	-heap-top n        retainer rows in the -heap-profile report (default 10)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +54,7 @@ import (
 
 	"gcsafety"
 	"gcsafety/internal/faultinject"
+	"gcsafety/internal/heapdump"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 )
@@ -71,6 +81,9 @@ func main() {
 		stageRep  = flag.Bool("stage-report", false, "print the per-stage build report")
 		faults    = flag.String("faults", "", "fault injection spec (empty = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults firing schedules")
+		heapProf  = flag.Bool("heap-profile", false, "print a heap forensics report after the run")
+		heapDump  = flag.String("heap-dump", "", "write the heap snapshot as JSON to this file")
+		heapTop   = flag.Int("heap-top", 10, "retainer rows in the -heap-profile report")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -123,6 +136,7 @@ func main() {
 			CollectAtSwitch: *collectSw,
 			BaseOnlyHeap:    *baseOnly,
 			MaxInstrs:       *maxSteps,
+			HeapProfile:     *heapProf || *heapDump != "",
 			Faults:          faultSet,
 		},
 	}
@@ -160,6 +174,9 @@ func main() {
 	}
 	if res != nil && res.Exec != nil {
 		fmt.Print(res.Exec.Output)
+		// Heap artifacts are emitted even when the run errored: a checker
+		// violation is exactly when the at-violation snapshot matters.
+		emitHeapArtifacts(res.Exec, *heapProf, *heapDump, *heapTop)
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "ccrun: timeout (%v) exceeded\n", *timeout)
@@ -179,6 +196,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "ccrun: %v\n", err)
 	os.Exit(1)
+}
+
+// emitHeapArtifacts writes the end-of-run heap snapshot: the rendered
+// forensics report to stderr under -heap-profile, the raw JSON under
+// -heap-dump. Capture failures (a fault-injected heapdump.capture point)
+// warn but never change the run's outcome.
+func emitHeapArtifacts(e *interp.Result, report bool, dumpFile string, topN int) {
+	if !report && dumpFile == "" {
+		return
+	}
+	if e.Snapshot == nil {
+		if e.SnapshotErr != "" {
+			fmt.Fprintf(os.Stderr, "ccrun: heap snapshot lost: %s\n", e.SnapshotErr)
+		}
+		return
+	}
+	if dumpFile != "" {
+		data, err := json.MarshalIndent(e.Snapshot, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(dumpFile, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if report {
+		heapdump.Analyze(e.Snapshot).RenderReport(os.Stderr, topN)
+	}
 }
 
 // printStageReport renders the stage-graph walk of the build: one line

@@ -49,6 +49,9 @@ var chaosSpecs = []string{
 	"interp.step=sleep,p=0.5,ms=2",
 	"artifact.disk.read=error,p=0.7,msg=chaos-disk",
 	"artifact.disk.write=error,p=0.7,msg=chaos-disk",
+	// The snapshot-capture point: /v1/heapdump requests in the mix turn
+	// into 500s (capture lost), every other endpoint ignores it.
+	"heapdump.capture=error,p=0.5,msg=chaos-dump-lost",
 	"server.handler=error,p=0.3;gc.alloc=error,p=0.05;interp.step=sleep,p=0.2,ms=1",
 }
 
@@ -64,6 +67,7 @@ var chaosBodies = []struct {
 	{"/v1/run", map[string]any{"name": "c.c", "source": chaosSrc, "optimize": true, "annotate": "safe", "validate": true}},
 	{"/v1/run", map[string]any{"name": "a.c", "source": chaosAllocSrc, "annotate": "safe"}},
 	{"/v1/matrix", map[string]any{"seed": 11, "steps": 3, "machines": []string{"ss10"}}},
+	{"/v1/heapdump", map[string]any{"name": "a.c", "source": chaosAllocSrc, "report": true}},
 	{"/v1/run", map[string]any{"source": "int main( {"}}, // parse error: a 4xx
 }
 

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"gcsafety/internal/heapdump"
+	"gcsafety/internal/server"
+	"gcsafety/internal/workloads"
+)
+
+// TestHeapdumpSmoke is the heap-introspection agreement gate
+// (`make heapdump-smoke`): the same leak workload profiled two ways — the
+// real ccrun binary with -heap-dump, and the daemon's /v1/heapdump
+// endpoint — must describe the same heap. Execution is deterministic, so
+// the two snapshots must agree exactly on live-object count and live
+// bytes; a mismatch means one surface drifted from the interpreter.
+func TestHeapdumpSmoke(t *testing.T) {
+	dir := t.TempDir()
+	leak := workloads.Leak()
+	srcFile := filepath.Join(dir, "leak.c")
+	if err := os.WriteFile(srcFile, []byte(leak.Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surface one: the CLI. Both surfaces run the default pipeline
+	// (optimize on, no annotation, ss10).
+	bin := filepath.Join(dir, "ccrun")
+	if out, err := exec.Command("go", "build", "-o", bin, "gcsafety/cmd/ccrun").CombinedOutput(); err != nil {
+		t.Fatalf("go build ccrun: %v\n%s", err, out)
+	}
+	dumpFile := filepath.Join(dir, "dump.json")
+	out, err := exec.Command(bin, "-heap-dump", dumpFile, srcFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ccrun -heap-dump: %v\n%s", err, out)
+	}
+	if string(out) != leak.Want {
+		t.Fatalf("ccrun output = %q, want %q", out, leak.Want)
+	}
+	data, err := os.ReadFile(dumpFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli heapdump.Snapshot
+	if err := json.Unmarshal(data, &cli); err != nil {
+		t.Fatalf("dump JSON: %v", err)
+	}
+
+	// Surface two: the daemon, in-process.
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	body, err := json.Marshal(map[string]any{
+		"name": "leak.c", "source": leak.Source, "optimize": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/heapdump", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rdata, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/heapdump: %d %s", resp.StatusCode, rdata)
+	}
+	var dresp server.HeapdumpResponse
+	if err := json.Unmarshal(rdata, &dresp); err != nil {
+		t.Fatal(err)
+	}
+	srv := dresp.Snapshot
+	if srv == nil {
+		t.Fatal("daemon returned no snapshot")
+	}
+
+	// The agreement assertions.
+	if len(cli.Objects) == 0 {
+		t.Fatal("CLI snapshot is empty")
+	}
+	if got, want := len(srv.Objects), len(cli.Objects); got != want {
+		t.Errorf("live objects: daemon %d, ccrun %d", got, want)
+	}
+	if got, want := srv.TotalBytes(), cli.TotalBytes(); got != want {
+		t.Errorf("live bytes: daemon %d, ccrun %d", got, want)
+	}
+	if cli.Trigger != heapdump.TriggerExit || srv.Trigger != heapdump.TriggerExit {
+		t.Errorf("triggers = %q/%q, want exit/exit", cli.Trigger, srv.Trigger)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"gcsafety/internal/workloads"
+)
+
+// testdata/leak.c is the promoted form of workloads.Leak(): the two must
+// never drift apart, so the heapdump-smoke target and this example always
+// profile the same program.
+func TestGoldenSourceMatchesWorkloadCatalogue(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "leak.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != workloads.Leak().Source {
+		t.Error("leak.c has drifted from workloads.Leak(); regenerate it from the catalogue")
+	}
+}
+
+// Smoke test: execution and capture are deterministic, so the whole report
+// — retainer order, allocation sites, root paths, retained byte counts —
+// is pinned as a golden file. Any disagreement between the dominator tree
+// and the brute-force oracle exits nonzero and fails here too.
+func TestLeaksExampleSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "leaks")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin)
+	cmd.Dir = "." // leak.c loads relative to the example directory
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatalf("leaks example: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "leak.want"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(want) {
+		t.Errorf("report drifted from the golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}

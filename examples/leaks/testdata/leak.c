@@ -1,0 +1,29 @@
+/* leak: a global cache that only ever grows. Every entry stays
+ * reachable from the 'cache' root, so the collector must retain it all,
+ * but no code path ever reads an entry back: a logical leak. The scratch
+ * loop below allocates garbage the collector does reclaim, so a heap
+ * snapshot at exit shows the cache chain dominating the live set. */
+struct entry { int key; int *payload; struct entry *next; };
+struct entry *cache;
+int add(int k) {
+    struct entry *e = (struct entry *)GC_malloc(sizeof(struct entry));
+    e->key = k;
+    e->payload = (int *)GC_malloc(64);
+    e->payload[0] = k;
+    e->next = cache;
+    cache = e;
+    return k;
+}
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 100; i++) s = s + add(i);
+    for (i = 0; i < 2000; i++) {
+        int *t = (int *)malloc(32);
+        t[0] = i;
+        s = s + t[0];
+    }
+    print_int(s);
+    print_str("\n");
+    return 0;
+}

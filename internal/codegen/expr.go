@@ -637,7 +637,7 @@ func (f *fn) genCall(e *ast.Call) machine.Reg {
 		args[i] = f.genExpr(a)
 	}
 	if name != "" {
-		return f.genCallRegs(name, args, false)
+		return f.genCallRegsAt(name, args, false, int32(e.Lparen.Line))
 	}
 	fp := f.genExpr(e.Fun)
 	return f.genCallIndirect(fp, args)
@@ -646,6 +646,13 @@ func (f *fn) genCall(e *ast.Call) machine.Reg {
 // genCallRegs emits the stack-based calling sequence. When discard is set
 // the result register is not materialized.
 func (f *fn) genCallRegs(name string, args []machine.Reg, discard bool) machine.Reg {
+	return f.genCallRegsAt(name, args, discard, 0)
+}
+
+// genCallRegsAt is genCallRegs with a source line stamped on the Call
+// instruction (0 for compiler-synthesized calls), giving heap snapshots
+// their allocation-site provenance.
+func (f *fn) genCallRegsAt(name string, args []machine.Reg, discard bool, line int32) machine.Reg {
 	n := int32(len(args))
 	f.emit(machine.Instr{Op: machine.AdjSP, Imm: -4 * n})
 	for i, a := range args {
@@ -655,7 +662,7 @@ func (f *fn) genCallRegs(name string, args []machine.Reg, discard bool) machine.
 	if !discard {
 		r = f.newV()
 	}
-	f.emit(machine.Instr{Op: machine.Call, Rd: r, Sym: name, Imm: n})
+	f.emit(machine.Instr{Op: machine.Call, Rd: r, Sym: name, Imm: n, Line: line})
 	f.emit(machine.Instr{Op: machine.AdjSP, Imm: 4 * n})
 	if discard {
 		return machine.NoReg

@@ -71,6 +71,10 @@ const (
 	// handler: error becomes a 500, panic exercises the recovery
 	// middleware, sleep delays the response.
 	PointServerHandler = "server.handler"
+	// PointHeapdump fires at the start of every heap-snapshot capture
+	// (internal/interp CaptureSnapshot): error fails the capture — the
+	// run's own outcome is never affected, only the snapshot is lost.
+	PointHeapdump = "heapdump.capture"
 	// PointPipeline* fire inside the corresponding compilation stage of
 	// internal/pipeline, before the stage's real work: error fails the
 	// build at exactly that stage boundary (never corrupting a cached

@@ -110,6 +110,10 @@ type Stats struct {
 	LiveObjects    uint64 // objects live after the most recent collection
 	LiveBytes      uint64 // bytes live after the most recent collection
 	HeapBytes      uint64 // bytes of address space claimed from the arena
+	// EpochHighWater is the most recently issued allocation epoch (see
+	// epoch.go) — the monotone allocation clock's current reading, and the
+	// epoch a snapshot taken now would carry.
+	EpochHighWater uint64
 	// MarkClearsSkipped counts pages whose mark bitmap did not need
 	// clearing at the start of a collection (no allocated objects, or no
 	// mark bit set since the last clear) — the all-free-page fast path.

@@ -120,6 +120,7 @@ func (h *Heap) SetRoots(r RootScanner) { h.roots = r }
 func (h *Heap) Stats() Stats {
 	s := h.stats
 	s.HeapBytes = uint64(h.limit - HeapBase)
+	s.EpochHighWater = uint64(h.epoch)
 	return s
 }
 

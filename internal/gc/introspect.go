@@ -1,0 +1,131 @@
+package gc
+
+// Read-only heap introspection, the collector's half of the heapdump
+// subsystem (internal/heapdump). Everything in this file observes the heap
+// without mutating any collector state — including the one-entry
+// page-header cache in header(), which ordinary lookups write on every
+// miss. That guarantee is what makes snapshots safe to take from a
+// goroutine other than the mutator's (the interpreter serves snapshot
+// requests at safe points, but the post-run path may capture from the
+// requester) and what makes "snapshot-then-collect reclaims exactly what
+// collect-without-snapshot does" a provable property rather than a hope.
+
+// ObjectInfo describes one live object as seen by introspection.
+type ObjectInfo struct {
+	Base   Addr   // base address
+	Size   uint32 // rounded (actual) size in bytes
+	Epoch  uint32 // birth epoch (see epoch.go)
+	Marked bool   // mark bit as of the most recent collection
+	Large  bool   // whole-span object
+}
+
+// VisitObjects calls fn once for every live object — every slot whose
+// alloc bit is set. Objects retired by Free (poisoned, epoch cleared,
+// alloc bit down) are naturally excluded: liveness is exactly the alloc
+// bitmap. Visit order is unspecified; callers wanting a canonical order
+// sort by base address. Read-only.
+func (h *Heap) VisitObjects(fn func(ObjectInfo)) {
+	for _, ph := range h.pages {
+		if ph.allocated == 0 {
+			continue
+		}
+		for i := uint32(0); i < ph.nobj; i++ {
+			if !ph.allocBit(i) {
+				continue
+			}
+			fn(ObjectInfo{
+				Base:   ph.base + i*ph.objSize,
+				Size:   ph.objSize,
+				Epoch:  ph.epochs[i],
+				Marked: ph.markBit(i),
+				Large:  ph.large,
+			})
+		}
+	}
+}
+
+// headerRO is header() minus the cache: the same two-level page-tree walk,
+// but it neither consults nor writes cachePage/cacheHdr, so concurrent
+// readers cannot race a mutator's cache fills.
+func (h *Heap) headerRO(a Addr) *pageHeader {
+	if a < HeapBase || a >= h.limit {
+		return nil
+	}
+	page := (a - HeapBase) / PageSize
+	bottom := h.tree[page>>bottomBits]
+	if bottom == nil {
+		return nil
+	}
+	return bottom[page&(1<<bottomBits-1)]
+}
+
+// BaseRO is ObjectBase without the header-cache side effect: it maps an
+// arbitrary address to the base of the live object containing it (interior
+// pointers included), or 0. Strictly read-only.
+func (h *Heap) BaseRO(a Addr) Addr {
+	ph := h.headerRO(a)
+	if ph == nil {
+		return 0
+	}
+	if ph.large {
+		if a >= ph.base && a < ph.base+ph.spanLen && ph.allocBit(0) {
+			return ph.base
+		}
+		return 0
+	}
+	off := a - ph.base
+	idx := off / ph.objSize
+	if idx >= ph.nobj || !ph.allocBit(idx) {
+		return 0
+	}
+	return ph.base + idx*ph.objSize
+}
+
+// VisitReferences conservatively scans the live object at base, calling
+// visit(off, target) for every word offset whose value resolves to a live
+// heap object (target is that object's base; self-references included).
+// The scan applies the same pointer-recognition rule as the collector's
+// mark phase: interior pointers resolve under the default configuration,
+// while under BaseOnlyHeapPointers only exact base addresses count as
+// heap-stored references. Read-only; returns false when base is not the
+// base of a live object.
+func (h *Heap) VisitReferences(base Addr, visit func(off uint32, target Addr)) bool {
+	ph := h.headerRO(base)
+	if ph == nil {
+		return false
+	}
+	var idx uint32
+	if ph.large {
+		if base != ph.base {
+			return false
+		}
+	} else {
+		off := base - ph.base
+		if off%ph.objSize != 0 {
+			return false
+		}
+		idx = off / ph.objSize
+		if idx >= ph.nobj {
+			return false
+		}
+	}
+	if !ph.allocBit(idx) {
+		return false
+	}
+	size := ph.objSize
+	off := base - HeapBase
+	if int(off)+int(size) > len(h.arena) {
+		return false
+	}
+	obj := h.arena[off : off+size]
+	baseOnly := h.cfg.BaseOnlyHeapPointers
+	for i := 0; i+WordSize <= len(obj); i += WordSize {
+		w := Addr(obj[i]) | Addr(obj[i+1])<<8 | Addr(obj[i+2])<<16 | Addr(obj[i+3])<<24
+		t := h.BaseRO(w)
+		if t == 0 || (baseOnly && t != w) {
+			continue
+		}
+		visit(uint32(i), t)
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package gc
+
+import (
+	"sort"
+	"testing"
+)
+
+func collectObjects(h *Heap) []ObjectInfo {
+	var objs []ObjectInfo
+	h.VisitObjects(func(o ObjectInfo) { objs = append(objs, o) })
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Base < objs[j].Base })
+	return objs
+}
+
+func TestVisitObjectsBasics(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 16)
+	b := mustAlloc(t, h, 100)
+	big := mustAlloc(t, h, 2*PageSize)
+	objs := collectObjects(h)
+	if len(objs) != 3 {
+		t.Fatalf("VisitObjects saw %d objects, want 3", len(objs))
+	}
+	byBase := map[Addr]ObjectInfo{}
+	for _, o := range objs {
+		byBase[o.Base] = o
+	}
+	for _, base := range []Addr{a, b, big} {
+		o, ok := byBase[base]
+		if !ok {
+			t.Fatalf("object %#x missing from VisitObjects", base)
+		}
+		if o.Size != h.ObjectSize(base) {
+			t.Errorf("object %#x: size %d, want %d", base, o.Size, h.ObjectSize(base))
+		}
+		if o.Epoch != h.EpochOf(base) {
+			t.Errorf("object %#x: epoch %d, want %d", base, o.Epoch, h.EpochOf(base))
+		}
+	}
+	if !byBase[big].Large {
+		t.Errorf("object %#x not flagged large", big)
+	}
+	if byBase[a].Large {
+		t.Errorf("object %#x flagged large", a)
+	}
+}
+
+// TestFreeThenSnapshotExcludesRetired is the satellite fix's test: objects
+// retired by Heap.Free — poisoned, epoch cleared — must vanish from
+// VisitObjects, BaseRO and VisitReferences even before any collection runs.
+func TestFreeThenSnapshotExcludesRetired(t *testing.T) {
+	h := newTestHeap(t)
+	keep := mustAlloc(t, h, 16)
+	dead := mustAlloc(t, h, 16)
+	// keep references dead, so the edge must also disappear with the object.
+	h.setRawWord(keep, dead)
+	if err := h.Free(dead); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	objs := collectObjects(h)
+	if len(objs) != 1 || objs[0].Base != keep {
+		t.Fatalf("after Free, VisitObjects = %+v, want only %#x", objs, keep)
+	}
+	if got := h.BaseRO(dead); got != 0 {
+		t.Fatalf("BaseRO(freed) = %#x, want 0", got)
+	}
+	refs := 0
+	if !h.VisitReferences(keep, func(off uint32, target Addr) { refs++ }) {
+		t.Fatal("VisitReferences(keep) reported not-an-object")
+	}
+	if refs != 0 {
+		t.Fatalf("VisitReferences found %d edges into freed storage, want 0", refs)
+	}
+	if h.VisitReferences(dead, func(uint32, Addr) {}) {
+		t.Fatal("VisitReferences(freed object) should report false")
+	}
+	// A freed large object must be gone too.
+	big := mustAlloc(t, h, 2*PageSize)
+	if err := h.Free(big); err != nil {
+		t.Fatalf("Free(large): %v", err)
+	}
+	for _, o := range collectObjects(h) {
+		if o.Base == big {
+			t.Fatalf("freed large object %#x still visited", big)
+		}
+	}
+}
+
+func TestVisitReferencesFindsConservativeEdges(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 32)
+	b := mustAlloc(t, h, 32)
+	c := mustAlloc(t, h, 32)
+	h.setRawWord(a, b)       // exact base pointer
+	h.setRawWord(a+4, c+8)   // interior pointer
+	h.setRawWord(a+8, a)     // self-reference
+	h.setRawWord(a+12, 1234) // not a heap address
+	got := map[uint32]Addr{}
+	if !h.VisitReferences(a, func(off uint32, target Addr) { got[off] = target }) {
+		t.Fatal("VisitReferences reported not-an-object")
+	}
+	want := map[uint32]Addr{0: b, 4: c, 8: a}
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	for off, tgt := range want {
+		if got[off] != tgt {
+			t.Errorf("edge at +%d = %#x, want %#x", off, got[off], tgt)
+		}
+	}
+}
+
+func TestVisitReferencesBaseOnlyMode(t *testing.T) {
+	h := NewHeap(Config{MaxBytes: 8 << 20, TriggerBytes: ^uint32(0), Poison: true,
+		BaseOnlyHeapPointers: true})
+	a, _ := h.Alloc(32)
+	b, _ := h.Alloc(32)
+	c, _ := h.Alloc(32)
+	h.setRawWord(a, b)     // base pointer: recognized
+	h.setRawWord(a+4, c+8) // interior pointer in the heap: not a reference
+	got := map[uint32]Addr{}
+	h.VisitReferences(a, func(off uint32, target Addr) { got[off] = target })
+	if len(got) != 1 || got[0] != b {
+		t.Fatalf("base-only edges = %v, want only +0 -> %#x", got, b)
+	}
+}
+
+// TestIntrospectionDoesNotTouchHeaderCache pins the race fix: the snapshot
+// path must leave the one-entry page-header cache exactly as it found it,
+// so a reader iterating objects cannot race a mutator's cache fills.
+func TestIntrospectionDoesNotTouchHeaderCache(t *testing.T) {
+	h := newTestHeap(t)
+	a := mustAlloc(t, h, 16)
+	b := mustAlloc(t, h, 2*PageSize)
+	h.setRawWord(a, b)
+	h.cachePage, h.cacheHdr = 0, nil
+	h.VisitObjects(func(ObjectInfo) {})
+	_ = h.BaseRO(a)
+	_ = h.BaseRO(b + 8)
+	h.VisitReferences(a, func(uint32, Addr) {})
+	if h.cachePage != 0 || h.cacheHdr != nil {
+		t.Fatalf("introspection populated the header cache (page=%d)", h.cachePage)
+	}
+	// And the read-only walk agrees with the caching one.
+	if h.BaseRO(b+8) != h.ObjectBase(b+8) {
+		t.Fatal("BaseRO disagrees with ObjectBase")
+	}
+}
+
+// TestSnapshotThenCollectIsReadOnly asserts the acceptance criterion
+// directly at the heap layer: running the full introspection pass between
+// allocation and collection changes nothing about what the collection
+// reclaims.
+func TestSnapshotThenCollectIsReadOnly(t *testing.T) {
+	build := func() (*Heap, *rootList) {
+		h := newTestHeap(t)
+		roots := &rootList{}
+		h.SetRoots(roots)
+		live := mustAlloc(t, h, 40)
+		child := mustAlloc(t, h, 40)
+		h.setRawWord(live, child)
+		for i := 0; i < 8; i++ {
+			mustAlloc(t, h, 24) // garbage
+		}
+		*roots = append(*roots, live)
+		return h, roots
+	}
+
+	h1, _ := build()
+	h1.Collect()
+	want := h1.Stats()
+
+	h2, _ := build()
+	// Full snapshot pass: every object, every edge, plus base lookups.
+	h2.VisitObjects(func(o ObjectInfo) {
+		h2.VisitReferences(o.Base, func(off uint32, target Addr) {
+			_ = h2.BaseRO(target)
+		})
+	})
+	h2.Collect()
+	got := h2.Stats()
+
+	if got != want {
+		t.Fatalf("snapshot-then-collect stats diverge:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,68 @@
+package heapdump
+
+// Graph indexes a snapshot's reference edges for analysis: objects become
+// dense indices, Refs become forward adjacency (Out), and the reverse
+// index (In — who references me?) is materialized once so every analysis
+// can walk parents without rescanning.
+type Graph struct {
+	Snap *Snapshot
+	// Out[i] and In[i] hold object indices (positions in Snap.Objects).
+	// Out preserves Refs order (sorted by base); In is sorted too.
+	Out [][]int
+	In  [][]int
+	// RootTargets holds, in first-appearance order over Snap.Roots, the
+	// distinct object indices directly referenced by a GC root.
+	RootTargets []int
+	// RootOf maps a directly-rooted object index to the first root in
+	// Snap.Roots referencing it (its "nearest root").
+	RootOf map[int]*Root
+
+	index map[uint32]int
+}
+
+// NewGraph builds the analysis graph over s. Edges to bases absent from
+// the snapshot (possible only on truncated snapshots) are dropped.
+func NewGraph(s *Snapshot) *Graph {
+	n := len(s.Objects)
+	g := &Graph{
+		Snap:   s,
+		Out:    make([][]int, n),
+		In:     make([][]int, n),
+		RootOf: map[int]*Root{},
+		index:  make(map[uint32]int, n),
+	}
+	for i := range s.Objects {
+		g.index[s.Objects[i].Base] = i
+	}
+	for i := range s.Objects {
+		for _, ref := range s.Objects[i].Refs {
+			if j, ok := g.index[ref]; ok {
+				g.Out[i] = append(g.Out[i], j)
+				g.In[j] = append(g.In[j], i)
+			}
+		}
+	}
+	for ri := range s.Roots {
+		r := &s.Roots[ri]
+		j, ok := g.index[r.Target]
+		if !ok {
+			continue
+		}
+		if _, seen := g.RootOf[j]; !seen {
+			g.RootOf[j] = r
+			g.RootTargets = append(g.RootTargets, j)
+		}
+	}
+	return g
+}
+
+// IndexOf maps an object base address to its graph index, or -1.
+func (g *Graph) IndexOf(base uint32) int {
+	if i, ok := g.index[base]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of objects in the graph.
+func (g *Graph) Len() int { return len(g.Snap.Objects) }

@@ -1,0 +1,75 @@
+package heapdump
+
+// RootScan is the RootScanner analysis of the heapdump design (after
+// tokuhirom's heapdump analyzer): one breadth-first search over the
+// reference graph from the GC roots computes, for every reachable object,
+// its root distance (number of edges from the root set; 1 = directly
+// rooted) and a shortest root path. BFS from all roots at once means the
+// "nearest root" is exact, and processing roots and successors in
+// deterministic order makes paths reproducible run to run.
+type RootScan struct {
+	g *Graph
+	// Dist[i] is the root distance of object i, or -1 when the object is
+	// unreachable from the recorded roots.
+	Dist []int
+	// Pred[i] is the BFS predecessor of object i (-1 for directly-rooted
+	// and unreachable objects).
+	Pred []int
+}
+
+// ScanRoots runs the BFS.
+func (g *Graph) ScanRoots() *RootScan {
+	n := g.Len()
+	rs := &RootScan{g: g, Dist: make([]int, n), Pred: make([]int, n)}
+	for i := range rs.Dist {
+		rs.Dist[i], rs.Pred[i] = -1, -1
+	}
+	queue := make([]int, 0, n)
+	for _, i := range g.RootTargets {
+		if rs.Dist[i] < 0 {
+			rs.Dist[i] = 1
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out[v] {
+			if rs.Dist[w] < 0 {
+				rs.Dist[w] = rs.Dist[v] + 1
+				rs.Pred[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return rs
+}
+
+// NearestRoot returns the GC root anchoring object i's shortest root path,
+// or nil when i is unreachable.
+func (rs *RootScan) NearestRoot(i int) *Root {
+	if i < 0 || i >= len(rs.Dist) || rs.Dist[i] < 0 {
+		return nil
+	}
+	for rs.Pred[i] >= 0 {
+		i = rs.Pred[i]
+	}
+	return rs.g.RootOf[i]
+}
+
+// Path returns a shortest root path to object i as object indices, root
+// side first (the directly-rooted ancestor) and i last. Nil when i is
+// unreachable.
+func (rs *RootScan) Path(i int) []int {
+	if i < 0 || i >= len(rs.Dist) || rs.Dist[i] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := i; v >= 0; v = rs.Pred[v] {
+		rev = append(rev, v)
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}

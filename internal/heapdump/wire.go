@@ -1,0 +1,64 @@
+package heapdump
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gcsafety/internal/artifact"
+)
+
+// WireKind is the disk/cache codec kind for snapshots. Versioned by
+// convention: bump when the Snapshot schema changes incompatibly.
+const WireKind = "heapdump/v1"
+
+// wireSnapshot is the gob envelope: the snapshot plus the cache size it
+// was accounted at, so a restored entry charges the LRU budget exactly
+// like a freshly captured one.
+type wireSnapshot struct {
+	Snap *Snapshot
+	Size int64
+}
+
+// AccountedSize estimates the snapshot's in-memory footprint for cache
+// accounting.
+func (s *Snapshot) AccountedSize() int64 {
+	n := int64(len(s.Reason)) + 64
+	for i := range s.Objects {
+		n += 32 + int64(len(s.Objects[i].Refs))*4
+	}
+	n += int64(len(s.Roots)) * 24
+	for i := range s.Sites {
+		n += 40 + int64(len(s.Sites[i].Func)+len(s.Sites[i].Kind))
+	}
+	return n
+}
+
+// RegisterWire contributes the snapshot codec to a codec registry, so the
+// gcsafed disk tier persists /v1/heapdump artifacts across restarts
+// alongside annotate/compile/pipeline artifacts.
+func RegisterWire(reg *artifact.CodecRegistry) {
+	reg.Register(WireKind, artifact.Codec{
+		Encode: func(key artifact.Key, v any) ([]byte, bool) {
+			s, ok := v.(*Snapshot)
+			if !ok {
+				return nil, false
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&wireSnapshot{Snap: s, Size: s.AccountedSize()}); err != nil {
+				return nil, false
+			}
+			return buf.Bytes(), true
+		},
+		Decode: func(data []byte) (any, int64, error) {
+			var w wireSnapshot
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+				return nil, 0, err
+			}
+			if w.Snap == nil {
+				return nil, 0, fmt.Errorf("heapdump artifact with no snapshot")
+			}
+			return w.Snap, w.Size, nil
+		},
+	})
+}

@@ -81,6 +81,12 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 						return &FaultError{Fn: fn.Name, PC: pc, Err: err}
 					}
 				}
+				// Cross-goroutine snapshot requests are served here: the
+				// poll stride is the interpreter's safe point (mutator
+				// stopped).
+				if m.snapPending.Load() != nil {
+					m.serveSnapshot()
+				}
 				pollCd = ctxCheckInterval
 			}
 			pollCd--
@@ -198,7 +204,7 @@ func (m *Machine) call(entry *machine.Func, retReg machine.Reg) error {
 						retReg: in.Rd, meta: meta.calleeMeta[pc-1]})
 					break frame
 				}
-				v, err := m.runtimeCall(in.Sym, int(in.Imm))
+				v, err := m.runtimeCall(fn.Name, in)
 				if err != nil {
 					fr.pc = pc
 					return &FaultError{Fn: fn.Name, PC: pc - 1, Err: err}
@@ -407,7 +413,7 @@ func (m *Machine) step(fr *frame, in *machine.Instr) (ret bool, push *frame, err
 			return false, nil, e
 		}
 	case machine.Call:
-		return m.doCall(in.Sym, in.Rd, int(in.Imm))
+		return m.doCall(fr.fn.Name, in)
 	case machine.CallR:
 		id := int32(m.reg(in.Rs1))
 		f, ok := m.byID[id]
@@ -443,11 +449,12 @@ func b2u(b bool) uint32 {
 }
 
 // doCall dispatches a direct call: user function or runtime builtin.
-func (m *Machine) doCall(sym string, rd machine.Reg, nargs int) (bool, *frame, error) {
-	if f, ok := m.prog.Funcs[sym]; ok {
+func (m *Machine) doCall(fnName string, in *machine.Instr) (bool, *frame, error) {
+	rd := in.Rd
+	if f, ok := m.prog.Funcs[in.Sym]; ok {
 		return false, &frame{fn: f, pc: 0, savedSP: m.sp, retReg: rd}, nil
 	}
-	v, err := m.runtimeCall(sym, nargs)
+	v, err := m.runtimeCall(fnName, in)
 	if err != nil {
 		return false, nil, err
 	}

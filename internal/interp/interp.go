@@ -21,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/gc"
+	"gcsafety/internal/heapdump"
 	"gcsafety/internal/machine"
 )
 
@@ -91,9 +93,17 @@ type Options struct {
 	Entry string
 	// Faults, when non-nil, arms the run's fault points: "interp.step"
 	// (fired at the context-poll stride; an error aborts the run with a
-	// machine fault) and, via the heap's Config.Inject hook, "gc.alloc",
-	// "gc.collect.force" and "gc.collect". Nil is fully inert.
+	// machine fault), "heapdump.capture" (fails snapshot captures) and,
+	// via the heap's Config.Inject hook, "gc.alloc", "gc.collect.force"
+	// and "gc.collect". Nil is fully inert.
 	Faults *faultinject.Set
+	// HeapProfile records allocation sites during the run and captures a
+	// heap snapshot when it ends (Result.Snapshot): trigger "exit" on a
+	// clean exit, "violation" when a safety checker fired, "fault"
+	// otherwise. Off, it costs the dispatch loop nothing; on, it costs one
+	// map insert per allocation — allocations are already collector-priced,
+	// so the cost model is unchanged either way.
+	HeapProfile bool
 }
 
 // Result reports one execution.
@@ -103,6 +113,11 @@ type Result struct {
 	Cycles   uint64
 	Instrs   uint64
 	GCStats  gc.Stats
+	// Snapshot is the end-of-run heap snapshot (Options.HeapProfile only;
+	// nil otherwise). SnapshotErr records a failed capture — the run's own
+	// outcome is reported normally either way.
+	Snapshot    *heapdump.Snapshot
+	SnapshotErr string
 }
 
 // A FaultError reports a memory or checking fault with machine context.
@@ -190,6 +205,15 @@ type Machine struct {
 	threads  []*mthread
 	cur      int
 	schedRng uint64
+	// prof is the allocation-site profile; nil unless Options.HeapProfile
+	// (runtime-call dispatch pays one nil check).
+	prof *allocProf
+	// snapPending holds at most one cross-goroutine snapshot request,
+	// served at the context-poll stride; snapDone flips once the run is
+	// over, after which requesters capture on their own goroutine. See
+	// snapshot.go for the handshake.
+	snapPending atomic.Pointer[snapRequest]
+	snapDone    atomic.Bool
 }
 
 // New prepares a machine for the program.
@@ -227,6 +251,9 @@ func New(prog *machine.Program, opts Options) *Machine {
 	}
 	if opts.Temporal {
 		m.tt = newTemporalState(int(opts.Config.NumRegs))
+	}
+	if opts.HeapProfile {
+		m.prof = newAllocProf()
 	}
 	hcfg := gc.Config{
 		MaxBytes:             opts.HeapBytes,
@@ -308,6 +335,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		ctx = context.Background()
 	}
 	m.ctx = ctx
+	defer m.finishSnapshots()
 	entry, ok := m.prog.Funcs[m.opts.Entry]
 	if !ok {
 		return nil, fmt.Errorf("interp: no function %q", m.opts.Entry)
@@ -315,16 +343,26 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return m.result(), fmt.Errorf("interp: %w", err)
 	}
+	var runErr error
 	if m.opts.Threads > 1 {
-		if err := m.runThreads(entry); err != nil {
-			return m.result(), err
+		runErr = m.runThreads(entry)
+	} else {
+		runErr = m.call(entry, machine.NoReg)
+	}
+	res := m.result()
+	if m.opts.HeapProfile {
+		trigger, addr := snapshotTrigger(runErr)
+		reason := ""
+		if runErr != nil {
+			reason = runErr.Error()
 		}
-		return m.result(), nil
+		if snap, err := m.CaptureSnapshot(trigger, reason, addr); err != nil {
+			res.SnapshotErr = err.Error()
+		} else {
+			res.Snapshot = snap
+		}
 	}
-	if err := m.call(entry, machine.NoReg); err != nil {
-		return m.result(), err
-	}
-	return m.result(), nil
+	return res, runErr
 }
 
 func (m *Machine) result() *Result {

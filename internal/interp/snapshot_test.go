@@ -1,0 +1,234 @@
+package interp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gcsafety/internal/faultinject"
+	"gcsafety/internal/heapdump"
+	"gcsafety/internal/machine"
+)
+
+// rootedListSrc builds an 8-node list reachable from a global, so the
+// end-of-run snapshot has a static root path to live storage.
+const rootedListSrc = `
+struct node { int v; struct node *next; };
+struct node *head;
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) {
+        struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+        n->v = i;
+        n->next = head;
+        head = n;
+    }
+    return 0;
+}
+`
+
+func TestHeapProfileSnapshotAtExit(t *testing.T) {
+	prog := compileSrc(t, rootedListSrc)
+	res, err := Run(prog, Options{Config: machine.SPARCstation10(), HeapProfile: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap := res.Snapshot
+	if snap == nil {
+		t.Fatalf("no snapshot captured (SnapshotErr=%q)", res.SnapshotErr)
+	}
+	if snap.Trigger != heapdump.TriggerExit {
+		t.Errorf("trigger = %q, want %q", snap.Trigger, heapdump.TriggerExit)
+	}
+	if len(snap.Objects) < 8 {
+		t.Fatalf("snapshot has %d objects, want >= 8", len(snap.Objects))
+	}
+	if snap.Epoch != uint32(res.GCStats.EpochHighWater) {
+		t.Errorf("snapshot epoch %d, want high-water %d", snap.Epoch, res.GCStats.EpochHighWater)
+	}
+
+	// The GC_malloc call site inside main must be recorded with a real
+	// source line and attributed all eight allocations.
+	var site *heapdump.Site
+	for i := range snap.Sites {
+		if snap.Sites[i].Kind == "malloc" && snap.Sites[i].Func == "main" {
+			site = &snap.Sites[i]
+		}
+	}
+	if site == nil {
+		t.Fatalf("no malloc site in main recorded: %+v", snap.Sites)
+	}
+	if site.Line <= 0 || site.Allocs < 8 || site.Bytes == 0 {
+		t.Errorf("site = %+v, want positive line and >= 8 allocs", site)
+	}
+
+	// The global keeps the list rooted: its head must be distance 1 from a
+	// static root and retain the whole chain (checked against the oracle).
+	a := heapdump.Analyze(snap)
+	best, bestRet := -1, uint64(0)
+	for i := range snap.Objects {
+		if r := a.Dom.Retained[i]; r > bestRet {
+			best, bestRet = i, r
+		}
+	}
+	if best < 0 {
+		t.Fatal("no object retains anything")
+	}
+	if want := a.Graph.BruteRetained(best); bestRet != want {
+		t.Errorf("retained %d disagrees with brute force %d", bestRet, want)
+	}
+	if a.Roots.Dist[best] != 1 {
+		t.Errorf("list head at root distance %d, want 1", a.Roots.Dist[best])
+	}
+	if p := a.PathString(best); !strings.Contains(p, "static@") {
+		t.Errorf("path %q does not go through the static segment", p)
+	}
+
+	// Without HeapProfile there is no snapshot and no profile cost.
+	res2, err := Run(compileSrc(t, rootedListSrc), Options{Config: machine.SPARCstation10()})
+	if err != nil {
+		t.Fatalf("unprofiled run: %v", err)
+	}
+	if res2.Snapshot != nil {
+		t.Error("unprofiled run produced a snapshot")
+	}
+	if res2.Cycles != res.Cycles || res2.Instrs != res.Instrs {
+		t.Errorf("profiling changed the cost model: %d/%d cycles vs %d/%d",
+			res.Cycles, res.Instrs, res2.Cycles, res2.Instrs)
+	}
+}
+
+// useAfterFreeSrc frees an object through GC_free and then loads from the
+// stale pointer — the temporal checker's canonical violation.
+const useAfterFreeSrc = `
+int main() {
+    int *p = (int *)GC_malloc(16);
+    p[0] = 1;
+    GC_free((void *)p);
+    int *q = (int *)GC_malloc(16);
+    q[0] = 2;
+    return p[0];
+}
+`
+
+func TestHeapProfileSnapshotOnViolation(t *testing.T) {
+	prog := compileSrc(t, useAfterFreeSrc)
+	res, err := Run(prog, Options{Config: machine.SPARCstation10(),
+		Temporal: true, HeapProfile: true})
+	if err == nil {
+		t.Fatal("use-after-free ran without a temporal violation")
+	}
+	if res.Snapshot == nil {
+		t.Fatalf("violation run captured no snapshot (SnapshotErr=%q)", res.SnapshotErr)
+	}
+	snap := res.Snapshot
+	if snap.Trigger != heapdump.TriggerViolation {
+		t.Errorf("trigger = %q, want %q", snap.Trigger, heapdump.TriggerViolation)
+	}
+	if snap.FaultAddr == 0 {
+		t.Error("violation snapshot carries no faulting address")
+	}
+	if snap.Reason == "" || !strings.Contains(snap.Reason, "temporal") {
+		t.Errorf("reason = %q, want the temporal checker's message", snap.Reason)
+	}
+	// The forensics renderer must say something definite about the address
+	// — either the recycled object now there or that the storage is gone.
+	a := heapdump.Analyze(snap)
+	explain := a.ExplainAddr(snap.FaultAddr)
+	if !strings.Contains(explain, "retained size") && !strings.Contains(explain, "not inside any live object") {
+		t.Errorf("ExplainAddr = %q", explain)
+	}
+}
+
+// churnSrc allocates tens of thousands of short-lived nodes so the run is
+// long enough for another goroutine to snapshot it mid-flight.
+const churnSrc = `
+struct node { int v; struct node *next; };
+int main() {
+    struct node *head = 0;
+    int i;
+    for (i = 0; i < 60000; i++) {
+        struct node *n = (struct node *)GC_malloc(sizeof(struct node));
+        n->v = i;
+        n->next = head;
+        head = n;
+        if (i % 64 == 0) head = 0;
+    }
+    return 0;
+}
+`
+
+// TestRequestSnapshotWhileMutatorRuns is the introspection race test: it
+// runs under -race in make check, with several goroutines requesting
+// snapshots while the interpreter goroutine allocates. Snapshots are
+// served at the poll stride (mutator stopped), so no access may race.
+func TestRequestSnapshotWhileMutatorRuns(t *testing.T) {
+	prog := compileSrc(t, churnSrc)
+	m := New(prog, Options{Config: machine.SPARCstation10(), HeapProfile: true})
+	done := make(chan struct{})
+	var (
+		res    *Result
+		runErr error
+	)
+	go func() {
+		defer close(done)
+		res, runErr = m.Run()
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				snap, err := m.RequestSnapshot()
+				if err != nil {
+					t.Errorf("RequestSnapshot: %v", err)
+					return
+				}
+				if snap == nil || snap.Trigger != heapdump.TriggerRequest {
+					t.Errorf("snapshot = %+v", snap)
+					return
+				}
+				for j := 1; j < len(snap.Objects); j++ {
+					if snap.Objects[j-1].Base >= snap.Objects[j].Base {
+						t.Error("mid-run snapshot objects not sorted")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if res.Snapshot == nil {
+		t.Fatal("profiled run ended without an exit snapshot")
+	}
+	// Post-run requests self-serve on the caller's goroutine.
+	snap, err := m.RequestSnapshot()
+	if err != nil || snap == nil {
+		t.Fatalf("post-run RequestSnapshot: snap=%v err=%v", snap, err)
+	}
+}
+
+func TestSnapshotFaultInjection(t *testing.T) {
+	faults, err := faultinject.Parse("heapdump.capture=error,msg=dump-lost", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := compileSrc(t, rootedListSrc)
+	res, runErr := Run(prog, Options{Config: machine.SPARCstation10(),
+		HeapProfile: true, Faults: faults})
+	if runErr != nil {
+		t.Fatalf("injected snapshot fault perturbed the run itself: %v", runErr)
+	}
+	if res.Snapshot != nil {
+		t.Error("capture succeeded despite the injected fault")
+	}
+	if !strings.Contains(res.SnapshotErr, "dump-lost") {
+		t.Errorf("SnapshotErr = %q, want the injected message", res.SnapshotErr)
+	}
+}

@@ -23,8 +23,12 @@ import (
 
 // TemporalError reports a temporal-safety check failure: a use of storage
 // that was explicitly freed (and possibly recycled) after the pointer was
-// derived.
-type TemporalError struct{ Msg string }
+// derived. Addr is the faulting address (0 when unknown); heap-profile
+// runs feed it to the snapshot forensics renderer.
+type TemporalError struct {
+	Msg  string
+	Addr uint32
+}
 
 func (e *TemporalError) Error() string { return "temporal check failed: " + e.Msg }
 
@@ -156,11 +160,11 @@ func (m *Machine) epochCheck(addr uint32, tag uint32) error {
 	}
 	base := m.heap.Base(addr)
 	if base == 0 {
-		return &CheckError{Err: &TemporalError{Msg: fmt.Sprintf(
+		return &CheckError{Err: &TemporalError{Addr: addr, Msg: fmt.Sprintf(
 			"access at %#x to freed storage (use after free)", addr)}}
 	}
 	if e := m.heap.EpochOf(base); e != tag {
-		return &CheckError{Err: &TemporalError{Msg: fmt.Sprintf(
+		return &CheckError{Err: &TemporalError{Addr: addr, Msg: fmt.Sprintf(
 			"access at %#x through a stale pointer: object epoch %d, pointer epoch %d (storage recycled)",
 			addr, e, tag)}}
 	}
@@ -203,11 +207,11 @@ func (m *Machine) gcFree(p uint32) (uint32, error) {
 	}
 	base := m.heap.Base(p)
 	if base == 0 {
-		return 0, &CheckError{Err: &TemporalError{Msg: fmt.Sprintf(
+		return 0, &CheckError{Err: &TemporalError{Addr: p, Msg: fmt.Sprintf(
 			"free of %#x, which is not inside any live object (double free or wild free)", p)}}
 	}
 	if tg := m.argTag(0); tg != 0 && tg != m.heap.EpochOf(base) {
-		return 0, &CheckError{Err: &TemporalError{Msg: fmt.Sprintf(
+		return 0, &CheckError{Err: &TemporalError{Addr: p, Msg: fmt.Sprintf(
 			"free of %#x through a stale pointer (storage recycled)", p)}}
 	}
 	if err := m.heap.Free(base); err != nil {

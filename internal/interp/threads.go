@@ -185,6 +185,11 @@ func (m *Machine) execQuantum(t *mthread, quantum uint64) error {
 					return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
 				}
 			}
+			// The concurrent scheduler's poll is also a snapshot-serving
+			// safe point: all mutator threads are stopped here.
+			if m.snapPending.Load() != nil {
+				m.serveSnapshot()
+			}
 		}
 		m.instrs++
 		m.cycles += m.costs[in.Op]

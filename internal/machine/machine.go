@@ -143,7 +143,15 @@ type Instr struct {
 	Rs2    Reg
 	HasImm bool
 	Imm    int32
-	Sym    string // callee for Call
+	// Line is the 1-based source line the instruction was generated from;
+	// 0 means unknown. Currently stamped only on direct Call instructions,
+	// where it gives heap snapshots their allocation-site provenance
+	// (which malloc call produced an object). It does not participate in
+	// listings or in the cost model. It sits in the padding after Imm so
+	// Instr stays exactly 64 bytes — one cache line — which the dispatch
+	// loop's throughput depends on (TestInstrSize).
+	Line int32
+	Sym  string // callee for Call
 	// Comment annotates listings (the paper's peephole pass communicates
 	// KEEP_LIVE placement via "a special comment understood by the
 	// peephole optimizer"; here the KeepLive opcode itself carries it).

@@ -3,6 +3,7 @@ package machine
 import (
 	"strings"
 	"testing"
+	"unsafe"
 )
 
 func TestConfigsDistinct(t *testing.T) {
@@ -160,5 +161,14 @@ func TestOpClassPredicates(t *testing.T) {
 	}
 	if !Label.IsBarrier() || !Ret.IsBarrier() || Add.IsBarrier() {
 		t.Error("IsBarrier")
+	}
+}
+
+// The interpreter's dispatch throughput depends on Instr being exactly one
+// cache line: []Instr then strides in 64-byte steps and no instruction
+// straddles two lines. New fields must go into padding holes, not grow it.
+func TestInstrSize(t *testing.T) {
+	if got := unsafe.Sizeof(Instr{}); got != 64 {
+		t.Fatalf("sizeof(Instr) = %d, want 64 (fit new fields into padding)", got)
 	}
 }

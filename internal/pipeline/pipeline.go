@@ -81,9 +81,12 @@ var (
 		StageParse:     "v1",
 		StageTypecheck: "v1",
 		StageAnnotate:  "v1",
-		StageCodegen:   "v1",
-		StageOptimize:  "v1",
-		StagePeephole:  "v1",
+		// v2: Call instructions carry the source line of the call site
+		// (machine.Instr.Line), so cached v1 codegen artifacts — which lack
+		// the field — must not satisfy builds that feed heap snapshots.
+		StageCodegen:  "v2",
+		StageOptimize: "v1",
+		StagePeephole: "v1",
 	}
 )
 

@@ -112,6 +112,39 @@ type RunSnapshot struct {
 	BytesAllocated uint64 `json:"gc_bytes_allocated"`
 }
 
+// heapMetrics accumulates /v1/heapdump activity: a snapshot count with a
+// capture-duration histogram, plus the most recent snapshot's live-set
+// gauges and the largest allocation epoch any snapshot has carried.
+type heapMetrics struct {
+	snapshots   atomic.Uint64
+	liveObjects atomic.Uint64 // most recent snapshot
+	liveBytes   atomic.Uint64 // most recent snapshot
+	epochHW     atomic.Uint64 // max across snapshots
+	duration    histogram
+}
+
+func (h *heapMetrics) record(objects int, bytes uint64, epoch uint32, d time.Duration) {
+	h.snapshots.Add(1)
+	h.liveObjects.Store(uint64(objects))
+	h.liveBytes.Store(bytes)
+	for {
+		cur := h.epochHW.Load()
+		if uint64(epoch) <= cur || h.epochHW.CompareAndSwap(cur, uint64(epoch)) {
+			break
+		}
+	}
+	h.duration.observe(d)
+}
+
+// HeapMetricsSnapshot is the JSON form of the /metrics heap section.
+type HeapMetricsSnapshot struct {
+	Snapshots      uint64            `json:"snapshots"`
+	LiveObjects    uint64            `json:"live_objects"`
+	LiveBytes      uint64            `json:"live_bytes"`
+	EpochHighWater uint64            `json:"epoch_high_water"`
+	DurationMs     HistogramSnapshot `json:"snapshot_duration_ms"`
+}
+
 // PanicSnapshot describes the most recent recovered handler panic: the
 // observability half of the recovery middleware, so a fleet operator can
 // see *what* crashed without shelling into the box.
@@ -136,6 +169,7 @@ type metrics struct {
 	panics    atomic.Uint64
 	inflight  atomic.Int64
 	runs      runMetrics
+	heap      heapMetrics
 }
 
 // recordPanic captures a recovered handler panic into the registry.
@@ -195,6 +229,9 @@ type Snapshot struct {
 	// each of lex/parse/typecheck/annotate/codegen/optimize/peephole.
 	Pipeline []pipeline.StageStat `json:"pipeline,omitempty"`
 	Runs     RunSnapshot          `json:"runs"`
+	// Heap reports /v1/heapdump activity: snapshot counts, capture
+	// durations, the most recent live set, and the epoch high-water mark.
+	Heap HeapMetricsSnapshot `json:"heap"`
 }
 
 func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) Snapshot {
@@ -216,6 +253,13 @@ func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) S
 			Collections:    m.runs.collections.Load(),
 			ObjectsAlloced: m.runs.objects.Load(),
 			BytesAllocated: m.runs.bytesAlloc.Load(),
+		},
+		Heap: HeapMetricsSnapshot{
+			Snapshots:      m.heap.snapshots.Load(),
+			LiveObjects:    m.heap.liveObjects.Load(),
+			LiveBytes:      m.heap.liveBytes.Load(),
+			EpochHighWater: m.heap.epochHW.Load(),
+			DurationMs:     m.heap.duration.snapshot(),
 		},
 	}
 	m.mu.Lock()

@@ -70,6 +70,10 @@ type Config struct {
 	// are SHA-256-verified on read, and corrupt entries are quarantined
 	// at startup. Empty means memory-only (the default).
 	CacheDir string
+	// MaxDumpObjects bounds the number of objects a /v1/heapdump response
+	// carries; larger heaps are truncated (Snapshot.Truncated). Requests
+	// may ask for less, never more (default 65536).
+	MaxDumpObjects int
 	// AllowFaultHeaders opts in to per-request fault injection via the
 	// X-Fault-Inject / X-Fault-Seed headers. Off by default: the headers
 	// let any client that can reach the daemon fail, delay or panic its
@@ -101,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 200_000_000
+	}
+	if c.MaxDumpObjects <= 0 {
+		c.MaxDumpObjects = 65536
 	}
 	return c
 }
@@ -162,6 +169,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/compile", s.handle("/v1/compile", http.MethodPost, s.handleCompile))
 	s.mux.Handle("/v1/run", s.handle("/v1/run", http.MethodPost, s.handleRun))
 	s.mux.Handle("/v1/matrix", s.handle("/v1/matrix", http.MethodPost, s.handleMatrix))
+	s.mux.Handle("/v1/heapdump", s.handle("/v1/heapdump", http.MethodPost, s.handleHeapdump))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"gcsafety/internal/artifact"
+	"gcsafety/internal/heapdump"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/pipeline"
 )
@@ -37,13 +38,15 @@ type wireCompiled struct {
 
 // artifactCodec composes the disk codec for the shared artifact cache:
 // the server's whole-product annotate/compile kinds plus the pipeline's
-// per-stage compiled-program kinds, registered against one registry so a
-// single disk directory persists both families across restarts.
+// per-stage compiled-program kinds and the heapdump snapshot kind,
+// registered against one registry so a single disk directory persists
+// every family across restarts.
 func artifactCodec() artifact.DiskCodec {
 	reg := artifact.NewCodecRegistry()
 	reg.Register(kindAnnotate, artifact.Codec{Encode: encodeAnnotated, Decode: decodeAnnotated})
 	reg.Register(kindCompile, artifact.Codec{Encode: encodeCompiled, Decode: decodeCompiled})
 	pipeline.RegisterWire(reg)
+	heapdump.RegisterWire(reg)
 	return reg.DiskCodec()
 }
 

@@ -53,10 +53,12 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the named workload, searching the benchmark suite and the
-// hazard catalogue.
+// ByName returns the named workload, searching the benchmark suite, the
+// hazard catalogue and the leak workload.
 func ByName(name string) (Workload, bool) {
-	for _, w := range append(All(), Hazards()...) {
+	all := append(All(), Hazards()...)
+	all = append(all, Leak())
+	for _, w := range all {
 		if w.Name == name {
 			return w, true
 		}
