@@ -27,14 +27,19 @@
 #                     the real ccrun binary with -heap-dump and the daemon's
 #                     /v1/heapdump — and assert the two snapshots agree on
 #                     live-object count and live bytes
+#   make cluster-smoke  the distributed availability gate: 3 peered gcsafed
+#                     nodes under loadgen's mixed load with chaos fault
+#                     rotation, one node killed -9 mid-run; requires ≥99%
+#                     of logical requests to succeed and cluster-wide
+#                     computes within 1.2x the distinct-artifact baseline
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection FuzzTemporalDifferential
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke heapdump-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke heapdump-smoke cluster-smoke
 
-check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke serve-smoke chaos-smoke heapdump-smoke
+check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke serve-smoke chaos-smoke heapdump-smoke cluster-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -128,6 +133,14 @@ pipeline-smoke:
 # requires identical live-object counts and live bytes.
 heapdump-smoke:
 	$(GO) test -race -count=1 -run 'TestHeapdumpSmoke' ./cmd/gcsafed
+
+# The distributed gate: TestClusterSmoke builds gcsafed and loadgen, peers
+# three real daemons, drives a mixed workload with chaos fault rotation,
+# kills one node with SIGKILL mid-run, rebalances the survivors, and
+# asserts the availability (≥99% ok) and dedup (≤1.2x baseline computes)
+# contracts.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterSmoke' ./cmd/gcsafed
 
 serve:
 	$(GO) run ./cmd/gcsafed

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildLoadgen(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "loadgen")
+	if out, err := exec.Command("go", "build", "-o", bin, "gcsafety/cmd/loadgen").CombinedOutput(); err != nil {
+		t.Fatalf("go build loadgen: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePorts reserves n distinct loopback ports. Cluster membership must
+// be known before any node starts, so :0 self-assignment cannot work;
+// listen-then-close is the standard (slightly racy, practically safe)
+// trade.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+// loadgenReport mirrors cmd/loadgen's Report (the fields the gate reads).
+type loadgenReport struct {
+	Requests      uint64  `json:"requests"`
+	OK            uint64  `json:"ok"`
+	HTTP5xx       uint64  `json:"http_5xx"`
+	TransportErrs uint64  `json:"transport_errors"`
+	Failovers     uint64  `json:"failovers"`
+	OKRatio       float64 `json:"ok_ratio"`
+	DistinctCells int     `json:"distinct_cells"`
+	Computes      uint64  `json:"computes"`
+	Unreachable   int     `json:"unreachable"`
+}
+
+// TestClusterSmoke is the `make cluster-smoke` gate: a 3-node cluster
+// under mixed load with chaos fault rotation must survive one member
+// dying by kill -9 mid-run with ≥99% of logical requests succeeding, and
+// the cluster-wide compute count must stay within 1.2x the perfect-dedup
+// baseline (every distinct artifact computed exactly once).
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke is a multi-process suite")
+	}
+	daemon := buildDaemon(t)
+	loadgen := buildLoadgen(t)
+	ports := freePorts(t, 3)
+
+	urls := make([]string, 3)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	cmds := make([]*exec.Cmd, 3)
+	for i := range urls {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		cmd, _ := startDaemon(t, daemon,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-peers", strings.Join(peers, ","),
+			"-allow-fault-headers",
+			"-workers", "6",
+		)
+		cmds[i] = cmd
+	}
+
+	// The load: warm passes spread every artifact over at least two member
+	// caches, then a mixed phase long enough to straddle the kill below.
+	lg := exec.Command(loadgen,
+		"-targets", strings.Join(urls, ","),
+		"-warm", "2",
+		"-requests", "600",
+		"-sources", "24",
+		"-chaos-every", "6",
+		"-concurrency", "8",
+		"-duration", "4s",
+		"-min-ok", "0.99",
+		"-json",
+	)
+	var stdout bytes.Buffer
+	lg.Stdout = &stdout
+	stderr, err := lg.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the mixed phase is underway so the kill is genuinely
+	// mid-run, not before the load exists.
+	sc := bufio.NewScanner(stderr)
+	mixed := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "mixed phase") {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		t.Fatalf("loadgen never reached the mixed phase")
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	time.Sleep(1 * time.Second)
+
+	// The victim's computes are about to become unscrapeable; record them
+	// first so the cluster-wide total stays honest.
+	victim := 2
+	preKill := scrapeComputes(t, urls[victim])
+	if err := cmds[victim].Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_, _ = cmds[victim].Process.Wait()
+
+	// Operator rebalance: the survivors take over the dead member's arcs.
+	survivors := []int{0, 1}
+	for _, i := range survivors {
+		var peerList []string
+		for _, j := range survivors {
+			if j != i {
+				peerList = append(peerList, urls[j])
+			}
+		}
+		code, body := daemonPost(t, urls[i], "/v1/peer/update",
+			map[string]any{"peers": peerList})
+		if code != http.StatusOK {
+			t.Fatalf("peer update on survivor %d: %d %s", i, code, body)
+		}
+	}
+
+	if err := lg.Wait(); err != nil {
+		t.Fatalf("loadgen failed (availability gate): %v\nstdout: %s", err, stdout.String())
+	}
+	var rep loadgenReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("loadgen report: %v\n%s", err, stdout.String())
+	}
+
+	// Availability gate: ≥99% of logical requests succeeded even though a
+	// third of the cluster died mid-run with chaos faults rotating.
+	if rep.OKRatio < 0.99 {
+		t.Fatalf("availability %.4f below 0.99: %+v", rep.OKRatio, rep)
+	}
+	if rep.Unreachable != 1 {
+		t.Fatalf("expected exactly the killed node unreachable, got %d", rep.Unreachable)
+	}
+	if rep.Failovers == 0 {
+		t.Fatal("no failovers recorded — the kill did not exercise the failover path")
+	}
+
+	// Dedup gate: cluster-wide computes (survivors' counters plus the
+	// victim's last scrape) within 1.2x the distinct-artifact baseline.
+	total := rep.Computes + preKill
+	budget := uint64(float64(rep.DistinctCells) * 1.2)
+	if total > budget {
+		t.Fatalf("cluster computed %d times for %d distinct artifacts (budget %d): recompute storm",
+			total, rep.DistinctCells, budget)
+	}
+	t.Logf("cluster smoke: %d requests, ok ratio %.4f, %d failovers, computes %d/%d (budget %d)",
+		rep.Requests, rep.OKRatio, rep.Failovers, total, rep.DistinctCells, budget)
+
+	// The survivors report a coherent 2-member cluster in /metrics.
+	for _, i := range survivors {
+		snap := daemonMetrics(t, urls[i])
+		if snap.Cluster == nil || len(snap.Cluster.Members) != 2 {
+			t.Fatalf("survivor %d cluster metrics: %+v", i, snap.Cluster)
+		}
+		if snap.Cluster.Rebalances == 0 {
+			t.Fatalf("survivor %d recorded no rebalance", i)
+		}
+	}
+}
+
+func scrapeComputes(t *testing.T, base string) uint64 {
+	t.Helper()
+	snap := daemonMetrics(t, base)
+	return snap.Compiles + snap.Annotations
+}
+
+// TestStartupConfigLog: the daemon must log its effective configuration —
+// defaults resolved, cluster membership as built — so the log of a
+// misbehaving node states what it actually ran with.
+func TestStartupConfigLog(t *testing.T) {
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "3",
+		"-cache-bytes", "1048576",
+		"-allow-fault-headers",
+		"-peers", "http://127.0.0.1:9,http://127.0.0.1:10",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	want := map[string]bool{
+		"workers=3":                      false, // explicit flag echoed
+		"queue=64":                       false, // default resolved, not zero
+		"cache-bytes=1048576":            false,
+		"cache-dir=(memory-only)":        false,
+		"allow-fault-headers=true":       false,
+		"cluster self=http://127.0.0.1:": false, // advertise derived from the listener
+		"http://127.0.0.1:9":             false, // peer list echoed
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(10 * time.Second)
+	lines := []string{}
+	for sc.Scan() {
+		select {
+		case <-deadline:
+			t.Fatalf("config log incomplete after 10s:\n%s", strings.Join(lines, "\n"))
+		default:
+		}
+		line := sc.Text()
+		lines = append(lines, line)
+		for frag := range want {
+			if strings.Contains(line, frag) {
+				want[frag] = true
+			}
+		}
+		done := true
+		for _, seen := range want {
+			done = done && seen
+		}
+		if done {
+			return
+		}
+	}
+	t.Fatalf("config log missing fragments %v:\n%s", want, strings.Join(lines, "\n"))
+}

@@ -33,6 +33,17 @@
 //	                   any reachable client fail or delay requests, so it
 //	                   must be an explicit opt-in; -chaos enables it for
 //	                   its in-process daemon)
+//	-peers urls        comma-separated base URLs of the other cluster
+//	                   members; joins the cache-peering cluster (default
+//	                   empty: standalone). Artifact keys are owned by
+//	                   exactly one member (consistent hashing); misses for
+//	                   remotely owned keys ask the owner before computing
+//	                   locally, and any peer failure degrades to a local
+//	                   compute.
+//	-advertise url     base URL the other members reach this node at
+//	                   (default http://<resolved listen address>; required
+//	                   in explicit form when -addr binds 0.0.0.0 or
+//	                   another address peers cannot dial)
 //	-chaos             run the chaos smoke suite against an in-process
 //	                   daemon instead of serving: replay the pipeline
 //	                   request mix under injected faults and exit 0 iff
@@ -50,6 +61,10 @@
 //	POST /v1/compile   one treatment cell, content-addressed-cached
 //	POST /v1/run       compile (cached) + execute under deadline and budget
 //	POST /v1/matrix    one generated program through the treatment matrix
+//	POST /v1/peer/get  peer protocol: get-or-compute an owned artifact
+//	POST /v1/peer/put  peer protocol: accept an artifact for an owned key
+//	POST /v1/peer/update
+//	                   admin: replace the member list (live rebalance)
 //	GET  /healthz      liveness
 //	GET  /readyz       readiness (503 while draining or saturated)
 //	GET  /metrics      JSON counters: traffic, latency, cache, GC stats,
@@ -65,9 +80,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"gcsafety/internal/cluster"
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/server"
 )
@@ -89,6 +106,8 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "run the chaos smoke suite and exit")
 		chaosReqs  = flag.Int("chaos-requests", 64, "requests per chaos run")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs (empty = standalone)")
+		advertise  = flag.String("advertise", "", "base URL peers reach this node at (empty = http://<listen address>)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -124,6 +143,27 @@ func main() {
 		os.Exit(runChaos(cfg, *faultSeed, *chaosReqs))
 	}
 
+	// The listener comes up before the Server: with -addr :0 the advertise
+	// URL (and therefore cluster membership) only exists once the kernel
+	// has picked the port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcsafed: %v\n", err)
+		os.Exit(1)
+	}
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		p, err := cluster.New(cluster.Config{Self: self, Peers: splitList(*peers)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcsafed: -peers: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Peering = p
+	}
+
 	s := server.New(cfg)
 	if err := s.DiskErr(); err != nil {
 		// Not fatal by design: the daemon serves memory-only, but the
@@ -156,14 +196,10 @@ func main() {
 		}()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gcsafed: %v\n", err)
-		os.Exit(1)
-	}
 	// The resolved address line is part of the interface: the serve-smoke
 	// harness (and anyone scripting -addr :0) parses it.
 	fmt.Printf("gcsafed: listening on %s\n", ln.Addr())
+	logEffectiveConfig(s, *pprofAddr, *faults, *faultSeed)
 
 	hs := &http.Server{
 		Handler:           s.Handler(),
@@ -189,5 +225,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gcsafed: shutdown: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// logEffectiveConfig prints the configuration actually in force — every
+// default resolved, the cluster membership as built — so an operator
+// reading the log of a misbehaving node sees what it is really running
+// with, not what the unit file claims.
+func logEffectiveConfig(s *server.Server, pprofAddr, faults string, faultSeed uint64) {
+	cfg := s.EffectiveConfig()
+	fmt.Printf("gcsafed: config: workers=%d parallel=%d queue=%d timeout=%s max-steps=%d max-body=%d\n",
+		cfg.Workers, cfg.Parallel, cfg.QueueDepth, cfg.RunTimeout, cfg.MaxSteps, cfg.MaxBodyBytes)
+	dir := cfg.CacheDir
+	if dir == "" {
+		dir = "(memory-only)"
+	}
+	fmt.Printf("gcsafed: config: cache-bytes=%d cache-dir=%s\n", cfg.CacheBytes, dir)
+	if faults == "" {
+		faults = "(off)"
+	}
+	fmt.Printf("gcsafed: config: faults=%s fault-seed=%d allow-fault-headers=%v\n",
+		faults, faultSeed, cfg.AllowFaultHeaders)
+	if pprofAddr != "" {
+		fmt.Printf("gcsafed: config: pprof=%s\n", pprofAddr)
+	}
+	if p := s.Peering(); p != nil {
+		fmt.Printf("gcsafed: config: cluster self=%s members=%s\n",
+			p.Self(), strings.Join(p.Members(), ","))
+	} else {
+		fmt.Printf("gcsafed: config: cluster=standalone\n")
 	}
 }

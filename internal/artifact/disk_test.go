@@ -177,6 +177,90 @@ func TestDiskDisablesAfterConsecutiveErrors(t *testing.T) {
 	}
 }
 
+// TestDiskRestartReenablesTier: self-disable is a per-process latch, not
+// a persistent verdict on the directory. A tier that turned itself off
+// after consecutive injected I/O errors stays off for the life of the
+// process (no flapping), but a restart — the operator's remediation —
+// reopens the directory, re-verifies what survived, and serves and
+// accepts writes again.
+func TestDiskRestartReenablesTier(t *testing.T) {
+	defer faultinject.SetGlobal(nil)
+	dir := t.TempDir()
+	d, _, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(1 << 20)
+	c.AttachDisk(d, jsonCodec())
+	keyA := NewKey("test").Str("survivor").Sum()
+	if _, _, err := c.GetOrCompute(context.Background(), keyA, func() (any, int64, error) {
+		return "durable", 7, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatal("healthy write did not reach disk")
+	}
+
+	// The device "goes bad": every read and write errors until the tier
+	// gives up and disables itself.
+	set, err := faultinject.Parse("artifact.disk.read=error;artifact.disk.write=error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.SetGlobal(set)
+	for i := 0; i < 4*diskDisableThreshold; i++ {
+		key := NewKey("test").Str("churn").Int(int64(i)).Sum()
+		if _, _, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+			return "memory-only", 11, nil
+		}); err != nil {
+			t.Fatalf("cache must absorb disk faults, got %v", err)
+		}
+	}
+	if !d.Stats().Disabled {
+		t.Fatalf("tier not disabled under sustained faults: %+v", d.Stats())
+	}
+
+	// Clearing the fault does NOT re-enable: the latch holds until restart,
+	// so a marginal device cannot flap the tier on and off.
+	faultinject.SetGlobal(nil)
+	if err := d.Put(context.Background(), keyA, "json", []byte(`"x"`)); err == nil {
+		t.Fatal("disabled tier accepted a write after faults cleared")
+	}
+
+	// Restart: reopen the directory. Recovery re-verifies the surviving
+	// entry and the tier is live again — the pre-failure artifact restores
+	// without recomputing, and new writes persist.
+	d2, rs, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Verified != 1 {
+		t.Fatalf("recovery after disabled run: %+v", rs)
+	}
+	if d2.Stats().Disabled {
+		t.Fatal("reopened tier born disabled")
+	}
+	c2 := New(1 << 20)
+	c2.AttachDisk(d2, jsonCodec())
+	v, hit, err := c2.GetOrCompute(context.Background(), keyA, func() (any, int64, error) {
+		t.Error("restart recomputed an artifact the disk still held")
+		return "recomputed", 7, nil
+	})
+	if err != nil || !hit || v != "durable" {
+		t.Fatalf("restored after restart: %v %v %v", v, hit, err)
+	}
+	keyB := NewKey("test").Str("post-restart").Sum()
+	if _, _, err := c2.GetOrCompute(context.Background(), keyB, func() (any, int64, error) {
+		return "fresh", 5, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 2 {
+		t.Fatalf("re-enabled tier holds %d entries, want 2", d2.Len())
+	}
+}
+
 func TestCacheDiskTierPromotionAndWriteThrough(t *testing.T) {
 	dir := t.TempDir()
 	d, _, err := OpenDisk(dir)

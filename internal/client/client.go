@@ -132,30 +132,35 @@ type breaker struct {
 
 // allow reports whether a call may proceed. In the open state it admits
 // exactly one probe per cooldown expiry; the probe's outcome decides
-// whether the circuit closes.
-func (b *breaker) allow() bool {
+// whether the circuit closes. probe reports that this call is the
+// half-open probe.
+func (b *breaker) allow() (ok, probe bool) {
 	if b.threshold < 0 {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.open {
-		return true
+		return true, false
 	}
 	if b.probing || b.now().Sub(b.openedAt) < b.cooldown {
-		return false
+		return false, false
 	}
 	b.probing = true
-	return true
+	return true, true
 }
 
-func (b *breaker) success() {
+// success records a working daemon; recovered reports whether this
+// closed an open circuit (the half-open → closed transition).
+func (b *breaker) success() (recovered bool) {
 	if b.threshold < 0 {
-		return
+		return false
 	}
 	b.mu.Lock()
+	recovered = b.open
 	b.failures, b.open, b.probing = 0, false, false
 	b.mu.Unlock()
+	return recovered
 }
 
 func (b *breaker) failure() {
@@ -178,6 +183,14 @@ type Stats struct {
 	Retries      uint64 `json:"retries"`
 	BreakerTrips uint64 `json:"breaker_trips"`
 	FastFails    uint64 `json:"fast_fails"` // calls rejected by an open circuit
+	// Attempts counts individual HTTP exchanges, first tries included —
+	// Attempts - Calls is the retry traffic actually put on the wire.
+	Attempts uint64 `json:"attempts"`
+	// HalfOpenProbes counts calls admitted as an open circuit's single
+	// probe; BreakerRecoveries counts the probes whose success closed the
+	// circuit again (the half-open → closed transition).
+	HalfOpenProbes    uint64 `json:"half_open_probes"`
+	BreakerRecoveries uint64 `json:"breaker_recoveries"`
 }
 
 // Client is a resilient caller for one gcsafed base URL. It is safe for
@@ -261,7 +274,8 @@ func retryableStatus(status int) bool {
 
 // do runs one request with retries and the breaker. headers may be nil.
 func (c *Client) do(ctx context.Context, method, path string, headers map[string]string, body []byte) (*http.Response, []byte, error) {
-	if !c.brk.allow() {
+	ok, probe := c.brk.allow()
+	if !ok {
 		c.mu.Lock()
 		c.stats.FastFails++
 		c.mu.Unlock()
@@ -269,16 +283,26 @@ func (c *Client) do(ctx context.Context, method, path string, headers map[string
 	}
 	c.mu.Lock()
 	c.stats.Calls++
+	if probe {
+		c.stats.HalfOpenProbes++
+	}
 	c.mu.Unlock()
 
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		c.stats.Attempts++
+		c.mu.Unlock()
 		resp, data, err := c.once(ctx, method, path, headers, body)
 		switch {
 		case err == nil && !retryableStatus(resp.StatusCode):
 			// Final answer. Any complete HTTP exchange — including a 4xx —
 			// proves the daemon is functioning, so it closes the breaker.
-			c.brk.success()
+			if c.brk.success() {
+				c.mu.Lock()
+				c.stats.BreakerRecoveries++
+				c.mu.Unlock()
+			}
 			if resp.StatusCode >= 400 {
 				return resp, data, &StatusError{Status: resp.StatusCode, Body: string(data)}
 			}
@@ -343,6 +367,11 @@ func (b *breaker) isOpen() bool {
 	defer b.mu.Unlock()
 	return b.open
 }
+
+// BreakerOpen reports whether the circuit is currently open — the caller
+// is fast-failing against this base URL. Cluster peering uses it to
+// export per-peer health.
+func (c *Client) BreakerOpen() bool { return c.brk.isOpen() }
 
 // once performs a single HTTP exchange, fully draining the body.
 func (c *Client) once(ctx context.Context, method, path string, headers map[string]string, body []byte) (*http.Response, []byte, error) {

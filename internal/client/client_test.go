@@ -331,3 +331,112 @@ func TestCallerCancelDoesNotTripBreaker(t *testing.T) {
 		t.Fatalf("healthy traffic fast-failed after cancellations: %v", err)
 	}
 }
+
+// TestBreakerRecoveryCounters is the regression test for the half-open →
+// closed path: every stage of the breaker lifecycle must be visible in
+// Stats — the trip, the fast-fails while open, the single half-open
+// probe, and the recovery when the probe succeeds.
+func TestBreakerRecoveryCounters(t *testing.T) {
+	h, _ := flakyHandler(100, http.StatusInternalServerError)
+	down := atomic.Bool{}
+	down.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			h(w, r)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	now := time.Unix(0, 0)
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{
+		MaxAttempts:      2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+		Sleep:            fakeSleep(&sleeps),
+		Now:              func() time.Time { return now },
+	})
+	ctx := context.Background()
+
+	// Two exhausted calls open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetJSON(ctx, "/x", nil); err == nil {
+			t.Fatal("call against a failing server succeeded")
+		}
+	}
+	if !c.BreakerOpen() {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	st := c.Stats()
+	if st.BreakerTrips != 1 || st.Attempts != 4 || st.Calls != 2 {
+		t.Fatalf("after trip: %+v", st)
+	}
+
+	// While open and inside the cooldown: fast-fail, no probe.
+	if _, err := c.GetJSON(ctx, "/x", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("expected fast-fail, got %v", err)
+	}
+	if st = c.Stats(); st.FastFails != 1 || st.HalfOpenProbes != 0 {
+		t.Fatalf("during cooldown: %+v", st)
+	}
+
+	// Cooldown expires, the server has recovered: the next call is the
+	// half-open probe, and its success must close the circuit and count
+	// as a recovery.
+	now = now.Add(2 * time.Second)
+	down.Store(false)
+	if _, err := c.GetJSON(ctx, "/x", nil); err != nil {
+		t.Fatalf("probe call failed: %v", err)
+	}
+	if c.BreakerOpen() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	st = c.Stats()
+	if st.HalfOpenProbes != 1 || st.BreakerRecoveries != 1 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+
+	// Closed again: ordinary traffic flows and does not count as probes.
+	if _, err := c.GetJSON(ctx, "/x", nil); err != nil {
+		t.Fatalf("post-recovery call failed: %v", err)
+	}
+	if st = c.Stats(); st.HalfOpenProbes != 1 || st.BreakerRecoveries != 1 {
+		t.Fatalf("post-recovery counters moved: %+v", st)
+	}
+}
+
+// TestProbeFailureReopensWithoutRecovery: a failed half-open probe slams
+// the circuit shut again and must not count as a recovery.
+func TestProbeFailureReopensWithoutRecovery(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	now := time.Unix(0, 0)
+	var sleeps []time.Duration
+	c := New(ts.URL, Config{
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Second,
+		Sleep:            fakeSleep(&sleeps),
+		Now:              func() time.Time { return now },
+	})
+	ctx := context.Background()
+	if _, err := c.GetJSON(ctx, "/x", nil); err == nil {
+		t.Fatal("call against failing server succeeded")
+	}
+	if !c.BreakerOpen() {
+		t.Fatal("breaker not open")
+	}
+	now = now.Add(2 * time.Second)
+	if _, err := c.GetJSON(ctx, "/x", nil); err == nil {
+		t.Fatal("probe against failing server succeeded")
+	}
+	st := c.Stats()
+	if st.HalfOpenProbes != 1 || st.BreakerRecoveries != 0 || !c.BreakerOpen() {
+		t.Fatalf("after failed probe: %+v open=%v", st, c.BreakerOpen())
+	}
+}

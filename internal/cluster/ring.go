@@ -1,0 +1,88 @@
+// Package cluster shards the content-addressed artifact store across a
+// peering group of gcsafed nodes. Every artifact key has exactly one
+// owning node, chosen by consistent hashing over the peer list, and the
+// peer protocol (/v1/peer/get, /v1/peer/put) lets any node ask the owner
+// to get-or-compute an artifact — so the cluster performs each build
+// once, wherever the request landed.
+//
+// The design is availability-first: ownership is a performance hint, not
+// a correctness requirement. Every node can compute every artifact, so
+// when the owning peer is down, slow, or circuit-broken, the caller
+// falls back to local computation and the only cost is a duplicated
+// build. Peer calls ride internal/client, inheriting bounded retries,
+// backoff with deterministic jitter, and a per-peer circuit breaker that
+// turns a dead peer into a microsecond fast-fail instead of a retry
+// ladder on every request.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring: each peer address is placed at
+// `replicas` pseudo-random points on a 64-bit circle, and a key is owned
+// by the first peer point at or after the key's own hash. Adding or
+// removing one peer moves only the keys in the arcs that peer covered —
+// the property that makes peer-list changes cheap rebalances instead of
+// full reshuffles.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// defaultReplicas is the virtual-node count per peer. 64 points per peer
+// keeps the ownership split within a few percent of even for small
+// clusters while ring construction stays trivially cheap.
+const defaultReplicas = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds a ring over addrs (deduplicated by the caller). A nil
+// or empty addrs yields an empty ring that owns nothing.
+func newRing(replicas int, addrs []string) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, replicas*len(addrs))}
+	for _, addr := range addrs {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(addr + "#" + strconv.Itoa(i)),
+				addr: addr,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by address so every node
+		// sorts the ring identically — ownership must be a pure function
+		// of the peer list.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// owner returns the address owning key, or "" for an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last one
+	}
+	return r.points[i].addr
+}

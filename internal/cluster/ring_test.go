@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossNodes(t *testing.T) {
+	// Ownership must be a pure function of the member list: two nodes
+	// building rings from the same members (in any order) must agree on
+	// every key, or the cluster computes everything twice.
+	a := newRing(0, []string{"http://a", "http://b", "http://c"})
+	b := newRing(0, []string{"http://a", "http://b", "http://c"})
+	for _, k := range keys(2000) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+func TestRingSpreadsOwnership(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	r := newRing(0, members)
+	counts := map[string]int{}
+	n := 6000
+	for _, k := range keys(n) {
+		counts[r.owner(k)]++
+	}
+	for _, m := range members {
+		// With 64 virtual nodes the split stays near even; require every
+		// member to own at least half its fair share.
+		if counts[m] < n/(2*len(members)) {
+			t.Fatalf("member %s owns only %d of %d keys: %v", m, counts[m], n, counts)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyTheRemovedArcs(t *testing.T) {
+	// The consistent-hashing property behind cheap rebalances: dropping a
+	// member must not move any key between the surviving members.
+	full := newRing(0, []string{"http://a", "http://b", "http://c"})
+	without := newRing(0, []string{"http://a", "http://c"})
+	moved := 0
+	for _, k := range keys(4000) {
+		was, is := full.owner(k), without.owner(k)
+		if was == "http://b" {
+			moved++
+			if is == "http://b" {
+				t.Fatalf("removed member still owns %q", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned nothing; test proves nothing")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := newRing(0, nil).owner("x"); got != "" {
+		t.Fatalf("empty ring owns %q", got)
+	}
+	one := newRing(0, []string{"http://solo"})
+	for _, k := range keys(100) {
+		if one.owner(k) != "http://solo" {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+}

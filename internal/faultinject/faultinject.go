@@ -75,6 +75,13 @@ const (
 	// (internal/interp CaptureSnapshot): error fails the capture — the
 	// run's own outcome is never affected, only the snapshot is lost.
 	PointHeapdump = "heapdump.capture"
+	// PointPeerGet / PointPeerPut fire before the corresponding
+	// cache-peering RPC (internal/cluster): error severs the peer link for
+	// that operation — the caller falls back down its ladder (local
+	// compute for a get, a dropped best-effort replication for a put) —
+	// and sleep simulates a slow peer.
+	PointPeerGet = "cluster.peer.get"
+	PointPeerPut = "cluster.peer.put"
 	// PointPipeline* fire inside the corresponding compilation stage of
 	// internal/pipeline, before the stage's real work: error fails the
 	// build at exactly that stage boundary (never corrupting a cached

@@ -142,7 +142,18 @@ func (s *Server) annotate(ctx context.Context, name, src string, opts gcsafe.Opt
 	if name == "" {
 		name = "input.c"
 	}
-	v, hit, err := s.cache.GetOrCompute(ctx, annotateKey(src, opts), func() (any, int64, error) {
+	key := annotateKey(src, opts)
+	v, hit, err := s.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		// Local memory and disk both missed. Before computing, try the
+		// cluster rung of the ladder: the key's owning peer get-or-computes
+		// it once for the whole cluster. Any peer failure falls through to
+		// a local compute — availability over dedup.
+		if pv, psize, ok := s.peerFetch(ctx, key, familyAnnotate, annotateRecipe(name, src, opts)); ok {
+			return pv, psize, nil
+		}
+		// annotations counts true local annotator executions only (not
+		// artifacts fetched from peers), so summing the counter across a
+		// cluster measures how many times the work was really done.
 		s.annotations.Add(1)
 		res, _, err := s.pipeline.Annotate(ctx, name, src, opts)
 		if err != nil {
@@ -170,6 +181,9 @@ func (s *Server) annotate(ctx context.Context, name, src string, opts gcsafe.Opt
 		for _, w := range res.Warnings {
 			a.warnings = append(a.warnings, w.String())
 		}
+		// A fallback compute of a remotely owned key leaves the owner
+		// without the artifact; repair the placement asynchronously.
+		s.peerRepair(ctx, key, a)
 		return a, a.size, nil
 	})
 	if err != nil {
@@ -305,7 +319,15 @@ func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotat
 	if name == "" {
 		name = "input.c"
 	}
-	v, hit, err := s.cache.GetOrCompute(ctx, compileKey(src, ann, optimize, post, cfg), func() (any, int64, error) {
+	key := compileKey(src, ann, optimize, post, cfg)
+	v, hit, err := s.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		// The cluster rung: ask the owning peer before running codegen
+		// locally (see annotate for the ladder rationale).
+		if pv, psize, ok := s.peerFetch(ctx, key, familyCompile, compileRecipe(name, src, ann, optimize, post, cfg)); ok {
+			return pv, psize, nil
+		}
+		// compiles counts true local compiler executions only — the
+		// cluster-wide dedup gate is stated in terms of this counter.
 		s.compiles.Add(1)
 		opts := pipeline.Options{Optimize: optimize, Post: post, Machine: cfg}
 		switch ann {
@@ -327,6 +349,7 @@ func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotat
 		// Accounted size: instruction words plus the static segment, with
 		// a per-function overhead allowance.
 		c.accounted = int64(c.size)*16 + int64(len(prog.Data)) + int64(len(prog.Funcs))*64 + 256
+		s.peerRepair(ctx, key, c)
 		return c, c.accounted, nil
 	})
 	if err != nil {

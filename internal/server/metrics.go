@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gcsafety/internal/artifact"
+	"gcsafety/internal/cluster"
 	"gcsafety/internal/gc"
 	"gcsafety/internal/pipeline"
 )
@@ -232,6 +233,10 @@ type Snapshot struct {
 	// Heap reports /v1/heapdump activity: snapshot counts, capture
 	// durations, the most recent live set, and the epoch high-water mark.
 	Heap HeapMetricsSnapshot `json:"heap"`
+	// Cluster reports cache-peering health when this node is clustered:
+	// membership, per-peer hit/error/breaker state, and the
+	// fallback-vs-remote-hit split that measures dedup effectiveness.
+	Cluster *cluster.Snapshot `json:"cluster,omitempty"`
 }
 
 func (m *metrics) snapshot(cache artifact.Stats, compiles, annotations uint64) Snapshot {

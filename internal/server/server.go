@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"gcsafety/internal/artifact"
+	"gcsafety/internal/cluster"
 	"gcsafety/internal/faultinject"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/par"
@@ -82,6 +83,12 @@ type Config struct {
 	// itself). While disabled, a request carrying the header is refused
 	// with 403 rather than silently ignored.
 	AllowFaultHeaders bool
+	// Peering, when non-nil, joins this daemon to a cache-peering cluster
+	// (internal/cluster): artifact keys are owned by exactly one member
+	// via consistent hashing, misses for remotely owned keys try the
+	// owner before computing locally, and /v1/peer/{get,put,update} serve
+	// the peer protocol. Nil means standalone (the default).
+	Peering *cluster.Peering
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +134,12 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 
+	// peering is the cluster membership and peer transport (nil when
+	// standalone); codec is the artifact registry shared by the disk tier
+	// and the peer wire, so both persist and transfer the same bytes.
+	peering *cluster.Peering
+	codec   artifact.DiskCodec
+
 	// draining flips once graceful shutdown begins: /readyz fails and new
 	// pipeline requests are refused with 503 + Retry-After so load
 	// balancers route around the instance while in-flight work finishes.
@@ -157,11 +170,13 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.pipeline = pipeline.NewRunner(s.cache)
+	s.peering = cfg.Peering
+	s.codec = artifactCodec()
 	if cfg.CacheDir != "" {
 		disk, rs, err := artifact.OpenDisk(cfg.CacheDir)
 		s.diskRecover, s.diskErr = rs, err
 		if err == nil {
-			s.cache.AttachDisk(disk, artifactCodec())
+			s.cache.AttachDisk(disk, s.codec)
 		}
 	}
 	s.mux.Handle("/v1/annotate", s.handle("/v1/annotate", http.MethodPost, s.handleAnnotate))
@@ -170,6 +185,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/run", s.handle("/v1/run", http.MethodPost, s.handleRun))
 	s.mux.Handle("/v1/matrix", s.handle("/v1/matrix", http.MethodPost, s.handleMatrix))
 	s.mux.Handle("/v1/heapdump", s.handle("/v1/heapdump", http.MethodPost, s.handleHeapdump))
+	s.mux.Handle("/v1/peer/get", s.handle("/v1/peer/get", http.MethodPost, s.handlePeerGet))
+	s.mux.Handle("/v1/peer/put", s.handle("/v1/peer/put", http.MethodPost, s.handlePeerPut))
+	s.mux.Handle("/v1/peer/update", s.handle("/v1/peer/update", http.MethodPost, s.handlePeerUpdate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -193,6 +211,14 @@ func (s *Server) DiskRecovery() artifact.RecoverStats { return s.diskRecover }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// EffectiveConfig returns the configuration actually in force — every
+// zero-value field resolved to its documented default — so the daemon
+// can log what it is really running with.
+func (s *Server) EffectiveConfig() Config { return s.cfg }
+
+// Peering returns the cluster membership handle (nil when standalone).
+func (s *Server) Peering() *cluster.Peering { return s.peering }
 
 // CacheStats exposes cache counters (tests, metrics).
 func (s *Server) CacheStats() artifact.Stats { return s.cache.Stats() }
@@ -447,6 +473,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.cache.Stats(), s.compiles.Load(), s.annotations.Load())
 	snap.Pipeline = s.pipeline.Stats()
 	snap.Draining = s.draining.Load()
+	if s.peering != nil {
+		cs := s.peering.Stats()
+		snap.Cluster = &cs
+	}
 	if s.cfg.CacheDir != "" {
 		if s.diskErr != nil {
 			snap.DiskError = s.diskErr.Error()
