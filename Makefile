@@ -14,7 +14,7 @@
 #   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
 #   make bench        run the full benchmark suite and record it as
-#                     BENCH_PR7.json at the repo root (benchdiff JSON; gate
+#                     BENCH_PR9.json at the repo root (benchdiff JSON; gate
 #                     future changes with `make bench-compare`)
 #   make bench-compare  diff the newest BENCH_*.json against the previous
 #                     one with benchdiff (exits 1 on a >10% regression)
@@ -23,6 +23,10 @@
 #                     benchmarks run and the JSON round-trips
 #   make pipeline-smoke  build one workload through the stage graph twice
 #                     and assert the second build is 100% stage-cache hits
+#   make elision-smoke  the liveness-elision gate: warm elided rebuilds are
+#                     100% stage-cache hits (liveness stage included) and
+#                     the differential matrix classifies every elided cell
+#                     exactly like its unelided twin
 #   make heapdump-smoke  profile the leak workload through both surfaces —
 #                     the real ccrun binary with -heap-dump and the daemon's
 #                     /v1/heapdump — and assert the two snapshots agree on
@@ -37,9 +41,9 @@ GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection FuzzTemporalDifferential
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke heapdump-smoke cluster-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke elision-smoke heapdump-smoke cluster-smoke
 
-check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke serve-smoke chaos-smoke heapdump-smoke cluster-smoke
+check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke elision-smoke serve-smoke chaos-smoke heapdump-smoke cluster-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -96,7 +100,7 @@ chaos:
 # repeat is the least disturbed one, and the cold-cache first pass (which
 # pays the workload compiles) is discarded with it. Compare a working tree
 # against the previous record with: make bench && make bench-compare
-BENCHOUT ?= BENCH_PR7.json
+BENCHOUT ?= BENCH_PR9.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 100ms -count 5 -timeout 30m . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
@@ -127,6 +131,13 @@ bench-smoke:
 # asserts 7/7 cache hits on the second build), under the race detector.
 pipeline-smoke:
 	$(GO) test -race -count=1 -run 'TestPipelineSmokeWarmBuild' ./internal/pipeline
+
+# The elision gate: with the liveness analysis on, a warm rebuild must be
+# 100% stage-cache hits (7 stages including liveness), and a differential
+# matrix over the seed corpus must classify every elided cell exactly
+# like its unelided twin.
+elision-smoke:
+	$(GO) test -race -count=1 -run 'TestElisionSmoke' .
 
 # The heap-introspection agreement gate: TestHeapdumpSmoke runs the leak
 # workload through ccrun -heap-dump and through POST /v1/heapdump and

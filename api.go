@@ -57,6 +57,17 @@ func Checked() AnnotateOptions { return AnnotateOptions{Mode: ModeChecked} }
 // checker violations instead of silent corruption.
 func Temporal() AnnotateOptions { return AnnotateOptions{Mode: ModeTemporal} }
 
+// SafeElided returns Safe() with the liveness-based elision analysis on:
+// KEEP_LIVE annotations whose base variable is provably live across the
+// expression are dropped (see internal/liveness).
+func SafeElided() AnnotateOptions { return AnnotateOptions{Mode: ModeSafe, Elide: true} }
+
+// CheckedElided returns Checked() with elision on: GC_same_obj checks that
+// provably cannot fire — constant-offset accesses within allocations of
+// statically known size, with the base variable live — are dropped. Every
+// check that can fire is kept, so detection power is unchanged.
+func CheckedElided() AnnotateOptions { return AnnotateOptions{Mode: ModeChecked, Elide: true} }
+
 // defaultRunner executes every package-level Annotate/Build/Run call on
 // the stage-graph pipeline (internal/pipeline) over a shared bounded
 // artifact cache, so repeated builds of the same source — or of

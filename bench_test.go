@@ -130,6 +130,23 @@ func BenchmarkTableHazards(b *testing.B) {
 	}
 }
 
+// BenchmarkTableElision regenerates the liveness-elision table: each
+// classic treatment next to its elided twin, as slowdowns over the
+// optimized baseline. The gawk checked cells must both read "<fails>" —
+// elision never drops a check that can fire.
+func BenchmarkTableElision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.ElisionTable(machine.SPARCstation10())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			reportTable(b, t)
+		}
+	}
+}
+
 // BenchmarkAblationCallVsAsm compares the two KEEP_LIVE implementations
 // (the paper's "terribly inefficient" opaque call vs. the empty asm).
 func BenchmarkAblationCallVsAsm(b *testing.B) {

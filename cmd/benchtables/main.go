@@ -45,6 +45,12 @@ func main() {
 	}
 	fmt.Println(t)
 
+	t, err = bench.ElisionTable(machine.SPARCstation10())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(t)
+
 	if !*ablations {
 		return
 	}

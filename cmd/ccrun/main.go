@@ -14,6 +14,9 @@
 //	-temporal          run the annotator in temporal mode and arm the
 //	                   allocation-epoch checker (use-after-free, double
 //	                   free and recycled-address reads become violations)
+//	-elide             drop annotations the pipeline's liveness analysis
+//	                   proves redundant (KEEP_LIVEs whose base is visibly
+//	                   live; in -check mode, provably in-bounds checks)
 //	-threads n         execute on the concurrent-mutator simulation with
 //	                   n deterministic threads (main + thread1..threadN-1)
 //	-sched-seed n      interleaving schedule seed (0 = fixed default)
@@ -64,6 +67,7 @@ func main() {
 		optimize  = flag.Bool("O", true, "optimize")
 		safe      = flag.Bool("safe", false, "annotate for GC-safety")
 		check     = flag.Bool("check", false, "annotate for pointer-arithmetic checking")
+		elide     = flag.Bool("elide", false, "elide annotations the liveness analysis proves redundant")
 		temporal  = flag.Bool("temporal", false, "annotate in temporal mode and arm the epoch checker")
 		threads   = flag.Int("threads", 0, "concurrent-mutator thread count (0 or 1 = single-thread)")
 		schedSeed = flag.Uint64("sched-seed", 0, "interleaving schedule seed (0 = default)")
@@ -145,6 +149,7 @@ func main() {
 	} else if *check {
 		p.AnnotateOptions = gcsafety.Checked()
 	}
+	p.AnnotateOptions.Elide = *elide
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -239,5 +244,9 @@ func printStageReport(rep *gcsafety.BuildReport) {
 			disposition = "cached"
 		}
 		fmt.Fprintf(os.Stderr, "  %-10s %-9s %9.3f ms\n", st.Stage, disposition, st.DurationMs)
+	}
+	if e := rep.Elision; e != nil {
+		fmt.Fprintf(os.Stderr, "ccrun: elision: %d considered, %d elided (%d live, %d bounds), %d kept\n",
+			e.Considered, e.Elided, e.ElidedLive, e.ElidedBounds, e.Kept)
 	}
 }

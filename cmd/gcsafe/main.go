@@ -19,6 +19,9 @@
 //	-no-opt1           disable copy suppression (paper optimization 1)
 //	-no-opt2           disable the specialized ++/-- expansion (optimization 2)
 //	-base-heuristic    enable the slowly-varying-base substitution (optimization 3)
+//	-elide             drop annotations the liveness analysis proves
+//	                   redundant (in check mode only provably in-bounds
+//	                   checks, so detection power is unchanged)
 //	-stats             print annotation statistics to stderr
 package main
 
@@ -42,6 +45,7 @@ func main() {
 		heuristic = flag.Bool("base-heuristic", false, "enable the base-pointer heuristic")
 		callsite  = flag.Bool("call-site-gc", false, "assume collections only at call sites (optimization 4)")
 		strict    = flag.Bool("strict-casts", false, "warn on structure-pointer casts that change pointer layout")
+		elide     = flag.Bool("elide", false, "elide annotations the liveness analysis proves redundant")
 		stats     = flag.Bool("stats", false, "print annotation statistics")
 	)
 	flag.Parse()
@@ -52,6 +56,7 @@ func main() {
 		BaseHeuristic:      *heuristic,
 		CallSiteOnly:       *callsite,
 		StrictCastWarnings: *strict,
+		Elide:              *elide,
 	}
 	switch *mode {
 	case "safe":
@@ -102,6 +107,10 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "gcsafe: %d annotations inserted, %d suppressed (optimization 1), %d temporaries\n",
 			res.Inserted, res.Suppressed, res.Temps)
+		if *elide {
+			fmt.Fprintf(os.Stderr, "gcsafe: %d elided by liveness (%d live, %d bounds) of %d considered\n",
+				res.Elided, res.ElidedLive, res.ElidedBounds, res.Considered)
+		}
 	}
 
 	w := os.Stdout

@@ -37,6 +37,11 @@ type Treatment struct {
 	// SchedSeed selects the interleaving of a concurrent cell
 	// (0 = the interpreter's fixed default schedule).
 	SchedSeed uint64
+	// Elide turns on the liveness-based elision analysis: KEEP_LIVE
+	// annotations (and, in checked mode, provably in-bounds GC_same_obj
+	// checks) that the pipeline's Liveness stage proves redundant are
+	// dropped before codegen.
+	Elide bool
 	// Gcsafe overrides the default annotator options (ablations).
 	Gcsafe *gcsafe.Options
 }
@@ -48,6 +53,17 @@ var (
 	Debug        = Treatment{Name: "-g"}
 	DebugChecked = Treatment{Name: "-g, checked", Annotate: true, Checked: true}
 	OptSafePost  = Treatment{Name: "-O, safe+post", Optimize: true, Annotate: true, Post: true}
+)
+
+// Treatments of the liveness-elision axis (the elision table).
+var (
+	// OptSafeElided is the safe production build with redundant KEEP_LIVE
+	// annotations elided by the liveness analysis.
+	OptSafeElided = Treatment{Name: "-O, safe-elided", Optimize: true, Annotate: true, Elide: true}
+	// DebugCheckedElided is the checked debugging build with provably
+	// in-bounds GC_same_obj checks elided; every check that can fire is
+	// kept, so its detection power matches -g, checked exactly.
+	DebugCheckedElided = Treatment{Name: "-g, checked-elided", Annotate: true, Checked: true, Elide: true}
 )
 
 // Treatments of the temporal/concurrency extension (the hazard table).
@@ -144,6 +160,10 @@ func cellKey(w workloads.Workload, tr Treatment, cfg machine.Config) artifact.Ke
 			Int(int64(tr.Threads)).
 			Int(int64(tr.SchedSeed))
 	}
+	// Elide likewise folds in only when set.
+	if tr.Elide {
+		k = k.Bool(true)
+	}
 	return k.Sum()
 }
 
@@ -178,6 +198,9 @@ func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measu
 		opts.Mode = gcsafe.ModeTemporal
 	} else if tr.Checked {
 		opts.Mode = gcsafe.ModeChecked
+	}
+	if tr.Elide {
+		opts.Elide = true
 	}
 	b, err := pipe.Build(context.Background(), w.Name+".c", w.Source, pipeline.Options{
 		Annotate:        tr.Annotate,
@@ -426,6 +449,63 @@ func PostprocessorTable(cfg machine.Config) (*Table, error) {
 				{Pct: pct(uint64(post.Size), uint64(base.Size))},
 			},
 		})
+	}
+	return t, nil
+}
+
+// elisionTreatments is the cell set of the elision table: the optimized
+// baseline, each classic treatment, and its elided twin.
+func elisionTreatments(w workloads.Workload) []Treatment {
+	if w.DebugUnavailable {
+		return []Treatment{Opt, OptSafe, OptSafeElided}
+	}
+	return []Treatment{Opt, OptSafe, OptSafeElided, DebugChecked, DebugCheckedElided}
+}
+
+// ElisionTable measures the liveness-elision treatment columns against
+// their classic twins: slowdowns relative to the unpreprocessed optimized
+// build, with and without the Liveness stage's elision. A "<fails>" cell in
+// a checked column is gawk's intentional out-of-object arithmetic being
+// caught — it must appear in *both* checked columns, since elision only
+// drops checks that provably cannot fire.
+func ElisionTable(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Liveness-based elision (" + cfg.Name + "):",
+		Columns: []string{"-O, safe", "-O, safe-elided", "-g, checked", "-g, checked-elided"},
+	}
+	if err := prefetch(cfg, elisionTreatments); err != nil {
+		return nil, err
+	}
+	for _, w := range workloads.All() {
+		base, err := Measure(w, Opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Workload: w.Name}
+		for _, tr := range []Treatment{OptSafe, OptSafeElided} {
+			m, err := Measure(w, tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, Cell{Pct: pct(m.Cycles, base.Cycles)})
+		}
+		if w.DebugUnavailable {
+			row.Cells = append(row.Cells, Cell{Unavail: true}, Cell{Unavail: true})
+			t.Rows = append(t.Rows, row)
+			continue
+		}
+		for _, tr := range []Treatment{DebugChecked, DebugCheckedElided} {
+			m, err := Measure(w, tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if m.CheckFailed {
+				row.Cells = append(row.Cells, Cell{Fails: true})
+				continue
+			}
+			row.Cells = append(row.Cells, Cell{Pct: pct(m.Cycles, base.Cycles)})
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -86,11 +86,13 @@ const (
 	// internal/pipeline, before the stage's real work: error fails the
 	// build at exactly that stage boundary (never corrupting a cached
 	// artifact — stage errors are not cached), sleep delays it. One point
-	// per stage of the Lex → Parse → Typecheck → Annotate → Codegen →
-	// Optimize → Peephole graph.
+	// per stage of the Lex → Parse → Typecheck → Liveness → Annotate →
+	// Codegen → Optimize → Peephole graph (Liveness only runs for elided
+	// treatments).
 	PointPipelineLex       = "pipeline.lex"
 	PointPipelineParse     = "pipeline.parse"
 	PointPipelineTypecheck = "pipeline.typecheck"
+	PointPipelineLiveness  = "pipeline.liveness"
 	PointPipelineAnnotate  = "pipeline.annotate"
 	PointPipelineCodegen   = "pipeline.codegen"
 	PointPipelineOptimize  = "pipeline.optimize"

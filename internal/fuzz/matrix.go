@@ -70,6 +70,11 @@ type Treatment struct {
 	Threads int
 	// SchedSeed seeds the interleaving schedule for concurrent treatments.
 	SchedSeed uint64
+	// Elide runs the annotator with the liveness-based elision analysis
+	// on. Elided treatments are paired with their unelided twins in the
+	// matrix: both must reproduce the model, so any elision that changes
+	// behavior — or drops a check that should fire — is a violation.
+	Elide bool
 }
 
 // defaultSchedSeed is the fixed interleaving seed of the standard
@@ -93,6 +98,9 @@ func (t Treatment) Name() string {
 	}
 	if t.Annotate != AnnotateNone {
 		b.WriteString(" " + t.Annotate.String())
+	}
+	if t.Elide {
+		b.WriteString(" elided")
 	}
 	if t.Post {
 		b.WriteString(" post")
@@ -241,7 +249,9 @@ func (m *MatrixResult) RaceDetections() int {
 // debuggable and adversarial on the first machine) and the concurrent-
 // mutator treatments on the first machine (safe/checked/temporal annotated,
 // and the unannotated optimized build, which is expected to fail when a
-// generated worker races a collection).
+// generated worker races a collection) — plus, on the first machine, the
+// liveness-elision twins of the safe and checked cells under both the
+// benign and adversarial regimes.
 func Treatments(opt MatrixOptions) []Treatment {
 	machines := opt.Machines
 	if len(machines) == 0 {
@@ -268,6 +278,23 @@ func Treatments(opt MatrixOptions) []Treatment {
 		ts = append(ts,
 			Treatment{Machine: machines[0], Annotate: AnnotateNone, Adversarial: true},
 			Treatment{Machine: machines[0], Annotate: AnnotateChecked, Optimize: true, Adversarial: true},
+		)
+	}
+	// Elided treatments (first machine): each is the elision twin of a
+	// benign or adversarial cell above, so the matrix differentially tests
+	// that elision preserves behavior — both twins must reproduce the
+	// model, and the elided checked builds must catch everything the
+	// unelided ones do.
+	ts = append(ts,
+		Treatment{Machine: machines[0], Annotate: AnnotateSafe, Optimize: true, Elide: true},
+		Treatment{Machine: machines[0], Annotate: AnnotateSafe, Optimize: true, Post: true, Elide: true},
+		Treatment{Machine: machines[0], Annotate: AnnotateChecked, Elide: true},
+		Treatment{Machine: machines[0], Annotate: AnnotateChecked, Optimize: true, Elide: true},
+	)
+	if !opt.SkipAdversarial {
+		ts = append(ts,
+			Treatment{Machine: machines[0], Annotate: AnnotateSafe, Optimize: true, Adversarial: true, Elide: true},
+			Treatment{Machine: machines[0], Annotate: AnnotateChecked, Optimize: true, Adversarial: true, Elide: true},
 		)
 	}
 	// Temporal-mode treatments: the optimized build on every machine, plus
@@ -329,6 +356,7 @@ func runTreatment(ctx context.Context, runner *pipeline.Runner, p *Program, t Tr
 	case AnnotateTemporal:
 		opts.Mode = gcsafe.ModeTemporal
 	}
+	opts.Elide = t.Elide
 	bctx := ctx
 	if faults != nil {
 		bctx = faultinject.WithContext(ctx, faults)

@@ -10,10 +10,12 @@ func TestTreatmentsCrossProduct(t *testing.T) {
 	ts := Treatments(MatrixOptions{})
 	// 3 machines x 3 annotations x 2 opt x 2 post benign cells, plus
 	// 3 adversarial runs per machine and 2 on the first machine; the
-	// temporal mode adds an optimized cell per machine and a debug cell on
-	// the first; the concurrent-mutator mode adds 5 benign multi-thread
-	// cells and 3 adversarial cells (temporal, safe-mt, none-mt).
-	want := 3*3*2*2 + 3*3 + 2 + (3 + 1) + 5 + 3
+	// elision axis adds 4 benign and 2 adversarial twins on the first
+	// machine; the temporal mode adds an optimized cell per machine and a
+	// debug cell on the first; the concurrent-mutator mode adds 5 benign
+	// multi-thread cells and 3 adversarial cells (temporal, safe-mt,
+	// none-mt).
+	want := 3*3*2*2 + 3*3 + 2 + (4 + 2) + (3 + 1) + 5 + 3
 	if len(ts) != want {
 		t.Fatalf("Treatments() = %d cells, want %d", len(ts), want)
 	}
@@ -35,7 +37,7 @@ func TestTreatmentsCrossProduct(t *testing.T) {
 
 func TestTreatmentsSingleMachine(t *testing.T) {
 	ts := Treatments(MatrixOptions{Machines: []machine.Config{machine.SPARCstation10()}})
-	if want := 3*2*2 + 3 + 2 + (1 + 1) + 5 + 3; len(ts) != want {
+	if want := 3*2*2 + 3 + 2 + (4 + 2) + (1 + 1) + 5 + 3; len(ts) != want {
 		t.Fatalf("single-machine Treatments() = %d cells, want %d", len(ts), want)
 	}
 	benign := Treatments(MatrixOptions{SkipAdversarial: true})

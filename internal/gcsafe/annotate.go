@@ -362,6 +362,9 @@ func (an *annotator) wrapAccessAddr(s *slot) {
 	if b.nilBase() {
 		return
 	}
+	if an.elide(b, e.Pos().Off, e.End()) {
+		return
+	}
 	origPos, origEnd := e.Pos(), e.End()
 	baseObj := an.materializeBase(b)
 	amp := &ast.Unary{Op: token.Amp, X: e, OpPos: origPos}
@@ -439,6 +442,9 @@ func (an *annotator) wrapSlot(s *slot) {
 	b := an.baseOf(s)
 	if b.nilBase() {
 		// Definitely not a heap pointer: annotation would be dead weight.
+		return
+	}
+	if e := s.get(); an.elide(b, e.Pos().Off, e.End()) {
 		return
 	}
 	baseObj := an.materializeBase(b)

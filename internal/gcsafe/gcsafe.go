@@ -31,6 +31,7 @@ import (
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/cc/token"
 	"gcsafety/internal/cc/types"
+	"gcsafety/internal/liveness"
 	"gcsafety/internal/rewrite"
 )
 
@@ -115,7 +116,15 @@ type Options struct {
 	// the check the paper says its preprocessor "could and should also
 	// issue warnings" for.
 	StrictCastWarnings bool
-	Style              EmitStyle
+	// Elide consults the internal/liveness analysis to drop provably
+	// redundant annotations: in safe mode, KEEP_LIVE whose base variable
+	// is strongly live across the expression anyway; in checked mode,
+	// GC_same_obj whose pointer arithmetic is provably in-bounds of a
+	// known allocation (and whose base is live, since the call doubles as
+	// the rooting point). ModeTemporal ignores Elide: an in-bounds access
+	// through a stale pointer is exactly what the epoch check must catch.
+	Elide bool
+	Style EmitStyle
 }
 
 // Warning is a source-checking diagnostic (the paper's "our preprocessor
@@ -146,15 +155,41 @@ type Result struct {
 	Suppressed int
 	// Temps counts compiler-introduced temporaries.
 	Temps int
+	// Considered counts sites where Options.Elide evaluated the liveness
+	// facts (a named base existed and the mode permits elision).
+	Considered int
+	// Elided counts annotations dropped by the elision analysis; it is
+	// split by reason into ElidedLive (safe mode: base strongly live) and
+	// ElidedBounds (checked mode: provably in-bounds and base live).
+	Elided       int
+	ElidedLive   int
+	ElidedBounds int
 }
 
 // Annotate applies the GC-safety (or checking) transformation to file,
-// mutating its AST and producing rewritten source text.
+// mutating its AST and producing rewritten source text. Under
+// Options.Elide the liveness facts are computed on the spot; the pipeline
+// instead passes its cached StageLiveness artifact through
+// AnnotateWithFacts (the analysis is deterministic, so both paths produce
+// identical results).
 func Annotate(file *ast.File, opts Options) (*Result, error) {
+	var facts *liveness.Facts
+	if opts.Elide {
+		facts = liveness.Analyze(file)
+	}
+	return AnnotateWithFacts(file, opts, facts)
+}
+
+// AnnotateWithFacts is Annotate with a precomputed liveness artifact. The
+// facts must describe this file (positions and object Name/Seq pairs are
+// how they are consulted, so a deep clone of the analyzed tree is fine).
+// A nil facts value disables elision regardless of Options.Elide.
+func AnnotateWithFacts(file *ast.File, opts Options, facts *liveness.Facts) (*Result, error) {
 	an := &annotator{
-		file: file,
-		opts: opts,
-		res:  &Result{File: file},
+		file:  file,
+		opts:  opts,
+		facts: facts,
+		res:   &Result{File: file},
 	}
 	for _, d := range file.Decls {
 		switch d := d.(type) {
@@ -208,6 +243,37 @@ type annotator struct {
 	// at statement level, which loses the node's ability to describe its
 	// own byte range).
 	forcedSpan *[2]int
+	// facts is the liveness/extent analysis consulted under Options.Elide
+	// (nil disables elision).
+	facts *liveness.Facts
+}
+
+// elide reports whether the annotation about to be inserted for the
+// expression spanning [pos, end) with base b is provably redundant.
+// Elision applies only to named bases (a generating base needs its
+// temporary regardless) and never inside structural rewrites or under
+// ModeTemporal.
+func (an *annotator) elide(b baseInfo, pos, end int) bool {
+	if an.facts == nil || !an.opts.Elide || an.silent > 0 || b.obj == nil ||
+		an.opts.Mode == ModeTemporal || an.fn == nil {
+		return false
+	}
+	an.res.Considered++
+	fn := an.fn.Obj.Name
+	if !an.facts.BaseLive(fn, pos, liveness.ObjID(b.obj)) {
+		return false
+	}
+	if an.opts.Mode == ModeChecked {
+		if !an.facts.InBounds(fn, pos, end) {
+			return false
+		}
+		an.res.Elided++
+		an.res.ElidedBounds++
+		return true
+	}
+	an.res.Elided++
+	an.res.ElidedLive++
+	return true
 }
 
 func (an *annotator) warnf(pos token.Pos, format string, args ...any) {

@@ -1,0 +1,1050 @@
+// Package liveness implements the intraprocedural analysis behind the
+// elided treatments (-Osafe-elided / -gchecked-elided): a conservative,
+// per-function computation of where a KEEP_LIVE or GC_same_obj annotation
+// is provably redundant, so the annotator may drop it without weakening
+// GC-safety or checking.
+//
+// Two fact families are produced, both keyed by source position so they
+// survive the pipeline's AST cloning (the Annotate stage deep-clones the
+// checked tree before mutating it; positions and object Name/Seq pairs are
+// preserved by ast.File.Clone):
+//
+//   - Base liveness (drops KEEP_LIVE in safe mode): KEEP_LIVE(e, b) exists
+//     to keep the object reachable through b while e's disguised value is
+//     in flight. If b is a named, address-untaken local or parameter that
+//     is not assigned anywhere in the enclosing annotation unit and whose
+//     value is *strongly* live after the unit, then b (or a copy of its
+//     value) necessarily occupies a scanned register or stack slot across
+//     the whole window, the object is rooted regardless, and the
+//     annotation is a no-op. Strong liveness — the faint-variable-free
+//     variant — seeds only at uses the optimizer can never eliminate
+//     (call arguments, returned values, branch conditions, operands of
+//     memory stores) and propagates backward through copies, so it
+//     under-approximates any liveness the code generator's dead-code
+//     elimination could compute: a fact here can never be invalidated
+//     downstream. This is the lattice of Khedker et al.'s heap liveness
+//     collapsed to the paper's single-base abstraction: per program point,
+//     a set of base variables whose heap referent is explicitly live.
+//
+//   - In-bounds extents (drops GC_same_obj in checked mode): a forward
+//     walk tracks pointers that provably hold the base of an allocation
+//     of statically known byte size (p = GC_malloc(const), and copies of
+//     such pointers), killing facts at reassignment and conservatively at
+//     control-flow joins, loop back-edges and switch fallthrough. A
+//     pointer-arithmetic or member/subscript access whose constant offset
+//     lands within [0, size] — one past the end included, exactly the
+//     range GC_same_obj accepts — can never fire the check, so eliding it
+//     preserves every detectable violation. Checked-mode elision
+//     additionally requires the base-liveness fact, because the
+//     GC_same_obj call doubles as the KEEP_LIVE rooting point.
+//
+// Temporal mode never consults these facts: an in-bounds access through a
+// stale pointer is precisely what the epoch check must still catch.
+package liveness
+
+import (
+	"fmt"
+	"sort"
+
+	"gcsafety/internal/cc/ast"
+	"gcsafety/internal/cc/token"
+	"gcsafety/internal/cc/types"
+)
+
+// Facts is the artifact produced by Analyze: the StageLiveness output the
+// annotator consults. Facts are immutable after Analyze returns and safe
+// for concurrent readers.
+type Facts struct {
+	fns map[string]*fnFacts
+}
+
+type fnFacts struct {
+	// units are the function's annotation units (statement-level
+	// expressions: expression statements, initializers, conditions, loop
+	// posts, return values), sorted by start offset. Units never overlap.
+	units []unitFact
+	// bounds records, per candidate expression span, whether the access
+	// is provably in-bounds.
+	bounds map[[2]int]bool
+}
+
+// unitFact is one annotation unit's analysis outcome.
+type unitFact struct {
+	pos, end int
+	// live holds the IDs of eligible base variables strongly live after
+	// the unit completes.
+	live set
+	// assigned holds the IDs of every object assigned (or ++/--'d)
+	// anywhere within the unit.
+	assigned set
+}
+
+// ObjID names an object the way facts are keyed: Name plus the Seq that
+// disambiguates shadowed declarations within one function. Both fields
+// survive ast.File.Clone, so IDs computed on the checked tree resolve
+// against the annotator's clone.
+func ObjID(o *ast.Object) string {
+	return fmt.Sprintf("%s#%d", o.Name, o.Seq)
+}
+
+// BaseLive reports whether the base variable id is strongly live across
+// the annotation unit containing source offset off in function fn — the
+// safe-mode elision condition.
+func (f *Facts) BaseLive(fn string, off int, id string) bool {
+	u := f.unitAt(fn, off)
+	return u != nil && u.live[id] && !u.assigned[id]
+}
+
+// InBounds reports whether the expression spanning [pos, end) in function
+// fn is provably in-bounds — the checked-mode elision condition (together
+// with BaseLive).
+func (f *Facts) InBounds(fn string, pos, end int) bool {
+	ff := f.fns[fn]
+	return ff != nil && ff.bounds[[2]int{pos, end}]
+}
+
+func (f *Facts) unitAt(fn string, off int) *unitFact {
+	ff := f.fns[fn]
+	if ff == nil {
+		return nil
+	}
+	i := sort.Search(len(ff.units), func(i int) bool { return ff.units[i].pos > off }) - 1
+	if i < 0 || off >= ff.units[i].end {
+		return nil
+	}
+	return &ff.units[i]
+}
+
+// Units counts the annotation units analyzed, summed over functions (a
+// cheap size signal for cache accounting and reports).
+func (f *Facts) Units() int {
+	n := 0
+	for _, ff := range f.fns {
+		n += len(ff.units)
+	}
+	return n
+}
+
+// Analyze runs both analyses over every function definition in file. The
+// walk only reads the tree; it never mutates nodes or objects, so it is
+// safe to run on the shared Typecheck artifact.
+func Analyze(file *ast.File) *Facts {
+	f := &Facts{fns: map[string]*fnFacts{}}
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		a := &fnAnalysis{units: map[int]*unitFact{}, bounds: map[[2]int]bool{}}
+		a.stmt(fd.Body, set{})
+		a.fwdStmt(fd.Body, map[string]int64{})
+		ff := &fnFacts{bounds: a.bounds}
+		for _, u := range a.units {
+			ff.units = append(ff.units, *u)
+		}
+		sort.Slice(ff.units, func(i, j int) bool { return ff.units[i].pos < ff.units[j].pos })
+		f.fns[fd.Obj.Name] = ff
+	}
+	return f
+}
+
+// eligible reports whether an object can carry elision facts: a named
+// local or parameter pointer whose address is never taken. Globals and
+// statics can be rewritten by callees (or other threads); address-taken
+// locals can be rewritten through the pointer; temporaries are synthesized
+// after this analysis runs.
+func eligible(o *ast.Object) bool {
+	if o == nil || o.Global || o.AddrTaken {
+		return false
+	}
+	if o.Kind != ast.ObjVar && o.Kind != ast.ObjParam {
+		return false
+	}
+	if o.Storage != ast.Auto && o.Storage != ast.Register {
+		return false
+	}
+	return o.IsPointerVar()
+}
+
+// set is a strong-liveness variable set. Sets are treated as immutable
+// values: every mutation copies. The analysis runs once per build and is
+// cached as a pipeline stage, so clarity wins over allocation thrift.
+type set map[string]bool
+
+func (s set) clone() set {
+	out := make(set, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s set) with(id string) set {
+	if s[id] {
+		return s
+	}
+	out := s.clone()
+	out[id] = true
+	return out
+}
+
+func (s set) without(id string) set {
+	if !s[id] {
+		return s
+	}
+	out := s.clone()
+	delete(out, id)
+	return out
+}
+
+func union(a, b set) set {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equalSets(a, b set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// fnAnalysis carries one function's traversal state.
+type fnAnalysis struct {
+	units  map[int]*unitFact // keyed by start offset
+	bounds map[[2]int]bool
+	// brks / conts are the live-set stacks for break and continue
+	// targets. Loops push both; switches push brks only.
+	brks  []set
+	conts []set
+}
+
+// ---- Backward strong-liveness pass ----
+
+// stmt computes the strongly-live set before s, given the set after it.
+func (a *fnAnalysis) stmt(s ast.Stmt, out set) set {
+	switch s := s.(type) {
+	case nil:
+		return out
+	case *ast.ExprStmt:
+		return a.unit(s.X, out, false)
+	case *ast.DeclStmt:
+		cur := out
+		for i := len(s.Decls) - 1; i >= 0; i-- {
+			d := s.Decls[i]
+			needed := eligible(d.Obj) && cur[ObjID(d.Obj)]
+			cur = cur.without(ObjID(d.Obj))
+			for j := len(d.InitList) - 1; j >= 0; j-- {
+				cur = a.unit(d.InitList[j], cur, needed)
+			}
+			if d.Init != nil {
+				cur = a.unit(d.Init, cur, needed)
+			}
+		}
+		return cur
+	case *ast.Block:
+		for i := len(s.Stmts) - 1; i >= 0; i-- {
+			out = a.stmt(s.Stmts[i], out)
+		}
+		return out
+	case *ast.If:
+		thenIn := a.stmt(s.Then, out)
+		elseIn := out
+		if s.Else != nil {
+			elseIn = a.stmt(s.Else, out)
+		}
+		return a.unit(s.Cond, union(thenIn, elseIn), true)
+	case *ast.While:
+		condIn := set{}
+		for {
+			a.pushLoop(out, condIn)
+			bodyIn := a.stmt(s.Body, condIn)
+			a.popLoop()
+			next := a.unit(s.Cond, union(bodyIn, out), true)
+			if equalSets(next, condIn) {
+				return next
+			}
+			condIn = next
+		}
+	case *ast.DoWhile:
+		bodyIn := set{}
+		for {
+			condIn := a.unit(s.Cond, union(bodyIn, out), true)
+			a.pushLoop(out, condIn)
+			next := a.stmt(s.Body, condIn)
+			a.popLoop()
+			if equalSets(next, bodyIn) {
+				return next
+			}
+			bodyIn = next
+		}
+	case *ast.For:
+		condIn := set{}
+		var in set
+		for {
+			postIn := condIn
+			if s.Post != nil {
+				postIn = a.unit(s.Post, condIn, false)
+			}
+			a.pushLoop(out, postIn)
+			bodyIn := a.stmt(s.Body, postIn)
+			a.popLoop()
+			var next set
+			if s.Cond != nil {
+				next = a.unit(s.Cond, union(bodyIn, out), true)
+			} else {
+				// No condition: the loop head flows straight into the
+				// body; the only exit is break.
+				next = bodyIn
+			}
+			if equalSets(next, condIn) {
+				in = next
+				break
+			}
+			condIn = next
+		}
+		if s.Init != nil {
+			in = a.stmt(s.Init, in)
+		}
+		return in
+	case *ast.Return:
+		if s.X != nil {
+			return a.unit(s.X, set{}, true)
+		}
+		return set{}
+	case *ast.Break:
+		return a.brks[len(a.brks)-1].clone()
+	case *ast.Continue:
+		return a.conts[len(a.conts)-1].clone()
+	case *ast.Switch:
+		nextIn := out // fallthrough target past the last case
+		caseIns := make([]set, 0, len(s.Cases))
+		hasDefault := false
+		for i := len(s.Cases) - 1; i >= 0; i-- {
+			c := s.Cases[i]
+			if c.Vals == nil {
+				hasDefault = true
+			}
+			a.brks = append(a.brks, out)
+			caseIn := nextIn
+			for j := len(c.Stmts) - 1; j >= 0; j-- {
+				caseIn = a.stmt(c.Stmts[j], caseIn)
+			}
+			a.brks = a.brks[:len(a.brks)-1]
+			caseIns = append(caseIns, caseIn)
+			nextIn = caseIn
+		}
+		afterX := set{}
+		if !hasDefault {
+			afterX = out.clone()
+		}
+		for _, ci := range caseIns {
+			afterX = union(afterX, ci)
+		}
+		return a.unit(s.X, afterX, true)
+	case *ast.Empty:
+		return out
+	}
+	return out
+}
+
+func (a *fnAnalysis) pushLoop(brk, cont set) {
+	a.brks = append(a.brks, brk)
+	a.conts = append(a.conts, cont)
+}
+
+func (a *fnAnalysis) popLoop() {
+	a.brks = a.brks[:len(a.brks)-1]
+	a.conts = a.conts[:len(a.conts)-1]
+}
+
+// unit records the fact for one annotation unit — the live-after set and
+// the assigned-within set — and returns the strongly-live set before it.
+// Loop fixpoints re-record the same unit until stable; the last (stable)
+// values win.
+func (a *fnAnalysis) unit(e ast.Expr, out set, needed bool) set {
+	if e == nil {
+		return out
+	}
+	pos := e.Pos().Off
+	u := a.units[pos]
+	if u == nil {
+		u = &unitFact{pos: pos}
+		a.units[pos] = u
+	}
+	u.end = e.End()
+	u.live = out.clone()
+	u.assigned = assignedIn(e)
+	return a.expr(e, out, needed)
+}
+
+// expr computes strong liveness backward through one expression. needed
+// reports whether the expression's value reaches an effect the optimizer
+// cannot remove; only needed reads of eligible variables generate
+// liveness.
+func (a *fnAnalysis) expr(e ast.Expr, live set, needed bool) set {
+	switch e := e.(type) {
+	case nil:
+		return live
+	case *ast.Ident:
+		if needed && eligible(e.Obj) {
+			return live.with(ObjID(e.Obj))
+		}
+		return live
+	case *ast.IntLit, *ast.CharLit, *ast.StrLit, *ast.SizeofType, *ast.SizeofExpr:
+		return live
+	case *ast.Paren:
+		return a.expr(e.X, live, needed)
+	case *ast.Cast:
+		return a.expr(e.X, live, needed)
+	case *ast.Assign:
+		if id, ok := ast.Unparen(e.L).(*ast.Ident); ok {
+			// Stores to ineligible targets (globals, statics, address-
+			// taken locals) are memory effects: callees or aliases may
+			// read them, so the stored value is always needed.
+			rneeded := needed || !eligible(id.Obj) || live[ObjID(id.Obj)]
+			live = live.without(ObjID(id.Obj))
+			live = a.expr(e.R, live, rneeded)
+			if e.Op != token.Assign && rneeded && eligible(id.Obj) {
+				live = live.with(ObjID(id.Obj)) // compound ops read x too
+			}
+			return live
+		}
+		// Store through memory: the value and the address are both needed.
+		live = a.expr(e.R, live, true)
+		return a.addr(e.L, live, true)
+	case *ast.Unary:
+		switch e.Op {
+		case token.Inc, token.Dec:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				used := needed || !eligible(id.Obj) || live[ObjID(id.Obj)]
+				live = live.without(ObjID(id.Obj))
+				if used && eligible(id.Obj) {
+					live = live.with(ObjID(id.Obj))
+				}
+				return live
+			}
+			return a.addr(e.X, live, true) // memory read-modify-write
+		case token.Amp:
+			return a.addr(e.X, live, needed)
+		default: // Star, Plus, Minus, Tilde, Not
+			return a.expr(e.X, live, needed)
+		}
+	case *ast.Binary:
+		nx := needed
+		if e.Op == token.AndAnd || e.Op == token.OrOr {
+			// The left side gates the right side's effects.
+			nx = needed || hasEffects(e.Y)
+		}
+		live = a.expr(e.Y, live, needed)
+		return a.expr(e.X, live, nx)
+	case *ast.Cond:
+		tIn := a.expr(e.T, live, needed)
+		fIn := a.expr(e.F, live, needed)
+		cNeeded := needed || hasEffects(e.T) || hasEffects(e.F)
+		return a.expr(e.C, union(tIn, fIn), cNeeded)
+	case *ast.Call:
+		// A call is an effect: every argument escapes into the callee.
+		for i := len(e.Args) - 1; i >= 0; i-- {
+			live = a.expr(e.Args[i], live, true)
+		}
+		return a.expr(e.Fun, live, true)
+	case *ast.Comma:
+		live = a.expr(e.Y, live, needed)
+		return a.expr(e.X, live, false)
+	case *ast.Index:
+		live = a.expr(e.I, live, needed)
+		return a.expr(e.X, live, needed)
+	case *ast.Member:
+		return a.expr(e.X, live, needed)
+	case *ast.KeepLive:
+		return a.expr(e.X, live, needed)
+	}
+	return live
+}
+
+// addr traverses an lvalue used for its address. needed tells whether the
+// resulting address feeds an effect.
+func (a *fnAnalysis) addr(e ast.Expr, live set, needed bool) set {
+	switch e := e.(type) {
+	case nil:
+		return live
+	case *ast.Ident:
+		return live // the address of a named variable uses no value
+	case *ast.Paren:
+		return a.addr(e.X, live, needed)
+	case *ast.Unary:
+		if e.Op == token.Star {
+			return a.expr(e.X, live, needed)
+		}
+		return a.expr(e, live, needed)
+	case *ast.Index:
+		live = a.expr(e.I, live, needed)
+		return a.expr(e.X, live, needed)
+	case *ast.Member:
+		if e.Arrow {
+			return a.expr(e.X, live, needed)
+		}
+		return a.addr(e.X, live, needed)
+	default:
+		return a.expr(e, live, needed)
+	}
+}
+
+// hasEffects reports whether evaluating e can have a side effect (call,
+// assignment, increment/decrement) — the seeds strong liveness grows from.
+func hasEffects(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Expr) bool {
+		switch x := x.(type) {
+		case *ast.Call:
+			found = true
+		case *ast.Assign:
+			found = true
+		case *ast.Unary:
+			if x.Op == token.Inc || x.Op == token.Dec {
+				found = true
+			}
+		case *ast.SizeofExpr:
+			return false // operand unevaluated
+		}
+		return !found
+	})
+	return found
+}
+
+// assignedIn collects the IDs of every object assigned, ++/--'d, or
+// compound-assigned anywhere within e.
+func assignedIn(e ast.Expr) set {
+	out := set{}
+	ast.Inspect(e, func(x ast.Expr) bool {
+		switch x := x.(type) {
+		case *ast.Assign:
+			if id, ok := ast.Unparen(x.L).(*ast.Ident); ok && id.Obj != nil {
+				out[ObjID(id.Obj)] = true
+			}
+		case *ast.Unary:
+			if x.Op == token.Inc || x.Op == token.Dec {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Obj != nil {
+					out[ObjID(id.Obj)] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---- Forward in-bounds extent pass ----
+
+// fwdStmt walks statements in execution order threading ext, the map from
+// eligible pointer IDs to the byte extent of the allocation they provably
+// point to the base of. Every conservative choice deletes facts.
+func (a *fnAnalysis) fwdStmt(s ast.Stmt, ext map[string]int64) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		a.boundsUnit(s.X, ext)
+		applyUnit(s.X, ext)
+	case *ast.DeclStmt:
+		for _, d := range s.Decls {
+			for _, el := range d.InitList {
+				a.boundsUnit(el, ext)
+				applyUnit(el, ext)
+			}
+			if d.Init != nil {
+				a.boundsUnit(d.Init, ext)
+				applyUnit(d.Init, ext)
+			}
+			id := ObjID(d.Obj)
+			delete(ext, id)
+			if d.Init != nil && eligible(d.Obj) {
+				if n, ok := allocSize(d.Init); ok {
+					ext[id] = n
+				} else if src, ok := copySource(d.Init); ok {
+					if n, ok := ext[ObjID(src)]; ok {
+						ext[id] = n
+					}
+				}
+			}
+		}
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			a.fwdStmt(st, ext)
+		}
+	case *ast.If:
+		a.boundsUnit(s.Cond, ext)
+		applyUnit(s.Cond, ext)
+		thenExt := copyExt(ext)
+		a.fwdStmt(s.Then, thenExt)
+		if s.Else != nil {
+			elseExt := copyExt(ext)
+			a.fwdStmt(s.Else, elseExt)
+		}
+		killAssigned(ext, s.Then)
+		killAssigned(ext, s.Else)
+	case *ast.While:
+		// The condition and body re-execute: facts for anything the loop
+		// assigns are stale on the back edge, so kill them up front.
+		killAssigned(ext, s.Cond)
+		killAssigned(ext, s.Body)
+		a.boundsUnit(s.Cond, ext)
+		inner := copyExt(ext)
+		applyUnit(s.Cond, inner)
+		a.fwdStmt(s.Body, inner)
+	case *ast.DoWhile:
+		killAssigned(ext, s.Body)
+		killAssigned(ext, s.Cond)
+		inner := copyExt(ext)
+		a.fwdStmt(s.Body, inner)
+		a.boundsUnit(s.Cond, inner)
+	case *ast.For:
+		if s.Init != nil {
+			a.fwdStmt(s.Init, ext)
+		}
+		killAssigned(ext, s.Cond)
+		killAssigned(ext, s.Post)
+		killAssigned(ext, s.Body)
+		if s.Cond != nil {
+			a.boundsUnit(s.Cond, ext)
+		}
+		inner := copyExt(ext)
+		if s.Cond != nil {
+			applyUnit(s.Cond, inner)
+		}
+		a.fwdStmt(s.Body, inner)
+		if s.Post != nil {
+			// continue jumps straight to the post expression, skipping
+			// any body-local facts; analyze it against the pre-body state
+			// (loop-assigned facts are already killed there).
+			postExt := copyExt(ext)
+			if s.Cond != nil {
+				applyUnit(s.Cond, postExt)
+			}
+			a.boundsUnit(s.Post, postExt)
+		}
+	case *ast.Return:
+		if s.X != nil {
+			a.boundsUnit(s.X, ext)
+		}
+	case *ast.Switch:
+		a.boundsUnit(s.X, ext)
+		applyUnit(s.X, ext)
+		// Fallthrough lets one case enter mid-chain after another ran, so
+		// facts touched anywhere in the switch are unreliable in every
+		// case body.
+		for _, c := range s.Cases {
+			for _, st := range c.Stmts {
+				killAssigned(ext, st)
+			}
+		}
+		for _, c := range s.Cases {
+			inner := copyExt(ext)
+			for _, st := range c.Stmts {
+				a.fwdStmt(st, inner)
+			}
+		}
+	case *ast.Break, *ast.Continue, *ast.Empty:
+	}
+}
+
+func copyExt(ext map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(ext))
+	for k, v := range ext {
+		out[k] = v
+	}
+	return out
+}
+
+// killAssigned deletes extent facts for every object assigned anywhere in
+// the statement or expression n (nil is allowed).
+func killAssigned(ext map[string]int64, n any) {
+	switch v := n.(type) {
+	case nil:
+		return
+	case ast.Expr:
+		if v == nil {
+			return
+		}
+	case ast.Stmt:
+		if v == nil {
+			return
+		}
+	}
+	ast.Inspect(n, func(x ast.Expr) bool {
+		switch x := x.(type) {
+		case *ast.Assign:
+			if id, ok := ast.Unparen(x.L).(*ast.Ident); ok && id.Obj != nil {
+				delete(ext, ObjID(id.Obj))
+			}
+		case *ast.Unary:
+			if x.Op == token.Inc || x.Op == token.Dec {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Obj != nil {
+					delete(ext, ObjID(id.Obj))
+				}
+			}
+		case *ast.Call:
+			killFreed(ext, x)
+		}
+		return true
+	})
+}
+
+// killFreed drops the extent of a pointer passed to free/GC_free/realloc:
+// the object may be retired or moved.
+func killFreed(ext map[string]int64, c *ast.Call) {
+	name := calleeName(c)
+	if name != "free" && name != "GC_free" && name != "realloc" {
+		return
+	}
+	if len(c.Args) > 0 {
+		if id, ok := stripConv(c.Args[0]).(*ast.Ident); ok && id.Obj != nil {
+			delete(ext, ObjID(id.Obj))
+		}
+	}
+}
+
+// boundsUnit records in-bounds facts for every candidate site in one
+// annotation unit, against the extents holding at its entry. Bases
+// assigned anywhere within the unit are skipped: evaluation order inside
+// one expression is not modeled.
+func (a *fnAnalysis) boundsUnit(e ast.Expr, ext map[string]int64) {
+	if e == nil {
+		return
+	}
+	asn := assignedIn(e)
+	ast.Inspect(e, func(x ast.Expr) bool {
+		if _, ok := x.(*ast.SizeofExpr); ok {
+			return false // unevaluated
+		}
+		if off, size, ok := constOffset(x, ext, asn); ok {
+			a.bounds[[2]int{x.Pos().Off, x.End()}] = off >= 0 && off <= size
+		}
+		return true
+	})
+}
+
+// constOffset resolves x as a constant-offset derivation from a pointer
+// with a known extent: p ± c, p[c], p->f, and dot/subscript chains hanging
+// off those. It returns the byte offset of the derived pointer and the
+// extent of the object.
+func constOffset(x ast.Expr, ext map[string]int64, asn set) (off, size int64, ok bool) {
+	switch x := x.(type) {
+	case *ast.Binary:
+		if x.Op != token.Plus && x.Op != token.Minus {
+			return 0, 0, false
+		}
+		ptr, other := x.X, x.Y
+		if !isPtrExpr(ptr) {
+			if x.Op == token.Minus || !isPtrExpr(other) {
+				return 0, 0, false
+			}
+			ptr, other = other, ptr
+		}
+		base, bok := baseExtent(ptr, ext, asn)
+		if !bok {
+			return 0, 0, false
+		}
+		c, cok := constEval(other)
+		if !cok {
+			return 0, 0, false
+		}
+		stride := pointeeSize(ptr)
+		if stride <= 0 {
+			return 0, 0, false
+		}
+		d := c * stride
+		if x.Op == token.Minus {
+			d = -d
+		}
+		return d, base, true
+	case *ast.Index:
+		bOff, bSize, bok := accessBase(x.X, ext, asn)
+		if !bok {
+			return 0, 0, false
+		}
+		c, cok := constEval(x.I)
+		if !cok {
+			return 0, 0, false
+		}
+		stride := elemSize(x)
+		if stride <= 0 {
+			return 0, 0, false
+		}
+		return bOff + c*stride, bSize, true
+	case *ast.Member:
+		if x.Field == nil {
+			return 0, 0, false
+		}
+		var bOff, bSize int64
+		var bok bool
+		if x.Arrow {
+			bOff, bSize, bok = accessBase(x.X, ext, asn)
+		} else {
+			// p->a.b / p[c].f: the inner access must itself resolve.
+			bOff, bSize, bok = constOffset(ast.Unparen(x.X), ext, asn)
+		}
+		if !bok {
+			return 0, 0, false
+		}
+		return bOff + int64(x.Field.Off), bSize, true
+	}
+	return 0, 0, false
+}
+
+// accessBase resolves the pointer operand of an access: a bare extent-
+// carrying ident is offset 0; a nested constant-offset access (an
+// array-typed member, say) contributes its own offset.
+func accessBase(e ast.Expr, ext map[string]int64, asn set) (off, size int64, ok bool) {
+	if n, bok := baseExtent(e, ext, asn); bok {
+		return 0, n, true
+	}
+	return constOffset(ast.Unparen(e), ext, asn)
+}
+
+// baseExtent resolves e (through parens and pointer casts) to an ident
+// carrying an extent fact that is not assigned within the current unit.
+func baseExtent(e ast.Expr, ext map[string]int64, asn set) (int64, bool) {
+	id, ok := stripConv(e).(*ast.Ident)
+	if !ok || id.Obj == nil {
+		return 0, false
+	}
+	key := ObjID(id.Obj)
+	if asn[key] {
+		return 0, false
+	}
+	n, ok := ext[key]
+	return n, ok
+}
+
+// stripConv removes parens and casts.
+func stripConv(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.Paren:
+			e = x.X
+		case *ast.Cast:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func isPtrExpr(e ast.Expr) bool {
+	t := e.Type()
+	return t != nil && types.IsPointer(types.Decay(t))
+}
+
+// pointeeSize is the byte stride of arithmetic on pointer expression e.
+func pointeeSize(e ast.Expr) int64 {
+	t := types.Decay(e.Type())
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return -1
+	}
+	return int64(p.Elem.Size())
+}
+
+// elemSize is the byte stride of a subscript on access x.
+func elemSize(x *ast.Index) int64 {
+	if t := x.X.Type(); t != nil {
+		switch t := types.Decay(t).(type) {
+		case *types.Pointer:
+			return int64(t.Elem.Size())
+		}
+	}
+	return -1
+}
+
+// applyUnit transfers one unit's assignments into ext: kills for every
+// assigned object, then gens for unambiguous single assignments of a
+// fresh constant-size allocation or a copy of an extent-carrying pointer.
+func applyUnit(e ast.Expr, ext map[string]int64) {
+	if e == nil {
+		return
+	}
+	type def struct {
+		rhs   ast.Expr // nil for ++/--/compound
+		count int
+	}
+	defs := map[string]*def{}
+	objs := map[string]*ast.Object{}
+	note := func(o *ast.Object, rhs ast.Expr) {
+		id := ObjID(o)
+		d := defs[id]
+		if d == nil {
+			d = &def{}
+			defs[id] = d
+		}
+		d.count++
+		d.rhs = rhs
+		objs[id] = o
+	}
+	ast.Inspect(e, func(x ast.Expr) bool {
+		switch x := x.(type) {
+		case *ast.Assign:
+			if id, ok := ast.Unparen(x.L).(*ast.Ident); ok && id.Obj != nil {
+				if x.Op == token.Assign {
+					note(id.Obj, x.R)
+				} else {
+					note(id.Obj, nil)
+				}
+			}
+		case *ast.Unary:
+			if x.Op == token.Inc || x.Op == token.Dec {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && id.Obj != nil {
+					note(id.Obj, nil)
+				}
+			}
+		case *ast.Call:
+			killFreed(ext, x)
+		}
+		return true
+	})
+	for id := range defs {
+		delete(ext, id)
+	}
+	for id, d := range defs {
+		if d.count != 1 || d.rhs == nil || !eligible(objs[id]) {
+			continue
+		}
+		if n, ok := allocSize(d.rhs); ok {
+			ext[id] = n
+		} else if src, ok := copySource(d.rhs); ok {
+			srcID := ObjID(src)
+			if _, dual := defs[srcID]; dual {
+				continue // source also assigned here: order unknown
+			}
+			if n, ok := ext[srcID]; ok {
+				ext[id] = n
+			}
+		}
+	}
+}
+
+// allocSize recognizes a constant-size allocation expression:
+// GC_malloc(const), malloc(const), calloc(const, const) — through parens
+// and casts.
+func allocSize(e ast.Expr) (int64, bool) {
+	c, ok := stripConv(e).(*ast.Call)
+	if !ok {
+		return 0, false
+	}
+	switch calleeName(c) {
+	case "malloc", "GC_malloc":
+		if len(c.Args) == 1 {
+			if n, ok := constEval(c.Args[0]); ok && n >= 0 {
+				return n, true
+			}
+		}
+	case "calloc":
+		if len(c.Args) == 2 {
+			n1, ok1 := constEval(c.Args[0])
+			n2, ok2 := constEval(c.Args[1])
+			if ok1 && ok2 && n1 >= 0 && n2 >= 0 {
+				return n1 * n2, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// copySource recognizes a plain pointer copy `q` (through parens and
+// casts) and returns the source object.
+func copySource(e ast.Expr) (*ast.Object, bool) {
+	id, ok := stripConv(e).(*ast.Ident)
+	if !ok || id.Obj == nil || !eligible(id.Obj) {
+		return nil, false
+	}
+	return id.Obj, true
+}
+
+func calleeName(c *ast.Call) string {
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// constEval evaluates a compile-time constant integer expression: integer
+// and character literals, enum constants, sizeof, unary +/-/~, binary
+// arithmetic of constants, casts and parens.
+func constEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, true
+	case *ast.CharLit:
+		return e.Val, true
+	case *ast.Ident:
+		if e.Obj != nil && e.Obj.Kind == ast.ObjEnumConst {
+			return e.Obj.EnumVal, true
+		}
+	case *ast.SizeofType:
+		if n := e.Of.Size(); n >= 0 {
+			return int64(n), true
+		}
+	case *ast.SizeofExpr:
+		if t := e.X.Type(); t != nil {
+			if n := t.Size(); n >= 0 {
+				return int64(n), true
+			}
+		}
+	case *ast.Paren:
+		return constEval(e.X)
+	case *ast.Cast:
+		return constEval(e.X)
+	case *ast.Unary:
+		v, ok := constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.Plus:
+			return v, true
+		case token.Minus:
+			return -v, true
+		case token.Tilde:
+			return ^v, true
+		}
+	case *ast.Binary:
+		x, ok1 := constEval(e.X)
+		y, ok2 := constEval(e.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case token.Plus:
+			return x + y, true
+		case token.Minus:
+			return x - y, true
+		case token.Star:
+			return x * y, true
+		case token.Slash:
+			if y != 0 {
+				return x / y, true
+			}
+		case token.Percent:
+			if y != 0 {
+				return x % y, true
+			}
+		case token.Shl:
+			if y >= 0 && y < 64 {
+				return x << uint(y), true
+			}
+		case token.Shr:
+			if y >= 0 && y < 64 {
+				return x >> uint(y), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -9,6 +9,7 @@ import (
 	"gcsafety/internal/cc/parser"
 	"gcsafety/internal/codegen"
 	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/liveness"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/peephole"
 )
@@ -74,15 +75,21 @@ func stageKey(s Stage, upstream artifact.Key) *artifact.KeyBuilder {
 	return artifact.NewKey("pipeline." + string(s)).Str(Version(s)).Str(string(upstream))
 }
 
-// annotateFields folds every annotator option into a key.
+// annotateFields folds every annotator option into a key. Elide is folded
+// only when set, so the classic (unelided) treatments keep the keys they
+// had before the elision axis existed.
 func annotateFields(b *artifact.KeyBuilder, o gcsafe.Options) *artifact.KeyBuilder {
-	return b.Int(int64(o.Mode)).
+	b = b.Int(int64(o.Mode)).
 		Bool(o.NoCopySuppression).
 		Bool(o.NoIncDecExpansion).
 		Bool(o.BaseHeuristic).
 		Bool(o.CallSiteOnly).
 		Bool(o.StrictCastWarnings).
 		Int(int64(o.Style))
+	if o.Elide {
+		b = b.Bool(true)
+	}
+	return b
 }
 
 // machineFields folds the full machine configuration — not just its name
@@ -138,23 +145,70 @@ func (r *Runner) frontEnd(ctx context.Context, name, src string, rep *BuildRepor
 	return v.(*checked), kcheck, nil
 }
 
+// liveness runs the Liveness stage on a checked front end: the elision
+// facts the annotator consults under Options.Elide. The analysis only
+// reads the shared AST, so no clone is needed; the facts artifact is
+// itself immutable and position-keyed, so it applies equally to the
+// Annotate stage's deep clone.
+func (r *Runner) liveness(ctx context.Context, ck *checked, kcheck artifact.Key, rep *BuildReport) (*liveness.Facts, artifact.Key, error) {
+	klive := stageKey(StageLiveness, kcheck).Sum()
+	v, err := r.run(ctx, StageLiveness, klive, rep, func() (any, int64, error) {
+		facts := liveness.Analyze(ck.file)
+		return facts, int64(facts.Units())*96 + 256, nil
+	})
+	if err != nil {
+		return nil, "", &StageError{Stage: StageLiveness, Err: err}
+	}
+	return v.(*liveness.Facts), klive, nil
+}
+
 // annotate runs the Annotate stage on a checked front end. The compute
 // deep-clones the shared AST before the annotator mutates it, so the
-// Parse/Typecheck artifacts stay pristine for other treatments.
+// Parse/Typecheck artifacts stay pristine for other treatments. Under
+// opts.Elide the stage first walks through Liveness, and the annotate key
+// chains off the liveness key so the artifact depends on both stage
+// versions.
 func (r *Runner) annotate(ctx context.Context, ck *checked, kcheck artifact.Key, opts gcsafe.Options, rep *BuildReport) (*annotated, artifact.Key, error) {
-	kann := annotateFields(stageKey(StageAnnotate, kcheck), opts).Sum()
+	upstream := kcheck
+	var facts *liveness.Facts
+	if opts.Elide {
+		f, klive, err := r.liveness(ctx, ck, kcheck, rep)
+		if err != nil {
+			return nil, "", err
+		}
+		facts = f
+		upstream = klive
+	}
+	kann := annotateFields(stageKey(StageAnnotate, upstream), opts).Sum()
 	v, err := r.run(ctx, StageAnnotate, kann, rep, func() (any, int64, error) {
 		clone := ck.file.Clone()
-		res, err := gcsafe.Annotate(clone, opts)
+		res, err := gcsafe.AnnotateWithFacts(clone, opts, facts)
 		if err != nil {
 			return nil, 0, err
+		}
+		if opts.Elide {
+			r.elision.considered.Add(uint64(res.Considered))
+			r.elision.elided.Add(uint64(res.Elided))
+			r.elision.elidedLive.Add(uint64(res.ElidedLive))
+			r.elision.elidedBounds.Add(uint64(res.ElidedBounds))
 		}
 		return &annotated{file: clone, res: res}, int64(len(res.Output))*8 + 512, nil
 	})
 	if err != nil {
 		return nil, "", &StageError{Stage: StageAnnotate, Err: err}
 	}
-	return v.(*annotated), kann, nil
+	a := v.(*annotated)
+	if opts.Elide && rep != nil {
+		st := ElisionStat{
+			Considered:   uint64(a.res.Considered),
+			Elided:       uint64(a.res.Elided),
+			ElidedLive:   uint64(a.res.ElidedLive),
+			ElidedBounds: uint64(a.res.ElidedBounds),
+		}
+		st.Kept = st.Considered - st.Elided
+		rep.Elision = &st
+	}
+	return a, kann, nil
 }
 
 // Annotate runs the graph up to and including the Annotate stage — the

@@ -2,7 +2,7 @@
 // parse → annotate → compile → postprocess build path, split into an
 // explicit DAG of stages
 //
-//	Lex → Parse → Typecheck → Annotate(mode) → Codegen(machine) → Optimize → Peephole
+//	Lex → Parse → Typecheck → Liveness → Annotate(mode) → Codegen(machine) → Optimize → Peephole
 //
 // each of which declares typed input/output artifacts and a content key
 // derived from its input keys, its own version string, and a fingerprint
@@ -35,13 +35,15 @@ import (
 // Stage identifies one node of the compilation DAG.
 type Stage string
 
-// The stages, in dependency order. Annotate is skipped when annotation is
-// disabled and Peephole when postprocessing is disabled; the other five
-// run on every build.
+// The stages, in dependency order. Liveness runs only for elided
+// treatments, Annotate is skipped when annotation is disabled and
+// Peephole when postprocessing is disabled; the other five run on every
+// build.
 const (
 	StageLex       Stage = "lex"
 	StageParse     Stage = "parse"
 	StageTypecheck Stage = "typecheck"
+	StageLiveness  Stage = "liveness"
 	StageAnnotate  Stage = "annotate"
 	StageCodegen   Stage = "codegen"
 	StageOptimize  Stage = "optimize"
@@ -51,7 +53,7 @@ const (
 // Stages returns every stage in dependency order.
 func Stages() []Stage {
 	return []Stage{
-		StageLex, StageParse, StageTypecheck, StageAnnotate,
+		StageLex, StageParse, StageTypecheck, StageLiveness, StageAnnotate,
 		StageCodegen, StageOptimize, StagePeephole,
 	}
 }
@@ -80,6 +82,7 @@ var (
 		StageLex:       "v1",
 		StageParse:     "v1",
 		StageTypecheck: "v1",
+		StageLiveness:  "v1",
 		StageAnnotate:  "v1",
 		// v2: Call instructions carry the source line of the call site
 		// (machine.Instr.Line), so cached v1 codegen artifacts — which lack

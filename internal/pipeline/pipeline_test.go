@@ -205,7 +205,10 @@ func TestVersionBumpInvalidatesStage(t *testing.T) {
 func TestStageFaultInjection(t *testing.T) {
 	w := workloads.All()[0]
 	for _, st := range Stages() {
+		// Elide makes the optional Liveness stage run, so every fault
+		// point in Stages() is reachable from one configuration.
 		o := Options{Optimize: true, Annotate: true, Post: true, Machine: machine.SPARCstation10()}
+		o.AnnotateOptions.Elide = true
 		r := NewRunner(artifact.New(0))
 		faults, err := faultinject.Parse(st.FaultPoint()+"=error", 1)
 		if err != nil {

@@ -16,8 +16,42 @@ import (
 // so each distinct artifact is computed once no matter how many builds
 // race for it.
 type Runner struct {
-	cache *artifact.Cache
-	stats [7]stageCounters // indexed by Stage.index()
+	cache   *artifact.Cache
+	stats   [8]stageCounters // indexed by Stage.index()
+	elision elisionCounters
+}
+
+// elisionCounters aggregates the annotator's elision outcomes across
+// every Annotate-stage computation this Runner performed (cache hits
+// reuse an artifact whose counts were tallied when it was computed).
+type elisionCounters struct {
+	considered   atomic.Uint64
+	elided       atomic.Uint64
+	elidedLive   atomic.Uint64
+	elidedBounds atomic.Uint64
+}
+
+// ElisionStat is the runner-wide elision counter snapshot: how many
+// annotation sites the liveness analysis considered, how many it elided
+// (split by reason), and how many it kept.
+type ElisionStat struct {
+	Considered   uint64 `json:"considered"`
+	Elided       uint64 `json:"elided"`
+	ElidedLive   uint64 `json:"elided_live"`
+	ElidedBounds uint64 `json:"elided_bounds"`
+	Kept         uint64 `json:"kept"`
+}
+
+// ElisionStats snapshots the elision counters.
+func (r *Runner) ElisionStats() ElisionStat {
+	s := ElisionStat{
+		Considered:   r.elision.considered.Load(),
+		Elided:       r.elision.elided.Load(),
+		ElidedLive:   r.elision.elidedLive.Load(),
+		ElidedBounds: r.elision.elidedBounds.Load(),
+	}
+	s.Kept = s.Considered - s.Elided
+	return s
 }
 
 type stageCounters struct {
@@ -84,6 +118,10 @@ func (r *Runner) StageStats(s Stage) StageStat {
 // on another build's in-flight computation).
 type BuildReport struct {
 	Stages []StageReport `json:"stages"`
+	// Elision describes the annotate stage's elision outcome for this
+	// build (nil unless the build ran with elision enabled). A cache hit
+	// carries the counts recorded when the artifact was computed.
+	Elision *ElisionStat `json:"elision,omitempty"`
 }
 
 // StageReport is one stage execution within a build.

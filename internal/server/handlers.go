@@ -43,6 +43,9 @@ type AnnotateRequest struct {
 	BaseHeuristic     bool   `json:"base_heuristic"`
 	CallSiteOnly      bool   `json:"call_site_only"`
 	StrictCasts       bool   `json:"strict_casts"`
+	// Elide turns on the liveness-based elision analysis: annotations the
+	// pipeline's Liveness stage proves redundant are dropped.
+	Elide bool `json:"elide"`
 }
 
 // AnnotateResponse returns the rewritten source and diagnostics.
@@ -52,6 +55,7 @@ type AnnotateResponse struct {
 	Inserted   int      `json:"inserted"`
 	Suppressed int      `json:"suppressed"`
 	Temps      int      `json:"temps"`
+	Elided     int      `json:"elided,omitempty"`
 	CacheHit   bool     `json:"cache_hit"`
 }
 
@@ -62,6 +66,7 @@ func (req *AnnotateRequest) options() (gcsafe.Options, error) {
 		BaseHeuristic:      req.BaseHeuristic,
 		CallSiteOnly:       req.CallSiteOnly,
 		StrictCastWarnings: req.StrictCasts,
+		Elide:              req.Elide,
 	}
 	switch req.Mode {
 	case "", "safe":
@@ -83,7 +88,7 @@ func (req *AnnotateRequest) options() (gcsafe.Options, error) {
 }
 
 func annotateKey(src string, opts gcsafe.Options) artifact.Key {
-	return artifact.NewKey("annotate").
+	k := artifact.NewKey("annotate").
 		Str(src).
 		Int(int64(opts.Mode)).
 		Bool(opts.NoCopySuppression).
@@ -91,8 +96,13 @@ func annotateKey(src string, opts gcsafe.Options) artifact.Key {
 		Bool(opts.BaseHeuristic).
 		Bool(opts.CallSiteOnly).
 		Bool(opts.StrictCastWarnings).
-		Int(int64(opts.Style)).
-		Sum()
+		Int(int64(opts.Style))
+	// Elide folds in only when set, so pre-elision keys stay byte-stable
+	// (warm disk tiers keep serving the classic treatments).
+	if opts.Elide {
+		k = k.Bool(true)
+	}
+	return k.Sum()
 }
 
 // annotated is the cached product of one annotator execution. size is
@@ -104,6 +114,7 @@ type annotated struct {
 	inserted   int
 	suppressed int
 	temps      int
+	elided     int
 	size       int64
 }
 
@@ -176,6 +187,7 @@ func (s *Server) annotate(ctx context.Context, name, src string, opts gcsafe.Opt
 			inserted:   res.Inserted,
 			suppressed: res.Suppressed,
 			temps:      res.Temps,
+			elided:     res.Elided,
 			size:       int64(len(src) + len(res.Output) + 256),
 		}
 		for _, w := range res.Warnings {
@@ -211,6 +223,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) error {
 		Inserted:   a.inserted,
 		Suppressed: a.suppressed,
 		Temps:      a.temps,
+		Elided:     a.elided,
 		CacheHit:   hit,
 	})
 	return nil
@@ -262,6 +275,9 @@ type CompileRequest struct {
 	Optimize bool   `json:"optimize"`
 	// Post runs the peephole postprocessor.
 	Post bool `json:"post"`
+	// Elide turns on the liveness-based elision analysis for annotated
+	// treatments.
+	Elide bool `json:"elide"`
 	// Listing asks for the assembly listing in the response.
 	Listing bool `json:"listing"`
 }
@@ -284,14 +300,18 @@ type compiled struct {
 	accounted int64
 }
 
-func compileKey(src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) artifact.Key {
-	return artifact.NewKey("compile").
+func compileKey(src string, ann fuzz.Annotation, optimize, post, elide bool, cfg machine.Config) artifact.Key {
+	k := artifact.NewKey("compile").
 		Str(src).
 		Int(int64(ann)).
 		Bool(optimize).
 		Bool(post).
-		Str(cfg.Name).
-		Sum()
+		Str(cfg.Name)
+	// Elide folds in only when set (key stability for the classic cells).
+	if elide {
+		k = k.Bool(true)
+	}
+	return k.Sum()
 }
 
 func annotationByName(name string) (fuzz.Annotation, error) {
@@ -315,21 +335,22 @@ func annotationByName(name string) (fuzz.Annotation, error) {
 // beneath it shares the front end and intermediate artifacts across
 // cells that differ only in annotation, machine, opt level or peephole
 // flag.
-func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) (*compiled, bool, error) {
+func (s *Server) compile(ctx context.Context, name, src string, ann fuzz.Annotation, optimize, post, elide bool, cfg machine.Config) (*compiled, bool, error) {
 	if name == "" {
 		name = "input.c"
 	}
-	key := compileKey(src, ann, optimize, post, cfg)
+	key := compileKey(src, ann, optimize, post, elide, cfg)
 	v, hit, err := s.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
 		// The cluster rung: ask the owning peer before running codegen
 		// locally (see annotate for the ladder rationale).
-		if pv, psize, ok := s.peerFetch(ctx, key, familyCompile, compileRecipe(name, src, ann, optimize, post, cfg)); ok {
+		if pv, psize, ok := s.peerFetch(ctx, key, familyCompile, compileRecipe(name, src, ann, optimize, post, elide, cfg)); ok {
 			return pv, psize, nil
 		}
 		// compiles counts true local compiler executions only — the
 		// cluster-wide dedup gate is stated in terms of this counter.
 		s.compiles.Add(1)
 		opts := pipeline.Options{Optimize: optimize, Post: post, Machine: cfg}
+		opts.AnnotateOptions.Elide = elide
 		switch ann {
 		case fuzz.AnnotateSafe:
 			opts.Annotate = true
@@ -371,7 +392,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	c, hit, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, cfg)
+	c, hit, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, req.Elide, cfg)
 	if err != nil {
 		return err
 	}
@@ -443,7 +464,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	c, hit, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, cfg)
+	c, hit, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, req.Elide, cfg)
 	if err != nil {
 		return err
 	}

@@ -45,7 +45,7 @@ type HeapdumpResponse struct {
 // deterministic, so (program identity, every treatment knob, the object
 // bound) fully determines the snapshot.
 func heapdumpKey(req *HeapdumpRequest, ann fuzz.Annotation, cfg machine.Config, maxObjects int, maxSteps uint64) artifact.Key {
-	return artifact.NewKey("heapdump").
+	k := artifact.NewKey("heapdump").
 		Str(req.Source).
 		Int(int64(ann)).
 		Bool(req.Optimize).
@@ -61,8 +61,12 @@ func heapdumpKey(req *HeapdumpRequest, ann fuzz.Annotation, cfg machine.Config, 
 		Bool(req.CollectAtSwitch).
 		Bool(req.BaseOnly).
 		Int(int64(maxSteps)).
-		Int(int64(maxObjects)).
-		Sum()
+		Int(int64(maxObjects))
+	// Elide folds in only when set (key stability for the classic cells).
+	if req.Elide {
+		k = k.Bool(true)
+	}
+	return k.Sum()
 }
 
 func (s *Server) handleHeapdump(w http.ResponseWriter, r *http.Request) error {
@@ -89,7 +93,7 @@ func (s *Server) handleHeapdump(w http.ResponseWriter, r *http.Request) error {
 	if req.MaxSteps > 0 && req.MaxSteps < steps {
 		steps = req.MaxSteps
 	}
-	c, _, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, cfg)
+	c, _, err := s.compile(r.Context(), req.Name, req.Source, ann, req.Optimize, req.Post, req.Elide, cfg)
 	if err != nil {
 		return err
 	}

@@ -227,9 +227,14 @@ type Snapshot struct {
 	Annotations  uint64                 `json:"annotations"`
 	// Pipeline reports per-stage execution counters from the stage-graph
 	// runner: calls, cache hits/misses, errors and cumulative duration for
-	// each of lex/parse/typecheck/annotate/codegen/optimize/peephole.
+	// each of lex/parse/typecheck/liveness/annotate/codegen/optimize/
+	// peephole.
 	Pipeline []pipeline.StageStat `json:"pipeline,omitempty"`
-	Runs     RunSnapshot          `json:"runs"`
+	// Elision aggregates the annotator's liveness-elision outcomes across
+	// every elision-enabled annotate computation this server performed
+	// (omitted until the first one).
+	Elision *pipeline.ElisionStat `json:"elision,omitempty"`
+	Runs    RunSnapshot           `json:"runs"`
 	// Heap reports /v1/heapdump activity: snapshot counts, capture
 	// durations, the most recent live set, and the epoch high-water mark.
 	Heap HeapMetricsSnapshot `json:"heap"`

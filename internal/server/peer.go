@@ -101,7 +101,7 @@ func annotateRecipe(name, src string, opts gcsafe.Options) *AnnotateRequest {
 	return req
 }
 
-func compileRecipe(name, src string, ann fuzz.Annotation, optimize, post bool, cfg machine.Config) *CompileRequest {
+func compileRecipe(name, src string, ann fuzz.Annotation, optimize, post, elide bool, cfg machine.Config) *CompileRequest {
 	return &CompileRequest{
 		Name:     name,
 		Source:   src,
@@ -109,6 +109,7 @@ func compileRecipe(name, src string, ann fuzz.Annotation, optimize, post bool, c
 		Annotate: annotationWireName(ann),
 		Optimize: optimize,
 		Post:     post,
+		Elide:    elide,
 	}
 }
 
@@ -209,11 +210,11 @@ func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
-		key = compileKey(cr.Source, ann, cr.Optimize, cr.Post, cfg)
+		key = compileKey(cr.Source, ann, cr.Optimize, cr.Post, cr.Elide, cfg)
 		if string(key) != req.Key {
 			return errf(http.StatusBadRequest, "recipe hashes to %s, request says %s", key, req.Key)
 		}
-		c, h, err := s.compile(ctx, cr.Name, cr.Source, ann, cr.Optimize, cr.Post, cfg)
+		c, h, err := s.compile(ctx, cr.Name, cr.Source, ann, cr.Optimize, cr.Post, cr.Elide, cfg)
 		if err != nil {
 			return err
 		}

@@ -105,7 +105,7 @@ func compileSrcOwnedBy(t *testing.T, nodes []*peerNode, want int) (string, artif
 	}
 	for i := 0; i < 1000; i++ {
 		src := fmt.Sprintf("int main() { return %d; }", i)
-		key := compileKey(src, 0, false, false, cfg)
+		key := compileKey(src, 0, false, false, false, cfg)
 		if ownerOf(t, nodes, key) == want {
 			return src, key
 		}

@@ -472,6 +472,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.cache.Stats(), s.compiles.Load(), s.annotations.Load())
 	snap.Pipeline = s.pipeline.Stats()
+	if es := s.pipeline.ElisionStats(); es.Considered > 0 {
+		snap.Elision = &es
+	}
 	snap.Draining = s.draining.Load()
 	if s.peering != nil {
 		cs := s.peering.Stats()

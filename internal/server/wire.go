@@ -28,6 +28,7 @@ type wireAnnotated struct {
 	Inserted   int
 	Suppressed int
 	Temps      int
+	Elided     int
 	Size       int64
 }
 
@@ -61,6 +62,7 @@ func encodeAnnotated(key artifact.Key, v any) ([]byte, bool) {
 		Inserted:   a.inserted,
 		Suppressed: a.suppressed,
 		Temps:      a.temps,
+		Elided:     a.elided,
 		Size:       a.size,
 	})
 }
@@ -76,6 +78,7 @@ func decodeAnnotated(data []byte) (any, int64, error) {
 		inserted:   w.Inserted,
 		suppressed: w.Suppressed,
 		temps:      w.Temps,
+		elided:     w.Elided,
 		size:       w.Size,
 	}, w.Size, nil
 }
