@@ -14,7 +14,7 @@
 #   make chaos        a heavier local chaos run (more requests, live daemon)
 #   make serve        run the daemon locally on the default port
 #   make bench        run the full benchmark suite and record it as
-#                     BENCH_PR9.json at the repo root (benchdiff JSON; gate
+#                     BENCH_PR10.json at the repo root (benchdiff JSON; gate
 #                     future changes with `make bench-compare`)
 #   make bench-compare  diff the newest BENCH_*.json against the previous
 #                     one with benchdiff (exits 1 on a >10% regression)
@@ -36,14 +36,18 @@
 #                     rotation, one node killed -9 mid-run; requires ≥99%
 #                     of logical requests to succeed and cluster-wide
 #                     computes within 1.2x the distinct-artifact baseline
+#   make engine-smoke  the execution-engine gate: a warm threaded rebuild is
+#                     100% stage-cache hits (lower stage included) and both
+#                     engines agree exactly on Instrs/Cycles/output for all
+#                     four Zorn workloads
 
 GO ?= go
 FUZZPKG := ./internal/fuzz
 FUZZTARGETS := FuzzDifferential FuzzParserRoundtrip FuzzFaultInjection FuzzTemporalDifferential
 
-.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke elision-smoke heapdump-smoke cluster-smoke
+.PHONY: check fmt-check vet build test race fuzz-smoke fuzz serve-smoke chaos-smoke chaos serve bench bench-compare bench-smoke pipeline-smoke elision-smoke heapdump-smoke cluster-smoke engine-smoke
 
-check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke elision-smoke serve-smoke chaos-smoke heapdump-smoke cluster-smoke
+check: fmt-check vet build race test bench-smoke fuzz-smoke pipeline-smoke elision-smoke engine-smoke serve-smoke chaos-smoke heapdump-smoke cluster-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -100,7 +104,7 @@ chaos:
 # repeat is the least disturbed one, and the cold-cache first pass (which
 # pays the workload compiles) is discarded with it. Compare a working tree
 # against the previous record with: make bench && make bench-compare
-BENCHOUT ?= BENCH_PR9.json
+BENCHOUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 100ms -count 5 -timeout 30m . | $(GO) run ./cmd/benchdiff -parse > $(BENCHOUT)
 	@echo "wrote $(BENCHOUT)"
@@ -108,7 +112,12 @@ bench:
 # bench-compare gates the newest benchmark record against the one before
 # it: the two most recent BENCH_*.json by modification time. Needs at
 # least two records (run `make bench` after a change to produce the new
-# one).
+# one). Records are host-day-relative: this container's speed drifts
+# more than the 10% gate between days (measured in EXPERIMENTS.md "The
+# PR 10 record and cross-day host drift"), so when the gate fails,
+# re-record the previous commit in a worktree on the same day and diff
+# both records against that — drift moves both trees, a real regression
+# moves only yours.
 bench-compare:
 	@set -- $$(ls -t BENCH_*.json 2>/dev/null); \
 	if [ $$# -lt 2 ]; then \
@@ -144,6 +153,13 @@ elision-smoke:
 # requires identical live-object counts and live bytes.
 heapdump-smoke:
 	$(GO) test -race -count=1 -run 'TestHeapdumpSmoke' ./cmd/gcsafed
+
+# The execution-engine gate: TestEngineSmoke warm-rebuilds every Zorn
+# workload for the threaded engine (must be 100% stage-cache hits, the
+# closure-lowering stage included) and runs it on both engines (simulated
+# instruction/cycle counts and output must be identical).
+engine-smoke:
+	$(GO) test -race -count=1 -run 'TestEngineSmoke' .
 
 # The distributed gate: TestClusterSmoke builds gcsafed and loadgen, peers
 # three real daemons, drives a mixed workload with chaos fault rotation,

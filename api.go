@@ -28,6 +28,7 @@ import (
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/pipeline"
+	"gcsafety/internal/threaded"
 )
 
 // Mode selects the annotation mode of the preprocessor.
@@ -114,7 +115,9 @@ type Pipeline struct {
 	Postprocess bool
 	// Machine is the target configuration (default SPARCstation 10).
 	Machine *machine.Config
-	// Exec configures the interpreter (entry point, GC policy, input...).
+	// Exec configures execution (entry point, GC policy, input...).
+	// Exec.Engine selects the backend: "interp" (default) or "threaded";
+	// threaded builds additionally run the cached Lower pipeline stage.
 	Exec interp.Options
 }
 
@@ -157,8 +160,19 @@ func BuildWithReport(name, src string, p Pipeline) (*machine.Program, *gcsafe.Re
 // annotation result may be shared with other builds via the artifact
 // cache and must not be mutated.
 func BuildWithReportContext(ctx context.Context, name, src string, p Pipeline) (*machine.Program, *gcsafe.Result, *BuildReport, error) {
+	res, err := buildPipeline(ctx, name, src, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Prog, res.Annotate, res.Report, nil
+}
+
+// buildPipeline is the shared staged-build core: it resolves the machine
+// default, threads the execution engine into the stage graph (so threaded
+// runs get a cached Lower artifact) and normalizes stage errors.
+func buildPipeline(ctx context.Context, name, src string, p Pipeline) (*pipeline.Result, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, nil, nil, fmt.Errorf("build: %w", err)
+		return nil, fmt.Errorf("build: %w", err)
 	}
 	cfg := machine.SPARCstation10()
 	if p.Machine != nil {
@@ -170,11 +184,12 @@ func BuildWithReportContext(ctx context.Context, name, src string, p Pipeline) (
 		Optimize:        p.Optimize,
 		Post:            p.Postprocess,
 		Machine:         cfg,
+		Engine:          p.Exec.Engine,
 	})
 	if err != nil {
-		return nil, nil, nil, wrapBuildError(err)
+		return nil, wrapBuildError(err)
 	}
-	return res.Prog, res.Annotate, res.Report, nil
+	return res, nil
 }
 
 // wrapBuildError converts a pipeline StageError into the phase-prefixed
@@ -208,7 +223,7 @@ func Run(name, src string, p Pipeline) (*Result, error) {
 // deadline or cancellation bounds the whole pipeline — the robustness
 // contract the gcsafed daemon depends on to survive adversarial inputs.
 func RunContext(ctx context.Context, name, src string, p Pipeline) (*Result, error) {
-	prog, ares, rep, err := BuildWithReportContext(ctx, name, src, p)
+	bres, err := buildPipeline(ctx, name, src, p)
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +233,16 @@ func RunContext(ctx context.Context, name, src string, p Pipeline) (*Result, err
 	}
 	ex := p.Exec
 	ex.Config = cfg
-	res, err := interp.RunContext(ctx, prog, ex)
-	return &Result{Exec: res, Program: prog, Annotate: ares, Report: rep}, err
+	var res *interp.Result
+	if bres.Lowered != nil {
+		// The build already lowered the program for the threaded engine;
+		// execute the cached artifact instead of re-lowering through the
+		// engine registry.
+		res, err = threaded.Run(ctx, bres.Lowered, ex)
+	} else {
+		res, err = interp.RunContext(ctx, bres.Prog, ex)
+	}
+	return &Result{Exec: res, Program: bres.Prog, Annotate: bres.Annotate, Report: bres.Report}, err
 }
 
 // PipelineStats snapshots the default build pipeline's per-stage

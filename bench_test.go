@@ -243,8 +243,8 @@ func BenchmarkAblationTriggerPolicy(b *testing.B) {
 
 // BenchmarkInterpThroughput measures raw interpreter speed — simulated
 // megacycles per host second — on the two heaviest workloads. This is the
-// number the dispatch fast path in internal/interp/exec.go is tuned
-// against; EXPERIMENTS.md records its history.
+// number the dispatch fast path in internal/interp/internal/dispatch is
+// tuned against; EXPERIMENTS.md records its history.
 func BenchmarkInterpThroughput(b *testing.B) {
 	cfg := machine.SPARCstation10()
 	for _, name := range []string{"gawk", "gs"} {
@@ -270,6 +270,43 @@ func BenchmarkInterpThroughput(b *testing.B) {
 				b.ReportMetric(float64(cycles)*float64(b.N)/sec/1e6, "Mcycles/sec")
 			}
 		})
+	}
+}
+
+// BenchmarkEngineThroughput measures both execution engines — the
+// switch-dispatch interpreter and the closure-threaded backend — on the
+// two heaviest workloads, in simulated megacycles per host second. The
+// engines produce bit-identical simulated results (see the equivalence
+// tests and the fuzz matrix's engine twins); this benchmark is the
+// wall-clock half of the story, and BENCH_PR10.json records the
+// threaded/interp speedup it demonstrates.
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := machine.SPARCstation10()
+	for _, name := range []string{"gawk", "gs"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			b.Fatalf("no workload %q", name)
+		}
+		prog, _, err := Build(w.Name+".c", w.Source, Pipeline{Optimize: true, Machine: &cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []string{"interp", "threaded"} {
+			b.Run(name+"/"+eng, func(b *testing.B) {
+				var cycles uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := interp.Run(prog, interp.Options{Config: cfg, Input: w.Input, Engine: eng})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+				}
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(cycles)*float64(b.N)/sec/1e6, "Mcycles/sec")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,64 @@
+package gcsafety
+
+import (
+	"testing"
+
+	"gcsafety/internal/interp"
+	"gcsafety/internal/pipeline"
+	"gcsafety/internal/threaded"
+	"gcsafety/internal/workloads"
+)
+
+// TestEngineSmoke is the engine-smoke gate (make engine-smoke): for every
+// Zorn workload, a warm threaded rebuild is served entirely from the
+// stage cache — including the Lower stage's closure artifact — and the
+// two execution engines agree exactly on simulated instructions, cycles
+// and output.
+func TestEngineSmoke(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := Pipeline{Optimize: true, Exec: interp.Options{Engine: threaded.Name, Input: w.Input}}
+			if _, _, _, err := BuildWithReport(w.Name+".c", w.Source, p); err != nil {
+				t.Fatalf("cold build: %v", err)
+			}
+			_, _, rep, err := BuildWithReport(w.Name+".c", w.Source, p)
+			if err != nil {
+				t.Fatalf("warm build: %v", err)
+			}
+			if !rep.AllHits() {
+				for _, st := range rep.Stages {
+					if !st.CacheHit {
+						t.Errorf("warm threaded rebuild recomputed stage %s", st.Stage)
+					}
+				}
+			}
+			var sawLower bool
+			for _, st := range rep.Stages {
+				sawLower = sawLower || st.Stage == string(pipeline.StageLower)
+			}
+			if !sawLower {
+				t.Error("threaded build report has no lower stage")
+			}
+
+			ri, err := Run(w.Name+".c", w.Source, Pipeline{Optimize: true, Exec: interp.Options{Input: w.Input}})
+			if err != nil {
+				t.Fatalf("interp run: %v", err)
+			}
+			rt, err := Run(w.Name+".c", w.Source, p)
+			if err != nil {
+				t.Fatalf("threaded run: %v", err)
+			}
+			if ri.Exec.Instrs != rt.Exec.Instrs || ri.Exec.Cycles != rt.Exec.Cycles {
+				t.Errorf("engines disagree: interp instrs=%d cycles=%d, threaded instrs=%d cycles=%d",
+					ri.Exec.Instrs, ri.Exec.Cycles, rt.Exec.Instrs, rt.Exec.Cycles)
+			}
+			if ri.Exec.Output != rt.Exec.Output {
+				t.Errorf("output diverges between engines")
+			}
+			if w.Want != "" && rt.Exec.Output != w.Want {
+				t.Errorf("threaded output does not match the workload's golden output")
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"gcsafety/internal/artifact"
 	"gcsafety/internal/gcsafe"
+	"gcsafety/internal/heapdump"
 	"gcsafety/internal/interp"
 	"gcsafety/internal/machine"
 	"gcsafety/internal/pipeline"
@@ -42,6 +43,11 @@ type Treatment struct {
 	// checks) that the pipeline's Liveness stage proves redundant are
 	// dropped before codegen.
 	Elide bool
+	// Engine names the execution backend the cell runs on ("" = the
+	// default interpreter). Simulated results are engine-invariant by
+	// contract, but the field still folds into the cell key when set: a
+	// cell measured on another engine is a distinct experiment.
+	Engine string
 	// Gcsafe overrides the default annotator options (ablations).
 	Gcsafe *gcsafe.Options
 }
@@ -164,6 +170,10 @@ func cellKey(w workloads.Workload, tr Treatment, cfg machine.Config) artifact.Ke
 	if tr.Elide {
 		k = k.Bool(true)
 	}
+	// A non-default engine likewise folds in only when named.
+	if tr.Engine != "" {
+		k = k.Str(tr.Engine)
+	}
 	return k.Sum()
 }
 
@@ -208,6 +218,7 @@ func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measu
 		Optimize:        tr.Optimize,
 		Post:            tr.Post,
 		Machine:         cfg,
+		Engine:          tr.Engine,
 	})
 	if err != nil {
 		var se *pipeline.StageError
@@ -226,6 +237,7 @@ func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measu
 	prog := b.Prog
 	m := &Measurement{Size: prog.Size()}
 	res, err := interp.Run(prog, interp.Options{
+		Engine:    tr.Engine,
 		Config:    cfg,
 		Input:     w.Input,
 		Temporal:  tr.Temporal,
@@ -249,6 +261,65 @@ func measureCell(w workloads.Workload, tr Treatment, cfg machine.Config) (*Measu
 	return m, nil
 }
 
+// MeasureRetained returns the total retained size of the live heap at the
+// workload's exit — the sum over the dominator tree's root-dominated
+// objects of an end-of-run heapdump snapshot — measured on the optimized
+// baseline build (treatments change code, not the workload's data
+// structures). It is a separate run from the timed cells: the
+// allocation-site profiler costs a map insert per simulated allocation,
+// and folding that into every measured cell would tax the whole table
+// sweep for one column. The machine config prices cycles but does not
+// change allocation semantics, so the exit heap is machine-invariant;
+// it is measured once per workload, on the canonical SPARCstation 10.
+func MeasureRetained(w workloads.Workload) (uint64, error) {
+	k := artifact.NewKey("bench-retained").
+		Str(pipeline.VersionFingerprint()).
+		Str(w.Name).
+		Str(w.Source).
+		Str(w.Input).
+		Sum()
+	v, _, err := cells.GetOrCompute(context.Background(), k, func() (any, int64, error) {
+		cfg := machine.SPARCstation10()
+		b, err := pipe.Build(context.Background(), w.Name+".c", w.Source, pipeline.Options{
+			Optimize: true,
+			Machine:  cfg,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		res, err := interp.Run(b.Prog, interp.Options{
+			Config:      cfg,
+			Input:       w.Input,
+			HeapProfile: true,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s [retained]: %w", w.Name, err)
+		}
+		return retainedAtExit(res.Snapshot), 8, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(uint64), nil
+}
+
+// retainedAtExit sums the retained sizes of the root-dominated objects of
+// the end-of-run snapshot — the bytes the roots would lose if severed,
+// i.e. the total reachable heap at exit.
+func retainedAtExit(s *heapdump.Snapshot) uint64 {
+	if s == nil {
+		return 0
+	}
+	a := heapdump.Analyze(s)
+	var sum uint64
+	for i, idom := range a.Dom.Idom {
+		if idom == a.Dom.Root {
+			sum += a.Dom.Retained[i]
+		}
+	}
+	return sum
+}
+
 func findCheckError(err error) (*interp.CheckError, bool) {
 	for err != nil {
 		if ce, ok := err.(*interp.CheckError); ok {
@@ -269,10 +340,15 @@ type Cell struct {
 	Fails     bool    // "<fails>" (gawk checked)
 	Unavail   bool    // "-" (cfrac -g)
 	FailsNote string
+	// Text renders literally when non-empty: the retained-size and
+	// engine-throughput columns are absolute values, not percentages.
+	Text string
 }
 
 func (c Cell) String() string {
 	switch {
+	case c.Text != "":
+		return c.Text
 	case c.Fails:
 		return "<fails>"
 	case c.Unavail:
@@ -280,6 +356,12 @@ func (c Cell) String() string {
 	default:
 		return fmt.Sprintf("%.0f%%", c.Pct)
 	}
+}
+
+// retainedCell renders a workload's exit heap shape (MeasureRetained) for
+// the tables' retained column.
+func retainedCell(retained uint64) Cell {
+	return Cell{Text: heapdump.Comma(retained) + "B"}
 }
 
 // Row is one workload's row in a table.
@@ -338,12 +420,19 @@ func pct(mode, base uint64) float64 {
 func SlowdownTable(cfg machine.Config) (*Table, error) {
 	t := &Table{
 		Title:   cfg.Name + ":",
-		Columns: []string{"-O, safe", "-g", "-g, checked"},
+		Columns: []string{"-O, safe", "-g", "-g, checked", "retained@exit"},
 	}
 	if err := prefetch(cfg, slowdownTreatments); err != nil {
 		return nil, err
 	}
-	for _, w := range workloads.All() {
+	// One catalogue generation for both passes: workloads.All builds its
+	// sources and inputs fresh on every call.
+	ws := workloads.All()
+	retained, err := measureRetainedAll(ws)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
 			return nil, err
@@ -355,7 +444,7 @@ func SlowdownTable(cfg machine.Config) (*Table, error) {
 		}
 		row.Cells = append(row.Cells, Cell{Pct: pct(safe.Cycles, base.Cycles)})
 		if w.DebugUnavailable {
-			row.Cells = append(row.Cells, Cell{Unavail: true}, Cell{Unavail: true})
+			row.Cells = append(row.Cells, Cell{Unavail: true}, Cell{Unavail: true}, retainedCell(retained[wi]))
 			t.Rows = append(t.Rows, row)
 			continue
 		}
@@ -373,6 +462,7 @@ func SlowdownTable(cfg machine.Config) (*Table, error) {
 		} else {
 			row.Cells = append(row.Cells, Cell{Pct: pct(chk.Cycles, base.Cycles)})
 		}
+		row.Cells = append(row.Cells, retainedCell(retained[wi]))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -525,10 +615,13 @@ var hazardTreatments = []Treatment{Opt, OptSafe, OptTemporal, OptSafeConcurrent}
 func HazardTable(cfg machine.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Temporal/concurrent hazard workloads (" + cfg.Name + "):",
-		Columns: []string{"-O, safe", "-O, temporal", "-O, safe, mt4"},
+		Columns: []string{"-O, safe", "-O, temporal", "-O, safe, mt4", "retained@exit"},
 	}
+	// One catalogue generation for all three passes: workloads.Hazards
+	// builds its sources and inputs fresh on every call.
+	hs := workloads.Hazards()
 	var reqs []CellRequest
-	for _, w := range workloads.Hazards() {
+	for _, w := range hs {
 		for _, tr := range hazardTreatments {
 			reqs = append(reqs, CellRequest{Workload: w, Treatment: tr, Machine: cfg})
 		}
@@ -536,7 +629,11 @@ func HazardTable(cfg machine.Config) (*Table, error) {
 	if _, err := MeasureAll(reqs); err != nil {
 		return nil, err
 	}
-	for _, w := range workloads.Hazards() {
+	retained, err := measureRetainedAll(hs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range hs {
 		base, err := Measure(w, Opt, cfg)
 		if err != nil {
 			return nil, err
@@ -553,6 +650,7 @@ func HazardTable(cfg machine.Config) (*Table, error) {
 			}
 			row.Cells = append(row.Cells, Cell{Pct: pct(m.Cycles, base.Cycles)})
 		}
+		row.Cells = append(row.Cells, retainedCell(retained[wi]))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil

@@ -246,6 +246,64 @@ func TestHazardTableShape(t *testing.T) {
 	}
 }
 
+// TestRetainedColumn pins the retained-size column: every table row ends
+// with the optimized baseline's exit heap shape, the cell agrees with the
+// underlying MeasureRetained value, and the workloads that hold data at
+// exit report a non-zero value.
+func TestRetainedColumn(t *testing.T) {
+	cfg := machine.SPARCstation10()
+	tbl, err := SlowdownTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Columns[len(tbl.Columns)-1]; got != "retained@exit" {
+		t.Fatalf("last column = %q, want retained@exit", got)
+	}
+	var nonzero int
+	for _, r := range tbl.Rows {
+		w, _ := workloads.ByName(r.Workload)
+		retained, err := MeasureRetained(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := r.Cells[len(r.Cells)-1]
+		if want := retainedCell(retained).Text; cell.Text != want {
+			t.Errorf("%s: retained cell %q, want %q", r.Workload, cell.Text, want)
+		}
+		if retained > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("no workload retains anything at exit; the column is measuring nothing")
+	}
+}
+
+// TestEngineTable pins the engine-throughput table's shape: a rate pair
+// plus ratio per workload, every rate positive. The equivalence contract
+// (identical simulated Instrs/Cycles/output) is enforced inside
+// EngineTable itself — a divergence surfaces here as an error.
+func TestEngineTable(t *testing.T) {
+	tbl, err := EngineTable(machine.SPARCstation10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	if len(tbl.Rows) != len(workloads.All()) {
+		t.Fatalf("want %d rows, got %d", len(workloads.All()), len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if len(r.Cells) != 3 {
+			t.Fatalf("%s: want 3 cells, got %d", r.Workload, len(r.Cells))
+		}
+		for _, c := range r.Cells {
+			if c.Text == "" || strings.HasPrefix(c.Text, "-") {
+				t.Errorf("%s: bad throughput cell %q", r.Workload, c.Text)
+			}
+		}
+	}
+}
+
 // TestCellKeyStableForClassicTreatments pins the cache-compatibility rule
 // of the temporal/concurrent extension: the new Treatment fields fold into
 // the cell key only when actually set, so every pre-existing treatment
@@ -269,6 +327,12 @@ func TestCellKeyStableForClassicTreatments(t *testing.T) {
 	}
 	if cellKey(w, OptSafeConcurrent, cfg) == cellKey(w, OptSafe, cfg) {
 		t.Error("concurrent treatment collides with the single-thread treatment")
+	}
+	// The engine axis follows the same fold-when-set rule.
+	onThreaded := OptSafe
+	onThreaded.Engine = "threaded"
+	if cellKey(w, onThreaded, cfg) == cellKey(w, OptSafe, cfg) {
+		t.Error("engine-set treatment collides with the default-engine treatment")
 	}
 }
 

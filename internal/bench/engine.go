@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gcsafety/internal/engine"
+	"gcsafety/internal/interp"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/pipeline"
+	"gcsafety/internal/threaded"
+	"gcsafety/internal/workloads"
+)
+
+// EngineTable compares the execution backends' wall-clock throughput on
+// the optimized build of every workload: simulated megacycles retired per
+// host second under the interpreter and the closure-threaded engine, plus
+// their ratio. Unlike every other table this one measures the host, not
+// the simulation — cells vary run to run and are never cached. The table
+// also enforces the engines' equivalence contract while it measures: a
+// divergence in simulated Instrs, Cycles or output is an error, not a row.
+func EngineTable(cfg machine.Config) (*Table, error) {
+	t := &Table{
+		Title:   "Engine throughput, -O build (" + cfg.Name + "):",
+		Columns: []string{"interp Mc/s", "threaded Mc/s", "threaded/interp"},
+	}
+	for _, w := range workloads.All() {
+		b, err := pipe.Build(context.Background(), w.Name+".c", w.Source, pipeline.Options{
+			Optimize: true,
+			Machine:  cfg,
+			Engine:   threaded.Name, // pre-lower so timing excludes the build
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		var rates [2]float64
+		var ref *interp.Result
+		for i, eng := range [2]string{engine.DefaultName, threaded.Name} {
+			res, secs, err := timedRun(b.Prog, w.Input, eng, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s [%s]: %w", w.Name, eng, err)
+			}
+			rates[i] = float64(res.Cycles) / secs / 1e6
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if res.Instrs != ref.Instrs || res.Cycles != ref.Cycles || res.Output != ref.Output {
+				return nil, fmt.Errorf("%s: engines diverged: interp %d instrs/%d cycles vs %s %d instrs/%d cycles",
+					w.Name, ref.Instrs, ref.Cycles, eng, res.Instrs, res.Cycles)
+			}
+		}
+		t.Rows = append(t.Rows, Row{Workload: w.Name, Cells: []Cell{
+			{Text: fmt.Sprintf("%.1f", rates[0])},
+			{Text: fmt.Sprintf("%.1f", rates[1])},
+			{Text: fmt.Sprintf("%.2fx", rates[1]/rates[0])},
+		}})
+	}
+	return t, nil
+}
+
+// timedRun executes one build on one engine and reports the result with
+// the host seconds it took.
+func timedRun(prog *machine.Program, input, eng string, cfg machine.Config) (*interp.Result, float64, error) {
+	start := time.Now()
+	res, err := interp.Run(prog, interp.Options{
+		Engine: eng,
+		Config: cfg,
+		Input:  input,
+	})
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return nil, 0, err
+	}
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	return res, secs, nil
+}

@@ -73,3 +73,23 @@ func prefetch(cfg machine.Config, forWorkload func(w workloads.Workload) []Treat
 	_, err := MeasureAll(reqs)
 	return err
 }
+
+// measureRetainedAll measures every workload's retained-at-exit value
+// (MeasureRetained) in parallel, so the profiled runs behind the
+// retained@exit column come off the table's sequential assembly path the
+// same way prefetch takes the cells off it. Results are positional:
+// out[i] answers ws[i] — tables index into it instead of re-asking, since
+// even a cache hit pays the content-addressed key's source hash.
+func measureRetainedAll(ws []workloads.Workload) ([]uint64, error) {
+	out := make([]uint64, len(ws))
+	errs := make([]error, len(ws))
+	par.ForEach(Parallelism(), len(ws), func(i int) {
+		out[i], errs[i] = MeasureRetained(ws[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

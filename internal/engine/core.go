@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"gcsafety/internal/faultinject"
+	"gcsafety/internal/gc"
+	"gcsafety/internal/machine"
+)
+
+// Core is the engine-neutral machine state: the simulated register file,
+// stack and static segment, the collected heap, cycle/instruction
+// accounting, the temporal shadow tags, the concurrent-mutator scheduler
+// and the snapshot handshake. An execution backend supplies only the
+// single-thread dispatch loop (via RunWith); everything an instruction
+// can touch lives here, which is what makes two engines bit-identical by
+// construction everywhere except the dispatch strategy itself.
+//
+// Exported fields are the hot-path state dispatch loops read and write
+// directly; everything reachable only through runtime calls or the
+// cold-path Step stays unexported.
+type Core struct {
+	prog *machine.Program
+	// Opts is the run configuration (read-only after NewCore).
+	Opts Options
+	// Ctx is the run's context, polled at the PollInterval stride.
+	Ctx context.Context
+	cfg machine.Config
+	// heap is the conservative collector; Heap() exposes it.
+	heap *gc.Heap
+	// Regs is the current thread's register file (re-aimed on context
+	// switch in concurrent mode; slices are aliased, never copied, so the
+	// collector always sees every thread's live registers).
+	Regs []uint32
+	// SP is the current stack pointer.
+	SP     uint32
+	static []byte
+	stack  []byte
+	labels map[string]map[int32]int
+	byID   map[int32]*machine.Func
+	meta   map[*machine.Func]*FuncMeta
+	// Costs caches Config.CostOf per opcode: one slice index in the hot
+	// loop instead of a switch.
+	Costs [machine.NumOps]uint64
+	out   strings.Builder
+	in    int
+	// Cycles and Instrs are the simulated accounting — the reproduction's
+	// data. Engines must charge them in the same order the interpreter
+	// does (cycles before the temporal track, both before the opcode).
+	Cycles uint64
+	Instrs uint64
+	rng    uint32
+	// Exited flips when the program calls exit(); dispatch loops stop at
+	// the next boundary.
+	Exited bool
+	exit   int32
+	// PendingRet carries the value of the most recent Ret to the caller's
+	// result register.
+	PendingRet uint32
+	// SinceGC counts instructions since the last async collection.
+	SinceGC uint64
+	// argbuf backs RuntimeCall's argument slice so runtime dispatch —
+	// including every checked-mode GC_same_obj/GC_pre_incr call — stays
+	// allocation-free on the host.
+	argbuf [8]uint32
+	// TT is the temporal-mode shadow-tag state; nil unless Options.Temporal
+	// (the hot loop pays one nil check).
+	TT *TemporalState
+	// StackLo/StackHi bound the current thread's stack segment for AdjSP;
+	// they are the whole stack in single-thread mode.
+	StackLo, StackHi uint32
+	// Concurrent-mutator state (nil/zero in single-thread mode).
+	threads  []*mthread
+	cur      int
+	schedRng uint64
+	// prof is the allocation-site profile; nil unless Options.HeapProfile
+	// (runtime-call dispatch pays one nil check).
+	prof *allocProf
+	// snapPending holds at most one cross-goroutine snapshot request,
+	// served at the context-poll stride; snapDone flips once the run is
+	// over, after which requesters capture on their own goroutine. See
+	// snapshot.go for the handshake.
+	snapPending atomic.Pointer[snapRequest]
+	snapDone    atomic.Bool
+}
+
+// NewCore prepares the engine-neutral state for one run of prog.
+func NewCore(prog *machine.Program, opts Options) *Core {
+	if opts.HeapBytes == 0 {
+		opts.HeapBytes = 16 << 20
+	}
+	if opts.TriggerBytes == 0 {
+		opts.TriggerBytes = 128 << 10
+	}
+	if opts.CollectAtEveryAlloc {
+		opts.TriggerBytes = 1
+	}
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 2_000_000_000
+	}
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	c := &Core{
+		prog:   prog,
+		Opts:   opts,
+		Ctx:    context.Background(),
+		cfg:    opts.Config,
+		Regs:   make([]uint32, opts.Config.NumRegs),
+		SP:     machine.StackTop,
+		static: append([]byte(nil), prog.Data...),
+		stack:  make([]byte, machine.StackTop-machine.StackLimit),
+		labels: map[string]map[int32]int{},
+		byID:   map[int32]*machine.Func{},
+		rng:    0x9E3779B9,
+
+		StackLo: machine.StackLimit,
+		StackHi: machine.StackTop,
+	}
+	if opts.Temporal {
+		c.TT = newTemporalState(int(opts.Config.NumRegs))
+	}
+	if opts.HeapProfile {
+		c.prof = newAllocProf()
+	}
+	hcfg := gc.Config{
+		MaxBytes:             opts.HeapBytes,
+		TriggerBytes:         opts.TriggerBytes,
+		Poison:               true,
+		BaseOnlyHeapPointers: opts.BaseOnlyHeap,
+	}
+	if opts.Faults != nil {
+		hcfg.Inject = opts.Faults.Fire
+	}
+	c.heap = gc.NewHeap(hcfg)
+	c.heap.SetRoots(gc.RootFunc(c.scanRoots))
+	c.meta = make(map[*machine.Func]*FuncMeta, len(prog.Funcs))
+	for name, f := range prog.Funcs {
+		lm := map[int32]int{}
+		for pc, in := range f.Code {
+			if in.Op == machine.Label {
+				lm[in.Imm] = pc
+			}
+		}
+		c.labels[name] = lm
+		c.byID[f.ID] = f
+	}
+	// Second pass: resolve branch targets and direct-call targets now that
+	// every label and function is known. An unknown label resolves to pc 0,
+	// matching the zero value the label-map lookup used to produce.
+	for _, f := range prog.Funcs {
+		c.meta[f] = &FuncMeta{
+			Targets:    make([]int, len(f.Code)),
+			Callees:    make([]*machine.Func, len(f.Code)),
+			CalleeMeta: make([]*FuncMeta, len(f.Code)),
+		}
+	}
+	for _, f := range prog.Funcs {
+		fm := c.meta[f]
+		lm := c.labels[f.Name]
+		for pc, in := range f.Code {
+			switch in.Op {
+			case machine.Jmp, machine.Bz, machine.Bnz:
+				fm.Targets[pc] = lm[in.Imm]
+			case machine.Call:
+				if callee := prog.Funcs[in.Sym]; callee != nil {
+					fm.Callees[pc] = callee
+					fm.CalleeMeta[pc] = c.meta[callee]
+				}
+			}
+		}
+	}
+	for op := 0; op < machine.NumOps; op++ {
+		c.Costs[op] = c.cfg.CostOf(machine.Op(op))
+	}
+	return c
+}
+
+// Program returns the program the core was built for.
+func (c *Core) Program() *machine.Program { return c.prog }
+
+// RunWith executes the entry function to completion or until ctx is done,
+// whichever comes first, driving single-thread execution through exec —
+// the one function an engine supplies. Concurrent runs (Threads > 1) are
+// scheduled here, through the shared quantum scheduler, so every engine's
+// concurrent interleavings are identical by construction. The error
+// strings keep their historical "interp:" prefix: they are part of the
+// observable surface tests and goldens assert on.
+func (c *Core) RunWith(ctx context.Context, exec func(entry *machine.Func, retReg machine.Reg) error) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.Ctx = ctx
+	defer c.finishSnapshots()
+	entry, ok := c.prog.Funcs[c.Opts.Entry]
+	if !ok {
+		return nil, fmt.Errorf("interp: no function %q", c.Opts.Entry)
+	}
+	if err := ctx.Err(); err != nil {
+		return c.result(), fmt.Errorf("interp: %w", err)
+	}
+	var runErr error
+	if c.Opts.Threads > 1 {
+		runErr = c.runThreads(entry)
+	} else {
+		runErr = exec(entry, machine.NoReg)
+	}
+	res := c.result()
+	if c.Opts.HeapProfile {
+		trigger, addr := snapshotTrigger(runErr)
+		reason := ""
+		if runErr != nil {
+			reason = runErr.Error()
+		}
+		if snap, err := c.CaptureSnapshot(trigger, reason, addr); err != nil {
+			res.SnapshotErr = err.Error()
+		} else {
+			res.Snapshot = snap
+		}
+	}
+	return res, runErr
+}
+
+// Poll is the safe-point body shared by every dispatch loop: context
+// cancellation, the interp.step fault point, and the cross-goroutine
+// snapshot handshake, in that order. Engines call it when the poll
+// countdown reaches zero (every PollInterval instructions).
+func (c *Core) Poll() error {
+	if err := c.Ctx.Err(); err != nil {
+		return err
+	}
+	// Fault injection shares the poll stride so an inert run pays nothing
+	// beyond the existing branch.
+	if f := c.Opts.Faults; f != nil {
+		if err := f.Fire(faultinject.PointInterpStep); err != nil {
+			return err
+		}
+	}
+	// Cross-goroutine snapshot requests are served here: the poll stride
+	// is the engine's safe point (mutator stopped).
+	if c.snapPending.Load() != nil {
+		c.serveSnapshot()
+	}
+	return nil
+}
+
+func (c *Core) result() *Result {
+	return &Result{
+		Output:   c.out.String(),
+		ExitCode: c.exit,
+		Cycles:   c.Cycles,
+		Instrs:   c.Instrs,
+		GCStats:  c.heap.Stats(),
+	}
+}
+
+// scanRoots feeds the collector every word in the register file, the live
+// stack, and the static data segment. In concurrent mode every live
+// thread's register file and stack segment is a root set: a collection one
+// thread triggers must see the pointers every other thread still holds.
+func (c *Core) scanRoots(visit func(gc.Addr)) {
+	if c.threads != nil {
+		for i, t := range c.threads {
+			if t.done {
+				continue
+			}
+			sp := t.sp
+			if i == c.cur {
+				sp = c.SP // regs alias t.regs; only sp is cached in c
+			}
+			for _, r := range t.regs {
+				visit(r)
+			}
+			for a := sp &^ 3; a < t.hi; a += 4 {
+				w, err := c.read32raw(a)
+				if err == nil {
+					visit(w)
+				}
+			}
+		}
+	} else {
+		for _, r := range c.Regs {
+			visit(r)
+		}
+		for a := c.SP &^ 3; a < machine.StackTop; a += 4 {
+			w, err := c.read32raw(a)
+			if err == nil {
+				visit(w)
+			}
+		}
+	}
+	base := machine.DataBase
+	for off := 0; off+4 <= len(c.static); off += 4 {
+		visit(uint32(c.static[off]) | uint32(c.static[off+1])<<8 |
+			uint32(c.static[off+2])<<16 | uint32(c.static[off+3])<<24)
+	}
+	_ = base
+}
+
+// Stats exposes collector statistics mid-run (for tests).
+func (c *Core) Stats() gc.Stats { return c.heap.Stats() }
+
+// Heap exposes the collector (for tests and the checker example).
+func (c *Core) Heap() *gc.Heap { return c.heap }

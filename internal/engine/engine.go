@@ -1,0 +1,95 @@
+// Package engine is the engine-neutral execution core: everything an
+// execution backend needs to run compiled programs against the
+// conservative collector — the machine state (registers, stack pointer,
+// simulated memory), the native runtime library, the temporal shadow
+// tags, the concurrent-mutator scheduler, the safe-point/snapshot
+// handshake and allocation-site profiling — without committing to a
+// dispatch strategy. Backends (the switch-dispatch interpreter in
+// internal/interp, the closure-threaded backend in internal/threaded)
+// register themselves here and supply only the single-thread dispatch
+// loop; every simulated number they produce must be bit-identical,
+// which is what lets a second engine participate in the differential
+// testing discipline at all.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gcsafety/internal/machine"
+)
+
+// DefaultName is the engine selected when Options.Engine is empty: the
+// classic switch-dispatch interpreter.
+const DefaultName = "interp"
+
+// Engine is one execution backend. Run must produce results — Instrs,
+// Cycles, output bytes, GC statistics and every checker outcome —
+// bit-identical to every other registered engine: the simulated numbers
+// are the reproduction's data, and the fuzz matrix's engine twins
+// enforce the contract.
+type Engine interface {
+	Name() string
+	Run(ctx context.Context, prog *machine.Program, opts Options) (*Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Engine{}
+)
+
+// Register installs an execution backend under its name. Backends call
+// it from init; a duplicate name panics (two engines claiming one name
+// is a build-layout bug, not a runtime condition).
+func Register(e Engine) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name()]; dup {
+		panic("engine: duplicate registration of " + e.Name())
+	}
+	registry[e.Name()] = e
+}
+
+// Lookup resolves an engine name ("" selects DefaultName). Unknown
+// names report the valid set, so surfaces that pass the error through
+// (the daemon's 400, ccrun's usage failure) stay self-describing.
+func Lookup(name string) (Engine, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown engine %q (valid engines: %s)", name, strings.Join(namesLocked(), ", "))
+	}
+	return e, nil
+}
+
+// Names lists the registered engines, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes prog under the engine opts.Engine selects.
+func Run(ctx context.Context, prog *machine.Program, opts Options) (*Result, error) {
+	e, err := Lookup(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, prog, opts)
+}

@@ -1,15 +1,15 @@
-package interp
+package engine
 
 import "gcsafety/internal/heapdump"
 
 // Allocation-site profiling: when Options.HeapProfile is set, the machine
 // records which call site produced every live object, so snapshots can
 // answer "allocated at main:12 (malloc)". The design constraint is the
-// dispatch loop: with profiling off, m.prof is nil and the hot path pays
+// dispatch loop: with profiling off, c.prof is nil and the hot path pays
 // exactly one nil check on the (already cold relative to arithmetic)
-// runtime-call dispatch — never per instruction. With profiling on, the
-// dispatch loop leaves the pending call site (function name + source line
-// from machine.Instr.Line) in pendFn/pendLine just before a runtime call,
+// runtime-call dispatch — never per instruction. With profiling on,
+// RuntimeCall leaves the pending call site (function name + source line
+// from machine.Instr.Line) in pendFn/pendLine just before dispatching,
 // and the allocator cases consume it.
 
 // siteKey interns allocation sites: one heapdump.Site per distinct
@@ -29,7 +29,7 @@ type allocProf struct {
 	// snapshots only consult bases that are live at capture time.
 	objSite map[uint32]int32
 	// pendFn/pendLine identify the call site of the runtime call currently
-	// dispatching (set by the Call cases in exec.go).
+	// dispatching (set at the top of RuntimeCall).
 	pendFn   string
 	pendLine int32
 }
@@ -43,12 +43,12 @@ func newAllocProf() *allocProf {
 
 // noteSite attributes the object at base to the pending call site through
 // allocator kind ("malloc", "calloc", "realloc"). Only called on
-// successful allocations with m.prof non-nil.
-func (m *Machine) noteSite(base uint32, kind string) {
+// successful allocations with c.prof non-nil.
+func (c *Core) noteSite(base uint32, kind string) {
 	if base == 0 {
 		return
 	}
-	p := m.prof
+	p := c.prof
 	k := siteKey{fn: p.pendFn, line: p.pendLine, kind: kind}
 	id, ok := p.index[k]
 	if !ok {
@@ -58,6 +58,6 @@ func (m *Machine) noteSite(base uint32, kind string) {
 	}
 	s := &p.sites[id]
 	s.Allocs++
-	s.Bytes += uint64(m.heap.ObjectSize(base))
+	s.Bytes += uint64(c.heap.ObjectSize(base))
 	p.objSite[base] = id
 }

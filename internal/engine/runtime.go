@@ -1,4 +1,4 @@
-package interp
+package engine
 
 import (
 	"fmt"
@@ -20,29 +20,29 @@ const (
 	rtCheck   = 12 // GC_same_obj page-tree lookup cost
 )
 
-func (m *Machine) arg(i int) (uint32, error) {
-	return m.read32(m.sp + uint32(4*i))
+func (c *Core) arg(i int) (uint32, error) {
+	return c.Read32(c.SP + uint32(4*i))
 }
 
-// runtimeCall takes the Call instruction itself (plus the caller's name)
+// RuntimeCall takes the Call instruction itself (plus the caller's name)
 // rather than an unpacked symbol/arity so the allocation-site capture can
 // live here, off the dispatch loop's critical path: by the time we are in
-// this function a real call has already been paid for, so the m.prof
-// nil-check below is noise, whereas the same check in the dispatch loop's
-// Call case measurably perturbs the tuned interpreter throughput.
-func (m *Machine) runtimeCall(fnName string, in *machine.Instr) (uint32, error) {
-	if m.prof != nil {
-		m.prof.pendFn, m.prof.pendLine = fnName, in.Line
+// this function a real call has already been paid for, so the c.prof
+// nil-check below is noise, whereas the same check in a dispatch loop's
+// Call case measurably perturbs the tuned throughput.
+func (c *Core) RuntimeCall(fnName string, in *machine.Instr) (uint32, error) {
+	if c.prof != nil {
+		c.prof.pendFn, c.prof.pendLine = fnName, in.Line
 	}
 	sym, nargs := in.Sym, int(in.Imm)
 	var args []uint32
-	if nargs > len(m.argbuf) {
+	if nargs > len(c.argbuf) {
 		args = make([]uint32, nargs)
 	} else {
-		args = m.argbuf[:nargs]
+		args = c.argbuf[:nargs]
 	}
 	for i := range args {
-		v, err := m.arg(i)
+		v, err := c.arg(i)
 		if err != nil {
 			return 0, err
 		}
@@ -54,40 +54,40 @@ func (m *Machine) runtimeCall(fnName string, in *machine.Instr) (uint32, error) 
 		}
 		return 0
 	}
-	m.cycles += rtBase
-	if m.tt != nil {
+	c.Cycles += rtBase
+	if c.TT != nil {
 		// Runtime results are untagged unless a case below says otherwise.
-		m.tt.retTag = 0
+		c.TT.RetTag = 0
 	}
 	switch sym {
 	case "malloc", "GC_malloc":
-		m.cycles += rtAlloc
-		p, err := m.alloc(a(0))
-		if err == nil && m.tt != nil {
-			m.noteAlloc(p)
+		c.Cycles += rtAlloc
+		p, err := c.alloc(a(0))
+		if err == nil && c.TT != nil {
+			c.noteAlloc(p)
 		}
-		if err == nil && m.prof != nil {
-			m.noteSite(p, "malloc")
+		if err == nil && c.prof != nil {
+			c.noteSite(p, "malloc")
 		}
 		return p, err
 	case "calloc":
-		m.cycles += rtAlloc
-		p, err := m.alloc(a(0) * a(1))
-		if err == nil && m.tt != nil {
-			m.noteAlloc(p)
+		c.Cycles += rtAlloc
+		p, err := c.alloc(a(0) * a(1))
+		if err == nil && c.TT != nil {
+			c.noteAlloc(p)
 		}
-		if err == nil && m.prof != nil {
-			m.noteSite(p, "calloc")
+		if err == nil && c.prof != nil {
+			c.noteSite(p, "calloc")
 		}
 		return p, err
 	case "realloc":
-		m.cycles += rtAlloc
-		p, err := m.realloc(a(0), a(1))
-		if err == nil && m.tt != nil {
-			m.noteAlloc(p)
+		c.Cycles += rtAlloc
+		p, err := c.realloc(a(0), a(1))
+		if err == nil && c.TT != nil {
+			c.noteAlloc(p)
 		}
-		if err == nil && m.prof != nil {
-			m.noteSite(p, "realloc")
+		if err == nil && c.prof != nil {
+			c.noteSite(p, "realloc")
 		}
 		return p, err
 	case "free":
@@ -96,129 +96,129 @@ func (m *Machine) runtimeCall(fnName string, in *machine.Instr) (uint32, error) 
 		return 0, nil
 	case "GC_free":
 		// The temporal mode's real deallocator (see temporal.go).
-		m.cycles += rtAlloc
-		return m.gcFree(a(0))
+		c.Cycles += rtAlloc
+		return c.gcFree(a(0))
 	case "join_threads":
 		// Blocks (by scheduler retry) until every sibling thread finished;
 		// immediately returns 0 in single-thread mode.
-		if m.threadsRemaining() {
+		if c.threadsRemaining() {
 			return 0, errJoinWait
 		}
 		return 0, nil
 	case "GC_gcollect":
-		m.heap.Collect()
+		c.heap.Collect()
 		return 0, nil
 	case "GC_base":
-		m.cycles += rtCheck
-		b := m.heap.Base(a(0))
-		if m.tt != nil {
-			m.tt.retTag = m.heap.EpochOf(b)
+		c.Cycles += rtCheck
+		b := c.heap.Base(a(0))
+		if c.TT != nil {
+			c.TT.RetTag = c.heap.EpochOf(b)
 		}
 		return b, nil
 	case "GC_same_obj":
-		m.cycles += rtCheck
-		if m.tt != nil {
-			if err := m.temporalSameObj(a(0), a(1)); err != nil {
+		c.Cycles += rtCheck
+		if c.TT != nil {
+			if err := c.temporalSameObj(a(0), a(1)); err != nil {
 				return 0, err
 			}
-			m.tt.retTag = m.argTag(0)
+			c.TT.RetTag = c.argTag(0)
 		}
-		p, err := m.heap.SameObject(a(0), a(1))
+		p, err := c.heap.SameObject(a(0), a(1))
 		if err != nil {
 			return 0, &CheckError{Err: err}
 		}
 		return p, nil
 	case "GC_pre_incr":
-		m.cycles += rtCheck + 4
-		return m.gcIncr(a(0), int32(a(1)), false)
+		c.Cycles += rtCheck + 4
+		return c.gcIncr(a(0), int32(a(1)), false)
 	case "GC_post_incr":
-		m.cycles += rtCheck + 4
-		return m.gcIncr(a(0), int32(a(1)), true)
+		c.Cycles += rtCheck + 4
+		return c.gcIncr(a(0), int32(a(1)), true)
 	case "KEEP_LIVE":
 		// The paper's portable fallback: "a call to an external function
 		// whose implementation is unavailable to the compiler for
 		// analysis, but which actually just returns its first argument."
-		if m.tt != nil {
-			m.tt.retTag = m.argTag(0)
+		if c.TT != nil {
+			c.TT.RetTag = c.argTag(0)
 		}
 		return a(0), nil
 	case "strlen":
-		s, err := m.cstring(a(0))
+		s, err := c.cstring(a(0))
 		if err != nil {
 			return 0, err
 		}
-		m.cycles += uint64(len(s)) * rtPerByte
+		c.Cycles += uint64(len(s)) * rtPerByte
 		return uint32(len(s)), nil
 	case "strcpy":
-		if m.tt != nil {
-			m.tt.retTag = m.argTag(0)
+		if c.TT != nil {
+			c.TT.RetTag = c.argTag(0)
 		}
-		return m.strcpy(a(0), a(1), 1<<30, true)
+		return c.strcpy(a(0), a(1), 1<<30, true)
 	case "strncpy":
-		if m.tt != nil {
-			m.tt.retTag = m.argTag(0)
+		if c.TT != nil {
+			c.TT.RetTag = c.argTag(0)
 		}
-		return m.strcpy(a(0), a(1), a(2), true)
+		return c.strcpy(a(0), a(1), a(2), true)
 	case "strcat":
-		s, err := m.cstring(a(0))
+		s, err := c.cstring(a(0))
 		if err != nil {
 			return 0, err
 		}
-		m.cycles += uint64(len(s)) * rtPerByte
-		if _, err := m.strcpy(a(0)+uint32(len(s)), a(1), 1<<30, true); err != nil {
+		c.Cycles += uint64(len(s)) * rtPerByte
+		if _, err := c.strcpy(a(0)+uint32(len(s)), a(1), 1<<30, true); err != nil {
 			return 0, err
 		}
-		if m.tt != nil {
-			m.tt.retTag = m.argTag(0)
+		if c.TT != nil {
+			c.TT.RetTag = c.argTag(0)
 		}
 		return a(0), nil
 	case "strcmp":
-		return m.strcmp(a(0), a(1), 1<<30)
+		return c.strcmp(a(0), a(1), 1<<30)
 	case "strncmp":
-		return m.strcmp(a(0), a(1), a(2))
+		return c.strcmp(a(0), a(1), a(2))
 	case "strchr":
-		s, err := m.cstring(a(0))
+		s, err := c.cstring(a(0))
 		if err != nil {
 			return 0, err
 		}
-		m.cycles += uint64(len(s)) * rtPerByte
+		c.Cycles += uint64(len(s)) * rtPerByte
 		for i := 0; i <= len(s); i++ {
-			var c byte
+			var ch byte
 			if i < len(s) {
-				c = s[i]
+				ch = s[i]
 			}
-			if c == byte(a(1)) {
-				if m.tt != nil {
-					m.tt.retTag = m.argTag(0)
+			if ch == byte(a(1)) {
+				if c.TT != nil {
+					c.TT.RetTag = c.argTag(0)
 				}
 				return a(0) + uint32(i), nil
 			}
 		}
 		return 0, nil
 	case "memcpy", "memmove":
-		if m.tt != nil {
-			m.tt.retTag = m.argTag(0)
+		if c.TT != nil {
+			c.TT.RetTag = c.argTag(0)
 		}
-		return m.memmove(a(0), a(1), a(2))
+		return c.memmove(a(0), a(1), a(2))
 	case "memset":
-		if m.tt != nil {
-			m.tt.retTag = m.argTag(0)
+		if c.TT != nil {
+			c.TT.RetTag = c.argTag(0)
 		}
-		m.cycles += uint64(a(2)) * rtPerByte
+		c.Cycles += uint64(a(2)) * rtPerByte
 		for i := uint32(0); i < a(2); i++ {
-			if err := m.write8(a(0)+i, byte(a(1))); err != nil {
+			if err := c.write8(a(0)+i, byte(a(1))); err != nil {
 				return 0, err
 			}
 		}
 		return a(0), nil
 	case "memcmp":
-		m.cycles += uint64(a(2)) * rtPerByte
+		c.Cycles += uint64(a(2)) * rtPerByte
 		for i := uint32(0); i < a(2); i++ {
-			x, err := m.read8(a(0) + i)
+			x, err := c.read8(a(0) + i)
 			if err != nil {
 				return 0, err
 			}
-			y, err := m.read8(a(1) + i)
+			y, err := c.read8(a(1) + i)
 			if err != nil {
 				return 0, err
 			}
@@ -231,36 +231,36 @@ func (m *Machine) runtimeCall(fnName string, in *machine.Instr) (uint32, error) 
 		}
 		return 0, nil
 	case "putchar":
-		m.out.WriteByte(byte(a(0)))
+		c.out.WriteByte(byte(a(0)))
 		return a(0), nil
 	case "puts":
-		s, err := m.cstring(a(0))
+		s, err := c.cstring(a(0))
 		if err != nil {
 			return 0, err
 		}
-		m.out.WriteString(s)
-		m.out.WriteByte('\n')
+		c.out.WriteString(s)
+		c.out.WriteByte('\n')
 		return 0, nil
 	case "print_str":
-		s, err := m.cstring(a(0))
+		s, err := c.cstring(a(0))
 		if err != nil {
 			return 0, err
 		}
-		m.out.WriteString(s)
+		c.out.WriteString(s)
 		return 0, nil
 	case "print_int":
-		fmt.Fprintf(&m.out, "%d", int32(a(0)))
+		fmt.Fprintf(&c.out, "%d", int32(a(0)))
 		return 0, nil
 	case "getchar":
-		if m.in >= len(m.opts.Input) {
+		if c.in >= len(c.Opts.Input) {
 			return uint32(0xFFFFFFFF), nil // EOF
 		}
-		c := m.opts.Input[m.in]
-		m.in++
-		return uint32(c), nil
+		ch := c.Opts.Input[c.in]
+		c.in++
+		return uint32(ch), nil
 	case "exit":
-		m.exited = true
-		m.exit = int32(a(0))
+		c.Exited = true
+		c.exit = int32(a(0))
 		return 0, nil
 	case "abort":
 		return 0, fmt.Errorf("abort() called")
@@ -271,63 +271,63 @@ func (m *Machine) runtimeCall(fnName string, in *machine.Instr) (uint32, error) 
 		return 0, nil
 	case "rand_next":
 		// xorshift32: deterministic workload driver
-		x := m.rng
+		x := c.rng
 		x ^= x << 13
 		x ^= x >> 17
 		x ^= x << 5
-		m.rng = x
+		c.rng = x
 		return x, nil
 	}
 	return 0, fmt.Errorf("call to undefined function %q", sym)
 }
 
-func (m *Machine) alloc(n uint32) (uint32, error) {
-	a, err := m.heap.Alloc(n)
+func (c *Core) alloc(n uint32) (uint32, error) {
+	a, err := c.heap.Alloc(n)
 	if err != nil {
 		return 0, err
 	}
 	return a, nil
 }
 
-func (m *Machine) realloc(p, n uint32) (uint32, error) {
+func (c *Core) realloc(p, n uint32) (uint32, error) {
 	if p == 0 {
-		return m.alloc(n)
+		return c.alloc(n)
 	}
-	na, err := m.alloc(n)
+	na, err := c.alloc(n)
 	if err != nil {
 		return 0, err
 	}
-	old := m.heap.ObjectSize(m.heap.Base(p))
+	old := c.heap.ObjectSize(c.heap.Base(p))
 	cp := old
 	if n < cp {
 		cp = n
 	}
-	if _, err := m.memmove(na, p, cp); err != nil {
+	if _, err := c.memmove(na, p, cp); err != nil {
 		return 0, err
 	}
 	return na, nil
 }
 
-func (m *Machine) gcIncr(slot uint32, delta int32, post bool) (uint32, error) {
-	old, err := m.read32(slot)
+func (c *Core) gcIncr(slot uint32, delta int32, post bool) (uint32, error) {
+	old, err := c.Read32(slot)
 	if err != nil {
 		return 0, err
 	}
 	nw := uint32(int64(old) + int64(delta))
-	if err := m.write32(slot, nw); err != nil {
+	if err := c.Write32(slot, nw); err != nil {
 		return 0, err
 	}
-	if m.tt != nil {
+	if c.TT != nil {
 		// The pointer variable's stored tag survives the in-place update
 		// and checks the moved pointer against its birth epoch.
-		if tg := m.tt.memTag(slot); tg != 0 {
-			if err := m.epochCheck(old, tg); err != nil {
+		if tg := c.TT.memTag(slot); tg != 0 {
+			if err := c.epochCheck(old, tg); err != nil {
 				return 0, err
 			}
 		}
-		m.tt.retTag = m.tt.memTag(slot)
+		c.TT.RetTag = c.TT.memTag(slot)
 	}
-	if _, err := m.heap.SameObject(nw, old); err != nil {
+	if _, err := c.heap.SameObject(nw, old); err != nil {
 		return 0, &CheckError{Err: err}
 	}
 	if post {
@@ -336,35 +336,35 @@ func (m *Machine) gcIncr(slot uint32, delta int32, post bool) (uint32, error) {
 	return nw, nil
 }
 
-func (m *Machine) strcpy(dst, src, max uint32, nulTerm bool) (uint32, error) {
+func (c *Core) strcpy(dst, src, max uint32, nulTerm bool) (uint32, error) {
 	var i uint32
 	for i = 0; i < max; i++ {
-		c, err := m.read8(src + i)
+		ch, err := c.read8(src + i)
 		if err != nil {
 			return 0, err
 		}
-		if err := m.write8(dst+i, c); err != nil {
+		if err := c.write8(dst+i, ch); err != nil {
 			return 0, err
 		}
-		m.cycles += rtPerByte
-		if c == 0 {
+		c.Cycles += rtPerByte
+		if ch == 0 {
 			break
 		}
 	}
 	return dst, nil
 }
 
-func (m *Machine) strcmp(p, q, max uint32) (uint32, error) {
+func (c *Core) strcmp(p, q, max uint32) (uint32, error) {
 	for i := uint32(0); i < max; i++ {
-		x, err := m.read8(p + i)
+		x, err := c.read8(p + i)
 		if err != nil {
 			return 0, err
 		}
-		y, err := m.read8(q + i)
+		y, err := c.read8(q + i)
 		if err != nil {
 			return 0, err
 		}
-		m.cycles += rtPerByte
+		c.Cycles += rtPerByte
 		if x != y {
 			if x < y {
 				return uint32(0xFFFFFFFF), nil
@@ -378,25 +378,25 @@ func (m *Machine) strcmp(p, q, max uint32) (uint32, error) {
 	return 0, nil
 }
 
-func (m *Machine) memmove(dst, src, n uint32) (uint32, error) {
-	m.cycles += uint64(n) * rtPerByte
+func (c *Core) memmove(dst, src, n uint32) (uint32, error) {
+	c.Cycles += uint64(n) * rtPerByte
 	if dst < src {
 		for i := uint32(0); i < n; i++ {
-			c, err := m.read8(src + i)
+			ch, err := c.read8(src + i)
 			if err != nil {
 				return 0, err
 			}
-			if err := m.write8(dst+i, c); err != nil {
+			if err := c.write8(dst+i, ch); err != nil {
 				return 0, err
 			}
 		}
 	} else {
 		for i := n; i > 0; i-- {
-			c, err := m.read8(src + i - 1)
+			ch, err := c.read8(src + i - 1)
 			if err != nil {
 				return 0, err
 			}
-			if err := m.write8(dst+i-1, c); err != nil {
+			if err := c.write8(dst+i-1, ch); err != nil {
 				return 0, err
 			}
 		}

@@ -1,4 +1,4 @@
-package interp
+package engine
 
 import (
 	"errors"
@@ -18,7 +18,7 @@ import (
 //
 //   - the machine's own goroutine captures directly — at exit, on a
 //     checker violation, or when it serves a cross-goroutine request at
-//     the context-poll stride (the interpreter's safe point);
+//     the context-poll stride (the engine's safe point);
 //   - any other goroutine calls RequestSnapshot, which parks a request in
 //     snapPending and waits for the dispatch loop to serve it. After the
 //     run finishes (snapDone), requesters self-serve: the machine is
@@ -37,8 +37,8 @@ type snapRequest struct{ resp chan snapResult }
 // comment); external callers use RequestSnapshot instead. The capture
 // fires the "heapdump.capture" fault point first: an injected error loses
 // the snapshot but never perturbs the run itself.
-func (m *Machine) CaptureSnapshot(trigger, reason string, faultAddr uint32) (*heapdump.Snapshot, error) {
-	if f := m.opts.Faults; f != nil {
+func (c *Core) CaptureSnapshot(trigger, reason string, faultAddr uint32) (*heapdump.Snapshot, error) {
+	if f := c.Opts.Faults; f != nil {
 		if err := f.Fire(faultinject.PointHeapdump); err != nil {
 			return nil, fmt.Errorf("heapdump capture: %w", err)
 		}
@@ -47,16 +47,16 @@ func (m *Machine) CaptureSnapshot(trigger, reason string, faultAddr uint32) (*he
 		sites  []heapdump.Site
 		siteOf func(uint32) int32
 	)
-	if m.prof != nil {
-		sites = append([]heapdump.Site(nil), m.prof.sites...)
+	if c.prof != nil {
+		sites = append([]heapdump.Site(nil), c.prof.sites...)
 		siteOf = func(base uint32) int32 {
-			if id, ok := m.prof.objSite[base]; ok {
+			if id, ok := c.prof.objSite[base]; ok {
 				return id
 			}
 			return -1
 		}
 	}
-	snap := heapdump.Capture(m.heap, trigger, m.emitRoots, siteOf, sites)
+	snap := heapdump.Capture(c.heap, trigger, c.emitRoots, siteOf, sites)
 	snap.Reason = reason
 	snap.FaultAddr = faultAddr
 	return snap, nil
@@ -66,60 +66,60 @@ func (m *Machine) CaptureSnapshot(trigger, reason string, faultAddr uint32) (*he
 // every live thread's registers and stack words plus the static segment —
 // but with provenance (kind, thread, slot) so snapshots can render
 // "reg r3" or "static@0x2004".
-func (m *Machine) emitRoots(emit func(kind string, thread int, slot, word uint32)) {
-	if m.threads != nil {
-		for i, t := range m.threads {
+func (c *Core) emitRoots(emit func(kind string, thread int, slot, word uint32)) {
+	if c.threads != nil {
+		for i, t := range c.threads {
 			if t.done {
 				continue
 			}
 			sp := t.sp
-			if i == m.cur {
-				sp = m.sp // regs alias t.regs; only sp is cached in m
+			if i == c.cur {
+				sp = c.SP // regs alias t.regs; only sp is cached in c
 			}
 			for ri, r := range t.regs {
 				emit(heapdump.RootReg, i, uint32(ri), r)
 			}
 			for a := sp &^ 3; a < t.hi; a += 4 {
-				if w, err := m.read32raw(a); err == nil {
+				if w, err := c.read32raw(a); err == nil {
 					emit(heapdump.RootStack, i, a, w)
 				}
 			}
 		}
 	} else {
-		for ri, r := range m.regs {
+		for ri, r := range c.Regs {
 			emit(heapdump.RootReg, 0, uint32(ri), r)
 		}
-		for a := m.sp &^ 3; a < machine.StackTop; a += 4 {
-			if w, err := m.read32raw(a); err == nil {
+		for a := c.SP &^ 3; a < machine.StackTop; a += 4 {
+			if w, err := c.read32raw(a); err == nil {
 				emit(heapdump.RootStack, 0, a, w)
 			}
 		}
 	}
-	for off := 0; off+4 <= len(m.static); off += 4 {
-		w := uint32(m.static[off]) | uint32(m.static[off+1])<<8 |
-			uint32(m.static[off+2])<<16 | uint32(m.static[off+3])<<24
+	for off := 0; off+4 <= len(c.static); off += 4 {
+		w := uint32(c.static[off]) | uint32(c.static[off+1])<<8 |
+			uint32(c.static[off+2])<<16 | uint32(c.static[off+3])<<24
 		emit(heapdump.RootStatic, 0, machine.DataBase+uint32(off), w)
 	}
 }
 
 // RequestSnapshot asks a (possibly running) machine for a heap snapshot
 // and blocks until one is taken. While the program runs, the snapshot is
-// captured by the interpreter goroutine at its next safe point (the
+// captured by the engine goroutine at its next safe point (the
 // context-poll stride, every 1024 instructions), so the mutator is always
 // stopped during capture; after the run, the requester captures on its own
-// goroutine. This is the one Machine method that may be called from
-// another goroutine mid-run.
-func (m *Machine) RequestSnapshot() (*heapdump.Snapshot, error) {
+// goroutine. This is the one Core method that may be called from another
+// goroutine mid-run.
+func (c *Core) RequestSnapshot() (*heapdump.Snapshot, error) {
 	req := &snapRequest{resp: make(chan snapResult, 1)}
-	for !m.snapPending.CompareAndSwap(nil, req) {
+	for !c.snapPending.CompareAndSwap(nil, req) {
 		runtime.Gosched() // another request holds the slot; wait our turn
 	}
-	if m.snapDone.Load() {
+	if c.snapDone.Load() {
 		// The dispatch loop has finished and will never poll again. If the
 		// final drain did not already take our request, remove it and
 		// self-serve: the machine is quiescent, captures are read-only.
-		if m.snapPending.CompareAndSwap(req, nil) {
-			return m.CaptureSnapshot(heapdump.TriggerRequest, "", 0)
+		if c.snapPending.CompareAndSwap(req, nil) {
+			return c.CaptureSnapshot(heapdump.TriggerRequest, "", 0)
 		}
 	}
 	r := <-req.resp
@@ -128,12 +128,12 @@ func (m *Machine) RequestSnapshot() (*heapdump.Snapshot, error) {
 
 // serveSnapshot fulfills a pending cross-goroutine snapshot request, if
 // any. Called only at safe points of the machine's own goroutine.
-func (m *Machine) serveSnapshot() {
-	req := m.snapPending.Swap(nil)
+func (c *Core) serveSnapshot() {
+	req := c.snapPending.Swap(nil)
 	if req == nil {
 		return
 	}
-	snap, err := m.CaptureSnapshot(heapdump.TriggerRequest, "", 0)
+	snap, err := c.CaptureSnapshot(heapdump.TriggerRequest, "", 0)
 	req.resp <- snapResult{snap: snap, err: err}
 }
 
@@ -141,9 +141,9 @@ func (m *Machine) serveSnapshot() {
 // before the flag was visible. The order matters: done is published
 // first, so a requester that enqueues afterwards either finds its request
 // taken by this drain or self-serves — it can never hang.
-func (m *Machine) finishSnapshots() {
-	m.snapDone.Store(true)
-	m.serveSnapshot()
+func (c *Core) finishSnapshots() {
+	c.snapDone.Store(true)
+	c.serveSnapshot()
 }
 
 // snapshotTrigger classifies a run outcome for snapshot labelling and digs

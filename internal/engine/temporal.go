@@ -1,4 +1,4 @@
-package interp
+package engine
 
 import (
 	"fmt"
@@ -6,7 +6,7 @@ import (
 	"gcsafety/internal/machine"
 )
 
-// Temporal mode: the interpreter's half of the temporal-safety checker.
+// Temporal mode: the engine-neutral half of the temporal-safety checker.
 //
 // The collector half (internal/gc epoch.go) stamps every allocation with a
 // monotonically increasing epoch. This file tracks, purely on the side, the
@@ -32,41 +32,44 @@ type TemporalError struct {
 
 func (e *TemporalError) Error() string { return "temporal check failed: " + e.Msg }
 
-// temporalState is the shadow-tag store. regTags is swapped per thread in
+// TemporalState is the shadow-tag store. regTags is swapped per thread in
 // concurrent mode; memTags covers the whole (shared) address space at word
-// granularity, with absent entries meaning tag 0.
-type temporalState struct {
+// granularity, with absent entries meaning tag 0. Track owns all
+// propagation; engines only consume SetTag/RetTag at call-return sites.
+type TemporalState struct {
 	regTags []uint32
 	memTags map[uint32]uint32
-	// retTag carries the tag of the value a runtime builtin or user
+	// RetTag carries the tag of the value a runtime builtin or user
 	// function is about to return to the caller's result register.
-	retTag uint32
+	RetTag uint32
 }
 
-func newTemporalState(nregs int) *temporalState {
-	return &temporalState{
+func newTemporalState(nregs int) *TemporalState {
+	return &TemporalState{
 		regTags: make([]uint32, nregs),
 		memTags: make(map[uint32]uint32),
 	}
 }
 
-func (t *temporalState) tag(r machine.Reg) uint32 {
+func (t *TemporalState) tag(r machine.Reg) uint32 {
 	if r == machine.NoReg || int(r) >= len(t.regTags) {
 		return 0
 	}
 	return t.regTags[r]
 }
 
-func (t *temporalState) setTag(r machine.Reg, v uint32) {
+// SetTag tags register r (NoReg and out-of-range writes are dropped,
+// mirroring SetReg).
+func (t *TemporalState) SetTag(r machine.Reg, v uint32) {
 	if r == machine.NoReg || int(r) >= len(t.regTags) {
 		return
 	}
 	t.regTags[r] = v
 }
 
-func (t *temporalState) memTag(a uint32) uint32 { return t.memTags[a&^3] }
+func (t *TemporalState) memTag(a uint32) uint32 { return t.memTags[a&^3] }
 
-func (t *temporalState) setMemTag(a, v uint32) {
+func (t *TemporalState) setMemTag(a, v uint32) {
 	a &^= 3
 	if v == 0 {
 		delete(t.memTags, a)
@@ -75,18 +78,18 @@ func (t *temporalState) setMemTag(a, v uint32) {
 	t.memTags[a] = v
 }
 
-// track runs once per instruction, before the opcode executes: it checks
+// Track runs once per instruction, before the opcode executes: it checks
 // memory operands addressed through a tagged register against the heap's
 // current epochs, then propagates tags to the destination. Untagged (0)
 // always passes — tags only originate at allocations, so programs that
 // never touch stale storage never fault.
-func (m *Machine) track(in *machine.Instr) error {
-	tt := m.tt
+func (c *Core) Track(in *machine.Instr) error {
+	tt := c.TT
 	switch in.Op {
 	case machine.Ld, machine.LdB, machine.LdBu, machine.LdH, machine.LdHu,
 		machine.St, machine.StB, machine.StH:
 		if tg := tt.tag(in.Rs1); tg != 0 {
-			if err := m.epochCheck(m.reg(in.Rs1)+m.src2(in), tg); err != nil {
+			if err := c.epochCheck(c.Reg(in.Rs1)+c.Src2(in), tg); err != nil {
 				return err
 			}
 		}
@@ -94,9 +97,9 @@ func (m *Machine) track(in *machine.Instr) error {
 	switch in.Op {
 	case machine.Mov:
 		if in.HasImm {
-			tt.setTag(in.Rd, 0)
+			tt.SetTag(in.Rd, 0)
 		} else {
-			tt.setTag(in.Rd, tt.tag(in.Rs1))
+			tt.SetTag(in.Rd, tt.tag(in.Rs1))
 		}
 	case machine.Add:
 		// Pointer arithmetic: pointer + untagged offset keeps the pointer's
@@ -107,11 +110,11 @@ func (m *Machine) track(in *machine.Instr) error {
 		}
 		switch {
 		case t1 != 0 && t2 == 0:
-			tt.setTag(in.Rd, t1)
+			tt.SetTag(in.Rd, t1)
 		case t2 != 0 && t1 == 0:
-			tt.setTag(in.Rd, t2)
+			tt.SetTag(in.Rd, t2)
 		default:
-			tt.setTag(in.Rd, 0)
+			tt.SetTag(in.Rd, 0)
 		}
 	case machine.Sub:
 		t2 := uint32(0)
@@ -119,25 +122,25 @@ func (m *Machine) track(in *machine.Instr) error {
 			t2 = tt.tag(in.Rs2)
 		}
 		if t2 == 0 {
-			tt.setTag(in.Rd, tt.tag(in.Rs1))
+			tt.SetTag(in.Rd, tt.tag(in.Rs1))
 		} else {
-			tt.setTag(in.Rd, 0) // pointer difference: an integer
+			tt.SetTag(in.Rd, 0) // pointer difference: an integer
 		}
 	case machine.Ld:
-		tt.setTag(in.Rd, tt.memTag(m.reg(in.Rs1)+m.src2(in)))
+		tt.SetTag(in.Rd, tt.memTag(c.Reg(in.Rs1)+c.Src2(in)))
 	case machine.LdSP:
-		tt.setTag(in.Rd, tt.memTag(m.sp+uint32(in.Imm)))
+		tt.SetTag(in.Rd, tt.memTag(c.SP+uint32(in.Imm)))
 	case machine.St:
-		tt.setMemTag(m.reg(in.Rs1)+m.src2(in), tt.tag(in.Rd))
+		tt.setMemTag(c.Reg(in.Rs1)+c.Src2(in), tt.tag(in.Rd))
 	case machine.StSP, machine.Arg:
-		tt.setMemTag(m.sp+uint32(in.Imm), tt.tag(in.Rd))
+		tt.setMemTag(c.SP+uint32(in.Imm), tt.tag(in.Rd))
 	case machine.StB, machine.StH:
 		// A sub-word store clobbers part of the word: tag unknown.
-		tt.setMemTag(m.reg(in.Rs1)+m.src2(in), 0)
+		tt.setMemTag(c.Reg(in.Rs1)+c.Src2(in), 0)
 	case machine.KeepLive:
-		tt.setTag(in.Rd, tt.tag(in.Rs1))
+		tt.SetTag(in.Rd, tt.tag(in.Rs1))
 	case machine.Ret:
-		tt.retTag = tt.tag(in.Rs1)
+		tt.RetTag = tt.tag(in.Rs1)
 	case machine.Jmp, machine.Bz, machine.Bnz, machine.Nop, machine.Label,
 		machine.AdjSP, machine.Call, machine.CallR:
 		// No general-purpose destination is written here; Call results are
@@ -145,7 +148,7 @@ func (m *Machine) track(in *machine.Instr) error {
 	default:
 		// Every other opcode (byte/half loads, mul/div, logic, shifts,
 		// compares, LeaSP) computes a non-pointer or non-heap value.
-		tt.setTag(in.Rd, 0)
+		tt.SetTag(in.Rd, 0)
 	}
 	return nil
 }
@@ -154,16 +157,16 @@ func (m *Machine) track(in *machine.Instr) error {
 // epoch tag. Outside the heap nothing is checked (the tag may have flowed
 // into an address computation that left the heap; the spatial checker owns
 // that case).
-func (m *Machine) epochCheck(addr uint32, tag uint32) error {
-	if !m.heap.Contains(addr) {
+func (c *Core) epochCheck(addr uint32, tag uint32) error {
+	if !c.heap.Contains(addr) {
 		return nil
 	}
-	base := m.heap.Base(addr)
+	base := c.heap.Base(addr)
 	if base == 0 {
 		return &CheckError{Err: &TemporalError{Addr: addr, Msg: fmt.Sprintf(
 			"access at %#x to freed storage (use after free)", addr)}}
 	}
-	if e := m.heap.EpochOf(base); e != tag {
+	if e := c.heap.EpochOf(base); e != tag {
 		return &CheckError{Err: &TemporalError{Addr: addr, Msg: fmt.Sprintf(
 			"access at %#x through a stale pointer: object epoch %d, pointer epoch %d (storage recycled)",
 			addr, e, tag)}}
@@ -173,24 +176,24 @@ func (m *Machine) epochCheck(addr uint32, tag uint32) error {
 
 // argTag returns the shadow tag of runtime-call argument i (arguments are
 // words at sp+4i), or 0 outside temporal mode.
-func (m *Machine) argTag(i int) uint32 {
-	if m.tt == nil {
+func (c *Core) argTag(i int) uint32 {
+	if c.TT == nil {
 		return 0
 	}
-	return m.tt.memTag(m.sp + uint32(4*i))
+	return c.TT.memTag(c.SP + uint32(4*i))
 }
 
 // noteAlloc tags an allocation result with its birth epoch and clears any
 // shadow tags covering the new object's storage: the address may have been
 // recycled from a freed object whose stale word tags must not leak into its
 // next life.
-func (m *Machine) noteAlloc(a uint32) {
-	tt := m.tt
-	tt.retTag = m.heap.EpochOf(a)
+func (c *Core) noteAlloc(a uint32) {
+	tt := c.TT
+	tt.RetTag = c.heap.EpochOf(a)
 	if a == 0 {
 		return
 	}
-	size := m.heap.ObjectSize(a)
+	size := c.heap.ObjectSize(a)
 	for w := a &^ 3; w < a+size; w += 4 {
 		delete(tt.memTags, w)
 	}
@@ -201,20 +204,20 @@ func (m *Machine) noteAlloc(a uint32) {
 // Freeing something that is not a live object — null excepted — is itself a
 // temporal violation (double free / wild free), as is freeing through a
 // pointer whose epoch no longer matches the object at its target.
-func (m *Machine) gcFree(p uint32) (uint32, error) {
+func (c *Core) gcFree(p uint32) (uint32, error) {
 	if p == 0 {
 		return 0, nil
 	}
-	base := m.heap.Base(p)
+	base := c.heap.Base(p)
 	if base == 0 {
 		return 0, &CheckError{Err: &TemporalError{Addr: p, Msg: fmt.Sprintf(
 			"free of %#x, which is not inside any live object (double free or wild free)", p)}}
 	}
-	if tg := m.argTag(0); tg != 0 && tg != m.heap.EpochOf(base) {
+	if tg := c.argTag(0); tg != 0 && tg != c.heap.EpochOf(base) {
 		return 0, &CheckError{Err: &TemporalError{Addr: p, Msg: fmt.Sprintf(
 			"free of %#x through a stale pointer (storage recycled)", p)}}
 	}
-	if err := m.heap.Free(base); err != nil {
+	if err := c.heap.Free(base); err != nil {
 		return 0, err
 	}
 	return 0, nil
@@ -226,14 +229,14 @@ func (m *Machine) gcFree(p uint32) (uint32, error) {
 // and recycled since the derivation fails here even though the spatial
 // check — whose base lookup now sees nothing, or a different object — would
 // pass vacuously.
-func (m *Machine) temporalSameObj(p, q uint32) error {
-	if tg := m.argTag(0); tg != 0 {
-		if err := m.epochCheck(p, tg); err != nil {
+func (c *Core) temporalSameObj(p, q uint32) error {
+	if tg := c.argTag(0); tg != 0 {
+		if err := c.epochCheck(p, tg); err != nil {
 			return err
 		}
 	}
-	if tg := m.argTag(1); tg != 0 {
-		if err := m.epochCheck(q, tg); err != nil {
+	if tg := c.argTag(1); tg != 0 {
+		if err := c.epochCheck(q, tg); err != nil {
 			return err
 		}
 	}

@@ -1,4 +1,4 @@
-package interp
+package engine
 
 import (
 	"errors"
@@ -12,14 +12,16 @@ import (
 // host: N simulated mutator threads share one heap, one static segment and
 // one output stream, and are interleaved cooperatively — round-robin over
 // the runnable threads, with quantum lengths drawn from a seeded xorshift64
-// and bounded by the interpreter's existing poll stride. The schedule is a
-// pure function of (program, input, seed): every run of a treatment is
-// bit-identical, which is what lets concurrent treatments participate in
-// differential testing at all. Thread 0 executes the entry function; thread
-// i executes the program's "thread<i>" function when defined (absent
-// workers are skipped). The stack is carved into equal per-thread segments,
-// thread 0 topmost. A fault in any thread aborts the whole run; exit()
-// stops all threads.
+// and bounded by the poll stride. The schedule is a pure function of
+// (program, input, seed): every run of a treatment is bit-identical, which
+// is what lets concurrent treatments participate in differential testing
+// at all. The scheduler lives in the engine-neutral core and dispatches
+// every opcode through the cold-path Step, so every engine's concurrent
+// runs share one interleaving and one semantics by construction. Thread 0
+// executes the entry function; thread i executes the program's "thread<i>"
+// function when defined (absent workers are skipped). The stack is carved
+// into equal per-thread segments, thread 0 topmost. A fault in any thread
+// aborts the whole run; exit() stops all threads.
 
 // errJoinWait is the internal sentinel the join_threads builtin returns
 // while sibling threads are still running: the scheduler rewinds the call
@@ -31,7 +33,7 @@ var errJoinWait = errors.New("join_threads: siblings still running")
 // bounds, temporal shadow tags for the register file).
 type mthread struct {
 	id      int
-	frames  []frame
+	frames  []Frame
 	regs    []uint32
 	regTags []uint32 // nil unless temporal mode
 	sp      uint32
@@ -44,8 +46,8 @@ type mthread struct {
 func threadEntryName(i int) string { return fmt.Sprintf("thread%d", i) }
 
 // runThreads executes entry as thread 0 alongside up to Threads-1 workers.
-func (m *Machine) runThreads(entry *machine.Func) error {
-	n := m.opts.Threads
+func (c *Core) runThreads(entry *machine.Func) error {
+	n := c.Opts.Threads
 	total := uint32(machine.StackTop - machine.StackLimit)
 	seg := (total / uint32(n)) &^ 255
 	if seg < 4096 {
@@ -54,7 +56,7 @@ func (m *Machine) runThreads(entry *machine.Func) error {
 	for i := 0; i < n; i++ {
 		fn := entry
 		if i > 0 {
-			fn = m.prog.Funcs[threadEntryName(i)]
+			fn = c.prog.Funcs[threadEntryName(i)]
 			if fn == nil {
 				continue
 			}
@@ -62,35 +64,35 @@ func (m *Machine) runThreads(entry *machine.Func) error {
 		hi := uint32(machine.StackTop) - uint32(i)*seg
 		t := &mthread{
 			id:   i,
-			regs: make([]uint32, len(m.regs)),
+			regs: make([]uint32, len(c.Regs)),
 			sp:   hi,
 			lo:   hi - seg,
 			hi:   hi,
 		}
-		if m.tt != nil {
-			t.regTags = make([]uint32, len(m.regs))
+		if c.TT != nil {
+			t.regTags = make([]uint32, len(c.Regs))
 		}
-		t.frames = append(t.frames, frame{fn: fn, pc: 0, savedSP: hi, retReg: machine.NoReg})
-		m.threads = append(m.threads, t)
+		t.frames = append(t.frames, Frame{Fn: fn, PC: 0, SavedSP: hi, RetReg: machine.NoReg})
+		c.threads = append(c.threads, t)
 	}
-	m.schedRng = m.opts.SchedSeed
-	if m.schedRng == 0 {
-		m.schedRng = 0x9E3779B97F4A7C15
+	c.schedRng = c.Opts.SchedSeed
+	if c.schedRng == 0 {
+		c.schedRng = 0x9E3779B97F4A7C15
 	}
-	m.cur = -1
-	for !m.exited {
-		next := m.pickThread()
+	c.cur = -1
+	for !c.Exited {
+		next := c.pickThread()
 		if next < 0 {
 			break // every thread ran to completion
 		}
-		if next != m.cur {
-			m.switchTo(next)
-			if m.opts.CollectAtSwitch {
-				m.heap.Collect()
+		if next != c.cur {
+			c.switchTo(next)
+			if c.Opts.CollectAtSwitch {
+				c.heap.Collect()
 			}
 		}
-		quantum := 1 + m.schedNext()%ctxCheckInterval
-		if err := m.execQuantum(m.threads[next], quantum); err != nil {
+		quantum := 1 + c.schedNext()%PollInterval
+		if err := c.execQuantum(c.threads[next], quantum); err != nil {
 			return err
 		}
 	}
@@ -99,15 +101,15 @@ func (m *Machine) runThreads(entry *machine.Func) error {
 
 // pickThread selects the next runnable thread, round-robin from the one
 // after the current.
-func (m *Machine) pickThread() int {
-	n := len(m.threads)
+func (c *Core) pickThread() int {
+	n := len(c.threads)
 	if n == 0 {
 		return -1
 	}
-	start := (m.cur + 1 + n) % n
+	start := (c.cur + 1 + n) % n
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
-		if !m.threads[i].done {
+		if !c.threads[i].done {
 			return i
 		}
 	}
@@ -115,12 +117,12 @@ func (m *Machine) pickThread() int {
 }
 
 // schedNext advances the schedule's xorshift64 state.
-func (m *Machine) schedNext() uint64 {
-	x := m.schedRng
+func (c *Core) schedNext() uint64 {
+	x := c.schedRng
 	x ^= x << 13
 	x ^= x >> 7
 	x ^= x << 17
-	m.schedRng = x
+	c.schedRng = x
 	return x
 }
 
@@ -128,25 +130,25 @@ func (m *Machine) schedNext() uint64 {
 // saved, and the machine's register file, stack bounds and temporal tags
 // are re-aimed at the incoming thread's. Register slices are aliased, not
 // copied, so the collector always sees every thread's live registers.
-func (m *Machine) switchTo(i int) {
-	if m.cur >= 0 {
-		m.threads[m.cur].sp = m.sp
+func (c *Core) switchTo(i int) {
+	if c.cur >= 0 {
+		c.threads[c.cur].sp = c.SP
 	}
-	t := m.threads[i]
-	m.cur = i
-	m.regs = t.regs
-	m.sp = t.sp
-	m.stackLo, m.stackHi = t.lo, t.hi
-	if m.tt != nil {
-		m.tt.regTags = t.regTags
+	t := c.threads[i]
+	c.cur = i
+	c.Regs = t.regs
+	c.SP = t.sp
+	c.StackLo, c.StackHi = t.lo, t.hi
+	if c.TT != nil {
+		c.TT.regTags = t.regTags
 	}
 }
 
 // threadsRemaining reports whether any thread other than the current one is
 // still running (the join_threads condition).
-func (m *Machine) threadsRemaining() bool {
-	for i, t := range m.threads {
-		if i != m.cur && !t.done {
+func (c *Core) threadsRemaining() bool {
+	for i, t := range c.threads {
+		if i != c.cur && !t.done {
 			return true
 		}
 	}
@@ -156,72 +158,72 @@ func (m *Machine) threadsRemaining() bool {
 // execQuantum runs up to quantum instructions of thread t. It mirrors the
 // single-thread loop's per-instruction bookkeeping (instruction budget,
 // context poll, cycle accounting, asynchronous-GC tick) but dispatches
-// every opcode through the cold-path step: concurrent treatments are new
+// every opcode through the cold-path Step: concurrent treatments are new
 // measurement columns, not cycle-compatible reruns of the single-thread
-// numbers, so the inline fast path is not duplicated here.
-func (m *Machine) execQuantum(t *mthread, quantum uint64) error {
+// numbers, so the engines' inline fast paths are not duplicated here.
+func (c *Core) execQuantum(t *mthread, quantum uint64) error {
 	var (
-		maxInstrs = m.opts.MaxInstrs
-		gcEvery   = m.opts.GCEveryInstrs
-		faults    = m.opts.Faults
+		maxInstrs = c.Opts.MaxInstrs
+		gcEvery   = c.Opts.GCEveryInstrs
+		faults    = c.Opts.Faults
 	)
-	for quantum > 0 && len(t.frames) > 0 && !m.exited {
+	for quantum > 0 && len(t.frames) > 0 && !c.Exited {
 		fr := &t.frames[len(t.frames)-1]
-		if fr.pc >= len(fr.fn.Code) {
-			m.popFrame(t, 0, true) // fall off the end: return 0
+		if fr.PC >= len(fr.Fn.Code) {
+			c.popFrame(t, 0, true) // fall off the end: return 0
 			continue
 		}
-		in := &fr.fn.Code[fr.pc]
-		if m.instrs >= maxInstrs {
-			return &FaultError{Fn: fr.fn.Name, PC: fr.pc,
+		in := &fr.Fn.Code[fr.PC]
+		if c.Instrs >= maxInstrs {
+			return &FaultError{Fn: fr.Fn.Name, PC: fr.PC,
 				Err: fmt.Errorf("%w (%d)", ErrInstrLimit, maxInstrs)}
 		}
-		if m.instrs%ctxCheckInterval == 0 {
-			if err := m.ctx.Err(); err != nil {
-				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+		if c.Instrs%PollInterval == 0 {
+			if err := c.Ctx.Err(); err != nil {
+				return &FaultError{Fn: fr.Fn.Name, PC: fr.PC, Err: err}
 			}
 			if faults != nil {
 				if err := faults.Fire(faultinject.PointInterpStep); err != nil {
-					return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+					return &FaultError{Fn: fr.Fn.Name, PC: fr.PC, Err: err}
 				}
 			}
 			// The concurrent scheduler's poll is also a snapshot-serving
 			// safe point: all mutator threads are stopped here.
-			if m.snapPending.Load() != nil {
-				m.serveSnapshot()
+			if c.snapPending.Load() != nil {
+				c.serveSnapshot()
 			}
 		}
-		m.instrs++
-		m.cycles += m.costs[in.Op]
+		c.Instrs++
+		c.Cycles += c.Costs[in.Op]
 		if gcEvery > 0 {
-			m.sinceGC++
-			if m.sinceGC >= gcEvery {
-				m.sinceGC = 0
-				m.heap.Collect()
+			c.SinceGC++
+			if c.SinceGC >= gcEvery {
+				c.SinceGC = 0
+				c.heap.Collect()
 			}
 		}
 		quantum--
-		if m.tt != nil {
-			if err := m.track(in); err != nil {
-				return &FaultError{Fn: fr.fn.Name, PC: fr.pc, Err: err}
+		if c.TT != nil {
+			if err := c.Track(in); err != nil {
+				return &FaultError{Fn: fr.Fn.Name, PC: fr.PC, Err: err}
 			}
 		}
-		pc := fr.pc
-		fr.pc = pc + 1
-		ret, push, err := m.step(fr, in)
+		pc := fr.PC
+		fr.PC = pc + 1
+		ret, push, err := c.Step(fr, in)
 		if err != nil {
 			if errors.Is(err, errJoinWait) {
-				fr.pc = pc // retry the join on the next quantum
+				fr.PC = pc // retry the join on the next quantum
 				return nil // yield
 			}
-			return &FaultError{Fn: fr.fn.Name, PC: pc, Err: err}
+			return &FaultError{Fn: fr.Fn.Name, PC: pc, Err: err}
 		}
 		if push != nil {
 			t.frames = append(t.frames, *push)
 			continue
 		}
 		if ret {
-			m.popFrame(t, m.pendingRet, false)
+			c.popFrame(t, c.PendingRet, false)
 		}
 	}
 	if len(t.frames) == 0 {
@@ -233,15 +235,15 @@ func (m *Machine) execQuantum(t *mthread, quantum uint64) error {
 // popFrame completes t's top frame, restoring the caller's stack pointer
 // and delivering val to the result register (with its temporal tag, unless
 // the frame fell off the end, which returns an untagged 0).
-func (m *Machine) popFrame(t *mthread, val uint32, fallOff bool) {
+func (c *Core) popFrame(t *mthread, val uint32, fallOff bool) {
 	fr := &t.frames[len(t.frames)-1]
-	m.sp = fr.savedSP
-	m.setReg(fr.retReg, val)
-	if m.tt != nil {
+	c.SP = fr.SavedSP
+	c.SetReg(fr.RetReg, val)
+	if c.TT != nil {
 		if fallOff {
-			m.tt.setTag(fr.retReg, 0)
+			c.TT.SetTag(fr.RetReg, 0)
 		} else {
-			m.tt.setTag(fr.retReg, m.tt.retTag)
+			c.TT.SetTag(fr.RetReg, c.TT.RetTag)
 		}
 	}
 	t.frames = t.frames[:len(t.frames)-1]

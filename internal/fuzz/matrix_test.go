@@ -59,6 +59,9 @@ func runMatrixSeeds(t *testing.T, start, n int64, steps int) {
 		if err != nil {
 			t.Fatalf("harness failure: %v\n%s", err, p.Source)
 		}
+		if len(m.EngineDivergences) > 0 {
+			t.Fatalf("engine divergence:\n%s\n%s", m.EngineDivergences[0], p.Source)
+		}
 		if len(m.Violations) > 0 {
 			t.Fatalf("matrix violation:\n%s", Describe(p, m.Violations))
 		}

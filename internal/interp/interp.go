@@ -14,304 +14,68 @@
 //   - an optional access validator that detects loads and stores to
 //     reclaimed heap objects — the harness's premature-collection detector
 //     (never part of the cost model).
+//
+// Since the engine split, the machine state, runtime library, checkers and
+// scheduler live in the engine-neutral internal/engine core; this package
+// contributes the classic switch-dispatch loop (internal/interp/internal/
+// dispatch) and registers it as the "interp" engine. The package-level
+// Run/RunContext dispatch through the engine registry, so Options.Engine
+// selects any registered backend — including the closure-threaded engine
+// in internal/threaded — while the historical types remain aliases of the
+// engine's and keep every caller source-compatible.
 package interp
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"strings"
-	"sync/atomic"
 
-	"gcsafety/internal/faultinject"
-	"gcsafety/internal/gc"
-	"gcsafety/internal/heapdump"
+	"gcsafety/internal/engine"
+	"gcsafety/internal/interp/internal/dispatch"
 	"gcsafety/internal/machine"
+
+	// Register the closure-threaded backend alongside the interpreter, so
+	// every surface that reaches execution through this package (the API,
+	// ccrun, the daemon, the fuzz matrix) can select either engine by name.
+	_ "gcsafety/internal/threaded"
 )
 
 // ErrInstrLimit is the sentinel wrapped by the fault produced when a run
 // exhausts Options.MaxInstrs. Callers distinguish a runaway program
 // (errors.Is(err, ErrInstrLimit)) from a genuine memory fault.
-var ErrInstrLimit = errors.New("instruction budget exhausted")
+var ErrInstrLimit = engine.ErrInstrLimit
 
-// ctxCheckInterval is how many instructions execute between polls of the
-// run's context. Polling a context involves an atomic load and possibly a
-// channel select, far more than one simulated instruction; amortizing it
-// over a power-of-two stride keeps cancellation latency in the microsecond
-// range while costing the interpreter loop nothing measurable.
-const ctxCheckInterval = 1024
-
-// Options configures one execution.
-type Options struct {
-	Config machine.Config
-	// HeapBytes caps the collected heap (default 16 MiB).
-	HeapBytes uint32
-	// TriggerBytes is the allocation-trigger threshold (default 128 KiB).
-	TriggerBytes uint32
-	// GCEveryInstrs, when nonzero, additionally triggers a collection every
-	// N executed instructions — the asynchronous-collector regime.
-	GCEveryInstrs uint64
-	// CollectAtEveryAlloc forces a full collection at every allocation —
-	// the adversarial schedule of the differential fuzzing harness
-	// (internal/fuzz). Combined with GCEveryInstrs=1 and Validate it is the
-	// most hostile regime the machine can present to a program: any object
-	// whose last recognizable reference dies too early is reclaimed and the
-	// next access to it faults. It overrides TriggerBytes.
-	CollectAtEveryAlloc bool
-	// Validate checks every heap access against the live-object map,
-	// catching use of prematurely collected objects. Purely a harness
-	// feature; adds no cycles.
-	Validate bool
-	// MaxInstrs aborts runaway programs (default 2e9).
-	MaxInstrs uint64
-	// BaseOnlyHeap enables the collector's Extensions-section operating
-	// mode: interior pointers stored in heap objects are not recognized as
-	// references (see internal/gc/extension.go).
-	BaseOnlyHeap bool
-	// Temporal arms the temporal-safety checker: allocation results carry
-	// their birth epoch through shadow tags on registers and memory words,
-	// and any access through a pointer whose epoch no longer matches the
-	// object at its target faults with a TemporalError (use-after-free /
-	// recycled-storage detection; see temporal.go). Like Validate, a harness
-	// feature: adds no cycles.
-	Temporal bool
-	// Threads, when > 1, executes the program as N concurrent mutator
-	// threads over one shared heap: thread 0 runs Entry and thread i
-	// (0 < i < N) runs the function named "thread<i>" when the program
-	// defines it. Scheduling is deterministic — round-robin over runnable
-	// threads with quantum lengths drawn from SchedSeed (see threads.go).
-	Threads int
-	// SchedSeed seeds the interleaving schedule (0 selects a fixed default).
-	SchedSeed uint64
-	// CollectAtSwitch forces a full collection at every context switch: the
-	// collect-at-every-alloc adversary generalized to adversarial
-	// interleavings.
-	CollectAtSwitch bool
-	// Input is the byte stream consumed by getchar().
-	Input string
-	// Entry is the function to run (default "main").
-	Entry string
-	// Faults, when non-nil, arms the run's fault points: "interp.step"
-	// (fired at the context-poll stride; an error aborts the run with a
-	// machine fault), "heapdump.capture" (fails snapshot captures) and,
-	// via the heap's Config.Inject hook, "gc.alloc", "gc.collect.force"
-	// and "gc.collect". Nil is fully inert.
-	Faults *faultinject.Set
-	// HeapProfile records allocation sites during the run and captures a
-	// heap snapshot when it ends (Result.Snapshot): trigger "exit" on a
-	// clean exit, "violation" when a safety checker fired, "fault"
-	// otherwise. Off, it costs the dispatch loop nothing; on, it costs one
-	// map insert per allocation — allocations are already collector-priced,
-	// so the cost model is unchanged either way.
-	HeapProfile bool
-}
+// Options configures one execution (engine-neutral; Options.Engine selects
+// the backend).
+type Options = engine.Options
 
 // Result reports one execution.
-type Result struct {
-	Output   string
-	ExitCode int32
-	Cycles   uint64
-	Instrs   uint64
-	GCStats  gc.Stats
-	// Snapshot is the end-of-run heap snapshot (Options.HeapProfile only;
-	// nil otherwise). SnapshotErr records a failed capture — the run's own
-	// outcome is reported normally either way.
-	Snapshot    *heapdump.Snapshot
-	SnapshotErr string
-}
+type Result = engine.Result
 
 // A FaultError reports a memory or checking fault with machine context.
-type FaultError struct {
-	Fn  string
-	PC  int
-	Err error
-}
-
-func (e *FaultError) Error() string {
-	return fmt.Sprintf("fault in %s at pc %d: %v", e.Fn, e.PC, e.Err)
-}
-
-func (e *FaultError) Unwrap() error { return e.Err }
+type FaultError = engine.FaultError
 
 // CheckError is the error produced when a GC_same_obj-style runtime check
 // fails (the paper's pointer-arithmetic checker firing).
-type CheckError struct{ Err error }
+type CheckError = engine.CheckError
 
-func (e *CheckError) Error() string { return "pointer check failed: " + e.Err.Error() }
-func (e *CheckError) Unwrap() error { return e.Err }
+// TemporalError reports a temporal-safety check failure (see the engine's
+// temporal shadow-tag checker).
+type TemporalError = engine.TemporalError
 
-type frame struct {
-	fn      *machine.Func
-	pc      int
-	savedSP uint32
-	retReg  machine.Reg
-	// meta caches m.meta[fn]; frames pushed by the cold path leave it nil
-	// and the dispatch loop fills it in on first activation.
-	meta *funcMeta
-}
-
-// funcMeta is per-function metadata precomputed at machine construction so
-// the hot dispatch loop never consults a map per instruction: targets holds
-// the resolved destination pc for every Jmp/Bz/Bnz (aligned with Code),
-// callees the resolved *Func for every direct Call into program code (nil
-// for runtime builtins, which dispatch by name), and calleeMeta the callee's
-// own funcMeta, so pushing a frame needs no map lookup either.
-type funcMeta struct {
-	targets    []int
-	callees    []*machine.Func
-	calleeMeta []*funcMeta
-}
-
-// Machine is the execution engine.
+// Machine is the switch-dispatch execution engine: the engine-neutral core
+// plus this package's dispatch loop.
 type Machine struct {
-	prog   *machine.Program
-	opts   Options
-	ctx    context.Context
-	cfg    machine.Config
-	heap   *gc.Heap
-	regs   []uint32
-	sp     uint32
-	static []byte
-	stack  []byte
-	labels map[string]map[int32]int
-	byID   map[int32]*machine.Func
-	meta   map[*machine.Func]*funcMeta
-	// costs caches Config.CostOf per opcode: one slice index in the hot
-	// loop instead of a switch.
-	costs  [machine.NumOps]uint64
-	out    strings.Builder
-	in     int
-	cycles uint64
-	instrs uint64
-	rng    uint32
-	exited bool
-	exit   int32
-	// pendingRet carries the value of the most recent Ret to the caller's
-	// result register.
-	pendingRet uint32
-	// sinceGC counts instructions since the last async collection.
-	sinceGC uint64
-	// argbuf backs runtimeCall's argument slice so runtime dispatch —
-	// including every checked-mode GC_same_obj/GC_pre_incr call — stays
-	// allocation-free on the host.
-	argbuf [8]uint32
-	// tt is the temporal-mode shadow-tag state; nil unless Options.Temporal
-	// (the hot loop pays one nil check).
-	tt *temporalState
-	// stackLo/stackHi bound the current thread's stack segment for AdjSP;
-	// they are the whole stack in single-thread mode.
-	stackLo, stackHi uint32
-	// Concurrent-mutator state (nil/zero in single-thread mode).
-	threads  []*mthread
-	cur      int
-	schedRng uint64
-	// prof is the allocation-site profile; nil unless Options.HeapProfile
-	// (runtime-call dispatch pays one nil check).
-	prof *allocProf
-	// snapPending holds at most one cross-goroutine snapshot request,
-	// served at the context-poll stride; snapDone flips once the run is
-	// over, after which requesters capture on their own goroutine. See
-	// snapshot.go for the handshake.
-	snapPending atomic.Pointer[snapRequest]
-	snapDone    atomic.Bool
+	*engine.Core
 }
 
 // New prepares a machine for the program.
 func New(prog *machine.Program, opts Options) *Machine {
-	if opts.HeapBytes == 0 {
-		opts.HeapBytes = 16 << 20
-	}
-	if opts.TriggerBytes == 0 {
-		opts.TriggerBytes = 128 << 10
-	}
-	if opts.CollectAtEveryAlloc {
-		opts.TriggerBytes = 1
-	}
-	if opts.MaxInstrs == 0 {
-		opts.MaxInstrs = 2_000_000_000
-	}
-	if opts.Entry == "" {
-		opts.Entry = "main"
-	}
-	m := &Machine{
-		prog:   prog,
-		opts:   opts,
-		ctx:    context.Background(),
-		cfg:    opts.Config,
-		regs:   make([]uint32, opts.Config.NumRegs),
-		sp:     machine.StackTop,
-		static: append([]byte(nil), prog.Data...),
-		stack:  make([]byte, machine.StackTop-machine.StackLimit),
-		labels: map[string]map[int32]int{},
-		byID:   map[int32]*machine.Func{},
-		rng:    0x9E3779B9,
-
-		stackLo: machine.StackLimit,
-		stackHi: machine.StackTop,
-	}
-	if opts.Temporal {
-		m.tt = newTemporalState(int(opts.Config.NumRegs))
-	}
-	if opts.HeapProfile {
-		m.prof = newAllocProf()
-	}
-	hcfg := gc.Config{
-		MaxBytes:             opts.HeapBytes,
-		TriggerBytes:         opts.TriggerBytes,
-		Poison:               true,
-		BaseOnlyHeapPointers: opts.BaseOnlyHeap,
-	}
-	if opts.Faults != nil {
-		hcfg.Inject = opts.Faults.Fire
-	}
-	m.heap = gc.NewHeap(hcfg)
-	m.heap.SetRoots(gc.RootFunc(m.scanRoots))
-	m.meta = make(map[*machine.Func]*funcMeta, len(prog.Funcs))
-	for name, f := range prog.Funcs {
-		lm := map[int32]int{}
-		for pc, in := range f.Code {
-			if in.Op == machine.Label {
-				lm[in.Imm] = pc
-			}
-		}
-		m.labels[name] = lm
-		m.byID[f.ID] = f
-	}
-	// Second pass: resolve branch targets and direct-call targets now that
-	// every label and function is known. An unknown label resolves to pc 0,
-	// matching the zero value the label-map lookup used to produce.
-	for _, f := range prog.Funcs {
-		m.meta[f] = &funcMeta{
-			targets:    make([]int, len(f.Code)),
-			callees:    make([]*machine.Func, len(f.Code)),
-			calleeMeta: make([]*funcMeta, len(f.Code)),
-		}
-	}
-	for _, f := range prog.Funcs {
-		fm := m.meta[f]
-		lm := m.labels[f.Name]
-		for pc, in := range f.Code {
-			switch in.Op {
-			case machine.Jmp, machine.Bz, machine.Bnz:
-				fm.targets[pc] = lm[in.Imm]
-			case machine.Call:
-				if callee := prog.Funcs[in.Sym]; callee != nil {
-					fm.callees[pc] = callee
-					fm.calleeMeta[pc] = m.meta[callee]
-				}
-			}
-		}
-	}
-	for op := 0; op < machine.NumOps; op++ {
-		m.costs[op] = m.cfg.CostOf(machine.Op(op))
-	}
-	return m
+	return &Machine{Core: engine.NewCore(prog, opts)}
 }
 
-// Run executes the program and returns the result.
+// Run executes the program under the engine opts.Engine selects (the
+// switch-dispatch interpreter by default) and returns the result.
 func Run(prog *machine.Program, opts Options) (*Result, error) {
-	m := New(prog, opts)
-	return m.Run()
+	return RunContext(context.Background(), prog, opts)
 }
 
 // RunContext executes the program under ctx: cancellation or deadline
@@ -319,8 +83,7 @@ func Run(prog *machine.Program, opts Options) (*Result, error) {
 // ctx.Err(). This is the entry point the gcsafed daemon uses to bound
 // adversarial inputs.
 func RunContext(ctx context.Context, prog *machine.Program, opts Options) (*Result, error) {
-	m := New(prog, opts)
-	return m.RunContext(ctx)
+	return engine.Run(ctx, prog, opts)
 }
 
 // Run executes the entry function to completion.
@@ -331,95 +94,18 @@ func (m *Machine) Run() (*Result, error) {
 // RunContext executes the entry function to completion or until ctx is
 // done, whichever comes first.
 func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	m.ctx = ctx
-	defer m.finishSnapshots()
-	entry, ok := m.prog.Funcs[m.opts.Entry]
-	if !ok {
-		return nil, fmt.Errorf("interp: no function %q", m.opts.Entry)
-	}
-	if err := ctx.Err(); err != nil {
-		return m.result(), fmt.Errorf("interp: %w", err)
-	}
-	var runErr error
-	if m.opts.Threads > 1 {
-		runErr = m.runThreads(entry)
-	} else {
-		runErr = m.call(entry, machine.NoReg)
-	}
-	res := m.result()
-	if m.opts.HeapProfile {
-		trigger, addr := snapshotTrigger(runErr)
-		reason := ""
-		if runErr != nil {
-			reason = runErr.Error()
-		}
-		if snap, err := m.CaptureSnapshot(trigger, reason, addr); err != nil {
-			res.SnapshotErr = err.Error()
-		} else {
-			res.Snapshot = snap
-		}
-	}
-	return res, runErr
+	return m.Core.RunWith(ctx, func(entry *machine.Func, retReg machine.Reg) error {
+		return dispatch.Call(m.Core, entry, retReg)
+	})
 }
 
-func (m *Machine) result() *Result {
-	return &Result{
-		Output:   m.out.String(),
-		ExitCode: m.exit,
-		Cycles:   m.cycles,
-		Instrs:   m.instrs,
-		GCStats:  m.heap.Stats(),
-	}
+// interpEngine adapts this package to the engine registry.
+type interpEngine struct{}
+
+func (interpEngine) Name() string { return engine.DefaultName }
+
+func (interpEngine) Run(ctx context.Context, prog *machine.Program, opts Options) (*Result, error) {
+	return New(prog, opts).RunContext(ctx)
 }
 
-// scanRoots feeds the collector every word in the register file, the live
-// stack, and the static data segment. In concurrent mode every live
-// thread's register file and stack segment is a root set: a collection one
-// thread triggers must see the pointers every other thread still holds.
-func (m *Machine) scanRoots(visit func(gc.Addr)) {
-	if m.threads != nil {
-		for i, t := range m.threads {
-			if t.done {
-				continue
-			}
-			sp := t.sp
-			if i == m.cur {
-				sp = m.sp // regs alias t.regs; only sp is cached in m
-			}
-			for _, r := range t.regs {
-				visit(r)
-			}
-			for a := sp &^ 3; a < t.hi; a += 4 {
-				w, err := m.read32raw(a)
-				if err == nil {
-					visit(w)
-				}
-			}
-		}
-	} else {
-		for _, r := range m.regs {
-			visit(r)
-		}
-		for a := m.sp &^ 3; a < machine.StackTop; a += 4 {
-			w, err := m.read32raw(a)
-			if err == nil {
-				visit(w)
-			}
-		}
-	}
-	base := machine.DataBase
-	for off := 0; off+4 <= len(m.static); off += 4 {
-		visit(uint32(m.static[off]) | uint32(m.static[off+1])<<8 |
-			uint32(m.static[off+2])<<16 | uint32(m.static[off+3])<<24)
-	}
-	_ = base
-}
-
-// Stats exposes collector statistics mid-run (for tests).
-func (m *Machine) Stats() gc.Stats { return m.heap.Stats() }
-
-// Heap exposes the collector (for tests and the checker example).
-func (m *Machine) Heap() *gc.Heap { return m.heap }
+func init() { engine.Register(interpEngine{}) }

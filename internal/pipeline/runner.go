@@ -17,7 +17,7 @@ import (
 // race for it.
 type Runner struct {
 	cache   *artifact.Cache
-	stats   [8]stageCounters // indexed by Stage.index()
+	stats   [9]stageCounters // indexed by Stage.index()
 	elision elisionCounters
 }
 

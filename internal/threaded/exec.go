@@ -1,0 +1,302 @@
+package threaded
+
+import (
+	"context"
+	"fmt"
+
+	"gcsafety/internal/engine"
+	"gcsafety/internal/machine"
+)
+
+// state is the run loop's shared scratch, threaded through every closure.
+// regs aliases the core's register file (single-thread runs never re-aim
+// it, and concurrent runs bypass closures entirely); n is the batch
+// reservation handed to fused closures (see runFast) — the checked loop
+// leaves it 0, which keeps fusion inert there.
+type state struct {
+	c    *engine.Core
+	lp   *Program
+	regs []uint32
+	// n counts instructions still covered by the current batch's budget and
+	// poll reservation; only fused closures consume from it.
+	n uint64
+	// rpc is the resume pc the current frame continues at after a ctlCall
+	// or ctlStop.
+	rpc int
+	// errpc is the faulting pc reported with ctlErrAt: a fused closure's
+	// consumed instruction faulted at an index past the dispatching one.
+	errpc  int
+	err    error
+	callee *loweredFunc
+	retReg machine.Reg
+}
+
+// tframe is one activation in the threaded engine's frame stack.
+type tframe struct {
+	lf      *loweredFunc
+	pc      int
+	savedSP uint32
+	retReg  machine.Reg
+}
+
+func stackOverflow(ns uint32) error {
+	return fmt.Errorf("stack overflow (sp=%#x)", ns)
+}
+
+// Run executes the lowered program under ctx. The core is built from the
+// Program's own machine program, so the closure code and the program it
+// was lowered from can never disagree. Concurrent runs (Threads > 1) are
+// scheduled by the core's shared quantum scheduler, identically for every
+// engine.
+func Run(ctx context.Context, lp *Program, opts engine.Options) (*engine.Result, error) {
+	c := engine.NewCore(lp.prog, opts)
+	return c.RunWith(ctx, func(entry *machine.Func, retReg machine.Reg) error {
+		return call(c, lp, lp.byFunc[entry], retReg)
+	})
+}
+
+// call runs entry to completion (including nested calls). The checked
+// loop carries the per-instruction bookkeeping the fast loop hoists to
+// batch boundaries; both produce bit-identical accounting, but only the
+// fast loop may batch, and batching is only sound when nothing observes
+// individual instructions between safe points — which is exactly when the
+// asynchronous-GC tick and the temporal tracker are off.
+func call(c *engine.Core, lp *Program, entry *loweredFunc, retReg machine.Reg) error {
+	if c.Opts.GCEveryInstrs > 0 || c.TT != nil {
+		return runChecked(c, lp, entry, retReg)
+	}
+	return runFast(c, lp, entry, retReg)
+}
+
+// runFast is the batched dispatch loop. Per instruction it pays one
+// bounds check, a register-held batch countdown, a one-index cycle charge
+// into a local accumulator and one indirect call — no fetch/decode switch
+// and no memory-resident bookkeeping. The instruction budget and the
+// context poll are checked once per batch: a batch never reserves more
+// instructions than remain before the next poll or the budget limit, so
+// hoisting the checks is exactly equivalent to the interpreter's
+// per-instruction schedule, and the deferred Instrs/Cycles flush is a
+// reordering of commutative additions that no code can observe mid-batch
+// (the core is only read at safe points, which are batch boundaries).
+// pollCd reproduces "poll when Instrs%PollInterval == 0" the same way the
+// interpreter's countdown does.
+func runFast(c *engine.Core, lp *Program, entry *loweredFunc, retReg machine.Reg) error {
+	stack := make([]tframe, 1, 16)
+	stack[0] = tframe{lf: entry, pc: 0, savedSP: c.SP, retReg: retReg}
+	st := &state{c: c, lp: lp, regs: c.Regs}
+	// ctab widens the cost table to the full byte range: indexing it with
+	// an opcode byte needs no bounds check.
+	var ctab [256]uint64
+	copy(ctab[:], c.Costs[:])
+	var (
+		maxInstrs = c.Opts.MaxInstrs
+		pollCd    = c.Instrs % engine.PollInterval
+	)
+	if pollCd != 0 {
+		pollCd = engine.PollInterval - pollCd
+	}
+	for len(stack) > 0 && !c.Exited {
+		fr := &stack[len(stack)-1]
+		lf := fr.lf
+		slots := lf.slots
+		clen := len(slots)
+		pc := fr.pc
+	frame:
+		for {
+			if pc >= clen {
+				// fall off the end: return 0 (no instruction is consumed)
+				c.SP = fr.savedSP
+				c.SetReg(fr.retReg, 0)
+				stack = stack[:len(stack)-1]
+				break frame
+			}
+			if c.Instrs >= maxInstrs {
+				fr.pc = pc
+				return &engine.FaultError{Fn: lf.fn.Name, PC: pc,
+					Err: fmt.Errorf("%w (%d)", engine.ErrInstrLimit, maxInstrs)}
+			}
+			if pollCd == 0 {
+				if err := c.Poll(); err != nil {
+					fr.pc = pc
+					return &engine.FaultError{Fn: lf.fn.Name, PC: pc, Err: err}
+				}
+				pollCd = engine.PollInterval
+			}
+			n := pollCd
+			if rem := maxInstrs - c.Instrs; rem < n {
+				n = rem
+			}
+			k := n
+			var cyc uint64
+			ctl := 0
+			for k > 0 && pc < clen {
+				k--
+				s := &slots[pc]
+				cyc += ctab[s.op]
+				fn := s.fn
+				if fn == nil {
+					// Label/Nop: charged and counted, nothing to execute.
+					pc++
+					continue
+				}
+				var npc int
+				if s.fused {
+					// Hand the reservation to the fused closure; it may
+					// consume the following instruction(s) from it.
+					st.n = k
+					npc = fn(st)
+					k = st.n
+				} else {
+					npc = fn(st)
+				}
+				if npc >= 0 {
+					pc = npc
+					continue
+				}
+				ctl = npc
+				break
+			}
+			// One flush per batch: the loop's additions commute with the
+			// direct charges runtime calls and fused branches make.
+			c.Instrs += n - k
+			c.Cycles += cyc
+			pollCd -= n - k
+			switch ctl {
+			case 0:
+				// Batch exhausted (or the frame ran off its end): loop to the
+				// boundary checks.
+			case ctlRet:
+				c.SP = fr.savedSP
+				c.SetReg(fr.retReg, c.PendingRet)
+				stack = stack[:len(stack)-1]
+				break frame
+			case ctlCall:
+				fr.pc = st.rpc
+				sp := c.SP
+				stack = append(stack, tframe{lf: st.callee, pc: 0, savedSP: sp, retReg: st.retReg})
+				break frame
+			case ctlStop:
+				fr.pc = st.rpc
+				break frame
+			case ctlErr:
+				fr.pc = pc
+				// pc still indexes the faulting instruction: the loop only
+				// advances it when a closure completes.
+				return &engine.FaultError{Fn: lf.fn.Name, PC: pc, Err: st.err}
+			case ctlErrAt:
+				// A fused closure's consumed instruction faulted: it recorded
+				// its own pc.
+				fr.pc = st.errpc
+				return &engine.FaultError{Fn: lf.fn.Name, PC: st.errpc, Err: st.err}
+			}
+		}
+	}
+	return nil
+}
+
+// runChecked is the per-instruction loop for the regimes where something
+// observes every instruction: the asynchronous-GC tick may collect between
+// any two instructions, and the temporal tracker checks and propagates
+// shadow tags before each opcode. Bookkeeping order is the interpreter's
+// exactly: budget, poll, countdown, Instrs, Cycles, GC tick, Track,
+// dispatch. st.n stays 0, so fused compare closures stop after the
+// compare and every branch runs as its own instruction.
+func runChecked(c *engine.Core, lp *Program, entry *loweredFunc, retReg machine.Reg) error {
+	stack := make([]tframe, 1, 16)
+	stack[0] = tframe{lf: entry, pc: 0, savedSP: c.SP, retReg: retReg}
+	st := &state{c: c, lp: lp, regs: c.Regs}
+	var (
+		maxInstrs = c.Opts.MaxInstrs
+		gcEvery   = c.Opts.GCEveryInstrs
+		costs     = &c.Costs
+		tt        = c.TT
+		pollCd    = c.Instrs % engine.PollInterval
+	)
+	if pollCd != 0 {
+		pollCd = engine.PollInterval - pollCd
+	}
+	for len(stack) > 0 && !c.Exited {
+		fr := &stack[len(stack)-1]
+		lf := fr.lf
+		slots := lf.slots
+		clen := len(slots)
+		pc := fr.pc
+	frame:
+		for {
+			if pc >= clen {
+				c.SP = fr.savedSP
+				c.SetReg(fr.retReg, 0)
+				if tt != nil {
+					tt.SetTag(fr.retReg, 0)
+				}
+				stack = stack[:len(stack)-1]
+				break frame
+			}
+			if c.Instrs >= maxInstrs {
+				fr.pc = pc
+				return &engine.FaultError{Fn: lf.fn.Name, PC: pc,
+					Err: fmt.Errorf("%w (%d)", engine.ErrInstrLimit, maxInstrs)}
+			}
+			if pollCd == 0 {
+				if err := c.Poll(); err != nil {
+					fr.pc = pc
+					return &engine.FaultError{Fn: lf.fn.Name, PC: pc, Err: err}
+				}
+				pollCd = engine.PollInterval
+			}
+			pollCd--
+			c.Instrs++
+			c.Cycles += costs[lf.slots[pc].op]
+			if gcEvery > 0 {
+				c.SinceGC++
+				if c.SinceGC >= gcEvery {
+					c.SinceGC = 0
+					c.Heap().Collect()
+				}
+			}
+			if tt != nil {
+				if err := c.Track(&lf.insns[pc]); err != nil {
+					fr.pc = pc
+					return &engine.FaultError{Fn: lf.fn.Name, PC: pc, Err: err}
+				}
+			}
+			fn := slots[pc].fn
+			if fn == nil {
+				// Label/Nop: bookkeeping (including temporal tracking) has
+				// run; there is nothing to execute.
+				pc++
+				continue
+			}
+			npc := fn(st)
+			if npc >= 0 {
+				pc = npc
+				continue
+			}
+			switch npc {
+			case ctlRet:
+				c.SP = fr.savedSP
+				c.SetReg(fr.retReg, c.PendingRet)
+				if tt != nil {
+					tt.SetTag(fr.retReg, tt.RetTag)
+				}
+				stack = stack[:len(stack)-1]
+				break frame
+			case ctlCall:
+				fr.pc = st.rpc
+				sp := c.SP
+				stack = append(stack, tframe{lf: st.callee, pc: 0, savedSP: sp, retReg: st.retReg})
+				break frame
+			case ctlStop:
+				fr.pc = st.rpc
+				break frame
+			case ctlErr:
+				fr.pc = pc
+				return &engine.FaultError{Fn: lf.fn.Name, PC: pc, Err: st.err}
+			case ctlErrAt:
+				fr.pc = st.errpc
+				return &engine.FaultError{Fn: lf.fn.Name, PC: st.errpc, Err: st.err}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package threaded_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestThreadedDoesNotImportInterp pins the engine seam's layering rule at
+// the source level: the closure-threaded backend builds on the
+// engine-neutral core (internal/engine) only. The interpreter's dispatch
+// internals live in internal/interp/internal/dispatch, which the Go
+// toolchain already makes unimportable from here; this test additionally
+// rejects any import of the interp package itself, so the two engines can
+// only share behavior by moving it into the core — never by one reaching
+// into the other.
+func TestThreadedDoesNotImportInterp(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "gcsafety/internal/interp" || strings.HasPrefix(path, "gcsafety/internal/interp/") {
+				t.Errorf("%s imports %s: the threaded backend must depend on internal/engine only", name, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,1081 @@
+// Package threaded is the closure-threaded execution backend: it
+// pre-compiles each machine function into a slice of Go closures, one per
+// instruction, with operands decoded, branch targets resolved to code
+// indices and compare+branch pairs fused — eliminating the per-instruction
+// fetch/decode switch of the classic interpreter. The backend supplies
+// only the dispatch strategy; the machine state, heap, runtime library,
+// checkers and scheduler are the engine-neutral core (internal/engine),
+// which is what makes its simulated results — Instrs, Cycles, output, GC
+// statistics and every checker outcome — bit-identical to the
+// interpreter's by construction. The bit-identical contract is enforced
+// by the fuzz matrix's engine twins and the engine-smoke gate.
+package threaded
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gcsafety/internal/engine"
+	"gcsafety/internal/machine"
+)
+
+// Name is the engine registry name of this backend.
+const Name = "threaded"
+
+// closure executes one pre-decoded instruction against the shared run
+// state and returns the next code index, or a negative control sentinel.
+type closure func(st *state) int
+
+// Control sentinels returned by closures instead of a next-pc. Zero is
+// reserved (a valid code index and the run loop's "batch exhausted"
+// marker), so all sentinels are negative.
+const (
+	ctlRet   = -1 // current frame returned (Core.PendingRet holds the value)
+	ctlCall  = -2 // push st.callee (resume at st.rpc)
+	ctlErr   = -3 // st.err holds the fault, at the dispatching pc
+	ctlStop  = -4 // the program called exit()
+	ctlErrAt = -5 // st.err holds the fault, at st.errpc (a fused second op)
+)
+
+// slot is one lowered instruction: the closure, the original opcode (for
+// the run loop's one-index cycle charge) and whether the closure is a
+// fused compare+branch that may consume the following instruction from
+// the batch reservation (see runFast).
+type slot struct {
+	fn    closure
+	op    uint8
+	fused bool
+}
+
+// loweredFunc is one function's closure code. insns aliases the original
+// code for the temporal tracker, which needs the undecoded instruction.
+type loweredFunc struct {
+	fn    *machine.Func
+	slots []slot
+	insns []machine.Instr
+}
+
+// Program is a lowered machine program. Lowering bakes in nothing
+// config-dependent — register-file bounds are checked against the run's
+// register file and cycle costs are read from the core's cost table at run
+// time — so one lowered Program serves every machine configuration of the
+// original.
+type Program struct {
+	prog   *machine.Program
+	funcs  []*loweredFunc
+	byFunc map[*machine.Func]*loweredFunc
+}
+
+// Machine returns the machine program this lowering was built from. Runs
+// started through this Program execute exactly that program object.
+func (p *Program) Machine() *machine.Program { return p.prog }
+
+// Lower compiles prog into closure code. It is deterministic and cheap
+// (linear in code size); the pipeline caches it as the "lower" stage and
+// LowerCached memoizes it per program identity for engine-registry runs.
+func Lower(prog *machine.Program) *Program {
+	lp := &Program{
+		prog:   prog,
+		byFunc: make(map[*machine.Func]*loweredFunc, len(prog.Funcs)),
+	}
+	// Two passes: every function gets its shell first, so direct-call
+	// closures can capture the callee's loweredFunc instead of doing a map
+	// lookup per call.
+	for _, f := range prog.Funcs {
+		lf := &loweredFunc{
+			fn:    f,
+			slots: make([]slot, len(f.Code)),
+			insns: f.Code,
+		}
+		for i := range f.Code {
+			lf.slots[i].op = uint8(f.Code[i].Op)
+		}
+		lp.funcs = append(lp.funcs, lf)
+		lp.byFunc[f] = lf
+	}
+	for _, lf := range lp.funcs {
+		lowerFunc(lp, lf)
+	}
+	return lp
+}
+
+// isCmp reports whether op is one of the contiguous compare opcodes.
+func isCmp(op machine.Op) bool {
+	return op >= machine.CmpEq && op <= machine.CmpGeu
+}
+
+var (
+	lowerCache sync.Map // *machine.Program -> *Program
+	lowerCount atomic.Int32
+)
+
+// lowerCacheLimit bounds the memoization map: fuzz runs lower thousands of
+// distinct throwaway programs, and without a bound the map would grow for
+// the life of the process. Lowering is cheap, so wholesale eviction (and
+// the benign race with concurrent inserts) costs at most a re-lower.
+const lowerCacheLimit = 512
+
+// LowerCached returns the lowering of prog, memoized by program identity.
+// The pipeline's build cache shares program pointers across runs, so warm
+// engine-registry runs skip lowering entirely.
+func LowerCached(prog *machine.Program) *Program {
+	if v, ok := lowerCache.Load(prog); ok {
+		return v.(*Program)
+	}
+	lp := Lower(prog)
+	if _, loaded := lowerCache.LoadOrStore(prog, lp); !loaded {
+		if lowerCount.Add(1) > lowerCacheLimit {
+			lowerCache.Range(func(k, _ any) bool {
+				lowerCache.Delete(k)
+				return true
+			})
+			lowerCount.Store(0)
+		}
+	}
+	return lp
+}
+
+// rdReg reads register r from the run's register file: one unsigned
+// compare covers both NoReg (-1) and a file shorter than the compiled
+// program expects, reproducing Core.Reg's "read as 0" semantics.
+func rdReg(regs []uint32, r int) uint32 {
+	if uint(r) < uint(len(regs)) {
+		return regs[r]
+	}
+	return 0
+}
+
+// wrReg writes register r, dropping NoReg and out-of-range writes like
+// Core.SetReg.
+func wrReg(regs []uint32, r int, v uint32) {
+	if uint(r) < uint(len(regs)) {
+		regs[r] = v
+	}
+}
+
+// lowerFunc fills in lf.slots. Branch targets resolve exactly like the
+// core's FuncMeta pass: an unknown label resolves to pc 0, matching the
+// zero value the interpreter's label-map lookup produces.
+func lowerFunc(lp *Program, lf *loweredFunc) {
+	f := lf.fn
+	labels := map[int32]int{}
+	for pc, in := range f.Code {
+		if in.Op == machine.Label {
+			labels[in.Imm] = pc
+		}
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		next := i + 1
+		rd, rs1 := int(in.Rd), int(in.Rs1)
+		switch in.Op {
+		case machine.Add:
+			if in.HasImm {
+				imm := uint32(in.Imm)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					wrReg(regs, rd, rdReg(regs, rs1)+imm)
+					return next
+				}
+			} else {
+				rs2 := int(in.Rs2)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					wrReg(regs, rd, rdReg(regs, rs1)+rdReg(regs, rs2))
+					return next
+				}
+			}
+		case machine.Sub:
+			if in.HasImm {
+				imm := uint32(in.Imm)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					wrReg(regs, rd, rdReg(regs, rs1)-imm)
+					return next
+				}
+			} else {
+				rs2 := int(in.Rs2)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					wrReg(regs, rd, rdReg(regs, rs1)-rdReg(regs, rs2))
+					return next
+				}
+			}
+		case machine.Mov:
+			if in.HasImm {
+				imm := uint32(in.Imm)
+				lf.slots[i].fn = func(st *state) int {
+					wrReg(st.regs, rd, imm)
+					return next
+				}
+			} else {
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					wrReg(regs, rd, rdReg(regs, rs1))
+					return next
+				}
+			}
+		case machine.Ld:
+			if in.HasImm {
+				imm := uint32(in.Imm)
+				lf.slots[i].fn = func(st *state) int {
+					v, e := st.c.Read32(rdReg(st.regs, rs1) + imm)
+					if e != nil {
+						st.err = e
+						return ctlErr
+					}
+					wrReg(st.regs, rd, v)
+					return next
+				}
+			} else {
+				rs2 := int(in.Rs2)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					v, e := st.c.Read32(rdReg(regs, rs1) + rdReg(regs, rs2))
+					if e != nil {
+						st.err = e
+						return ctlErr
+					}
+					wrReg(st.regs, rd, v)
+					return next
+				}
+			}
+		case machine.St:
+			if in.HasImm {
+				imm := uint32(in.Imm)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					if e := st.c.Write32(rdReg(regs, rs1)+imm, rdReg(regs, rd)); e != nil {
+						st.err = e
+						return ctlErr
+					}
+					return next
+				}
+			} else {
+				rs2 := int(in.Rs2)
+				lf.slots[i].fn = func(st *state) int {
+					regs := st.regs
+					if e := st.c.Write32(rdReg(regs, rs1)+rdReg(regs, rs2), rdReg(regs, rd)); e != nil {
+						st.err = e
+						return ctlErr
+					}
+					return next
+				}
+			}
+		case machine.LdSP:
+			// Frame traffic dominates every workload's access mix, and the
+			// stack can never alias the heap, so an aligned in-segment access
+			// can go straight to the backing bytes: the validator and temporal
+			// word tags are keyed off Track/heap paths that are unreachable
+			// for stack addresses. Anything else falls back to the checked
+			// Read32 (which also produces the misaligned-read fault).
+			imm := uint32(in.Imm)
+			lf.slots[i].fn = func(st *state) int {
+				c := st.c
+				a := c.SP + imm
+				stk, base := c.StackBytes()
+				if off := a - base; a&3 == 0 && off <= uint32(len(stk))-4 {
+					s := stk[off : off+4 : off+4]
+					wrReg(st.regs, rd, uint32(s[0])|uint32(s[1])<<8|uint32(s[2])<<16|uint32(s[3])<<24)
+					return next
+				}
+				v, e := c.Read32(a)
+				if e != nil {
+					st.err = e
+					return ctlErr
+				}
+				wrReg(st.regs, rd, v)
+				return next
+			}
+		case machine.StSP, machine.Arg:
+			imm := uint32(in.Imm)
+			lf.slots[i].fn = func(st *state) int {
+				c := st.c
+				a := c.SP + imm
+				stk, base := c.StackBytes()
+				if off := a - base; a&3 == 0 && off <= uint32(len(stk))-4 {
+					v := rdReg(st.regs, rd)
+					s := stk[off : off+4 : off+4]
+					s[0], s[1], s[2], s[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+					return next
+				}
+				if e := c.Write32(a, rdReg(st.regs, rd)); e != nil {
+					st.err = e
+					return ctlErr
+				}
+				return next
+			}
+		case machine.LeaSP:
+			imm := uint32(in.Imm)
+			lf.slots[i].fn = func(st *state) int {
+				wrReg(st.regs, rd, st.c.SP+imm)
+				return next
+			}
+		case machine.Jmp:
+			target := labels[in.Imm]
+			lf.slots[i].fn = func(st *state) int { return target }
+		case machine.Bz:
+			target := labels[in.Imm]
+			lf.slots[i].fn = func(st *state) int {
+				if rdReg(st.regs, rs1) == 0 {
+					return target
+				}
+				return next
+			}
+		case machine.Bnz:
+			target := labels[in.Imm]
+			lf.slots[i].fn = func(st *state) int {
+				if rdReg(st.regs, rs1) != 0 {
+					return target
+				}
+				return next
+			}
+		case machine.CmpEq, machine.CmpNe, machine.CmpLt, machine.CmpLe,
+			machine.CmpGt, machine.CmpGe, machine.CmpLtu, machine.CmpLeu,
+			machine.CmpGtu, machine.CmpGeu:
+			lf.slots[i].fn, lf.slots[i].fused = lowerCmp(in, next, i, f.Code, labels)
+		case machine.Nop, machine.Label:
+			// No closure at all: the run loops charge the opcode's cost and
+			// step over a nil fn inline, so the most frequent opcode of the
+			// dynamic mix (labels alone are ~13% of executed instructions)
+			// costs one predicted branch instead of an indirect call.
+		case machine.LdB:
+			lf.slots[i].fn = lowerLd8(in, next, true)
+		case machine.LdBu:
+			lf.slots[i].fn = lowerLd8(in, next, false)
+		case machine.LdH:
+			lf.slots[i].fn = lowerLd16(in, next, true)
+		case machine.LdHu:
+			lf.slots[i].fn = lowerLd16(in, next, false)
+		case machine.StB:
+			lf.slots[i].fn = lowerSt8(in, next)
+		case machine.StH:
+			lf.slots[i].fn = lowerSt16(in, next)
+		case machine.Mul:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return a * b })
+		case machine.And:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return a & b })
+		case machine.Or:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return a | b })
+		case machine.Xor:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return a ^ b })
+		case machine.Shl:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return a << (b & 31) })
+		case machine.Shr:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) })
+		case machine.Shru:
+			lf.slots[i].fn = lowerALU(in, next, func(a, b uint32) uint32 { return a >> (b & 31) })
+		case machine.Div:
+			lf.slots[i].fn = lowerDiv(in, next, func(a, b uint32) uint32 { return uint32(int32(a) / int32(b)) })
+		case machine.Divu:
+			lf.slots[i].fn = lowerDiv(in, next, func(a, b uint32) uint32 { return a / b })
+		case machine.Rem:
+			lf.slots[i].fn = lowerDiv(in, next, func(a, b uint32) uint32 { return uint32(int32(a) % int32(b)) })
+		case machine.Remu:
+			lf.slots[i].fn = lowerDiv(in, next, func(a, b uint32) uint32 { return a % b })
+		case machine.KeepLive:
+			// The empty asm: value flows through unchanged; the base operand
+			// is merely kept live by its presence here.
+			lf.slots[i].fn = func(st *state) int {
+				regs := st.regs
+				wrReg(regs, rd, rdReg(regs, rs1))
+				return next
+			}
+		case machine.AdjSP:
+			imm := uint32(in.Imm)
+			lf.slots[i].fn = func(st *state) int {
+				c := st.c
+				ns := c.SP + imm
+				if ns < c.StackLo || ns > c.StackHi {
+					st.err = stackOverflow(ns)
+					return ctlErr
+				}
+				c.SP = ns
+				return next
+			}
+		case machine.Ret:
+			if in.Rs1 == machine.NoReg {
+				lf.slots[i].fn = func(st *state) int {
+					st.c.PendingRet = 0
+					return ctlRet
+				}
+			} else {
+				lf.slots[i].fn = func(st *state) int {
+					st.c.PendingRet = rdReg(st.regs, rs1)
+					return ctlRet
+				}
+			}
+		case machine.Call:
+			if callee := lp.prog.Funcs[in.Sym]; callee != nil {
+				calleeLf := lp.byFunc[callee]
+				reg := in.Rd
+				lf.slots[i].fn = func(st *state) int {
+					st.callee = calleeLf
+					st.retReg = reg
+					st.rpc = next
+					return ctlCall
+				}
+			} else {
+				insn := in
+				fnName := f.Name
+				reg := in.Rd
+				lf.slots[i].fn = func(st *state) int {
+					c := st.c
+					v, err := c.RuntimeCall(fnName, insn)
+					if err != nil {
+						st.err = err
+						return ctlErr
+					}
+					c.SetReg(reg, v)
+					if tt := c.TT; tt != nil {
+						tt.SetTag(reg, tt.RetTag)
+					}
+					if c.Exited {
+						st.rpc = next
+						return ctlStop
+					}
+					return next
+				}
+			}
+		default:
+			// Cold opcodes (mul/div, logic, shifts, byte/half memory, CallR)
+			// share the core's Step so each has exactly one semantics.
+			insn := in
+			fnRef := f
+			lf.slots[i].fn = func(st *state) int {
+				c := st.c
+				scratch := engine.Frame{Fn: fnRef, PC: next, SavedSP: c.SP}
+				ret, push, err := c.Step(&scratch, insn)
+				if err != nil {
+					st.err = err
+					return ctlErr
+				}
+				if push != nil {
+					st.callee = st.lp.byFunc[push.Fn]
+					st.retReg = push.RetReg
+					st.rpc = next
+					return ctlCall
+				}
+				if ret {
+					return ctlRet
+				}
+				if c.Exited {
+					st.rpc = scratch.PC
+					return ctlStop
+				}
+				return scratch.PC
+			}
+		}
+	}
+	fusePairs(lf, labels)
+}
+
+// fusePairs is the superinstruction pass: it upgrades the hottest
+// instruction pairs (and the byte-load/compare/branch triple) of the
+// dynamic opcode mix — measured by the census in pairfreq_test.go — into
+// single closures that execute both instructions in one dispatch round.
+// Every fused closure follows the reservation protocol lowerCmp
+// established: the extra instructions are consumed from st.n (so budget,
+// poll and the checked loop's per-instruction bookkeeping all stay exact),
+// their cycle costs are charged from the run-time table, and a fault in a
+// consumed instruction reports its own pc through ctlErrAt. The second
+// slot of each pair keeps its base closure: it is a legal jump target, and
+// the checked loop (which reserves nothing) always dispatches it
+// separately.
+func fusePairs(lf *loweredFunc, labels map[int32]int) {
+	code := lf.fn.Code
+	for i := 0; i+1 < len(code); i++ {
+		if lf.slots[i].fused || lf.slots[i].fn == nil {
+			continue
+		}
+		in, in2 := &code[i], &code[i+1]
+		var fn closure
+		switch {
+		case in.Op == machine.Mov && in2.Op == machine.Jmp:
+			fn = fuseMovJmp(in, labels[in2.Imm], i)
+		case in.Op == machine.LeaSP && (in2.Op == machine.LdB || in2.Op == machine.LdBu) && in2.Rs1 == in.Rd:
+			fn = fuseLeaLd8(in, in2, i)
+		case (in.Op == machine.LdB || in.Op == machine.LdBu) && i+2 < len(code) &&
+			isCmp(in2.Op) && in2.Rs1 == in.Rd &&
+			(code[i+2].Op == machine.Bz || code[i+2].Op == machine.Bnz) && code[i+2].Rs1 == in2.Rd:
+			fn = fuseLd8CmpBr(in, in2, &code[i+2], labels, i)
+		case in.Op == machine.Ld && in2.Op == machine.Ld:
+			fn = fuseLdLd(in, in2, i)
+		case in.Op == machine.AdjSP && in2.Op == machine.LdSP:
+			fn = fuseAdjLdSP(in, in2, i)
+		case (in.Op == machine.StSP || in.Op == machine.Arg) && (in2.Op == machine.StSP || in2.Op == machine.Arg):
+			fn = fuseStackStores(in, in2, i)
+		case in.Op == machine.Add && in2.Op == machine.Mov:
+			fn = fuseAddMov(in, in2, i)
+		}
+		if fn != nil {
+			lf.slots[i].fn = fn
+			lf.slots[i].fused = true
+		}
+	}
+}
+
+// fuseMovJmp: a register or immediate move followed by an unconditional
+// jump — the common loop back-edge shape "set induction value, jump".
+func fuseMovJmp(in *machine.Instr, target, i int) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	hasImm, imm := in.HasImm, uint32(in.Imm)
+	next := i + 1
+	return func(st *state) int {
+		regs := st.regs
+		v := imm
+		if !hasImm {
+			v = rdReg(regs, rs1)
+		}
+		wrReg(regs, rd, v)
+		if st.n == 0 {
+			return next
+		}
+		st.n--
+		c := st.c
+		c.Cycles += c.Costs[machine.Jmp]
+		return target
+	}
+}
+
+// fuseLeaLd8: take the address of a stack slot, then byte-load through it —
+// the inner step of every string loop over a stack buffer. The base is
+// re-read through rdReg after the write, so a dropped write (NoReg or a
+// short register file) yields exactly what the unfused pair would.
+func fuseLeaLd8(in, in2 *machine.Instr, i int) closure {
+	rd1, imm1 := int(in.Rd), uint32(in.Imm)
+	rd2, rs1b, rs2b := int(in2.Rd), int(in2.Rs1), int(in2.Rs2)
+	hasImm2, imm2 := in2.HasImm, uint32(in2.Imm)
+	signed := in2.Op == machine.LdB
+	op2 := in2.Op
+	next1, next2 := i+1, i+2
+	return func(st *state) int {
+		c := st.c
+		regs := st.regs
+		wrReg(regs, rd1, c.SP+imm1)
+		if st.n == 0 {
+			return next1
+		}
+		st.n--
+		c.Cycles += c.Costs[op2]
+		off := imm2
+		if !hasImm2 {
+			off = rdReg(regs, rs2b)
+		}
+		b, e := c.Read8(rdReg(regs, rs1b) + off)
+		if e != nil {
+			st.err = e
+			st.errpc = next1
+			return ctlErrAt
+		}
+		if signed {
+			wrReg(regs, rd2, uint32(int32(int8(b))))
+		} else {
+			wrReg(regs, rd2, uint32(b))
+		}
+		return next2
+	}
+}
+
+// fuseLd8CmpBr: byte load, compare the loaded value, branch on the
+// comparison — the "while (*p != c)" scan idiom, three instructions in one
+// dispatch. Each consumed instruction takes its own reservation step, so
+// the closure degrades to a plain byte load at batch boundaries.
+func fuseLd8CmpBr(in, in2, br *machine.Instr, labels map[int32]int, i int) closure {
+	rd1, rs1 := int(in.Rd), int(in.Rs1)
+	hasImm1, imm1, rs2a := in.HasImm, uint32(in.Imm), int(in.Rs2)
+	signed := in.Op == machine.LdB
+	eval := cmpEval(in2)
+	rd2 := int(in2.Rd)
+	cmpOp := in2.Op
+	brRs1 := int(br.Rs1)
+	brOp := br.Op
+	takenOnZero := br.Op == machine.Bz
+	target := labels[br.Imm]
+	next1, next2, next3 := i+1, i+2, i+3
+	return func(st *state) int {
+		c := st.c
+		regs := st.regs
+		off := imm1
+		if !hasImm1 {
+			off = rdReg(regs, rs2a)
+		}
+		b, e := c.Read8(rdReg(regs, rs1) + off)
+		if e != nil {
+			st.err = e
+			return ctlErr
+		}
+		if signed {
+			wrReg(regs, rd1, uint32(int32(int8(b))))
+		} else {
+			wrReg(regs, rd1, uint32(b))
+		}
+		if st.n == 0 {
+			return next1
+		}
+		st.n--
+		c.Cycles += c.Costs[cmpOp]
+		wrReg(regs, rd2, eval(regs))
+		if st.n == 0 {
+			return next2
+		}
+		st.n--
+		c.Cycles += c.Costs[brOp]
+		cond := rdReg(regs, brRs1)
+		if takenOnZero == (cond == 0) {
+			return target
+		}
+		return next3
+	}
+}
+
+// fuseLdLd: two word loads back to back (field/field or local/local).
+// The second load's operands are read after the first's write, preserving
+// any dependency between them.
+func fuseLdLd(in, in2 *machine.Instr, i int) closure {
+	rd1, rs11 := int(in.Rd), int(in.Rs1)
+	h1, imm1, rs21 := in.HasImm, uint32(in.Imm), int(in.Rs2)
+	rd2, rs12 := int(in2.Rd), int(in2.Rs1)
+	h2, imm2, rs22 := in2.HasImm, uint32(in2.Imm), int(in2.Rs2)
+	next1, next2 := i+1, i+2
+	return func(st *state) int {
+		c := st.c
+		regs := st.regs
+		o1 := imm1
+		if !h1 {
+			o1 = rdReg(regs, rs21)
+		}
+		v, e := c.Read32(rdReg(regs, rs11) + o1)
+		if e != nil {
+			st.err = e
+			return ctlErr
+		}
+		wrReg(regs, rd1, v)
+		if st.n == 0 {
+			return next1
+		}
+		st.n--
+		c.Cycles += c.Costs[machine.Ld]
+		o2 := imm2
+		if !h2 {
+			o2 = rdReg(regs, rs22)
+		}
+		v, e = c.Read32(rdReg(regs, rs12) + o2)
+		if e != nil {
+			st.err = e
+			st.errpc = next1
+			return ctlErrAt
+		}
+		wrReg(regs, rd2, v)
+		return next2
+	}
+}
+
+// fuseAdjLdSP: frame setup followed by a spill reload — the function
+// prologue/call-return shape. The load uses the stack fast path against
+// the just-adjusted SP.
+func fuseAdjLdSP(in, in2 *machine.Instr, i int) closure {
+	adj := uint32(in.Imm)
+	rd2, imm2 := int(in2.Rd), uint32(in2.Imm)
+	next1, next2 := i+1, i+2
+	return func(st *state) int {
+		c := st.c
+		ns := c.SP + adj
+		if ns < c.StackLo || ns > c.StackHi {
+			st.err = stackOverflow(ns)
+			return ctlErr
+		}
+		c.SP = ns
+		if st.n == 0 {
+			return next1
+		}
+		st.n--
+		c.Cycles += c.Costs[machine.LdSP]
+		a := ns + imm2
+		stk, base := c.StackBytes()
+		if off := a - base; a&3 == 0 && off <= uint32(len(stk))-4 {
+			s := stk[off : off+4 : off+4]
+			wrReg(st.regs, rd2, uint32(s[0])|uint32(s[1])<<8|uint32(s[2])<<16|uint32(s[3])<<24)
+			return next2
+		}
+		v, e := c.Read32(a)
+		if e != nil {
+			st.err = e
+			st.errpc = next1
+			return ctlErrAt
+		}
+		wrReg(st.regs, rd2, v)
+		return next2
+	}
+}
+
+// fuseStackStores: two consecutive stack-relative stores (spills or
+// outgoing arguments; StSP and Arg share one semantics).
+func fuseStackStores(in, in2 *machine.Instr, i int) closure {
+	rd1, imm1 := int(in.Rd), uint32(in.Imm)
+	rd2, imm2 := int(in2.Rd), uint32(in2.Imm)
+	op2 := in2.Op
+	next1, next2 := i+1, i+2
+	return func(st *state) int {
+		c := st.c
+		regs := st.regs
+		stk, base := c.StackBytes()
+		a1 := c.SP + imm1
+		if off := a1 - base; a1&3 == 0 && off <= uint32(len(stk))-4 {
+			v := rdReg(regs, rd1)
+			s := stk[off : off+4 : off+4]
+			s[0], s[1], s[2], s[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		} else if e := c.Write32(a1, rdReg(regs, rd1)); e != nil {
+			st.err = e
+			return ctlErr
+		}
+		if st.n == 0 {
+			return next1
+		}
+		st.n--
+		c.Cycles += c.Costs[op2]
+		a2 := c.SP + imm2
+		if off := a2 - base; a2&3 == 0 && off <= uint32(len(stk))-4 {
+			v := rdReg(regs, rd2)
+			s := stk[off : off+4 : off+4]
+			s[0], s[1], s[2], s[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			return next2
+		}
+		if e := c.Write32(a2, rdReg(regs, rd2)); e != nil {
+			st.err = e
+			st.errpc = next1
+			return ctlErrAt
+		}
+		return next2
+	}
+}
+
+// fuseAddMov: address arithmetic followed by a move — the copy-and-step
+// shape of pointer loops.
+func fuseAddMov(in, in2 *machine.Instr, i int) closure {
+	rd1, rs11 := int(in.Rd), int(in.Rs1)
+	h1, imm1, rs21 := in.HasImm, uint32(in.Imm), int(in.Rs2)
+	rd2, rs12 := int(in2.Rd), int(in2.Rs1)
+	h2, imm2 := in2.HasImm, uint32(in2.Imm)
+	next1, next2 := i+1, i+2
+	return func(st *state) int {
+		regs := st.regs
+		b := imm1
+		if !h1 {
+			b = rdReg(regs, rs21)
+		}
+		wrReg(regs, rd1, rdReg(regs, rs11)+b)
+		if st.n == 0 {
+			return next1
+		}
+		st.n--
+		c := st.c
+		c.Cycles += c.Costs[machine.Mov]
+		v := imm2
+		if !h2 {
+			v = rdReg(regs, rs12)
+		}
+		wrReg(regs, rd2, v)
+		return next2
+	}
+}
+
+// lowerCmp builds a compare closure, fusing the following Bz/Bnz when it
+// branches on this compare's destination. The fused closure consumes the
+// branch only when the run loop's batch reservation has room (st.n > 0):
+// it decrements the reservation (the loop derives instruction counts from
+// what remains), charges the branch's cycle cost from the run-time table —
+// cycle accounting is a sum, so charging the core directly commutes with
+// the loop's batched flush — and jumps, skipping one full dispatch round
+// trip. At a batch boundary, or in the checked loop (which reserves
+// nothing), it stops after the compare and the branch runs through its own
+// closure, so polls, budget checks, GC ticks and temporal tracking all
+// observe the branch as a separate instruction exactly when they need to.
+// The plain branch closure always remains at its own index: it is a legal
+// jump target.
+func lowerCmp(in *machine.Instr, next, i int, code []machine.Instr, labels map[int32]int) (closure, bool) {
+	eval := cmpEval(in)
+	rd := int(in.Rd)
+	if i+1 < len(code) {
+		br := &code[i+1]
+		if (br.Op == machine.Bz || br.Op == machine.Bnz) && br.Rs1 == in.Rd {
+			brRs1 := int(br.Rs1)
+			brOp := br.Op
+			target := labels[br.Imm]
+			takenOnZero := br.Op == machine.Bz
+			next2 := i + 2
+			return func(st *state) int {
+				regs := st.regs
+				wrReg(regs, rd, eval(regs))
+				if st.n == 0 {
+					return next
+				}
+				st.n--
+				c := st.c
+				c.Cycles += c.Costs[brOp]
+				// Re-read through rdReg: when rd is NoReg the compare result
+				// was dropped and the branch reads 0, exactly as the unfused
+				// pair would.
+				cond := rdReg(regs, brRs1)
+				if takenOnZero == (cond == 0) {
+					return target
+				}
+				return next2
+			}, true
+		}
+	}
+	return func(st *state) int {
+		regs := st.regs
+		wrReg(regs, rd, eval(regs))
+		return next
+	}, false
+}
+
+// cmpEval builds the compare evaluation for one Cmp* instruction with
+// operands pre-decoded; it touches only the register file.
+func cmpEval(in *machine.Instr) func(regs []uint32) uint32 {
+	rs1 := int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		switch in.Op {
+		case machine.CmpEq:
+			return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) == imm) }
+		case machine.CmpNe:
+			return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) != imm) }
+		case machine.CmpLt:
+			return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) < int32(imm)) }
+		case machine.CmpLe:
+			return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) <= int32(imm)) }
+		case machine.CmpGt:
+			return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) > int32(imm)) }
+		case machine.CmpGe:
+			return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) >= int32(imm)) }
+		case machine.CmpLtu:
+			return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) < imm) }
+		case machine.CmpLeu:
+			return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) <= imm) }
+		case machine.CmpGtu:
+			return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) > imm) }
+		default: // machine.CmpGeu
+			return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) >= imm) }
+		}
+	}
+	rs2 := int(in.Rs2)
+	switch in.Op {
+	case machine.CmpEq:
+		return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) == rdReg(regs, rs2)) }
+	case machine.CmpNe:
+		return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) != rdReg(regs, rs2)) }
+	case machine.CmpLt:
+		return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) < int32(rdReg(regs, rs2))) }
+	case machine.CmpLe:
+		return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) <= int32(rdReg(regs, rs2))) }
+	case machine.CmpGt:
+		return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) > int32(rdReg(regs, rs2))) }
+	case machine.CmpGe:
+		return func(regs []uint32) uint32 { return b2u(int32(rdReg(regs, rs1)) >= int32(rdReg(regs, rs2))) }
+	case machine.CmpLtu:
+		return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) < rdReg(regs, rs2)) }
+	case machine.CmpLeu:
+		return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) <= rdReg(regs, rs2)) }
+	case machine.CmpGtu:
+		return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) > rdReg(regs, rs2)) }
+	default: // machine.CmpGeu
+		return func(regs []uint32) uint32 { return b2u(rdReg(regs, rs1) >= rdReg(regs, rs2)) }
+	}
+}
+
+// lowerALU builds the closure for a pure two-source ALU opcode; op is a
+// tiny leaf function the compiler can inline into the closure body.
+func lowerALU(in *machine.Instr, next int, op func(a, b uint32) uint32) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		return func(st *state) int {
+			regs := st.regs
+			wrReg(regs, rd, op(rdReg(regs, rs1), imm))
+			return next
+		}
+	}
+	rs2 := int(in.Rs2)
+	return func(st *state) int {
+		regs := st.regs
+		wrReg(regs, rd, op(rdReg(regs, rs1), rdReg(regs, rs2)))
+		return next
+	}
+}
+
+// lowerDiv is lowerALU for the divide family, with Step's check-then-
+// compute order for the division-by-zero fault. Go itself defines the
+// MinInt32/-1 overflow quotient (x/-1 == x), so op needs no further
+// guards to match Step bit for bit.
+func lowerDiv(in *machine.Instr, next int, op func(a, b uint32) uint32) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		return func(st *state) int {
+			regs := st.regs
+			if imm == 0 {
+				st.err = fmt.Errorf("division by zero")
+				return ctlErr
+			}
+			wrReg(regs, rd, op(rdReg(regs, rs1), imm))
+			return next
+		}
+	}
+	rs2 := int(in.Rs2)
+	return func(st *state) int {
+		regs := st.regs
+		d := rdReg(regs, rs2)
+		if d == 0 {
+			st.err = fmt.Errorf("division by zero")
+			return ctlErr
+		}
+		wrReg(regs, rd, op(rdReg(regs, rs1), d))
+		return next
+	}
+}
+
+// lowerLd8 dispatches the byte loads through the core's shared sub-word
+// accessor, so the threaded engine and Step fault identically.
+func lowerLd8(in *machine.Instr, next int, signed bool) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		return func(st *state) int {
+			regs := st.regs
+			b, e := st.c.Read8(rdReg(regs, rs1) + imm)
+			if e != nil {
+				st.err = e
+				return ctlErr
+			}
+			if signed {
+				wrReg(regs, rd, uint32(int32(int8(b))))
+			} else {
+				wrReg(regs, rd, uint32(b))
+			}
+			return next
+		}
+	}
+	rs2 := int(in.Rs2)
+	return func(st *state) int {
+		regs := st.regs
+		b, e := st.c.Read8(rdReg(regs, rs1) + rdReg(regs, rs2))
+		if e != nil {
+			st.err = e
+			return ctlErr
+		}
+		if signed {
+			wrReg(regs, rd, uint32(int32(int8(b))))
+		} else {
+			wrReg(regs, rd, uint32(b))
+		}
+		return next
+	}
+}
+
+func lowerLd16(in *machine.Instr, next int, signed bool) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		return func(st *state) int {
+			regs := st.regs
+			h, e := st.c.Read16(rdReg(regs, rs1) + imm)
+			if e != nil {
+				st.err = e
+				return ctlErr
+			}
+			if signed {
+				wrReg(regs, rd, uint32(int32(int16(h))))
+			} else {
+				wrReg(regs, rd, uint32(h))
+			}
+			return next
+		}
+	}
+	rs2 := int(in.Rs2)
+	return func(st *state) int {
+		regs := st.regs
+		h, e := st.c.Read16(rdReg(regs, rs1) + rdReg(regs, rs2))
+		if e != nil {
+			st.err = e
+			return ctlErr
+		}
+		if signed {
+			wrReg(regs, rd, uint32(int32(int16(h))))
+		} else {
+			wrReg(regs, rd, uint32(h))
+		}
+		return next
+	}
+}
+
+func lowerSt8(in *machine.Instr, next int) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		return func(st *state) int {
+			regs := st.regs
+			if e := st.c.Write8(rdReg(regs, rs1)+imm, byte(rdReg(regs, rd))); e != nil {
+				st.err = e
+				return ctlErr
+			}
+			return next
+		}
+	}
+	rs2 := int(in.Rs2)
+	return func(st *state) int {
+		regs := st.regs
+		if e := st.c.Write8(rdReg(regs, rs1)+rdReg(regs, rs2), byte(rdReg(regs, rd))); e != nil {
+			st.err = e
+			return ctlErr
+		}
+		return next
+	}
+}
+
+func lowerSt16(in *machine.Instr, next int) closure {
+	rd, rs1 := int(in.Rd), int(in.Rs1)
+	if in.HasImm {
+		imm := uint32(in.Imm)
+		return func(st *state) int {
+			regs := st.regs
+			if e := st.c.Write16(rdReg(regs, rs1)+imm, uint16(rdReg(regs, rd))); e != nil {
+				st.err = e
+				return ctlErr
+			}
+			return next
+		}
+	}
+	rs2 := int(in.Rs2)
+	return func(st *state) int {
+		regs := st.regs
+		if e := st.c.Write16(rdReg(regs, rs1)+rdReg(regs, rs2), uint16(rdReg(regs, rd))); e != nil {
+			st.err = e
+			return ctlErr
+		}
+		return next
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// threadedEngine adapts the backend to the engine registry; runs reached
+// through the registry (rather than a pipeline-lowered Program) memoize
+// lowering per program identity.
+type threadedEngine struct{}
+
+func (threadedEngine) Name() string { return Name }
+
+func (threadedEngine) Run(ctx context.Context, prog *machine.Program, opts engine.Options) (*engine.Result, error) {
+	return Run(ctx, LowerCached(prog), opts)
+}
+
+func init() { engine.Register(threadedEngine{}) }

@@ -1,0 +1,115 @@
+package threaded
+
+// Dynamic opcode-pair census over the heavy workloads: run with
+//   go test -run TestPairCensus -v -tags census ./internal/threaded
+// to decide which pairs are worth hand-fused closures. Kept as a plain
+// skipped-by-default test so the measurement that justified the fusion
+// set stays reproducible.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"gcsafety/internal/cc/parser"
+	"gcsafety/internal/codegen"
+	"gcsafety/internal/engine"
+	"gcsafety/internal/machine"
+	"gcsafety/internal/workloads"
+)
+
+func TestPairCensus(t *testing.T) {
+	if os.Getenv("PAIR_CENSUS") == "" {
+		t.Skip("set PAIR_CENSUS=1 to run the opcode-pair census")
+	}
+	cfg := machine.SPARCstation10()
+	counts := map[[2]machine.Op]uint64{}
+	singles := map[machine.Op]uint64{}
+	for _, name := range []string{"gawk", "gs"} {
+		w, _ := workloads.ByName(name)
+		file, err := parser.Parse(name+".c", w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := codegen.Compile(file, codegen.Options{Optimize: true, Machine: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := engine.NewCore(prog, engine.Options{Config: cfg, Input: w.Input})
+		_, err = c.RunWith(nil, func(entry *machine.Func, retReg machine.Reg) error {
+			type fr struct {
+				fn  *machine.Func
+				pc  int
+				sp  uint32
+				ret machine.Reg
+			}
+			stack := []fr{{fn: entry, sp: c.SP, ret: retReg}}
+			for len(stack) > 0 && !c.Exited {
+				f := &stack[len(stack)-1]
+				if f.pc >= len(f.fn.Code) {
+					c.SP = f.sp
+					c.SetReg(f.ret, 0)
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				in := &f.fn.Code[f.pc]
+				singles[in.Op]++
+				if f.pc+1 < len(f.fn.Code) {
+					counts[[2]machine.Op{in.Op, f.fn.Code[f.pc+1].Op}]++
+				}
+				sf := engine.Frame{Fn: f.fn, PC: f.pc + 1, SavedSP: c.SP}
+				ret, push, err := c.Step(&sf, in)
+				if err != nil {
+					return err
+				}
+				c.Instrs++
+				if push != nil {
+					f.pc = sf.PC
+					stack = append(stack, fr{fn: push.Fn, sp: push.SavedSP, ret: push.RetReg})
+					continue
+				}
+				if ret {
+					c.SP = f.sp
+					c.SetReg(f.ret, c.PendingRet)
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				f.pc = sf.PC
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	type pc struct {
+		p [2]machine.Op
+		n uint64
+	}
+	var list []pc
+	var total uint64
+	for p, n := range counts {
+		list = append(list, pc{p, n})
+		total += n
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
+	for i, e := range list {
+		if i >= 30 {
+			break
+		}
+		fmt.Printf("%-10v %-10v %10d  %5.2f%%\n", e.p[0], e.p[1], e.n, 100*float64(e.n)/float64(total))
+	}
+	var sl []pc
+	for op, n := range singles {
+		sl = append(sl, pc{[2]machine.Op{op, op}, n})
+	}
+	sort.Slice(sl, func(i, j int) bool { return sl[i].n > sl[j].n })
+	fmt.Println("--- singles ---")
+	for i, e := range sl {
+		if i >= 20 {
+			break
+		}
+		fmt.Printf("%-10v %10d  %5.2f%%\n", e.p[0], e.n, 100*float64(e.n)/float64(total))
+	}
+}
